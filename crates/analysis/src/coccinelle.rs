@@ -1,0 +1,321 @@
+//! §5.3 semantic search over kernel declarations.
+//!
+//! The paper runs a Coccinelle semantic patch over Linux 5.2 and finds
+//! **1285 function-pointer members assigned at run time, in 504 compound
+//! types, 229 of which contain more than one function pointer**. Types
+//! with more than one pointer should convert to read-only operations
+//! structures (existing kernel practice); the rest get individual PAuth
+//! protection.
+//!
+//! We cannot ship the Linux tree, so [`generate_linux52_corpus`] synthesises
+//! a declaration corpus with exactly those statistics, and [`analyze`]
+//! implements the search itself. The analysis logic is what the paper
+//! contributes; the corpus is data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kind of a structure member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemberKind {
+    /// Pointer to function.
+    FnPtr,
+    /// Pointer to data.
+    DataPtr,
+    /// Anything else (scalar, embedded struct, ...).
+    Other,
+}
+
+/// One member of a compound type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Field name.
+    pub name: String,
+    /// Field kind.
+    pub kind: MemberKind,
+    /// Whether any kernel code assigns this member outside static
+    /// initialisers — the Coccinelle match condition.
+    pub assigned_at_runtime: bool,
+}
+
+/// A compound type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDecl {
+    /// Type name.
+    pub name: String,
+    /// Members in declaration order.
+    pub members: Vec<Member>,
+}
+
+impl TypeDecl {
+    /// Function-pointer members assigned at run time.
+    pub fn runtime_fn_ptrs(&self) -> impl Iterator<Item = &Member> {
+        self.members
+            .iter()
+            .filter(|m| m.kind == MemberKind::FnPtr && m.assigned_at_runtime)
+    }
+}
+
+/// A set of declarations (the "kernel source tree").
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// All scanned type declarations.
+    pub types: Vec<TypeDecl>,
+}
+
+/// What to do with one type, per the §5.3 triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectionPlan {
+    /// More than one run-time-assigned function pointer: convert the type
+    /// to a `const` operations structure (kernel best practice, ref. \[16\]).
+    ConvertToOpsTable,
+    /// Exactly one: individual PAuth protection of the member, with an
+    /// allocated 16-bit type constant.
+    ProtectIndividually {
+        /// The allocated modifier constant.
+        type_const: u16,
+    },
+}
+
+/// Result of the semantic search.
+#[derive(Debug, Clone)]
+pub struct CocciReport {
+    /// Total run-time-assigned function-pointer members (paper: 1285).
+    pub fn_ptr_members: usize,
+    /// Types containing at least one such member (paper: 504).
+    pub affected_types: usize,
+    /// Types with more than one such member (paper: 229).
+    pub multi_ptr_types: usize,
+    /// Per-type triage decisions, in corpus order.
+    pub plans: Vec<(String, ProtectionPlan)>,
+}
+
+impl CocciReport {
+    /// Types slated for individual protection.
+    pub fn individually_protected(&self) -> usize {
+        self.plans
+            .iter()
+            .filter(|(_, p)| matches!(p, ProtectionPlan::ProtectIndividually { .. }))
+            .count()
+    }
+}
+
+/// Runs the semantic search and triage over a corpus.
+///
+/// Matches the paper's procedure: a member matches when it is a function
+/// pointer *and* some code assigns it outside a static initialiser;
+/// matched types with >1 matched member convert to operations tables,
+/// the rest receive per-member protection with freshly allocated 16-bit
+/// constants (starting from 1; 0 is reserved).
+pub fn analyze(corpus: &Corpus) -> CocciReport {
+    let mut fn_ptr_members = 0;
+    let mut affected = 0;
+    let mut multi = 0;
+    let mut plans = Vec::new();
+    let mut next_const: u16 = 1;
+    for ty in &corpus.types {
+        let count = ty.runtime_fn_ptrs().count();
+        if count == 0 {
+            continue;
+        }
+        fn_ptr_members += count;
+        affected += 1;
+        if count > 1 {
+            multi += 1;
+            plans.push((ty.name.clone(), ProtectionPlan::ConvertToOpsTable));
+        } else {
+            plans.push((
+                ty.name.clone(),
+                ProtectionPlan::ProtectIndividually {
+                    type_const: next_const,
+                },
+            ));
+            next_const = next_const.checked_add(1).expect("type-const space exhausted");
+        }
+    }
+    CocciReport {
+        fn_ptr_members,
+        affected_types: affected,
+        multi_ptr_types: multi,
+        plans,
+    }
+}
+
+/// Paper statistics for the Linux 5.2 scan.
+pub mod paper_stats {
+    /// Run-time-assigned function-pointer members.
+    pub const FN_PTR_MEMBERS: usize = 1285;
+    /// Compound types containing them.
+    pub const AFFECTED_TYPES: usize = 504;
+    /// Types with more than one such member.
+    pub const MULTI_PTR_TYPES: usize = 229;
+}
+
+/// Generates a synthetic "Linux 5.2" declaration corpus whose statistics
+/// match §5.3 exactly: 504 affected types (229 with more than one run-time
+/// function pointer, 275 with exactly one) totalling 1285 members, plus a
+/// population of unaffected types for the search to skip.
+pub fn generate_linux52_corpus(seed: u64) -> Corpus {
+    use paper_stats::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut types = Vec::new();
+
+    let single_types = AFFECTED_TYPES - MULTI_PTR_TYPES; // 275
+    let multi_members_total = FN_PTR_MEMBERS - single_types; // 1010 across 229 types
+
+    // Distribute the multi-type members: start at 2 each, spread the rest.
+    let mut multi_counts = vec![2usize; MULTI_PTR_TYPES];
+    let mut rest = multi_members_total - 2 * MULTI_PTR_TYPES;
+    while rest > 0 {
+        let i = rng.gen_range(0..MULTI_PTR_TYPES);
+        multi_counts[i] += 1;
+        rest -= 1;
+    }
+
+    let mut push_type = |name: String, fn_ptrs: usize, rng: &mut StdRng| {
+        let mut members = Vec::new();
+        for f in 0..fn_ptrs {
+            members.push(Member {
+                name: format!("op{f}"),
+                kind: MemberKind::FnPtr,
+                assigned_at_runtime: true,
+            });
+        }
+        // Pad with unprotected members so declarations look realistic.
+        for d in 0..rng.gen_range(1..6) {
+            members.push(Member {
+                name: format!("field{d}"),
+                kind: if rng.gen_bool(0.3) {
+                    MemberKind::DataPtr
+                } else {
+                    MemberKind::Other
+                },
+                assigned_at_runtime: rng.gen_bool(0.5),
+            });
+        }
+        types.push(TypeDecl { name, members });
+    };
+
+    for (i, &count) in multi_counts.iter().enumerate() {
+        push_type(format!("multi_ops_{i}"), count, &mut rng);
+    }
+    for i in 0..single_types {
+        push_type(format!("single_ptr_{i}"), 1, &mut rng);
+    }
+    // Background population: read-only ops tables and plain structs that
+    // must NOT match (their fn-ptrs are never assigned at run time).
+    for i in 0..800 {
+        let mut members = vec![Member {
+            name: "read".into(),
+            kind: MemberKind::FnPtr,
+            assigned_at_runtime: false,
+        }];
+        members.push(Member {
+            name: "flags".into(),
+            kind: MemberKind::Other,
+            assigned_at_runtime: true,
+        });
+        types.push(TypeDecl {
+            name: format!("const_ops_{i}"),
+            members,
+        });
+    }
+
+    // Shuffle so the analysis cannot rely on generation order.
+    for i in (1..types.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        types.swap(i, j);
+    }
+    Corpus { types }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_reproduces_paper_counts() {
+        let corpus = generate_linux52_corpus(52);
+        let report = analyze(&corpus);
+        assert_eq!(report.fn_ptr_members, paper_stats::FN_PTR_MEMBERS);
+        assert_eq!(report.affected_types, paper_stats::AFFECTED_TYPES);
+        assert_eq!(report.multi_ptr_types, paper_stats::MULTI_PTR_TYPES);
+    }
+
+    #[test]
+    fn triage_follows_the_multi_rule() {
+        let corpus = generate_linux52_corpus(52);
+        let report = analyze(&corpus);
+        assert_eq!(
+            report.individually_protected(),
+            paper_stats::AFFECTED_TYPES - paper_stats::MULTI_PTR_TYPES
+        );
+        for (name, plan) in &report.plans {
+            let ty = corpus.types.iter().find(|t| &t.name == name).unwrap();
+            let n = ty.runtime_fn_ptrs().count();
+            match plan {
+                ProtectionPlan::ConvertToOpsTable => assert!(n > 1, "{name}"),
+                ProtectionPlan::ProtectIndividually { .. } => assert_eq!(n, 1, "{name}"),
+            }
+        }
+    }
+
+    #[test]
+    fn allocated_type_consts_are_unique_and_nonzero() {
+        let report = analyze(&generate_linux52_corpus(1));
+        let mut seen = std::collections::HashSet::new();
+        for (_, plan) in &report.plans {
+            if let ProtectionPlan::ProtectIndividually { type_const } = plan {
+                assert_ne!(*type_const, 0);
+                assert!(seen.insert(*type_const), "duplicate const {type_const}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_ops_tables_do_not_match() {
+        let corpus = Corpus {
+            types: vec![TypeDecl {
+                name: "file_operations".into(),
+                members: vec![
+                    Member {
+                        name: "read".into(),
+                        kind: MemberKind::FnPtr,
+                        assigned_at_runtime: false,
+                    },
+                    Member {
+                        name: "write".into(),
+                        kind: MemberKind::FnPtr,
+                        assigned_at_runtime: false,
+                    },
+                ],
+            }],
+        };
+        let report = analyze(&corpus);
+        assert_eq!(report.affected_types, 0);
+        assert_eq!(report.fn_ptr_members, 0);
+    }
+
+    #[test]
+    fn data_pointers_do_not_count_as_fn_ptrs() {
+        let corpus = Corpus {
+            types: vec![TypeDecl {
+                name: "file".into(),
+                members: vec![Member {
+                    name: "f_ops".into(),
+                    kind: MemberKind::DataPtr,
+                    assigned_at_runtime: true,
+                }],
+            }],
+        };
+        assert_eq!(analyze(&corpus).fn_ptr_members, 0);
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let a = generate_linux52_corpus(9);
+        let b = generate_linux52_corpus(9);
+        assert_eq!(a.types.len(), b.types.len());
+        assert_eq!(a.types[0], b.types[0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Static analyses from the Camouflage paper.
+//!
+//! Two distinct analyses live here:
+//!
+//! * [`verifier`] — the §4.1 machine-code verifier: kernel and loadable
+//!   module images are scanned for instructions that would read PAuth key
+//!   registers, write them (installing attacker-known keys), or write
+//!   `SCTLR_EL1` (clearing the PAuth enable bits). "Because `MRS` system
+//!   register read instructions immediately address the read register, key
+//!   reads can be trivially found and rejected (e.g., when loading a
+//!   module)" (§6.2.2).
+//! * [`coccinelle`] — the §5.3 source-level semantic search: find compound
+//!   types with function-pointer members assigned at run time, decide which
+//!   should convert to read-only operations structures (more than one
+//!   function pointer) and which need individual PAuth protection. The
+//!   paper reports 1285 such members across 504 types, 229 of which have
+//!   more than one — a synthetic declaration corpus with matched statistics
+//!   stands in for the Linux 5.2 tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coccinelle;
+pub mod verifier;
+
+pub use coccinelle::{
+    analyze, generate_linux52_corpus, CocciReport, Corpus, Member, MemberKind, ProtectionPlan,
+    TypeDecl,
+};
+pub use verifier::{verify_image, Violation, ViolationKind};

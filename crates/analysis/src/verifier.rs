@@ -1,0 +1,205 @@
+//! §4.1 machine-code verification of kernel and module images.
+
+use camo_isa::{decode, Insn};
+
+/// Why an instruction was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// `MRS` of a PAuth key register: would leak key material (R2).
+    KeyRead,
+    /// `MSR` of a PAuth key register outside the XOM setter: would replace
+    /// the kernel keys with attacker-known values.
+    KeyWrite,
+    /// `MSR SCTLR_EL1`: could clear the PAuth enable bits and disable the
+    /// protection wholesale.
+    SctlrWrite,
+}
+
+impl core::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ViolationKind::KeyRead => write!(f, "reads a PAuth key register"),
+            ViolationKind::KeyWrite => write!(f, "writes a PAuth key register"),
+            ViolationKind::SctlrWrite => write!(f, "writes SCTLR_EL1"),
+        }
+    }
+}
+
+/// One rejected instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Byte offset of the instruction within the scanned image.
+    pub offset: u64,
+    /// The decoded instruction (for the rejection log).
+    pub insn: Insn,
+    /// The rule it breaks.
+    pub kind: ViolationKind,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "+{:#x}: `{}` {}", self.offset, self.insn, self.kind)
+    }
+}
+
+/// Scans an image (little-endian instruction words) and returns every
+/// violation found.
+///
+/// Words that do not decode are skipped: data islands inside text are
+/// common and harmless — what matters is that *reachable, decodable* key
+/// accesses are found, and on AArch64 every `MRS`/`MSR` names its register
+/// in fixed immediate fields, so a linear sweep is exact for them (no
+/// overlapping-instruction games exist with fixed 4-byte encodings).
+///
+/// # Example
+///
+/// ```
+/// use camo_analysis::{verify_image, ViolationKind};
+/// use camo_isa::{encode, Insn, Reg, SysReg};
+///
+/// let bad = encode(&Insn::Mrs { rt: Reg::x(0), sr: SysReg::ApibKeyLoEl1 });
+/// let violations = verify_image(&[bad]);
+/// assert_eq!(violations[0].kind, ViolationKind::KeyRead);
+/// ```
+pub fn verify_image(words: &[u32]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (i, &word) in words.iter().enumerate() {
+        let Some(insn) = decode(word) else {
+            continue;
+        };
+        let offset = 4 * i as u64;
+        if insn.reads_pauth_key() {
+            violations.push(Violation {
+                offset,
+                insn,
+                kind: ViolationKind::KeyRead,
+            });
+        } else if matches!(insn, Insn::Msr { sr, .. } if sr.is_pauth_key()) {
+            violations.push(Violation {
+                offset,
+                insn,
+                kind: ViolationKind::KeyWrite,
+            });
+        } else if insn.writes_sctlr() {
+            violations.push(Violation {
+                offset,
+                insn,
+                kind: ViolationKind::SctlrWrite,
+            });
+        }
+    }
+    violations
+}
+
+/// Convenience: scan raw little-endian bytes.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not a multiple of four long (not a text section).
+pub fn verify_bytes(bytes: &[u8]) -> Vec<Violation> {
+    assert!(bytes.len() % 4 == 0, "text must be a whole number of words");
+    let words: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk size")))
+        .collect();
+    verify_image(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_isa::{encode, Reg, SysReg};
+
+    fn word(insn: Insn) -> u32 {
+        encode(&insn)
+    }
+
+    #[test]
+    fn clean_code_passes() {
+        let words = [
+            word(Insn::Nop),
+            word(Insn::Pac {
+                key: camo_isa::PacKey::IB,
+                rd: Reg::LR,
+                rn: Reg::Sp,
+            }),
+            word(Insn::Mrs {
+                rt: Reg::x(0),
+                sr: SysReg::ContextidrEl1,
+            }),
+            word(Insn::ret()),
+        ];
+        assert!(verify_image(&words).is_empty());
+    }
+
+    #[test]
+    fn key_read_rejected_for_all_ten_registers() {
+        for sr in SysReg::ALL.into_iter().filter(|s| s.is_pauth_key()) {
+            let v = verify_image(&[word(Insn::Mrs { rt: Reg::x(3), sr })]);
+            assert_eq!(v.len(), 1, "{sr}");
+            assert_eq!(v[0].kind, ViolationKind::KeyRead);
+        }
+    }
+
+    #[test]
+    fn key_write_rejected() {
+        let v = verify_image(&[word(Insn::Msr {
+            sr: SysReg::ApdbKeyHiEl1,
+            rt: Reg::x(0),
+        })]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::KeyWrite);
+    }
+
+    #[test]
+    fn sctlr_write_rejected_but_read_allowed() {
+        let w = verify_image(&[word(Insn::Msr {
+            sr: SysReg::SctlrEl1,
+            rt: Reg::x(0),
+        })]);
+        assert_eq!(w[0].kind, ViolationKind::SctlrWrite);
+        let r = verify_image(&[word(Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::SctlrEl1,
+        })]);
+        assert!(r.is_empty(), "reading SCTLR is harmless");
+    }
+
+    #[test]
+    fn data_islands_are_skipped() {
+        let v = verify_image(&[0xDEAD_BEEF, 0x0000_0000, word(Insn::Nop)]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn offsets_point_at_the_culprit() {
+        let words = [
+            word(Insn::Nop),
+            word(Insn::Nop),
+            word(Insn::Mrs {
+                rt: Reg::x(1),
+                sr: SysReg::ApiaKeyLoEl1,
+            }),
+        ];
+        let v = verify_image(&words);
+        assert_eq!(v[0].offset, 8);
+        assert!(v[0].to_string().contains("apiakeylo_el1"));
+    }
+
+    #[test]
+    fn verify_bytes_matches_words() {
+        let insn = Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::ApgaKeyHiEl1,
+        };
+        let bytes = word(insn).to_le_bytes();
+        let v = verify_bytes(&bytes);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of words")]
+    fn ragged_text_panics() {
+        let _ = verify_bytes(&[1, 2, 3]);
+    }
+}

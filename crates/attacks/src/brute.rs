@@ -1,0 +1,145 @@
+//! §5.4 brute-force attack against the 15-bit kernel PAC.
+
+use crate::AttackResult;
+use camo_core::Machine;
+use camo_kernel::layout::work_struct;
+use camo_kernel::{KernelConfig, KernelError};
+use camo_mem::PointerLayout;
+
+/// Expected number of guesses to brute-force one kernel PAC (§5.4: 15
+/// usable bits).
+pub fn expected_guesses() -> u64 {
+    1 << (PointerLayout::kernel().pac_bits() - 1)
+}
+
+/// Brute-force attack: repeatedly write guessed signed pointers over a
+/// protected work callback and trigger its authenticated use. Every wrong
+/// guess faults with the PAC signature; the kernel halts at the threshold.
+///
+/// Expected: the panic fires after exactly `threshold` failures — the
+/// attacker gets `threshold` guesses out of an expected 2¹⁴, a success
+/// probability of `threshold / 2¹⁵` per boot.
+pub fn brute_force_pac(threshold: u32) -> AttackResult {
+    let mut cfg = KernelConfig::default();
+    cfg.pac_panic_threshold = threshold;
+    let mut machine = Machine::with_config(cfg).expect("boot");
+    let kernel = machine.kernel_mut();
+
+    let target = kernel.symbol("dev_read"); // where the attacker wants control
+    let layout = PointerLayout::kernel();
+
+    let mut attempts = 0u32;
+    let outcome = loop {
+        let work = kernel.init_work("dev_poll").expect("init_work");
+        // Guess a PAC for the target pointer: sequential search, as a real
+        // brute force would.
+        let guess = layout.embed_pac(target, attempts);
+        let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+        kernel
+            .mem_mut()
+            .write_u64(&ctx, work + u64::from(work_struct::FUNC), guess)
+            .expect("work heap writable");
+        attempts += 1;
+        match kernel.run_work(work) {
+            Ok(out) => {
+                if out.fault.is_none() {
+                    break BruteOutcome::GuessedCorrectly { attempts };
+                }
+                // Wrong guess: killed process, counted failure. Continue as
+                // a fresh "process" would.
+            }
+            Err(KernelError::PacPanic { failures }) => {
+                break BruteOutcome::Halted { failures };
+            }
+            Err(e) => panic!("unexpected kernel error: {e}"),
+        }
+        if attempts > threshold + 4 {
+            break BruteOutcome::PolicyFailedOpen { attempts };
+        }
+    };
+
+    let (blocked, detail) = match outcome {
+        BruteOutcome::Halted { failures } => (
+            failures == threshold,
+            format!(
+                "system halted after {failures} failures (threshold {threshold}); \
+                 success probability ≈ {threshold}/{}",
+                2 * expected_guesses()
+            ),
+        ),
+        BruteOutcome::GuessedCorrectly { attempts } => (
+            false,
+            format!("PAC guessed in {attempts} attempts (unlucky boot)"),
+        ),
+        BruteOutcome::PolicyFailedOpen { attempts } => {
+            (false, format!("no halt after {attempts} attempts"))
+        }
+    };
+    AttackResult {
+        attack: "brute-force-15bit-pac",
+        defence: format!("panic-threshold={threshold}"),
+        blocked,
+        expected_blocked: true,
+        detail,
+    }
+}
+
+#[derive(Debug)]
+enum BruteOutcome {
+    Halted { failures: u32 },
+    GuessedCorrectly { attempts: u32 },
+    PolicyFailedOpen { attempts: u32 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_pac_space_is_15_bits() {
+        assert_eq!(PointerLayout::kernel().pac_bits(), 15);
+        assert_eq!(expected_guesses(), 1 << 14);
+    }
+
+    #[test]
+    fn brute_force_halts_at_threshold() {
+        let r = brute_force_pac(8);
+        assert!(r.blocked, "{}", r.detail);
+        assert!(r.detail.contains("halted after 8 failures"));
+    }
+
+    #[test]
+    fn every_failure_is_logged_for_forensics() {
+        // §6.2.3: "Any failures are also logged, ensuring that such
+        // vulnerable code paths can be fixed."
+        let mut cfg = KernelConfig::default();
+        cfg.pac_panic_threshold = 4;
+        let mut machine = Machine::with_config(cfg).expect("boot");
+        let kernel = machine.kernel_mut();
+        let target = kernel.symbol("dev_read");
+        let layout = PointerLayout::kernel();
+        let mut panicked = false;
+        for i in 0..4 {
+            let work = kernel.init_work("dev_poll").expect("init_work");
+            let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+            let guess = layout.embed_pac(target, i);
+            kernel
+                .mem_mut()
+                .write_u64(&ctx, work + u64::from(work_struct::FUNC), guess)
+                .unwrap();
+            match kernel.run_work(work) {
+                Ok(_) => {}
+                Err(KernelError::PacPanic { .. }) => panicked = true,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(panicked);
+        let pac_events = machine
+            .kernel()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, camo_kernel::KernelEvent::PacFailure { .. }))
+            .count();
+        assert_eq!(pac_events, 4);
+    }
+}

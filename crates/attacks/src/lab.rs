@@ -1,0 +1,222 @@
+//! The attack laboratory: victim code and the tampering runner.
+
+use camo_codegen::{FunctionBuilder, Program, StaticPointerTable};
+use camo_core::Machine;
+use camo_cpu::{Step, CALL_SENTINEL};
+use camo_isa::{Insn, Reg};
+use camo_kernel::{layout, Kernel, KernelError, Tid};
+use camo_mem::El;
+
+/// `BRK` immediate fired mid-body in the victims: the moment the
+/// "memory-corruption bug" strikes.
+pub const HOOK: u16 = 0x210;
+/// Marker after `harvest_caller`'s call site.
+pub const MARK_HARVEST: u16 = 0x211;
+/// Marker after `attack_caller`'s call site.
+pub const MARK_ATTACK: u16 = 0x212;
+/// Marker inside the attacker's gadget.
+pub const MARK_GADGET: u16 = 0x213;
+
+/// Stack locals reserved by the victims (frame geometry the tamper
+/// closures rely on).
+pub const VICTIM_LOCALS: u16 = 32;
+
+/// How a laboratory run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// Execution reached a marker `BRK` — the attack redirected control if
+    /// the marker differs from the clean path's.
+    Marker(u16),
+    /// A kernel-mode fault with a PAC-failure signature: CFI detection.
+    PacDetected,
+    /// A kernel-mode fault without the signature (wild pointer).
+    Faulted,
+    /// The entry function returned normally to the runner.
+    Returned,
+}
+
+/// An attack laboratory around a booted machine with victim code loaded
+/// as a (verified) kernel module.
+#[derive(Debug)]
+pub struct Lab {
+    machine: Machine,
+}
+
+impl Lab {
+    /// Builds the victim module and loads it into `machine`'s kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim module fails verification (it is clean by
+    /// construction).
+    pub fn new(mut machine: Machine) -> Lab {
+        let cfg = machine.kernel().codegen_config();
+        let mut p = Program::new(cfg);
+
+        for victim in ["victim_a", "victim_b"] {
+            let mut b = FunctionBuilder::new(victim, cfg).locals(VICTIM_LOCALS);
+            b.ins(Insn::AddImm {
+                rd: Reg::x(10),
+                rn: Reg::x(10),
+                imm12: 1,
+                shifted: false,
+            });
+            b.ins(Insn::Brk { imm: HOOK });
+            b.ins(Insn::AddImm {
+                rd: Reg::x(10),
+                rn: Reg::x(10),
+                imm12: 2,
+                shifted: false,
+            });
+            p.push(b.build());
+        }
+        // Callers with identical frames, so their victims run at the same SP.
+        let mut harvest = FunctionBuilder::new("harvest_caller", cfg).locals(16);
+        harvest.call("victim_a");
+        harvest.ins(Insn::Brk { imm: MARK_HARVEST });
+        p.push(harvest.build());
+
+        let mut attack = FunctionBuilder::new("attack_caller", cfg).locals(16);
+        attack.call("victim_b");
+        attack.ins(Insn::Brk { imm: MARK_ATTACK });
+        p.push(attack.build());
+
+        let mut gadget = FunctionBuilder::new("gadget", cfg).naked();
+        gadget.ins(Insn::Brk { imm: MARK_GADGET });
+        gadget.ins(Insn::ret());
+        p.push(gadget.build());
+
+        machine
+            .kernel_mut()
+            .load_module(p, &StaticPointerTable::new())
+            .expect("victim module is clean");
+        Lab { machine }
+    }
+
+    /// The machine under attack.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Resolves a symbol in the victim module or the kernel image.
+    pub fn symbol(&self, name: &str) -> u64 {
+        let k = self.machine.kernel();
+        for m in module_handles(k) {
+            if let Some(va) = m.image.symbol(name) {
+                return va;
+            }
+        }
+        k.symbol(name)
+    }
+
+    /// The runner SP for task `tid` (a consistent depth on its kernel
+    /// stack).
+    pub fn stack_for(&self, tid: Tid) -> u64 {
+        layout::stack_top(tid) - 512
+    }
+
+    /// Runs `entry` at EL1 on stack `sp` with up to three arguments,
+    /// invoking `tamper(kernel, hook_sp)` at every victim [`HOOK`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KernelError::PacPanic`] (the §5.4 halt) and CPU errors.
+    pub fn run(
+        &mut self,
+        entry: u64,
+        sp: u64,
+        args: &[u64],
+        tamper: &mut dyn FnMut(&mut Kernel, u64),
+    ) -> Result<RunEnd, KernelError> {
+        let kernel = self.machine.kernel_mut();
+        {
+            let cpu = kernel.cpu_mut();
+            cpu.state.el = El::El1;
+            cpu.state.sp_el1 = sp;
+            for (i, &a) in args.iter().enumerate() {
+                cpu.state.gprs[i] = a;
+            }
+            cpu.state.write(Reg::LR, CALL_SENTINEL);
+            cpu.state.pc = entry;
+        }
+        for _ in 0..1_000_000u64 {
+            let step = {
+                let kernel = self.machine.kernel_mut();
+                let (cpu, mem) = kernel.cpu_mem_mut();
+                cpu.step(mem)?
+            };
+            match step {
+                Step::SentinelReturn => return Ok(RunEnd::Returned),
+                Step::BrkTrap { imm } if imm == HOOK => {
+                    let kernel = self.machine.kernel_mut();
+                    let hook_sp = kernel.cpu().state.sp_el1;
+                    tamper(kernel, hook_sp);
+                }
+                Step::BrkTrap { imm } if imm == layout::upcall::EL1_FAULT => {
+                    let info = self.machine.kernel_mut().observe_el1_fault()?;
+                    return Ok(if info.pac_failure {
+                        RunEnd::PacDetected
+                    } else {
+                        RunEnd::Faulted
+                    });
+                }
+                Step::BrkTrap { imm } => return Ok(RunEnd::Marker(imm)),
+                _ => continue,
+            }
+        }
+        Err(KernelError::Hung)
+    }
+
+    /// The saved-LR slot of a victim frame, given the SP observed at the
+    /// victim's [`HOOK`]: above the locals, second word of the frame
+    /// record.
+    pub fn saved_lr_slot(hook_sp: u64) -> u64 {
+        hook_sp + u64::from(VICTIM_LOCALS) + 8
+    }
+}
+
+fn module_handles(k: &Kernel) -> &[camo_kernel::ModuleHandle] {
+    k.modules()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_core::ProtectionLevel;
+
+    #[test]
+    fn clean_victim_run_returns_normally() {
+        let mut lab = Lab::new(Machine::with_protection(ProtectionLevel::Full).unwrap());
+        let victim = lab.symbol("victim_a");
+        let sp = lab.stack_for(0);
+        let end = lab.run(victim, sp, &[], &mut |_, _| {}).unwrap();
+        assert_eq!(end, RunEnd::Returned);
+    }
+
+    #[test]
+    fn clean_caller_run_hits_its_own_marker() {
+        let mut lab = Lab::new(Machine::with_protection(ProtectionLevel::Full).unwrap());
+        let caller = lab.symbol("attack_caller");
+        let sp = lab.stack_for(0);
+        let end = lab.run(caller, sp, &[], &mut |_, _| {}).unwrap();
+        assert_eq!(end, RunEnd::Marker(MARK_ATTACK));
+    }
+
+    #[test]
+    fn hook_reports_victim_stack_pointer() {
+        let mut lab = Lab::new(Machine::with_protection(ProtectionLevel::Full).unwrap());
+        let victim = lab.symbol("victim_a");
+        let sp = lab.stack_for(0);
+        let mut seen = None;
+        let _ = lab
+            .run(victim, sp, &[], &mut |_, hook_sp| seen = Some(hook_sp))
+            .unwrap();
+        // Victim frame: 16-byte record + locals below the runner SP.
+        assert_eq!(seen, Some(sp - 16 - u64::from(VICTIM_LOCALS)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Key-confidentiality probes (§6.2.2) and verification oracles (§6.2.3).
+
+use crate::AttackResult;
+use camo_codegen::{FunctionBuilder, Program, StaticPointerTable};
+use camo_core::Machine;
+use camo_cpu::{ec, Step};
+use camo_isa::{encode, Insn, Reg, SysReg};
+use camo_kernel::{layout, KernelError};
+use camo_mem::{El, MemFault, S1Attr};
+
+/// Attempt to *read* the XOM key-setter page with the kernel-memory read
+/// primitive. Stage 2 must refuse: the keys exist only as instruction
+/// bytes nobody can load.
+pub fn read_key_setter_memory() -> AttackResult {
+    let machine = Machine::protected().expect("boot");
+    let k = machine.kernel();
+    let ctx = k.mem().kernel_ctx(k.kernel_table());
+    let result = k.mem().read_u64(&ctx, layout::KEYSETTER_VA);
+    let blocked = matches!(result, Err(MemFault::Stage2 { .. }));
+    AttackResult {
+        attack: "read-xom-key-setter",
+        defence: "hypervisor stage-2".to_string(),
+        blocked,
+        expected_blocked: true,
+        detail: format!("{result:?}"),
+    }
+}
+
+/// Attempt to *overwrite* the key setter (e.g. to make it install known
+/// keys). Both stage 1 and the locked stage 2 must refuse.
+pub fn overwrite_key_setter_memory() -> AttackResult {
+    let mut machine = Machine::protected().expect("boot");
+    let k = machine.kernel_mut();
+    let ctx = k.mem().kernel_ctx(k.kernel_table());
+    let result = k.mem_mut().write_u64(&ctx, layout::KEYSETTER_VA, 0);
+    let blocked = result.is_err();
+    AttackResult {
+        attack: "overwrite-xom-key-setter",
+        defence: "hypervisor stage-2".to_string(),
+        blocked,
+        expected_blocked: true,
+        detail: format!("{result:?}"),
+    }
+}
+
+/// Load a module whose init code executes `MRS x0, APIBKeyLo_EL1` (§4.1:
+/// "key reads can be trivially found and rejected ... when loading a
+/// module").
+pub fn load_key_reading_module() -> AttackResult {
+    let mut machine = Machine::protected().expect("boot");
+    let cfg = machine.kernel().codegen_config();
+    let mut p = Program::new(cfg);
+    let mut evil = FunctionBuilder::new("exfiltrate_keys", cfg);
+    evil.ins(Insn::Mrs {
+        rt: Reg::x(0),
+        sr: SysReg::ApibKeyLoEl1,
+    });
+    p.push(evil.build());
+    let result = machine
+        .kernel_mut()
+        .load_module(p, &StaticPointerTable::new());
+    let blocked = matches!(result, Err(KernelError::ModuleRejected { .. }));
+    AttackResult {
+        attack: "module-reads-key-registers",
+        defence: "static verifier (§4.1)".to_string(),
+        blocked,
+        expected_blocked: true,
+        detail: format!("{:?}", result.err()),
+    }
+}
+
+/// Load a module that writes `SCTLR_EL1` (clearing the PAuth enable bits
+/// would switch the protection off wholesale).
+pub fn load_sctlr_writing_module() -> AttackResult {
+    let mut machine = Machine::protected().expect("boot");
+    let cfg = machine.kernel().codegen_config();
+    let mut p = Program::new(cfg);
+    let mut evil = FunctionBuilder::new("disable_pauth", cfg);
+    evil.ins(Insn::Movz {
+        rd: Reg::x(0),
+        imm16: 0,
+        shift: 0,
+    });
+    evil.ins(Insn::Msr {
+        sr: SysReg::SctlrEl1,
+        rt: Reg::x(0),
+    });
+    p.push(evil.build());
+    let result = machine
+        .kernel_mut()
+        .load_module(p, &StaticPointerTable::new());
+    let blocked = matches!(result, Err(KernelError::ModuleRejected { .. }));
+    AttackResult {
+        attack: "module-writes-sctlr",
+        defence: "static verifier (§4.1)".to_string(),
+        blocked,
+        expected_blocked: true,
+        detail: format!("{:?}", result.err()),
+    }
+}
+
+/// `MRS` of a kernel key register from EL0: the hardware traps it before
+/// any value transfers.
+pub fn mrs_keys_from_el0() -> AttackResult {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    // Plant an EL0-executable page holding the MRS attempt.
+    let user_table = kernel
+        .tasks()
+        .next()
+        .expect("init task")
+        .user_table;
+    let va = 0x0000_0000_00F0_0000u64;
+    let frame = kernel.mem_mut().map_new(user_table, va, S1Attr::user_text());
+    let words = [
+        encode(&Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::ApibKeyLoEl1,
+        }),
+        encode(&Insn::Brk { imm: 0x666 }), // "we got the keys" marker
+    ];
+    for (i, w) in words.iter().enumerate() {
+        kernel
+            .mem_mut()
+            .phys_mut()
+            .write_u32(frame.base() + 4 * i as u64, *w)
+            .expect("fresh frame");
+    }
+    {
+        let cpu = kernel.cpu_mut();
+        cpu.state.set_sysreg(SysReg::Ttbr0El1, user_table.raw());
+        cpu.state.el = El::El0;
+        cpu.state.pc = va;
+        cpu.state.gprs[0] = 0;
+    }
+    let (cpu, mem) = kernel.cpu_mem_mut();
+    let step = cpu.step(mem).expect("step");
+    let trapped = matches!(step, Step::FaultTaken { .. })
+        && cpu.state.sysreg(SysReg::EsrEl1) >> 26 == ec::TRAPPED_MSR
+        && cpu.state.gprs[0] == 0;
+    AttackResult {
+        attack: "mrs-keys-from-el0",
+        defence: "EL0 trap".to_string(),
+        blocked: trapped,
+        expected_blocked: true,
+        detail: format!("{step:?}"),
+    }
+}
+
+/// A user process cannot *verify* kernel pointers either: its PAuth keys
+/// are its own random per-thread keys, not the kernel's (§6.2.3).
+pub fn user_keys_differ_from_kernel_keys() -> bool {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    // After one full syscall the CPU holds the *user* keys again
+    // (restored on exit).
+    let _ = kernel.syscall(172, 0).expect("syscall");
+    let after_exit = kernel.cpu().state.pauth_key(camo_isa::PauthKey::IB);
+    let expected_user = kernel.tasks().next().expect("init").user_keys[0];
+    after_exit == expected_user
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xom_blocks_reads_and_writes() {
+        assert!(read_key_setter_memory().blocked);
+        assert!(overwrite_key_setter_memory().blocked);
+    }
+
+    #[test]
+    fn verifier_blocks_both_module_attacks() {
+        assert!(load_key_reading_module().blocked);
+        assert!(load_sctlr_writing_module().blocked);
+    }
+
+    #[test]
+    fn el0_key_read_traps() {
+        let r = mrs_keys_from_el0();
+        assert!(r.blocked, "{}", r.detail);
+    }
+
+    #[test]
+    fn syscall_exit_restores_user_keys() {
+        assert!(user_keys_differ_from_kernel_keys());
+    }
+}

@@ -1,0 +1,158 @@
+//! Forward-edge and data-flow attacks on protected pointers.
+
+use crate::lab::{Lab, RunEnd, MARK_GADGET};
+use crate::AttackResult;
+use camo_core::{Machine, ProtectionLevel};
+use camo_kernel::layout::{file_struct, work_struct};
+use camo_kernel::FileKind;
+
+/// JOP via `f_ops`: swing a file's operations-table pointer to an
+/// attacker-crafted table in writable memory whose `read` slot points at a
+/// gadget (§4.5's motivating attack).
+///
+/// Expected: with DFI the authenticated load of `f_ops` faults; with
+/// backward-edge-only or no protection the attacker's table is used and
+/// the gadget runs.
+pub fn forge_f_ops(level: ProtectionLevel) -> AttackResult {
+    let mut lab = Lab::new(Machine::with_protection(level).expect("boot"));
+    let gadget = lab.symbol("gadget");
+    let sys_read = lab.symbol("sys_read");
+    let sp = lab.stack_for(0);
+
+    let kernel = lab.machine_mut().kernel_mut();
+    let file = kernel.file_of_fd(3).expect("init's pre-opened file");
+    // Build a fake ops table in writable kernel memory (the work heap page
+    // doubles as attacker-reachable scratch).
+    let fake_table = camo_kernel::work_heap_base() + 0x800;
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+    for member in (0..64).step_by(8) {
+        kernel
+            .mem_mut()
+            .write_u64(&ctx, fake_table + member, gadget)
+            .expect("heap writable");
+    }
+    // The arbitrary-write primitive: replace the (signed) f_ops pointer.
+    kernel
+        .mem_mut()
+        .write_u64(&ctx, file + u64::from(file_struct::F_OPS), fake_table)
+        .expect("file object writable");
+
+    let end = lab
+        .run(sys_read, sp, &[file, 0, 0], &mut |_, _| {})
+        .expect("no panic expected");
+    let hijacked = end == RunEnd::Marker(MARK_GADGET);
+    AttackResult {
+        attack: "forge-f_ops-table",
+        defence: level.to_string(),
+        blocked: !hijacked,
+        expected_blocked: level == ProtectionLevel::Full,
+        detail: format!("{end:?}"),
+    }
+}
+
+/// Overwrite a lone writable function pointer (`work_struct::func`) with a
+/// raw kernel address (§4.4's "lone function pointers").
+pub fn forge_work_callback(level: ProtectionLevel) -> AttackResult {
+    let mut machine = Machine::with_protection(level).expect("boot");
+    let kernel = machine.kernel_mut();
+    let work = kernel.init_work("dev_poll").expect("init_work");
+    let target = kernel.symbol("dev_read");
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+    kernel
+        .mem_mut()
+        .write_u64(&ctx, work + u64::from(work_struct::FUNC), target)
+        .expect("work heap writable");
+    let out = kernel.run_work(work).expect("below panic threshold");
+    let blocked = out.fault.map(|f| f.pac_failure).unwrap_or(false);
+    AttackResult {
+        attack: "forge-work-callback",
+        defence: level.to_string(),
+        blocked,
+        expected_blocked: level == ProtectionLevel::Full,
+        detail: format!("fault={:?}", out.fault),
+    }
+}
+
+/// §6.3: byte-wise copying of an object containing a signed pointer breaks
+/// — the PAC binds the containing object's address, so the copy fails to
+/// authenticate. This is the deliberate ISO-C compliance trade-off.
+pub fn memcpy_compliance_break() -> AttackResult {
+    let mut lab = Lab::new(Machine::protected().expect("boot"));
+    let sys_read = lab.symbol("sys_read");
+    let sp = lab.stack_for(0);
+
+    let kernel = lab.machine_mut().kernel_mut();
+    let original = kernel.file_of_fd(3).expect("pre-opened file");
+    // "memcpy" the struct file to a fresh location, signed f_ops included.
+    let copy = camo_kernel::work_heap_base() + 0xC00;
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+    for off in (0..file_struct::SIZE).step_by(8) {
+        let word = kernel.mem().read_u64(&ctx, original + off).expect("readable");
+        kernel
+            .mem_mut()
+            .write_u64(&ctx, copy + off, word)
+            .expect("writable");
+    }
+
+    let end = lab
+        .run(sys_read, sp, &[copy, 0, 0], &mut |_, _| {})
+        .expect("no panic expected");
+    let detected = end == RunEnd::PacDetected;
+    AttackResult {
+        attack: "memcpy-object-copy (§6.3)",
+        defence: "full".to_string(),
+        blocked: detected,
+        expected_blocked: true,
+        detail: format!("{end:?}"),
+    }
+}
+
+/// Legitimately re-signing after a copy works: the `set`/`get` accessor
+/// discipline is what code must follow post-Camouflage (§6.3 "fail
+/// without code adaptation").
+pub fn resigned_copy_works() -> bool {
+    let mut lab = Lab::new(Machine::protected().expect("boot"));
+    let sys_read = lab.symbol("sys_read");
+    let sp = lab.stack_for(0);
+    let kernel = lab.machine_mut().kernel_mut();
+    let copy = kernel.alloc_file(FileKind::DevZero).expect("fresh signed file");
+    let end = lab
+        .run(sys_read, sp, &[copy, 0, 0], &mut |_, _| {})
+        .expect("clean run");
+    end == RunEnd::Returned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fops_forgery_blocked_only_by_full_protection() {
+        let full = forge_f_ops(ProtectionLevel::Full);
+        assert!(full.blocked, "{}", full.detail);
+        let backward = forge_f_ops(ProtectionLevel::BackwardEdge);
+        assert!(!backward.blocked, "{}", backward.detail);
+        let none = forge_f_ops(ProtectionLevel::None);
+        assert!(!none.blocked, "{}", none.detail);
+        for r in [full, backward, none] {
+            assert!(r.matches_paper(), "{} vs {}", r.attack, r.defence);
+        }
+    }
+
+    #[test]
+    fn work_callback_forgery_detected_under_full() {
+        let r = forge_work_callback(ProtectionLevel::Full);
+        assert!(r.blocked, "{}", r.detail);
+    }
+
+    #[test]
+    fn memcpy_break_demonstrates_compliance_tradeoff() {
+        let r = memcpy_compliance_break();
+        assert!(r.blocked, "{}", r.detail);
+    }
+
+    #[test]
+    fn adapted_code_with_accessors_still_works() {
+        assert!(resigned_copy_works());
+    }
+}

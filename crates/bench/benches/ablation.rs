@@ -1,0 +1,71 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * backward-edge scheme on a real syscall path (not just the Figure 2
+//!   microbenchmark);
+//! * the §5.5 backward-compatible build vs the native one;
+//! * the 4-cycle PA-analogue charge vs free PAuth (cost-model ablation).
+
+use camo_codegen::CfiScheme;
+use camo_core::{Machine, ProtectionLevel};
+use camo_isa::CostModel;
+use camo_kernel::KernelConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn syscall_cycles(cfg: KernelConfig) -> f64 {
+    let mut machine = Machine::with_config(cfg).expect("boot");
+    let kernel = machine.kernel_mut();
+    let _ = kernel.syscall(172, 0).expect("warm-up");
+    let tid = kernel.current_task().tid;
+    let out = kernel.run_user(tid, "stub", 20, 172, 0).expect("run");
+    out.cycles as f64 / 20.0
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation (simulated getpid cycles/op):");
+    for scheme in [CfiScheme::SpOnly, CfiScheme::Parts, CfiScheme::Camouflage] {
+        let mut cfg = KernelConfig::default();
+        cfg.scheme_override = Some(scheme);
+        println!(
+            "  scheme {:<12} {:>8.1}",
+            scheme.to_string(),
+            syscall_cycles(cfg)
+        );
+    }
+    let mut compat = KernelConfig::default();
+    compat.compat_v80 = true;
+    println!("  compat-v8.0 build  {:>8.1}", syscall_cycles(compat));
+    println!(
+        "  baseline (none)    {:>8.1}",
+        syscall_cycles(KernelConfig::with_protection(ProtectionLevel::None))
+    );
+    // Cost-model ablation: what if PAuth were free (0 cycles instead of
+    // the 4-cycle PA-analogue)?
+    let mut machine = Machine::protected().expect("boot");
+    machine
+        .kernel_mut()
+        .cpu_mut()
+        .set_cost_model(CostModel::free_pauth());
+    let kernel = machine.kernel_mut();
+    let _ = kernel.syscall(172, 0).expect("warm-up");
+    let tid = kernel.current_task().tid;
+    let out = kernel.run_user(tid, "stub", 20, 172, 0).expect("run");
+    println!("  full, free PAuth   {:>8.1}", out.cycles as f64 / 20.0);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("syscall/camouflage", |b| {
+        let mut machine = Machine::protected().expect("boot");
+        b.iter(|| black_box(machine.kernel_mut().syscall(172, 0).expect("syscall")));
+    });
+    group.bench_function("syscall/compat-v80", |b| {
+        let mut cfg = KernelConfig::default();
+        cfg.compat_v80 = true;
+        let mut machine = Machine::with_config(cfg).expect("boot");
+        b.iter(|| black_box(machine.kernel_mut().syscall(172, 0).expect("syscall")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

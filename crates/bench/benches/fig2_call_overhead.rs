@@ -1,0 +1,37 @@
+//! Figure 2: function-call overhead of the three PAuth modifier schemes.
+//!
+//! The Criterion timings measure simulator wall-time; the paper's numbers
+//! are the *simulated* cycles printed once at startup (also available via
+//! `reproduce --exp fig2`).
+
+use camo_bench::fig2;
+use camo_codegen::CfiScheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("Figure 2 (simulated cycles per call):");
+    for cost in fig2::all(200) {
+        println!(
+            "  {:<12} {:>8.2} cycles {:>8.2} ns",
+            cost.scheme.to_string(),
+            cost.cycles_per_call,
+            cost.ns_per_call
+        );
+    }
+    let mut group = c.benchmark_group("fig2_call_overhead");
+    for scheme in [
+        CfiScheme::None,
+        CfiScheme::SpOnly,
+        CfiScheme::Camouflage,
+        CfiScheme::Parts,
+    ] {
+        group.bench_function(scheme.to_string(), |b| {
+            b.iter(|| black_box(fig2::measure(scheme, 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

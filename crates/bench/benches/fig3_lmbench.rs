@@ -1,0 +1,32 @@
+//! Figure 3: lmbench-style syscall latencies under the three protection
+//! levels.
+//!
+//! Criterion times the simulation of complete syscall round trips; the
+//! paper's relative latencies come from the simulated cycle counts
+//! (`reproduce --exp fig3`).
+
+use camo_core::{Machine, ProtectionLevel};
+use camo_lmbench::workload_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_lmbench");
+    group.sample_size(20);
+    for level in ProtectionLevel::ALL {
+        let mut machine = Machine::with_config(workload_config(level)).expect("boot");
+        // getpid — the null-call latency the entry/exit overhead dominates.
+        group.bench_function(format!("getpid/{level}"), |b| {
+            b.iter(|| black_box(machine.kernel_mut().syscall(172, 0).expect("syscall")));
+        });
+        let mut machine = Machine::with_config(workload_config(level)).expect("boot");
+        // select — ten ops-table dispatches make the DFI cost visible.
+        group.bench_function(format!("select/{level}"), |b| {
+            b.iter(|| black_box(machine.kernel_mut().syscall(72, 3).expect("syscall")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

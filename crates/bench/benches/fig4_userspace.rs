@@ -1,0 +1,25 @@
+//! Figure 4: user-space macro workloads (JPEG resize, package build,
+//! network download) under the three protection levels.
+
+use camo_core::{Machine, ProtectionLevel};
+use camo_lmbench::{run_workload, workload_config, workloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_userspace");
+    group.sample_size(10);
+    let defs = workloads();
+    for level in ProtectionLevel::ALL {
+        let mut machine = Machine::with_config(workload_config(level)).expect("boot");
+        for w in &defs {
+            group.bench_function(format!("{}/{level}", w.name), |b| {
+                b.iter(|| black_box(run_workload(&mut machine, w).expect("workload")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

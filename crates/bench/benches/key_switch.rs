@@ -1,0 +1,44 @@
+//! §6.1.1: PAuth key-switch cost on kernel entry/exit.
+
+use camo_bench::key_switch;
+use camo_core::Machine;
+use camo_kernel::layout::KEYSETTER_VA;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cost = key_switch::measure(20);
+    println!(
+        "§6.1.1 (simulated): install {:.2} cyc/key, restore {:.2} cyc/key, avg {:.2} cyc/key \
+         (paper: 9)",
+        cost.install_per_key, cost.restore_per_key, cost.avg_per_key
+    );
+
+    let mut machine = Machine::protected().expect("boot");
+    let restore_va = machine.kernel().symbol("restore_user_keys");
+    let mut group = c.benchmark_group("key_switch");
+    group.bench_function("install_kernel_keys_xom", |b| {
+        b.iter(|| {
+            black_box(
+                machine
+                    .kernel_mut()
+                    .kexec(KEYSETTER_VA, &[])
+                    .expect("setter"),
+            )
+        });
+    });
+    group.bench_function("restore_user_keys", |b| {
+        b.iter(|| {
+            black_box(
+                machine
+                    .kernel_mut()
+                    .kexec(restore_va, &[])
+                    .expect("restore"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Throughput of the QARMA-64 PAC primitive itself.
+
+use camo_qarma::{compute_mac, Qarma, QarmaKey, Sigma};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let key = QarmaKey::new(0x84be_85ce_9804_e94b, 0xec28_02d4_e0a4_88e9);
+    let mut group = c.benchmark_group("qarma_primitive");
+    for sigma in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+        let cipher = Qarma::new(key, sigma, 5);
+        group.bench_function(format!("encrypt/{sigma}"), |b| {
+            b.iter(|| {
+                black_box(cipher.encrypt(black_box(0xfb62_3599_da6e_8127), 0x477d_469d_ec0b_8762))
+            });
+        });
+    }
+    group.bench_function("compute_mac", |b| {
+        b.iter(|| black_box(compute_mac(black_box(0xffff_0000_1234_5678), 42, key)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Measurement helpers behind the benchmark harness and the `reproduce`
+//! binary.
+//!
+//! Every table and figure of the paper's evaluation has a measurement
+//! function here; the Criterion benches in `benches/` and the `reproduce`
+//! report binary both build on these.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use camo_analysis as analysis;
+pub use camo_attacks as attacks;
+pub use camo_codegen as codegen;
+pub use camo_core as core;
+pub use camo_lmbench as lmbench;
+
+/// Figure 2: per-call overhead of the three modifier schemes.
+pub mod fig2 {
+    use camo_codegen::{CfiScheme, CodegenConfig, FunctionBuilder, Program};
+    use camo_cpu::Cpu;
+    use camo_isa::{Insn, Reg};
+    use camo_mem::{Memory, S1Attr, KERNEL_BASE};
+
+    /// Result of one scheme's measurement.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct CallCost {
+        /// The measured scheme.
+        pub scheme: CfiScheme,
+        /// Cycles per call of an empty function (call + prologue +
+        /// epilogue + return + loop upkeep).
+        pub cycles_per_call: f64,
+        /// The same at the paper's 1.2 GHz evaluation clock.
+        pub ns_per_call: f64,
+    }
+
+    /// Measures the per-call cost of an empty function under `scheme`
+    /// by running a simulated call loop of `iters` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (a harness bug).
+    pub fn measure(scheme: CfiScheme, iters: u64) -> CallCost {
+        let cfg = CodegenConfig {
+            scheme,
+            protect_pointers: false,
+            compat_v80: false,
+        };
+        let mut program = Program::new(cfg);
+        program.push(FunctionBuilder::new("empty", cfg).build());
+        // The benchmark loop itself is uninstrumented (it is the
+        // measurement harness, like the paper's timer loop).
+        let mut driver = FunctionBuilder::new("driver", cfg).naked();
+        driver.ins(Insn::mov(Reg::x(19), Reg::LR)); // save LR across the BLs
+        driver.ins(Insn::mov(Reg::x(20), Reg::x(0)));
+        driver.call("empty"); // loop head at index 2
+        driver.ins(Insn::SubImm {
+            rd: Reg::x(20),
+            rn: Reg::x(20),
+            imm12: 1,
+            shifted: false,
+        });
+        driver.ins(Insn::Cbnz {
+            rt: Reg::x(20),
+            offset: -8,
+        });
+        driver.ins(Insn::mov(Reg::LR, Reg::x(19)));
+        driver.ins(Insn::ret());
+        program.push(driver.build());
+        let image = program.link(KERNEL_BASE);
+
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let bytes = image.to_bytes();
+        for (page, chunk) in bytes.chunks(4096).enumerate() {
+            let frame = mem.map_new(table, KERNEL_BASE + page as u64 * 4096, S1Attr::kernel_text());
+            mem.phys_mut().write_bytes(frame.base(), chunk).unwrap();
+        }
+        // A stack page for the frame records.
+        let stack_va = KERNEL_BASE + 0x10_0000;
+        mem.map_new(table, stack_va, S1Attr::kernel_data());
+
+        let mut cpu = Cpu::default();
+        cpu.state.set_sysreg(camo_isa::SysReg::Ttbr0El1, table.raw());
+        cpu.state.set_sysreg(camo_isa::SysReg::Ttbr1El1, table.raw());
+        cpu.state.set_pauth_key(camo_isa::PauthKey::IA, camo_qarma::QarmaKey::new(11, 12));
+        cpu.state.set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(13, 14));
+        cpu.state.sp_el1 = stack_va + 4096 - 64;
+        let driver_va = image.symbol("driver").expect("driver symbol");
+        let result = cpu
+            .call(&mut mem, driver_va, &[iters], 64 * iters + 1024)
+            .expect("benchmark loop runs");
+        CallCost {
+            scheme,
+            cycles_per_call: result.cycles as f64 / iters as f64,
+            ns_per_call: result.cycles as f64 / iters as f64 / 1.2,
+        }
+    }
+
+    /// Measures all four schemes (baseline + the Figure 2 contenders).
+    pub fn all(iters: u64) -> Vec<CallCost> {
+        [
+            CfiScheme::None,
+            CfiScheme::SpOnly,
+            CfiScheme::Camouflage,
+            CfiScheme::Parts,
+        ]
+        .into_iter()
+        .map(|s| measure(s, iters))
+        .collect()
+    }
+}
+
+/// §6.1.1: key-switch cost in cycles per key.
+pub mod key_switch {
+    use camo_core::Machine;
+    use camo_kernel::layout::KEYSETTER_VA;
+
+    /// The two directions of a key switch plus their average.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct KeySwitchCost {
+        /// Cycles/key to install the kernel keys via the XOM setter.
+        pub install_per_key: f64,
+        /// Cycles/key to restore the user keys from `thread_struct`.
+        pub restore_per_key: f64,
+        /// The average — the paper's "9 cycles per key" quantity.
+        pub avg_per_key: f64,
+    }
+
+    /// Measures on a freshly booted protected machine, averaging `n` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if boot or the kernel calls fail.
+    pub fn measure(n: u64) -> KeySwitchCost {
+        let mut machine = Machine::protected().expect("boot");
+        let kernel = machine.kernel_mut();
+        let restore_va = kernel.symbol("restore_user_keys");
+        let mut install = 0u64;
+        let mut restore = 0u64;
+        for _ in 0..n {
+            install += kernel.kexec(KEYSETTER_VA, &[]).expect("setter").cycles;
+            restore += kernel.kexec(restore_va, &[]).expect("restore").cycles;
+        }
+        let keys = 3.0 * n as f64;
+        let install_per_key = install as f64 / keys;
+        let restore_per_key = restore as f64 / keys;
+        KeySwitchCost {
+            install_per_key,
+            restore_per_key,
+            avg_per_key: (install_per_key + restore_per_key) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_codegen::CfiScheme;
+
+    #[test]
+    fn fig2_ordering_matches_paper() {
+        // Figure 2: Clang's SP-only < Camouflage < PARTS; all above the
+        // uninstrumented baseline.
+        let costs = fig2::all(50);
+        let get = |s: CfiScheme| {
+            costs
+                .iter()
+                .find(|c| c.scheme == s)
+                .unwrap()
+                .cycles_per_call
+        };
+        let none = get(CfiScheme::None);
+        let sp = get(CfiScheme::SpOnly);
+        let camo = get(CfiScheme::Camouflage);
+        let parts = get(CfiScheme::Parts);
+        assert!(none < sp, "{none} < {sp}");
+        assert!(sp < camo, "{sp} < {camo}");
+        assert!(camo < parts, "{camo} < {parts}");
+    }
+
+    #[test]
+    fn key_switch_is_about_nine_cycles_per_key() {
+        let cost = key_switch::measure(5);
+        assert!(
+            cost.avg_per_key > 6.0 && cost.avg_per_key < 14.0,
+            "≈9 cycles/key (§6.1.1), got {:.2}",
+            cost.avg_per_key
+        );
+    }
+}

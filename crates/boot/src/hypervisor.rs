@@ -1,0 +1,116 @@
+//! The hypervisor's boot-time duties (§5.1, threat model §3.1).
+//!
+//! The paper relies on a proprietary EL2 hypervisor for two properties:
+//! execute-only memory for the key setter (stage-2 read permission
+//! removal), and MMU lockdown so a compromised kernel cannot remap its way
+//! around either XOM or read-only data. This model exposes exactly those
+//! two capabilities over the `camo-mem` stage-2 table; after
+//! [`Hypervisor::lockdown`] every further permission change is refused.
+
+use camo_mem::{Frame, Memory, S2Attr};
+
+/// Errors from hypervisor configuration calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HypervisorError {
+    /// Configuration attempted after lockdown.
+    Locked,
+}
+
+impl core::fmt::Display for HypervisorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HypervisorError::Locked => write!(f, "hypervisor is locked down"),
+        }
+    }
+}
+
+impl std::error::Error for HypervisorError {}
+
+/// Handle to the EL2 permission authority.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hypervisor;
+
+impl Hypervisor {
+    /// Creates the hypervisor authority.
+    pub fn new() -> Self {
+        Hypervisor
+    }
+
+    /// Maps `frame` execute-only: readable by nobody, executable at EL1.
+    ///
+    /// # Errors
+    ///
+    /// Fails after [`Hypervisor::lockdown`].
+    pub fn protect_xom(&self, mem: &mut Memory, frame: Frame) -> Result<(), HypervisorError> {
+        mem.protect_stage2(frame, S2Attr::execute_only())
+            .map_err(|_| HypervisorError::Locked)
+    }
+
+    /// Seals `frame` read+execute (kernel text / rodata: no writes even if
+    /// the kernel remaps it writable at stage 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails after [`Hypervisor::lockdown`].
+    pub fn seal_read_exec(&self, mem: &mut Memory, frame: Frame) -> Result<(), HypervisorError> {
+        mem.protect_stage2(frame, S2Attr::read_exec())
+            .map_err(|_| HypervisorError::Locked)
+    }
+
+    /// Seals `frame` read-only (no writes, no execution): `.rodata`
+    /// including the operations structures of §4.4.
+    ///
+    /// # Errors
+    ///
+    /// Fails after [`Hypervisor::lockdown`].
+    pub fn seal_read_only(&self, mem: &mut Memory, frame: Frame) -> Result<(), HypervisorError> {
+        mem.protect_stage2(
+            frame,
+            S2Attr {
+                read: true,
+                write: false,
+                exec: false,
+            },
+        )
+        .map_err(|_| HypervisorError::Locked)
+    }
+
+    /// Locks stage-2 translation control: the threat-model assumption that
+    /// the adversary "cannot modify write-protected memory (including
+    /// XOM)".
+    pub fn lockdown(&self, mem: &mut Memory) {
+        mem.lock_stage2();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xom_then_lockdown_is_irreversible() {
+        let mut mem = Memory::new();
+        let frame = mem.alloc_frame();
+        let hv = Hypervisor::new();
+        hv.protect_xom(&mut mem, frame).unwrap();
+        hv.lockdown(&mut mem);
+        assert_eq!(
+            hv.protect_xom(&mut mem, frame),
+            Err(HypervisorError::Locked)
+        );
+        assert_eq!(
+            hv.seal_read_exec(&mut mem, frame),
+            Err(HypervisorError::Locked)
+        );
+        assert_eq!(mem.stage2().attr(frame), S2Attr::execute_only());
+    }
+
+    #[test]
+    fn rodata_seal_denies_write_and_exec() {
+        let mut mem = Memory::new();
+        let frame = mem.alloc_frame();
+        Hypervisor::new().seal_read_only(&mut mem, frame).unwrap();
+        let attr = mem.stage2().attr(frame);
+        assert!(attr.read && !attr.write && !attr.exec);
+    }
+}

@@ -1,0 +1,105 @@
+//! Boot-time pseudo-random key generation.
+
+use camo_isa::PauthKey;
+use camo_qarma::QarmaKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The five kernel PAuth keys generated at boot.
+///
+/// Key assignment follows §4.5: IB backs backward-edge CFI (our compiler
+/// signs return addresses with the B instruction key), IA backs
+/// forward-edge CFI for lone function pointers, DB backs DFI for data
+/// pointers to operations tables. DA and GA are generated for completeness
+/// — a real deployment provisions all registers so the remaining keys stay
+/// usable for other purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelKeys {
+    /// Instruction key A (forward-edge CFI).
+    pub ia: QarmaKey,
+    /// Instruction key B (backward-edge CFI).
+    pub ib: QarmaKey,
+    /// Data key A (unused by the paper's scheme, still provisioned).
+    pub da: QarmaKey,
+    /// Data key B (DFI).
+    pub db: QarmaKey,
+    /// Generic key.
+    pub ga: QarmaKey,
+}
+
+impl KernelKeys {
+    /// Derives the key set from a boot seed.
+    ///
+    /// The seed plays the role of the firmware entropy passed via the FDT
+    /// (like the KASLR seed, §5.1); the same seed reproduces the same keys,
+    /// which the deterministic tests and benchmarks rely on.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = || QarmaKey::new(rng.gen(), rng.gen());
+        KernelKeys {
+            ia: draw(),
+            ib: draw(),
+            da: draw(),
+            db: draw(),
+            ga: draw(),
+        }
+    }
+
+    /// The key value for an architectural key name.
+    pub fn key(&self, key: PauthKey) -> QarmaKey {
+        match key {
+            PauthKey::IA => self.ia,
+            PauthKey::IB => self.ib,
+            PauthKey::DA => self.da,
+            PauthKey::DB => self.db,
+            PauthKey::GA => self.ga,
+        }
+    }
+
+    /// The three keys the Camouflage design actively uses (§4.5).
+    pub fn active(&self) -> [(PauthKey, QarmaKey); 3] {
+        [
+            (PauthKey::IB, self.ib),
+            (PauthKey::IA, self.ia),
+            (PauthKey::DB, self.db),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(KernelKeys::generate(7), KernelKeys::generate(7));
+        assert_ne!(KernelKeys::generate(7), KernelKeys::generate(8));
+    }
+
+    #[test]
+    fn keys_are_pairwise_distinct() {
+        let keys = KernelKeys::generate(42);
+        let all = [keys.ia, keys.ib, keys.da, keys.db, keys.ga];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_is_three_keys() {
+        let keys = KernelKeys::generate(1);
+        let active = keys.active();
+        assert_eq!(active.len(), 3);
+        assert_eq!(active[0].0, PauthKey::IB);
+        assert!(active.iter().any(|(k, _)| *k == PauthKey::DB));
+    }
+
+    #[test]
+    fn lookup_matches_fields() {
+        let keys = KernelKeys::generate(3);
+        assert_eq!(keys.key(PauthKey::IB), keys.ib);
+        assert_eq!(keys.key(PauthKey::GA), keys.ga);
+    }
+}

@@ -1,0 +1,44 @@
+//! Bootloader and hypervisor model: key generation, the XOM key setter,
+//! and stage-2 lockdown.
+//!
+//! The paper's trust chain (§4.1, §5.1, Figure 1):
+//!
+//! 1. the **bootloader** draws pseudo-random kernel PAuth keys (like the
+//!    KASLR seed, from firmware entropy);
+//! 2. it bakes the key values into the immediate operands of a generated
+//!    *key-setter* function (`MOVZ`/`MOVK` + `MSR`), so the keys exist only
+//!    as instruction bytes;
+//! 3. the **hypervisor** maps the page holding that function execute-only
+//!    (stage-2 read/write stripped) and locks translation control, so the
+//!    keys can be *installed* by calling the function but never *read*;
+//! 4. at early boot, the §4.6 static-pointer table is walked and every
+//!    statically-initialised protected pointer is signed in place.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_boot::{Bootloader, KERNEL_TEXT_BASE};
+//! use camo_mem::Memory;
+//!
+//! let mut mem = Memory::new();
+//! let table = mem.new_table();
+//! let boot = Bootloader::new(0xC0FFEE);
+//! let setter = boot.install_keysetter(&mut mem, table, 0xffff_0000_00f0_0000);
+//! // The page is execute-only: the kernel can call it but not read it.
+//! let ctx = mem.kernel_ctx(table);
+//! assert!(mem.read_u64(&ctx, setter.va).is_err());
+//! assert!(mem.fetch(&ctx, setter.va).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hypervisor;
+mod keygen;
+mod keysetter;
+mod loader;
+
+pub use hypervisor::Hypervisor;
+pub use keygen::KernelKeys;
+pub use keysetter::{installed_keys, KeySetter, KeySetterHandle};
+pub use loader::{Bootloader, BootInfo, KERNEL_TEXT_BASE};

@@ -1,0 +1,285 @@
+//! Boot orchestration: address space, image loading, XOM installation,
+//! early-boot pointer signing.
+
+use crate::hypervisor::Hypervisor;
+use crate::keygen::KernelKeys;
+use crate::keysetter::{KeySetter, KeySetterHandle};
+use camo_codegen::{object_modifier, Image, StaticPointerTable};
+use camo_cpu::pac::add_pac;
+use camo_isa::encode;
+use camo_mem::{Memory, S1Attr, TableId, PAGE_SIZE};
+
+/// Base virtual address of kernel text (start of the TTBR1 half).
+pub const KERNEL_TEXT_BASE: u64 = camo_mem::KERNEL_BASE;
+
+/// The boot-information block handed to the kernel (the FDT analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootInfo {
+    /// Entropy seed that keyed the boot (KASLR-seed analogue, §5.1).
+    pub seed: u64,
+    /// Where the XOM key setter was installed.
+    pub keysetter: KeySetterHandle,
+    /// The kernel's stage-1 table.
+    pub kernel_table: TableId,
+}
+
+/// The firmware bootloader.
+///
+/// Owns the generated kernel keys for the duration of boot; after boot the
+/// only remaining copy of the key bits is inside the XOM key-setter
+/// instructions.
+#[derive(Debug)]
+pub struct Bootloader {
+    seed: u64,
+    keys: KernelKeys,
+    hypervisor: Hypervisor,
+}
+
+impl Bootloader {
+    /// Boots with entropy `seed`.
+    pub fn new(seed: u64) -> Self {
+        Bootloader {
+            seed,
+            keys: KernelKeys::generate(seed),
+            hypervisor: Hypervisor::new(),
+        }
+    }
+
+    /// The generated kernel keys.
+    ///
+    /// Only boot-time code may see these: the kernel proper receives key
+    /// *installation* capability (the XOM setter), never the values.
+    pub fn keys(&self) -> &KernelKeys {
+        &self.keys
+    }
+
+    /// The boot seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The EL2 authority.
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hypervisor
+    }
+
+    /// Generates the key setter, writes it at `va`, and asks the hypervisor
+    /// to make the page execute-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not page-aligned, the setter spills past one page,
+    /// or the hypervisor is already locked (boot-order bug).
+    pub fn install_keysetter(
+        &self,
+        mem: &mut Memory,
+        table: TableId,
+        va: u64,
+    ) -> KeySetterHandle {
+        assert!(va % PAGE_SIZE == 0, "key setter page must be aligned");
+        let insns = KeySetter::new(&self.keys).generate();
+        let size = insns.len() as u64 * 4;
+        assert!(size <= PAGE_SIZE, "key setter exceeds one page");
+        let frame = mem.map_new(table, va, S1Attr::kernel_text());
+        for (i, insn) in insns.iter().enumerate() {
+            mem.phys_mut()
+                .write_u32(frame.base() + 4 * i as u64, encode(insn))
+                .expect("fresh frame is backed");
+        }
+        self.hypervisor
+            .protect_xom(mem, frame)
+            .expect("hypervisor must not be locked during boot");
+        KeySetterHandle { va, size }
+    }
+
+    /// Loads a linked text image at its base VA and seals it read+execute
+    /// through the hypervisor (kernel text can never be rewritten, even by
+    /// a kernel that remaps it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image base is not page-aligned or the hypervisor is
+    /// locked.
+    pub fn load_image(&self, mem: &mut Memory, table: TableId, image: &Image) {
+        let base = image.base_va();
+        assert!(base % PAGE_SIZE == 0, "image base must be page aligned");
+        let bytes = image.to_bytes();
+        let pages = bytes.len().div_ceil(PAGE_SIZE as usize);
+        for page in 0..pages {
+            let va = base + page as u64 * PAGE_SIZE;
+            let frame = mem.map_new(table, va, S1Attr::kernel_text());
+            let lo = page * PAGE_SIZE as usize;
+            let hi = (lo + PAGE_SIZE as usize).min(bytes.len());
+            mem.phys_mut()
+                .write_bytes(frame.base(), &bytes[lo..hi])
+                .expect("fresh frame is backed");
+            self.hypervisor
+                .seal_read_exec(mem, frame)
+                .expect("hypervisor must not be locked during boot");
+        }
+    }
+
+    /// Walks the §4.6 static-pointer table and signs every entry in place.
+    ///
+    /// Runs after kernel self-relocation, before any kernel code can
+    /// authenticate the pointers. The same routine serves the module loader
+    /// at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's location is unmapped (a corrupt table is a
+    /// build-system bug, not a run-time condition).
+    pub fn sign_static_pointers(
+        &self,
+        mem: &mut Memory,
+        table: TableId,
+        statics: &StaticPointerTable,
+    ) {
+        let ctx = mem.kernel_ctx(table);
+        for entry in statics.entries() {
+            let raw = mem
+                .read_u64(&ctx, entry.location)
+                .expect("static pointer slot must be mapped");
+            let modifier = object_modifier(entry.type_const, entry.object_base());
+            let key = self.keys.key(entry.key.to_pauth_key());
+            let signed = add_pac(raw, modifier, key, true);
+            mem.write_u64(&ctx, entry.location, signed)
+                .expect("static pointer slot must be writable");
+        }
+    }
+
+    /// Ends boot: locks the hypervisor stage-2 table.
+    pub fn finalize(&self, mem: &mut Memory) {
+        self.hypervisor.lockdown(mem);
+    }
+
+    /// The boot-information block for `table` after installing the setter.
+    pub fn boot_info(&self, keysetter: KeySetterHandle, kernel_table: TableId) -> BootInfo {
+        BootInfo {
+            seed: self.seed,
+            keysetter,
+            kernel_table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_codegen::{CodegenConfig, FunctionBuilder, Program, StaticPointerEntry};
+    use camo_cpu::pac::auth_pac;
+    use camo_isa::PacKey;
+    use camo_mem::AccessType;
+
+    const SETTER_VA: u64 = KERNEL_TEXT_BASE + 0xF0_0000;
+
+    #[test]
+    fn keysetter_page_is_execute_only() {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let boot = Bootloader::new(1);
+        let handle = boot.install_keysetter(&mut mem, table, SETTER_VA);
+        let ctx = mem.kernel_ctx(table);
+        assert!(mem.fetch(&ctx, handle.va).is_ok(), "EL1 can execute");
+        assert!(mem.read_u64(&ctx, handle.va).is_err(), "nobody can read");
+        assert!(
+            mem.translate(&ctx, handle.va, AccessType::Write).is_err(),
+            "nobody can write"
+        );
+    }
+
+    #[test]
+    fn keysetter_survives_lockdown_attack() {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let boot = Bootloader::new(1);
+        let handle = boot.install_keysetter(&mut mem, table, SETTER_VA);
+        boot.finalize(&mut mem);
+        // Post-boot, even the hypervisor API refuses to lift XOM.
+        let ctx = mem.kernel_ctx(table);
+        let pa = mem.translate(&ctx, handle.va, AccessType::Execute).unwrap();
+        let frame = camo_mem::Frame::containing(pa);
+        assert!(boot
+            .hypervisor()
+            .seal_read_exec(&mut mem, frame)
+            .is_err());
+    }
+
+    #[test]
+    fn image_text_is_sealed_read_exec() {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let boot = Bootloader::new(2);
+        let cfg = CodegenConfig::baseline();
+        let mut p = Program::new(cfg);
+        p.push(FunctionBuilder::new("f", cfg).build());
+        let image = p.link(KERNEL_TEXT_BASE);
+        boot.load_image(&mut mem, table, &image);
+        let ctx = mem.kernel_ctx(table);
+        // Readable (it is ordinary text), executable, but never writable.
+        assert!(mem.read_u64(&ctx, KERNEL_TEXT_BASE).is_ok());
+        assert!(mem.fetch(&ctx, KERNEL_TEXT_BASE).is_ok());
+        assert!(mem.translate(&ctx, KERNEL_TEXT_BASE, AccessType::Write).is_err());
+        // And the loaded bytes round-trip.
+        assert_eq!(
+            mem.read_u64(&ctx, KERNEL_TEXT_BASE).unwrap() as u32,
+            image.to_words()[0]
+        );
+    }
+
+    #[test]
+    fn static_pointers_get_signed_at_boot() {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let boot = Bootloader::new(3);
+        // A "work_struct" at a data page with its func pointer at +0x18.
+        let obj = KERNEL_TEXT_BASE + 0x10_0000;
+        mem.map_new(table, obj, S1Attr::kernel_data());
+        let slot = obj + 0x18;
+        let target = KERNEL_TEXT_BASE + 0x4440; // the callback address
+        let ctx = mem.kernel_ctx(table);
+        mem.write_u64(&ctx, slot, target).unwrap();
+
+        let mut statics = StaticPointerTable::new();
+        statics.push(StaticPointerEntry {
+            location: slot,
+            key: PacKey::IA,
+            type_const: 0x77aa,
+            field_offset: 0x18,
+        });
+        boot.sign_static_pointers(&mut mem, table, &statics);
+
+        let signed = mem.read_u64(&ctx, slot).unwrap();
+        assert_ne!(signed, target, "slot now holds a signed pointer");
+        let modifier = object_modifier(0x77aa, obj);
+        let auth = auth_pac(
+            signed,
+            modifier,
+            boot.keys().ia,
+            camo_cpu::pac::KeyClass::Instruction,
+            true,
+        );
+        assert_eq!(auth, Ok(target));
+    }
+
+    #[test]
+    fn boot_info_carries_seed_and_handle() {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let boot = Bootloader::new(0xAB);
+        let handle = boot.install_keysetter(&mut mem, table, SETTER_VA);
+        let info = boot.boot_info(handle, table);
+        assert_eq!(info.seed, 0xAB);
+        assert_eq!(info.keysetter, handle);
+        assert_eq!(info.kernel_table, table);
+    }
+
+    #[test]
+    #[should_panic(expected = "page must be aligned")]
+    fn misaligned_setter_va_panics() {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let boot = Bootloader::new(1);
+        let _ = boot.install_keysetter(&mut mem, table, SETTER_VA + 8);
+    }
+}

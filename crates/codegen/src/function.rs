@@ -1,0 +1,418 @@
+//! Function construction: prologues, epilogues, bodies, symbolic calls.
+
+use crate::{parts_function_id, CfiScheme, CodegenConfig};
+use camo_isa::{Insn, InsnKey, PacKey, PairMode, Reg};
+
+/// A compiled function: instructions plus unresolved symbolic calls.
+///
+/// Produced by [`FunctionBuilder`], consumed by [`crate::Program::link`].
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    insns: Vec<Insn>,
+    /// `(instruction index, callee symbol)` pairs for `BL` fixups.
+    calls: Vec<(usize, String)>,
+}
+
+impl Function {
+    /// The function's symbol name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions (with `BL` placeholders where calls go).
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// The symbolic call sites.
+    pub fn calls(&self) -> &[(usize, String)] {
+        &self.calls
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.insns.len() as u64 * 4
+    }
+
+    pub(crate) fn patch_call(&mut self, index: usize, offset: i32) {
+        self.insns[index] = Insn::Bl { offset };
+    }
+}
+
+/// Builds one function under a [`CodegenConfig`].
+///
+/// The prologue and epilogue follow the configured CFI scheme exactly as in
+/// the paper's listings; the body is appended through [`FunctionBuilder::ins`],
+/// [`FunctionBuilder::call`] and the protected-pointer emitters.
+///
+/// Register conventions inside generated code match AAPCS64 where it
+/// matters: `x0..x7` arguments/return, `x8`/`x9` scratch, `ip0`/`ip1`
+/// (`x16`/`x17`) reserved for the instrumentation itself, `fp`/`lr` frame.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    cfg: CodegenConfig,
+    body: Vec<Insn>,
+    calls: Vec<(usize, String)>,
+    leaf: bool,
+    naked: bool,
+    local_bytes: u16,
+}
+
+impl FunctionBuilder {
+    /// Starts a function named `name`.
+    pub fn new(name: impl Into<String>, cfg: CodegenConfig) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            cfg,
+            body: Vec::new(),
+            calls: Vec::new(),
+            leaf: false,
+            naked: false,
+            local_bytes: 0,
+        }
+    }
+
+    /// Marks the function as a leaf with no stack frame.
+    ///
+    /// Per §6.1.2, frame-less leaves receive no backward-edge
+    /// instrumentation — their LR never touches memory.
+    pub fn leaf(mut self) -> Self {
+        self.leaf = true;
+        self
+    }
+
+    /// Marks the function as *naked*: the body is emitted verbatim with no
+    /// prologue, epilogue, or trailing `RET`.
+    ///
+    /// For hand-written entry/exit stubs (exception vectors, `kernel_entry`
+    /// / `kernel_exit`, the `frame_push`/`frame_pop` analogues of §5.2)
+    /// whose control flow is not a function return.
+    pub fn naked(mut self) -> Self {
+        self.naked = true;
+        self
+    }
+
+    /// Reserves `bytes` of stack locals (rounded up to 16).
+    pub fn locals(mut self, bytes: u16) -> Self {
+        self.local_bytes = (bytes + 15) & !15;
+        self
+    }
+
+    /// The configuration this function is built under.
+    pub fn config(&self) -> CodegenConfig {
+        self.cfg
+    }
+
+    /// Appends one body instruction.
+    pub fn ins(&mut self, insn: Insn) -> &mut Self {
+        self.body.push(insn);
+        self
+    }
+
+    /// Appends several body instructions.
+    pub fn ins_all(&mut self, insns: impl IntoIterator<Item = Insn>) -> &mut Self {
+        self.body.extend(insns);
+        self
+    }
+
+    /// Appends a call to the named function (resolved at link time).
+    pub fn call(&mut self, callee: impl Into<String>) -> &mut Self {
+        self.calls.push((self.body.len(), callee.into()));
+        self.body.push(Insn::Bl { offset: 0 });
+        self
+    }
+
+    /// Finalizes the function: prologue + body + epilogue.
+    pub fn build(self) -> Function {
+        if self.naked {
+            return Function {
+                name: self.name,
+                insns: self.body,
+                calls: self.calls,
+            };
+        }
+        let mut insns = Vec::new();
+        if !self.leaf {
+            emit_prologue(&mut insns, &self.name, self.cfg);
+            if self.local_bytes > 0 {
+                insns.push(Insn::SubImm {
+                    rd: Reg::Sp,
+                    rn: Reg::Sp,
+                    imm12: self.local_bytes,
+                    shifted: false,
+                });
+            }
+        }
+        let body_base = insns.len();
+        let calls = self
+            .calls
+            .into_iter()
+            .map(|(idx, name)| (idx + body_base, name))
+            .collect();
+        insns.extend(self.body);
+        if !self.leaf {
+            if self.local_bytes > 0 {
+                insns.push(Insn::AddImm {
+                    rd: Reg::Sp,
+                    rn: Reg::Sp,
+                    imm12: self.local_bytes,
+                    shifted: false,
+                });
+            }
+            emit_epilogue(&mut insns, &self.name, self.cfg);
+        }
+        insns.push(Insn::ret());
+        Function {
+            name: self.name,
+            insns,
+            calls,
+        }
+    }
+}
+
+/// Emits the modifier-construction sequence into `ip0`, given the emission
+/// position (`adr` is PC-relative, so the distance back to the function
+/// entry matters).
+fn emit_modifier(insns: &mut Vec<Insn>, name: &str, scheme: CfiScheme) {
+    match scheme {
+        CfiScheme::None | CfiScheme::SpOnly => {}
+        CfiScheme::Camouflage => {
+            // Listing 3:
+            //   adr  ip0, function
+            //   mov  ip1, sp
+            //   bfi  ip0, ip1, #32, #32
+            let back = -(4 * insns.len() as i32);
+            insns.push(Insn::Adr {
+                rd: Reg::IP0,
+                offset: back,
+            });
+            insns.push(Insn::mov_sp(Reg::IP1, Reg::Sp));
+            insns.push(Insn::bfi(Reg::IP0, Reg::IP1, 32, 32));
+        }
+        CfiScheme::Parts => {
+            // mov ip0, sp; movk ip0, #id₀, lsl 16; ... (48-bit LTO id)
+            let id = parts_function_id(name);
+            insns.push(Insn::mov_sp(Reg::IP0, Reg::Sp));
+            for (i, shift) in [(0u32, 1u8), (1, 2), (2, 3)] {
+                insns.push(Insn::Movk {
+                    rd: Reg::IP0,
+                    imm16: ((id >> (16 * i)) & 0xFFFF) as u16,
+                    shift,
+                });
+            }
+        }
+    }
+}
+
+fn emit_prologue(insns: &mut Vec<Insn>, name: &str, cfg: CodegenConfig) {
+    match cfg.scheme {
+        CfiScheme::None => {}
+        CfiScheme::SpOnly => {
+            // Listing 2 — hint form, NOP-compatible by construction.
+            insns.push(Insn::PacSp { key: InsnKey::A });
+        }
+        CfiScheme::Camouflage | CfiScheme::Parts => {
+            emit_modifier(insns, name, cfg.scheme);
+            if cfg.compat_v80 {
+                // §5.5: only PACIB1716 exists pre-8.3, and it signs x17
+                // with x16 as modifier — shuffle LR through ip1.
+                insns.push(Insn::mov(Reg::IP1, Reg::LR));
+                insns.push(Insn::Pac1716 { key: InsnKey::B });
+                insns.push(Insn::mov(Reg::LR, Reg::IP1));
+            } else {
+                insns.push(Insn::Pac {
+                    key: PacKey::IB,
+                    rd: Reg::LR,
+                    rn: Reg::IP0,
+                });
+            }
+        }
+    }
+    // The Listing 1 frame record.
+    insns.push(Insn::Stp {
+        rt: Reg::FP,
+        rt2: Reg::LR,
+        rn: Reg::Sp,
+        mode: PairMode::Pre(-16),
+    });
+    insns.push(Insn::mov_sp(Reg::FP, Reg::Sp));
+}
+
+fn emit_epilogue(insns: &mut Vec<Insn>, name: &str, cfg: CodegenConfig) {
+    insns.push(Insn::Ldp {
+        rt: Reg::FP,
+        rt2: Reg::LR,
+        rn: Reg::Sp,
+        mode: PairMode::Post(16),
+    });
+    match cfg.scheme {
+        CfiScheme::None => {}
+        CfiScheme::SpOnly => {
+            insns.push(Insn::AutSp { key: InsnKey::A });
+        }
+        CfiScheme::Camouflage | CfiScheme::Parts => {
+            emit_modifier(insns, name, cfg.scheme);
+            if cfg.compat_v80 {
+                insns.push(Insn::mov(Reg::IP1, Reg::LR));
+                insns.push(Insn::Aut1716 { key: InsnKey::B });
+                insns.push(Insn::mov(Reg::LR, Reg::IP1));
+            } else {
+                insns.push(Insn::Aut {
+                    key: PacKey::IB,
+                    rd: Reg::LR,
+                    rn: Reg::IP0,
+                });
+            }
+        }
+    }
+}
+
+/// The per-call instrumentation overhead (prologue + epilogue extra
+/// instructions) of a scheme, in instructions.
+pub fn instrumentation_insns(scheme: CfiScheme, compat: bool) -> usize {
+    match (scheme, compat) {
+        (CfiScheme::None, _) => 0,
+        (CfiScheme::SpOnly, _) => 2,
+        (CfiScheme::Camouflage, false) => 8,
+        (CfiScheme::Camouflage, true) => 14,
+        (CfiScheme::Parts, false) => 10,
+        (CfiScheme::Parts, true) => 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(scheme: CfiScheme) -> Function {
+        let cfg = CodegenConfig {
+            scheme,
+            protect_pointers: true,
+            compat_v80: false,
+        };
+        FunctionBuilder::new("f", cfg).build()
+    }
+
+    #[test]
+    fn baseline_matches_listing1() {
+        let f = build(CfiScheme::None);
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            text,
+            vec![
+                "stp x29, x30, [sp, #-16]!",
+                "add x29, sp, #0",
+                "ldp x29, x30, [sp], #16",
+                "ret",
+            ]
+        );
+    }
+
+    #[test]
+    fn sp_only_matches_listing2() {
+        let f = build(CfiScheme::SpOnly);
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert_eq!(text[0], "paciasp");
+        assert_eq!(text[text.len() - 2], "autiasp");
+    }
+
+    #[test]
+    fn camouflage_matches_listing3() {
+        let f = build(CfiScheme::Camouflage);
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            &text[..6],
+            &[
+                "adr x16, +0",
+                "add x17, sp, #0",
+                "bfi x16, x17, #32, #32",
+                "pacib x30, x16",
+                "stp x29, x30, [sp, #-16]!",
+                "add x29, sp, #0",
+            ]
+        );
+        // Epilogue rebuilds the modifier relative to the entry.
+        let ldp = text.iter().position(|s| s.starts_with("ldp")).unwrap();
+        assert!(text[ldp + 1].starts_with("adr x16, -"));
+        assert_eq!(text[ldp + 4], "autib x30, x16");
+        assert_eq!(text.last().unwrap(), "ret");
+    }
+
+    #[test]
+    fn parts_builds_48_bit_id_modifier() {
+        let f = build(CfiScheme::Parts);
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert_eq!(text[0], "add x16, sp, #0");
+        assert!(text[1].starts_with("movk x16"));
+        assert!(text[2].starts_with("movk x16"));
+        assert!(text[3].starts_with("movk x16"));
+        assert_eq!(text[4], "pacib x30, x16");
+    }
+
+    #[test]
+    fn parts_costs_more_than_camouflage_costs_more_than_sp() {
+        // The Figure 2 ordering, statically.
+        let sp = instrumentation_insns(CfiScheme::SpOnly, false);
+        let camo = instrumentation_insns(CfiScheme::Camouflage, false);
+        let parts = instrumentation_insns(CfiScheme::Parts, false);
+        assert!(sp < camo);
+        assert!(camo < parts);
+        // And the actual builds agree with the static counts.
+        let base_len = build(CfiScheme::None).insns().len();
+        assert_eq!(build(CfiScheme::SpOnly).insns().len(), base_len + sp);
+        assert_eq!(build(CfiScheme::Camouflage).insns().len(), base_len + camo);
+        assert_eq!(build(CfiScheme::Parts).insns().len(), base_len + parts);
+    }
+
+    #[test]
+    fn compat_build_uses_only_hint_forms() {
+        let cfg = CodegenConfig {
+            scheme: CfiScheme::Camouflage,
+            protect_pointers: true,
+            compat_v80: true,
+        };
+        let f = FunctionBuilder::new("f", cfg).build();
+        for insn in f.insns() {
+            if insn.is_pauth() {
+                assert!(
+                    matches!(insn, Insn::Pac1716 { .. } | Insn::Aut1716 { .. }),
+                    "non-NOP-compatible PAuth form in compat build: {insn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_functions_are_uninstrumented() {
+        let f = FunctionBuilder::new("leaf", CodegenConfig::camouflage())
+            .leaf()
+            .build();
+        assert_eq!(f.insns().len(), 1);
+        assert_eq!(f.insns()[0], Insn::ret());
+    }
+
+    #[test]
+    fn locals_are_allocated_and_released() {
+        let f = FunctionBuilder::new("f", CodegenConfig::baseline())
+            .locals(24)
+            .build();
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert!(text.contains(&"sub sp, sp, #32".to_string()), "{text:?}");
+        assert!(text.contains(&"add sp, sp, #32".to_string()));
+    }
+
+    #[test]
+    fn symbolic_calls_are_recorded_after_prologue() {
+        let mut b = FunctionBuilder::new("caller", CodegenConfig::camouflage());
+        b.call("callee");
+        let f = b.build();
+        assert_eq!(f.calls().len(), 1);
+        let (idx, name) = &f.calls()[0];
+        assert_eq!(name, "callee");
+        assert_eq!(f.insns()[*idx], Insn::Bl { offset: 0 });
+        // The call site sits after the 6-instruction Camouflage prologue.
+        assert_eq!(*idx, 6);
+    }
+}

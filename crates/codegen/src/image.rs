@@ -1,0 +1,271 @@
+//! Linking: functions → a loadable text image with a symbol table.
+
+use crate::statics::StaticPointerTable;
+use crate::{CodegenConfig, Function};
+use camo_isa::{encode, Insn};
+use std::collections::HashMap;
+
+/// A set of functions awaiting layout and call resolution.
+#[derive(Debug, Default)]
+pub struct Program {
+    cfg: CodegenConfig,
+    functions: Vec<Function>,
+    externals: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Creates an empty program built under `cfg`.
+    pub fn new(cfg: CodegenConfig) -> Self {
+        Program {
+            cfg,
+            functions: Vec::new(),
+            externals: HashMap::new(),
+        }
+    }
+
+    /// Declares an externally-provided symbol at a fixed address (e.g. the
+    /// XOM key setter, which the bootloader places outside the image).
+    pub fn define_external(&mut self, name: impl Into<String>, va: u64) {
+        self.externals.insert(name.into(), va);
+    }
+
+    /// Moves every function of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations differ or symbols collide.
+    pub fn append(&mut self, other: Program) {
+        assert_eq!(self.cfg, other.cfg, "mixing instrumentation configs");
+        for f in other.functions {
+            self.push(f);
+        }
+        self.externals.extend(other.externals);
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> CodegenConfig {
+        self.cfg
+    }
+
+    /// Adds a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate symbol names.
+    pub fn push(&mut self, function: Function) {
+        assert!(
+            self.functions.iter().all(|f| f.name() != function.name()),
+            "duplicate symbol {}",
+            function.name()
+        );
+        self.functions.push(function);
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Lays out all functions from `base_va` (16-byte aligned starts),
+    /// resolves symbolic calls, and produces an [`Image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on calls to undefined symbols.
+    pub fn link(mut self, base_va: u64) -> Image {
+        assert!(base_va % 4 == 0, "image base must be word aligned");
+        // First pass: assign addresses.
+        let mut symbols = self.externals.clone();
+        let mut va = base_va;
+        let mut fn_vas = Vec::with_capacity(self.functions.len());
+        for f in &self.functions {
+            symbols.insert(f.name().to_string(), va);
+            fn_vas.push(va);
+            va += f.size_bytes();
+            va = (va + 15) & !15; // align the next function
+        }
+        // Second pass: patch calls.
+        for (f, &fva) in self.functions.iter_mut().zip(&fn_vas) {
+            let calls: Vec<(usize, String)> = f.calls().to_vec();
+            for (idx, callee) in calls {
+                let target = *symbols
+                    .get(&callee)
+                    .unwrap_or_else(|| panic!("undefined symbol {callee}"));
+                let site = fva + 4 * idx as u64;
+                let offset = target.wrapping_sub(site) as i64;
+                let offset = i32::try_from(offset).expect("call distance overflows");
+                f.patch_call(idx, offset);
+            }
+        }
+        // Third pass: emit words with alignment padding (NOPs).
+        let mut insns = Vec::new();
+        for (f, &fva) in self.functions.iter().zip(&fn_vas) {
+            let expect_index = ((fva - base_va) / 4) as usize;
+            while insns.len() < expect_index {
+                insns.push(Insn::Nop);
+            }
+            insns.extend_from_slice(f.insns());
+        }
+        Image {
+            base_va,
+            insns,
+            symbols,
+            statics: StaticPointerTable::new(),
+        }
+    }
+}
+
+/// A linked text image: contiguous instructions, a symbol table, and the
+/// §4.6 static-pointer signing table.
+#[derive(Debug, Clone)]
+pub struct Image {
+    base_va: u64,
+    insns: Vec<Insn>,
+    symbols: HashMap<String, u64>,
+    statics: StaticPointerTable,
+}
+
+impl Image {
+    /// The load address.
+    pub fn base_va(&self) -> u64 {
+        self.base_va
+    }
+
+    /// All instructions, padding included.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Image size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.insns.len() as u64 * 4
+    }
+
+    /// Resolves a symbol to its virtual address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over `(name, va)` pairs in unspecified order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(n, &va)| (n.as_str(), va))
+    }
+
+    /// The encoded text, little endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        camo_isa::encode_all(&self.insns)
+    }
+
+    /// The encoded text as words.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.insns.iter().map(encode).collect()
+    }
+
+    /// The static-pointer table shipped with this image.
+    pub fn statics(&self) -> &StaticPointerTable {
+        &self.statics
+    }
+
+    /// Mutable access to the static-pointer table (used while laying out
+    /// data sections that contain statically-initialised signed pointers).
+    pub fn statics_mut(&mut self) -> &mut StaticPointerTable {
+        &mut self.statics
+    }
+
+    /// Disassembles the image for inspection.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rev: Vec<(&str, u64)> = self.symbols().collect();
+        rev.sort_by_key(|&(_, va)| va);
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            let va = self.base_va + 4 * i as u64;
+            if let Some((name, _)) = rev.iter().find(|&&(_, sva)| sva == va) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "  {va:#014x}: {insn}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodegenConfig, FunctionBuilder};
+
+    #[test]
+    fn link_resolves_cross_function_calls() {
+        let cfg = CodegenConfig::baseline();
+        let mut p = Program::new(cfg);
+        let mut caller = FunctionBuilder::new("caller", cfg);
+        caller.call("callee");
+        p.push(caller.build());
+        p.push(FunctionBuilder::new("callee", cfg).leaf().build());
+        let image = p.link(0x4000);
+
+        let caller_va = image.symbol("caller").unwrap();
+        let callee_va = image.symbol("callee").unwrap();
+        assert_eq!(caller_va, 0x4000);
+        // Find the BL and verify it lands on the callee.
+        let bl_idx = image
+            .insns()
+            .iter()
+            .position(|i| matches!(i, Insn::Bl { .. }))
+            .unwrap();
+        if let Insn::Bl { offset } = image.insns()[bl_idx] {
+            let site = image.base_va() + 4 * bl_idx as u64;
+            assert_eq!(site.wrapping_add(offset as i64 as u64), callee_va);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn functions_start_16_byte_aligned() {
+        let cfg = CodegenConfig::baseline();
+        let mut p = Program::new(cfg);
+        p.push(FunctionBuilder::new("a", cfg).leaf().build()); // 1 insn
+        p.push(FunctionBuilder::new("b", cfg).leaf().build());
+        let image = p.link(0x4000);
+        assert_eq!(image.symbol("b").unwrap() % 16, 0);
+        // Padding between functions is NOPs.
+        assert_eq!(image.insns()[1], Insn::Nop);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined symbol")]
+    fn undefined_callee_panics() {
+        let cfg = CodegenConfig::baseline();
+        let mut p = Program::new(cfg);
+        let mut f = FunctionBuilder::new("f", cfg);
+        f.call("missing");
+        p.push(f.build());
+        let _ = p.link(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_symbol_panics() {
+        let cfg = CodegenConfig::baseline();
+        let mut p = Program::new(cfg);
+        p.push(FunctionBuilder::new("f", cfg).build());
+        p.push(FunctionBuilder::new("f", cfg).build());
+    }
+
+    #[test]
+    fn listing_names_functions() {
+        let cfg = CodegenConfig::baseline();
+        let mut p = Program::new(cfg);
+        p.push(FunctionBuilder::new("entry", cfg).build());
+        let image = p.link(0x1000);
+        let listing = image.listing();
+        assert!(listing.starts_with("entry:"));
+        assert!(listing.contains("ret"));
+    }
+}

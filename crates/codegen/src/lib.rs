@@ -1,0 +1,287 @@
+//! CFI instrumentation compiler for the Camouflage reproduction.
+//!
+//! The paper modifies LLVM 8 to emit hardened function prologues and
+//! epilogues (Listing 3) and provides inline-assembler macros for protected
+//! pointer accesses (Listing 4). This crate is that compiler: it builds
+//! functions in the `camo-isa` instruction set under one of four
+//! backward-edge CFI schemes, emits the pointer-integrity access sequences,
+//! and links functions into loadable images carrying the §4.6 static-pointer
+//! signing table.
+//!
+//! # Schemes
+//!
+//! | Scheme | Modifier | Source |
+//! |---|---|---|
+//! | [`CfiScheme::None`] | — | Listing 1 |
+//! | [`CfiScheme::SpOnly`] | SP | Listing 2, Clang/GCC `pac-ret` |
+//! | [`CfiScheme::Parts`] | `fn_id₄₈ ‖ SP₁₆` | PARTS (USENIX Sec '19) |
+//! | [`CfiScheme::Camouflage`] | `SP₃₂ ‖ fn_addr₃₂` | Listing 3, this paper |
+//!
+//! # Example
+//!
+//! ```
+//! use camo_codegen::{CfiScheme, CodegenConfig, FunctionBuilder, Program};
+//!
+//! let cfg = CodegenConfig::camouflage();
+//! let mut program = Program::new(cfg);
+//! program.push(FunctionBuilder::new("empty", cfg).build());
+//! let image = program.link(0xffff_0000_0000_0000);
+//! assert!(image.symbol("empty").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod function;
+mod image;
+mod pointer;
+mod statics;
+mod synth;
+
+pub use function::{instrumentation_insns, Function, FunctionBuilder};
+pub use image::{Image, Program};
+pub use pointer::ProtectedPointer;
+pub use statics::{StaticPointerEntry, StaticPointerTable, STATIC_ENTRY_SIZE};
+pub use synth::{build_call_chain, build_call_tree, empty_function, CallTreeSpec};
+
+use camo_isa::PacKey;
+
+/// Backward-edge CFI scheme selection (Figure 2's three contenders plus
+/// the unprotected baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CfiScheme {
+    /// No return-address protection (Listing 1).
+    #[default]
+    None,
+    /// SP-only modifier, as emitted by Clang/GCC `-mbranch-protection`
+    /// (Listing 2). Vulnerable to replay across same-SP call sites.
+    SpOnly,
+    /// PARTS: 48-bit LTO-assigned function id ‖ low 16 bits of SP.
+    Parts,
+    /// Camouflage: low 32 bits of SP ‖ low 32 bits of the function address
+    /// (Listing 3).
+    Camouflage,
+}
+
+impl core::fmt::Display for CfiScheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CfiScheme::None => "none",
+            CfiScheme::SpOnly => "sp-only",
+            CfiScheme::Parts => "parts",
+            CfiScheme::Camouflage => "camouflage",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How much of the Camouflage design is enabled — the three protection
+/// levels compared throughout §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtectionLevel {
+    /// No instrumentation at all (baseline kernel).
+    None,
+    /// Backward-edge CFI only.
+    BackwardEdge,
+    /// Backward-edge CFI + forward-edge CFI + DFI ("full").
+    Full,
+}
+
+impl ProtectionLevel {
+    /// All three levels, in increasing protection order.
+    pub const ALL: [ProtectionLevel; 3] = [
+        ProtectionLevel::None,
+        ProtectionLevel::BackwardEdge,
+        ProtectionLevel::Full,
+    ];
+}
+
+impl core::fmt::Display for ProtectionLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ProtectionLevel::None => "none",
+            ProtectionLevel::BackwardEdge => "backward-edge",
+            ProtectionLevel::Full => "full",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Build-time instrumentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodegenConfig {
+    /// Backward-edge scheme.
+    pub scheme: CfiScheme,
+    /// Emit pointer-integrity (forward-edge + DFI) access sequences.
+    pub protect_pointers: bool,
+    /// §5.5 backward-compatible build: only the NOP-compatible
+    /// `PACIB1716`/`AUTIB1716` forms are used, and data pointers share the
+    /// IB key because no `*1716` forms exist for the data keys.
+    pub compat_v80: bool,
+}
+
+impl CodegenConfig {
+    /// The full Camouflage configuration.
+    pub fn camouflage() -> Self {
+        CodegenConfig {
+            scheme: CfiScheme::Camouflage,
+            protect_pointers: true,
+            compat_v80: false,
+        }
+    }
+
+    /// An uninstrumented baseline.
+    pub fn baseline() -> Self {
+        CodegenConfig {
+            scheme: CfiScheme::None,
+            protect_pointers: false,
+            compat_v80: false,
+        }
+    }
+
+    /// The configuration for a given protection level under the Camouflage
+    /// scheme.
+    pub fn for_level(level: ProtectionLevel) -> Self {
+        match level {
+            ProtectionLevel::None => CodegenConfig::baseline(),
+            ProtectionLevel::BackwardEdge => CodegenConfig {
+                scheme: CfiScheme::Camouflage,
+                protect_pointers: false,
+                compat_v80: false,
+            },
+            ProtectionLevel::Full => CodegenConfig::camouflage(),
+        }
+    }
+
+    /// The key used for data-pointer protection under this configuration.
+    ///
+    /// §5.5: the backward-compatible build has no data-key `*1716` forms,
+    /// so it falls back to the instruction key.
+    pub fn data_key(&self) -> PacKey {
+        if self.compat_v80 {
+            PacKey::IB
+        } else {
+            PacKey::DB
+        }
+    }
+}
+
+impl Default for CodegenConfig {
+    fn default() -> Self {
+        CodegenConfig::camouflage()
+    }
+}
+
+/// The Camouflage backward-edge modifier (§4.2): low 32 bits of SP
+/// concatenated above the low 32 bits of the function address.
+pub fn camouflage_modifier(fn_addr: u64, sp: u64) -> u64 {
+    (fn_addr & 0xFFFF_FFFF) | ((sp & 0xFFFF_FFFF) << 32)
+}
+
+/// The PARTS backward-edge modifier: 48-bit function id above the low
+/// 16 bits of SP.
+pub fn parts_modifier(fn_id: u64, sp: u64) -> u64 {
+    (sp & 0xFFFF) | ((fn_id & 0xFFFF_FFFF_FFFF) << 16)
+}
+
+/// The pointer-integrity modifier (§4.3): 48-bit containing-object address
+/// above a 16-bit constant identifying the (type, member) pair.
+pub fn object_modifier(type_const: u16, obj_addr: u64) -> u64 {
+    u64::from(type_const) | ((obj_addr & 0xFFFF_FFFF_FFFF) << 16)
+}
+
+/// Deterministic 48-bit function id, standing in for PARTS' LTO-assigned
+/// ids (FNV-1a over the symbol name, truncated).
+pub fn parts_function_id(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash & 0xFFFF_FFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camouflage_modifier_concatenates_halves() {
+        let m = camouflage_modifier(0xffff_0000_1234_5678, 0xffff_8000_9abc_def0);
+        assert_eq!(m, 0x9abc_def0_1234_5678);
+    }
+
+    #[test]
+    fn parts_modifier_uses_16_sp_bits() {
+        let m = parts_modifier(0xABCDEF, 0xffff_8000_9abc_def0);
+        assert_eq!(m & 0xFFFF, 0xdef0);
+        assert_eq!(m >> 16, 0xABCDEF);
+        // Two stacks 64 KiB apart produce the SAME modifier — the PARTS
+        // weakness §7 calls out.
+        let other_sp = 0xffff_8000_9abc_def0 + 0x10000;
+        assert_eq!(m, parts_modifier(0xABCDEF, other_sp));
+    }
+
+    #[test]
+    fn camouflage_modifier_distinguishes_64k_separated_stacks() {
+        let sp = 0xffff_8000_9abc_def0u64;
+        let m1 = camouflage_modifier(0x1000, sp);
+        let m2 = camouflage_modifier(0x1000, sp + 0x10000);
+        assert_ne!(m1, m2, "32 SP bits cover 64 KiB-separated stacks");
+    }
+
+    #[test]
+    fn object_modifier_packs_type_and_address() {
+        let m = object_modifier(0xfb45, 0xffff_0000_dead_b000);
+        assert_eq!(m & 0xFFFF, 0xfb45);
+        assert_eq!((m >> 16) & 0xFFFF_FFFF_FFFF, 0x0000_dead_b000);
+    }
+
+    #[test]
+    fn object_modifier_unique_per_object() {
+        // §4.3: "the modifier uniquely identifies the object in memory at a
+        // given time" — two live objects at different addresses never share
+        // a modifier for the same field.
+        let a = object_modifier(1, 0xffff_0000_0000_1000);
+        let b = object_modifier(1, 0xffff_0000_0000_2000);
+        assert_ne!(a, b);
+        // And the 16-bit constant segregates fields at the same address.
+        assert_ne!(
+            object_modifier(1, 0xffff_0000_0000_1000),
+            object_modifier(2, 0xffff_0000_0000_1000)
+        );
+    }
+
+    #[test]
+    fn parts_ids_are_48_bit_and_stable() {
+        let id = parts_function_id("vfs_read");
+        assert!(id < (1 << 48));
+        assert_eq!(id, parts_function_id("vfs_read"));
+        assert_ne!(id, parts_function_id("vfs_write"));
+    }
+
+    #[test]
+    fn compat_build_aliases_data_key_onto_ib() {
+        assert_eq!(CodegenConfig::camouflage().data_key(), PacKey::DB);
+        let compat = CodegenConfig {
+            compat_v80: true,
+            ..CodegenConfig::camouflage()
+        };
+        assert_eq!(compat.data_key(), PacKey::IB);
+    }
+
+    #[test]
+    fn protection_levels_map_to_configs() {
+        assert_eq!(
+            CodegenConfig::for_level(ProtectionLevel::None),
+            CodegenConfig::baseline()
+        );
+        let be = CodegenConfig::for_level(ProtectionLevel::BackwardEdge);
+        assert_eq!(be.scheme, CfiScheme::Camouflage);
+        assert!(!be.protect_pointers);
+        assert_eq!(
+            CodegenConfig::for_level(ProtectionLevel::Full),
+            CodegenConfig::camouflage()
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Protected-pointer access sequences (Listing 4 and §5.3).
+//!
+//! The paper replaces direct reads/writes of protected structure members
+//! with `get`/`set` inline functions wrapping PAuth instructions. The
+//! emitters here generate those exact sequences into a
+//! [`FunctionBuilder`]:
+//!
+//! ```text
+//! // load signed fp->f_ops from fp (x0)
+//! ldr  x8, [x0, #40]
+//! mov  w9, #0xfb45
+//! bfi  x9, x0, #16, #48   // modifier
+//! autdb x8, x9            // authenticate f_ops
+//! ```
+
+use crate::{object_modifier, CodegenConfig, FunctionBuilder};
+use camo_isa::{AddrMode, Insn, InsnKey, PacKey, Reg};
+
+/// A protected pointer member of a compound type: its PAuth key and the
+/// 16-bit constant identifying the (type, member) combination (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtectedPointer {
+    /// Key used for signing (DB for data pointers, IB for lone function
+    /// pointers in the default build).
+    pub key: PacKey,
+    /// Unique (type, member) discriminator baked into the modifier.
+    pub type_const: u16,
+}
+
+impl ProtectedPointer {
+    /// Creates a descriptor with an explicit key.
+    pub fn new(key: PacKey, type_const: u16) -> Self {
+        ProtectedPointer { key, type_const }
+    }
+
+    /// The modifier for an instance of the containing object at `obj_addr`.
+    pub fn modifier(&self, obj_addr: u64) -> u64 {
+        object_modifier(self.type_const, obj_addr)
+    }
+
+    /// Effective key under `cfg` (compat builds alias data keys onto IB).
+    pub fn effective_key(&self, cfg: CodegenConfig) -> PacKey {
+        if cfg.compat_v80 {
+            match self.key {
+                PacKey::DA | PacKey::DB => cfg.data_key(),
+                k => k,
+            }
+        } else {
+            self.key
+        }
+    }
+
+    /// Emits the modifier construction into `scratch`:
+    /// `movz scratch, #const; bfi scratch, obj, #16, #48`.
+    fn emit_modifier(&self, b: &mut FunctionBuilder, obj: Reg, scratch: Reg) {
+        b.ins(Insn::Movz {
+            rd: scratch,
+            imm16: self.type_const,
+            shift: 0,
+        });
+        b.ins(Insn::bfi(scratch, obj, 16, 48));
+    }
+
+    /// Emits the `get` accessor: loads the signed pointer from
+    /// `[obj + offset]` into `dst` and authenticates it in place.
+    ///
+    /// Without pointer protection configured, emits a plain load. `scratch`
+    /// must differ from `dst` and `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register roles collide.
+    pub fn emit_load(
+        &self,
+        b: &mut FunctionBuilder,
+        dst: Reg,
+        obj: Reg,
+        offset: u16,
+        scratch: Reg,
+    ) {
+        assert!(dst != obj && dst != scratch && obj != scratch, "register collision");
+        if !b.config().protect_pointers {
+            b.ins(Insn::Ldr {
+                rt: dst,
+                rn: obj,
+                mode: AddrMode::Unsigned(offset),
+            });
+            return;
+        }
+        if b.config().compat_v80 {
+            // Value must transit x17, modifier x16, for the *1716 forms.
+            b.ins(Insn::Ldr {
+                rt: Reg::IP1,
+                rn: obj,
+                mode: AddrMode::Unsigned(offset),
+            });
+            self.emit_modifier(b, obj, Reg::IP0);
+            b.ins(Insn::Aut1716 { key: InsnKey::B });
+            b.ins(Insn::mov(dst, Reg::IP1));
+        } else {
+            b.ins(Insn::Ldr {
+                rt: dst,
+                rn: obj,
+                mode: AddrMode::Unsigned(offset),
+            });
+            self.emit_modifier(b, obj, scratch);
+            b.ins(Insn::Aut {
+                key: self.effective_key(b.config()),
+                rd: dst,
+                rn: scratch,
+            });
+        }
+    }
+
+    /// Emits the `set` accessor: signs `value` (in place) and stores it to
+    /// `[obj + offset]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register roles collide.
+    pub fn emit_store(
+        &self,
+        b: &mut FunctionBuilder,
+        value: Reg,
+        obj: Reg,
+        offset: u16,
+        scratch: Reg,
+    ) {
+        assert!(value != obj && value != scratch && obj != scratch, "register collision");
+        if !b.config().protect_pointers {
+            b.ins(Insn::Str {
+                rt: value,
+                rn: obj,
+                mode: AddrMode::Unsigned(offset),
+            });
+            return;
+        }
+        if b.config().compat_v80 {
+            b.ins(Insn::mov(Reg::IP1, value));
+            self.emit_modifier(b, obj, Reg::IP0);
+            b.ins(Insn::Pac1716 { key: InsnKey::B });
+            b.ins(Insn::Str {
+                rt: Reg::IP1,
+                rn: obj,
+                mode: AddrMode::Unsigned(offset),
+            });
+        } else {
+            self.emit_modifier(b, obj, scratch);
+            b.ins(Insn::Pac {
+                key: self.effective_key(b.config()),
+                rd: value,
+                rn: scratch,
+            });
+            b.ins(Insn::Str {
+                rt: value,
+                rn: obj,
+                mode: AddrMode::Unsigned(offset),
+            });
+        }
+    }
+
+    /// Emits the full Listing 4 call-through: authenticate the ops-table
+    /// pointer at `[obj + ops_offset]`, load the function pointer at
+    /// `[ops + member_offset]`, and `BLR` to it.
+    ///
+    /// This is `file_ops(fp)->read(...)`: the DFI authentication of the
+    /// table pointer is what makes the read-only table's function pointers
+    /// trustworthy (§4.5).
+    pub fn emit_call_through(
+        &self,
+        b: &mut FunctionBuilder,
+        obj: Reg,
+        ops_offset: u16,
+        member_offset: u16,
+    ) {
+        let table = Reg::x(8);
+        let scratch = Reg::x(9);
+        self.emit_load(b, table, obj, ops_offset, scratch);
+        b.ins(Insn::Ldr {
+            rt: table,
+            rn: table,
+            mode: AddrMode::Unsigned(member_offset),
+        });
+        b.ins(Insn::Blr { rn: table });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CfiScheme, CodegenConfig};
+
+    fn full_cfg() -> CodegenConfig {
+        CodegenConfig::camouflage()
+    }
+
+    fn unprotected_cfg() -> CodegenConfig {
+        CodegenConfig {
+            scheme: CfiScheme::Camouflage,
+            protect_pointers: false,
+            compat_v80: false,
+        }
+    }
+
+    #[test]
+    fn load_matches_listing4() {
+        let mut b = FunctionBuilder::new("file_ops", full_cfg());
+        let p = ProtectedPointer::new(PacKey::DB, 0xfb45);
+        p.emit_load(&mut b, Reg::x(8), Reg::x(0), 40, Reg::x(9));
+        let f = b.build();
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        // Skip the 6-instruction Camouflage prologue.
+        assert_eq!(
+            &text[6..10],
+            &[
+                "ldr x8, [x0, #40]",
+                "movz x9, #0xfb45",
+                "bfi x9, x0, #16, #48",
+                "autdb x8, x9",
+            ]
+        );
+    }
+
+    #[test]
+    fn store_signs_before_storing() {
+        let mut b = FunctionBuilder::new("set_file_ops", full_cfg());
+        let p = ProtectedPointer::new(PacKey::DB, 0xfb45);
+        p.emit_store(&mut b, Reg::x(1), Reg::x(0), 40, Reg::x(9));
+        let f = b.build();
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            &text[6..10],
+            &[
+                "movz x9, #0xfb45",
+                "bfi x9, x0, #16, #48",
+                "pacdb x1, x9",
+                "str x1, [x0, #40]",
+            ]
+        );
+    }
+
+    #[test]
+    fn unprotected_config_emits_plain_accesses() {
+        let mut b = FunctionBuilder::new("f", unprotected_cfg());
+        let p = ProtectedPointer::new(PacKey::DB, 0xfb45);
+        p.emit_load(&mut b, Reg::x(8), Reg::x(0), 40, Reg::x(9));
+        p.emit_store(&mut b, Reg::x(1), Reg::x(0), 40, Reg::x(9));
+        let f = b.build();
+        // The backward-edge prologue still signs LR, but no data-pointer
+        // PAuth (the DB key) may appear anywhere.
+        assert!(
+            f.insns().iter().all(|i| !matches!(
+                i,
+                Insn::Pac { key: PacKey::DB, .. } | Insn::Aut { key: PacKey::DB, .. }
+            )),
+            "no data-key PAuth in unprotected build"
+        );
+        // And the accesses themselves are plain loads/stores.
+        assert!(f
+            .insns()
+            .iter()
+            .any(|i| matches!(i, Insn::Ldr { rt: Reg::X(8), .. })));
+        assert!(f
+            .insns()
+            .iter()
+            .any(|i| matches!(i, Insn::Str { rt: Reg::X(1), .. })));
+    }
+
+    #[test]
+    fn compat_build_routes_through_ip_registers() {
+        let cfg = CodegenConfig {
+            compat_v80: true,
+            ..CodegenConfig::camouflage()
+        };
+        let mut b = FunctionBuilder::new("f", cfg);
+        let p = ProtectedPointer::new(PacKey::DB, 0x1234);
+        p.emit_load(&mut b, Reg::x(8), Reg::x(0), 0, Reg::x(9));
+        let f = b.build();
+        let pauth: Vec<&Insn> = f.insns().iter().filter(|i| i.is_pauth()).collect();
+        assert!(pauth
+            .iter()
+            .all(|i| matches!(i, Insn::Aut1716 { .. } | Insn::Pac1716 { .. })));
+    }
+
+    #[test]
+    fn call_through_ends_in_blr() {
+        let mut b = FunctionBuilder::new("read_file", full_cfg());
+        let p = ProtectedPointer::new(PacKey::DB, 0xfb45);
+        p.emit_call_through(&mut b, Reg::x(0), 40, 16);
+        let f = b.build();
+        let text: Vec<String> = f.insns().iter().map(|i| i.to_string()).collect();
+        assert_eq!(text[10], "ldr x8, [x8, #16]");
+        assert_eq!(text[11], "blr x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "register collision")]
+    fn register_collision_is_rejected() {
+        let mut b = FunctionBuilder::new("f", full_cfg());
+        let p = ProtectedPointer::new(PacKey::DB, 1);
+        p.emit_load(&mut b, Reg::x(8), Reg::x(8), 0, Reg::x(9));
+    }
+
+    #[test]
+    fn modifier_matches_host_side_helper() {
+        let p = ProtectedPointer::new(PacKey::DB, 0xfb45);
+        assert_eq!(
+            p.modifier(0xffff_0000_dead_b000),
+            crate::object_modifier(0xfb45, 0xffff_0000_dead_b000)
+        );
+    }
+}

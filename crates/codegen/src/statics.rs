@@ -1,0 +1,238 @@
+//! The §4.6 static-pointer signing table.
+//!
+//! Statically-initialised protected pointers (e.g. `DECLARE_WORK`) cannot
+//! carry a PAC at compile time, because the PAC depends on the object's
+//! run-time address and the boot-generated keys. The paper inserts a new
+//! ELF section enumerating every such pointer; early boot (and the module
+//! loader) walks the table and signs each pointer in place.
+//!
+//! Each entry records the paper's three fields — the location of the
+//! to-be-signed pointer, the PAuth key to use, and the 16-bit modifier
+//! constant — plus the member's `offsetof` within its containing object,
+//! which the signer needs to recover the object base address for the
+//! modifier (the compiler knows it statically; a real implementation would
+//! either store it like this or index a type-metadata section by the
+//! 16-bit constant). The serialized form is a flat 16-byte record per
+//! entry, playing the role of the ELF section contents.
+
+use camo_isa::PacKey;
+
+/// Serialized size of one table entry in bytes.
+pub const STATIC_ENTRY_SIZE: usize = 16;
+
+/// One statically-initialised signed pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPointerEntry {
+    /// Virtual address of the pointer slot to sign in place.
+    pub location: u64,
+    /// Key to sign with.
+    pub key: PacKey,
+    /// The 16-bit (type, member) constant for the modifier.
+    pub type_const: u16,
+    /// `offsetof` of the slot within its containing object; the modifier
+    /// binds `location - field_offset`.
+    pub field_offset: u16,
+}
+
+impl StaticPointerEntry {
+    /// The containing object's base address.
+    pub fn object_base(&self) -> u64 {
+        self.location - u64::from(self.field_offset)
+    }
+}
+
+impl StaticPointerEntry {
+    fn key_code(key: PacKey) -> u8 {
+        match key {
+            PacKey::IA => 0,
+            PacKey::IB => 1,
+            PacKey::DA => 2,
+            PacKey::DB => 3,
+        }
+    }
+
+    fn key_from_code(code: u8) -> Option<PacKey> {
+        match code {
+            0 => Some(PacKey::IA),
+            1 => Some(PacKey::IB),
+            2 => Some(PacKey::DA),
+            3 => Some(PacKey::DB),
+            _ => None,
+        }
+    }
+
+    /// Serializes to the 16-byte record format.
+    pub fn to_bytes(self) -> [u8; STATIC_ENTRY_SIZE] {
+        let mut out = [0u8; STATIC_ENTRY_SIZE];
+        out[..8].copy_from_slice(&self.location.to_le_bytes());
+        out[8] = Self::key_code(self.key);
+        out[10..12].copy_from_slice(&self.type_const.to_le_bytes());
+        out[12..14].copy_from_slice(&self.field_offset.to_le_bytes());
+        out
+    }
+
+    /// Parses one 16-byte record.
+    pub fn from_bytes(bytes: &[u8; STATIC_ENTRY_SIZE]) -> Option<Self> {
+        let location = u64::from_le_bytes(bytes[..8].try_into().expect("slice length"));
+        let key = Self::key_from_code(bytes[8])?;
+        let type_const = u16::from_le_bytes(bytes[10..12].try_into().expect("slice length"));
+        let field_offset = u16::from_le_bytes(bytes[12..14].try_into().expect("slice length"));
+        Some(StaticPointerEntry {
+            location,
+            key,
+            type_const,
+            field_offset,
+        })
+    }
+}
+
+/// The whole table — the contents of the paper's new ELF section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticPointerTable {
+    entries: Vec<StaticPointerEntry>,
+}
+
+impl StaticPointerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StaticPointerTable::default()
+    }
+
+    /// Registers an entry (what the altered `DECLARE_WORK` macro does).
+    pub fn push(&mut self, entry: StaticPointerEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries in registration order.
+    pub fn entries(&self) -> &[StaticPointerEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the section contents.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * STATIC_ENTRY_SIZE);
+        for e in &self.entries {
+            out.extend_from_slice(&e.to_bytes());
+        }
+        out
+    }
+
+    /// Parses section contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed record when the blob length is
+    /// not a multiple of [`STATIC_ENTRY_SIZE`] or a key code is invalid.
+    pub fn parse(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() % STATIC_ENTRY_SIZE != 0 {
+            return Err(format!(
+                "section length {} is not a multiple of {STATIC_ENTRY_SIZE}",
+                bytes.len()
+            ));
+        }
+        let mut table = StaticPointerTable::new();
+        for (i, chunk) in bytes.chunks_exact(STATIC_ENTRY_SIZE).enumerate() {
+            let record: &[u8; STATIC_ENTRY_SIZE] = chunk.try_into().expect("chunk size");
+            let entry = StaticPointerEntry::from_bytes(record)
+                .ok_or_else(|| format!("entry {i} has an invalid key code {}", record[8]))?;
+            table.push(entry);
+        }
+        Ok(table)
+    }
+}
+
+impl FromIterator<StaticPointerEntry> for StaticPointerTable {
+    fn from_iter<I: IntoIterator<Item = StaticPointerEntry>>(iter: I) -> Self {
+        StaticPointerTable {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<StaticPointerEntry> for StaticPointerTable {
+    fn extend<I: IntoIterator<Item = StaticPointerEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StaticPointerEntry {
+        StaticPointerEntry {
+            location: 0xffff_0000_0000_8040,
+            key: PacKey::DB,
+            type_const: 0xfb45,
+            field_offset: 0x40,
+        }
+    }
+
+    #[test]
+    fn object_base_subtracts_field_offset() {
+        assert_eq!(sample().object_base(), 0xffff_0000_0000_8000);
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = sample();
+        assert_eq!(StaticPointerEntry::from_bytes(&e.to_bytes()), Some(e));
+    }
+
+    #[test]
+    fn all_keys_roundtrip() {
+        for key in [PacKey::IA, PacKey::IB, PacKey::DA, PacKey::DB] {
+            let e = StaticPointerEntry {
+                key,
+                ..sample()
+            };
+            assert_eq!(StaticPointerEntry::from_bytes(&e.to_bytes()), Some(e));
+        }
+    }
+
+    #[test]
+    fn invalid_key_code_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 9;
+        assert_eq!(StaticPointerEntry::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let table: StaticPointerTable = (0..5u16)
+            .map(|i| StaticPointerEntry {
+                location: 0x8000 + u64::from(i) * 8,
+                key: PacKey::IB,
+                type_const: i,
+                field_offset: 8 * i,
+            })
+            .collect();
+        let blob = table.to_bytes();
+        assert_eq!(blob.len(), 5 * STATIC_ENTRY_SIZE);
+        assert_eq!(StaticPointerTable::parse(&blob), Ok(table));
+    }
+
+    #[test]
+    fn truncated_section_rejected() {
+        let blob = sample().to_bytes();
+        let err = StaticPointerTable::parse(&blob[..10]).unwrap_err();
+        assert!(err.contains("not a multiple"));
+    }
+
+    #[test]
+    fn empty_section_parses_to_empty_table() {
+        let table = StaticPointerTable::parse(&[]).unwrap();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+    }
+}

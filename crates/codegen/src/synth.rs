@@ -1,0 +1,194 @@
+//! Synthetic kernel-function generation for the evaluation workloads.
+//!
+//! The paper measures instrumentation overhead on real kernel code paths;
+//! this reproduction measures it on *synthetic but structurally matched*
+//! call trees: functions with realistic body sizes (ALU + memory mix) and
+//! call depths, compiled under the scheme being evaluated. The relative
+//! overhead of a scheme depends only on the call-to-computation ratio,
+//! which these parameters control directly.
+//!
+//! Generated bodies use `x10`/`x11` as data scratch and address their
+//! stack locals — no external scratch buffer is required.
+
+use crate::{CodegenConfig, Function, FunctionBuilder, Program};
+use camo_isa::{AddrMode, Insn, Reg};
+
+/// Shape of a synthetic call tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallTreeSpec {
+    /// Call depth below the entry (0 = entry only).
+    pub depth: usize,
+    /// Calls made by each non-leaf node to the next level.
+    pub fanout: usize,
+    /// ALU instructions per function body.
+    pub body_alu: usize,
+    /// Load/store pairs per function body.
+    pub body_mem: usize,
+}
+
+impl Default for CallTreeSpec {
+    fn default() -> Self {
+        CallTreeSpec {
+            depth: 4,
+            fanout: 1,
+            body_alu: 12,
+            body_mem: 3,
+        }
+    }
+}
+
+/// Emits a deterministic function body: `alu` arithmetic instructions and
+/// `mem` load/store pairs against the function's own 64-byte local area.
+pub(crate) fn emit_body(b: &mut FunctionBuilder, alu: usize, mem: usize) {
+    for i in 0..alu {
+        match i % 3 {
+            0 => {
+                b.ins(Insn::AddImm {
+                    rd: Reg::x(10),
+                    rn: Reg::x(10),
+                    imm12: (i % 255 + 1) as u16,
+                    shifted: false,
+                });
+            }
+            1 => {
+                b.ins(Insn::EorReg {
+                    rd: Reg::x(11),
+                    rn: Reg::x(11),
+                    rm: Reg::x(10),
+                });
+            }
+            _ => {
+                b.ins(Insn::AddReg {
+                    rd: Reg::x(10),
+                    rn: Reg::x(10),
+                    rm: Reg::x(11),
+                });
+            }
+        }
+    }
+    for i in 0..mem {
+        let offset = ((i % 8) * 8) as u16;
+        b.ins(Insn::Str {
+            rt: Reg::x(10),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(offset),
+        });
+        b.ins(Insn::Ldr {
+            rt: Reg::x(11),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(offset),
+        });
+    }
+}
+
+fn node_name(prefix: &str, depth: usize, index: usize) -> String {
+    format!("{prefix}_d{depth}_n{index}")
+}
+
+/// Builds a call tree of instrumented functions; the entry symbol is
+/// `<prefix>_d0_n0`.
+///
+/// Functions at the deepest level are leaves *with* frames (they still pay
+/// the prologue cost, as almost all kernel functions do); set `body_mem`
+/// and `body_alu` per [`CallTreeSpec`].
+pub fn build_call_tree(prefix: &str, spec: CallTreeSpec, cfg: CodegenConfig) -> Program {
+    assert!(spec.fanout >= 1, "fanout must be at least 1");
+    let mut program = Program::new(cfg);
+    // One shared function per level is enough: fanout repeats calls to it,
+    // which models hot kernel paths (the same callee called in a loop).
+    for depth in 0..=spec.depth {
+        let mut b = FunctionBuilder::new(node_name(prefix, depth, 0), cfg).locals(64);
+        emit_body(&mut b, spec.body_alu, spec.body_mem);
+        if depth < spec.depth {
+            for _ in 0..spec.fanout {
+                b.call(node_name(prefix, depth + 1, 0));
+            }
+        }
+        program.push(b.build());
+    }
+    program
+}
+
+/// Builds a linear call chain (`fanout = 1`) of `depth + 1` functions.
+pub fn build_call_chain(
+    prefix: &str,
+    depth: usize,
+    body_alu: usize,
+    body_mem: usize,
+    cfg: CodegenConfig,
+) -> Program {
+    build_call_tree(
+        prefix,
+        CallTreeSpec {
+            depth,
+            fanout: 1,
+            body_alu,
+            body_mem,
+        },
+        cfg,
+    )
+}
+
+/// An empty function (immediate return through the full prologue/epilogue):
+/// the Figure 2 microbenchmark target.
+pub fn empty_function(name: &str, cfg: CodegenConfig) -> Function {
+    FunctionBuilder::new(name, cfg).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfiScheme;
+
+    #[test]
+    fn tree_has_one_function_per_level() {
+        let p = build_call_tree("t", CallTreeSpec::default(), CodegenConfig::baseline());
+        assert_eq!(p.len(), 5); // depth 4 → levels 0..=4
+    }
+
+    #[test]
+    fn entry_symbol_is_level_zero() {
+        let p = build_call_chain("sys_read", 3, 4, 1, CodegenConfig::baseline());
+        let image = p.link(0x1_0000);
+        assert!(image.symbol("sys_read_d0_n0").is_some());
+        assert!(image.symbol("sys_read_d3_n0").is_some());
+        assert!(image.symbol("sys_read_d4_n0").is_none());
+    }
+
+    #[test]
+    fn instrumented_tree_is_larger_than_baseline() {
+        let spec = CallTreeSpec::default();
+        let base = build_call_tree("t", spec, CodegenConfig::baseline()).link(0);
+        let camo = build_call_tree(
+            "t",
+            spec,
+            CodegenConfig {
+                scheme: CfiScheme::Camouflage,
+                protect_pointers: false,
+                compat_v80: false,
+            },
+        )
+        .link(0);
+        assert!(camo.size_bytes() > base.size_bytes());
+    }
+
+    #[test]
+    fn bodies_are_deterministic() {
+        let a = build_call_chain("x", 2, 8, 2, CodegenConfig::camouflage()).link(0x4000);
+        let b = build_call_chain("x", 2, 8, 2, CodegenConfig::camouflage()).link(0x4000);
+        assert_eq!(a.to_words(), b.to_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least 1")]
+    fn zero_fanout_rejected() {
+        let _ = build_call_tree(
+            "t",
+            CallTreeSpec {
+                fanout: 0,
+                ..CallTreeSpec::default()
+            },
+            CodegenConfig::baseline(),
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Camouflage assembled: the paper's contribution as one machine.
+//!
+//! [`Machine`] wraps the whole stack — QARMA-backed PAuth core, VMSA
+//! memory with hypervisor stage 2, bootloader-generated keys in XOM, and
+//! the instrumented kernel — behind the configuration surface the paper
+//! evaluates:
+//!
+//! * protection level: none / backward-edge / full (§6.1);
+//! * backward-edge scheme: SP-only (Clang), PARTS, Camouflage (Figure 2);
+//! * §5.5 backward-compatible builds and pre-ARMv8.3 cores.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_core::Machine;
+//!
+//! let mut machine = Machine::protected()?;
+//! let out = machine.kernel_mut().syscall(172, 0)?; // getpid
+//! assert!(out.fault.is_none());
+//! # Ok::<(), camo_kernel::KernelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use camo_codegen::{CfiScheme, ProtectionLevel};
+pub use camo_kernel::{ExecOutcome, Kernel, KernelConfig, KernelError};
+
+/// A booted Camouflage machine.
+#[derive(Debug)]
+pub struct Machine {
+    kernel: Kernel,
+}
+
+impl Machine {
+    /// Boots with full Camouflage protection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn protected() -> Result<Machine, KernelError> {
+        Machine::with_config(KernelConfig::default())
+    }
+
+    /// Boots an unprotected baseline machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn baseline() -> Result<Machine, KernelError> {
+        Machine::with_protection(ProtectionLevel::None)
+    }
+
+    /// Boots at the given protection level (Camouflage scheme).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn with_protection(level: ProtectionLevel) -> Result<Machine, KernelError> {
+        Machine::with_config(KernelConfig::with_protection(level))
+    }
+
+    /// Boots a full-protection kernel with a specific backward-edge scheme
+    /// (the Figure 2 / replay-matrix contenders).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn with_scheme(scheme: CfiScheme) -> Result<Machine, KernelError> {
+        let mut cfg = KernelConfig::default();
+        cfg.scheme_override = Some(scheme);
+        Machine::with_config(cfg)
+    }
+
+    /// Boots from an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn with_config(cfg: KernelConfig) -> Result<Machine, KernelError> {
+        Ok(Machine {
+            kernel: Kernel::boot(cfg)?,
+        })
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Consumes the machine, returning the kernel.
+    pub fn into_kernel(self) -> Kernel {
+        self.kernel
+    }
+
+    /// The protection level this machine runs at.
+    pub fn protection(&self) -> ProtectionLevel {
+        self.kernel.config().protection
+    }
+
+    /// The backward-edge scheme in effect.
+    pub fn scheme(&self) -> CfiScheme {
+        self.kernel.codegen_config().scheme
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protected_machine_uses_camouflage_scheme() {
+        let m = Machine::protected().unwrap();
+        assert_eq!(m.protection(), ProtectionLevel::Full);
+        assert_eq!(m.scheme(), CfiScheme::Camouflage);
+    }
+
+    #[test]
+    fn baseline_machine_is_uninstrumented() {
+        let m = Machine::baseline().unwrap();
+        assert_eq!(m.protection(), ProtectionLevel::None);
+        assert_eq!(m.scheme(), CfiScheme::None);
+    }
+
+    #[test]
+    fn scheme_override_boots_parts_and_sp_only() {
+        for scheme in [CfiScheme::SpOnly, CfiScheme::Parts] {
+            let m = Machine::with_scheme(scheme).unwrap();
+            assert_eq!(m.scheme(), scheme, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn syscalls_work_on_every_machine_flavour() {
+        for level in ProtectionLevel::ALL {
+            let mut m = Machine::with_protection(level).unwrap();
+            let out = m.kernel_mut().syscall(172, 0).unwrap();
+            assert!(out.fault.is_none(), "{level}");
+        }
+    }
+}

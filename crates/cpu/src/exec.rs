@@ -1,0 +1,1122 @@
+//! The instruction executor.
+
+use crate::pac::{add_pac, auth_pac, strip_pac, KeyClass};
+use crate::state::CpuState;
+use camo_isa::{
+    decode, AddrMode, CostModel, Insn, InsnKey, PacKey, PairMode, Reg, SysReg,
+};
+use camo_mem::{El, MemFault, Memory, TableId, TranslationCtx};
+use core::fmt;
+
+/// Sentinel link-register value used by [`Cpu::call`]: the executor stops
+/// when the PC reaches it. Deliberately *canonical* (a never-mapped
+/// kernel-half address) so that it survives a sign → authenticate round
+/// trip through an instrumented callee's prologue and epilogue unchanged.
+pub const CALL_SENTINEL: u64 = 0xFFFF_DEAD_BEEF_0000;
+
+/// Exception-class codes stored in `ESR_EL1[31:26]` (ARM ARM subset).
+pub mod ec {
+    /// Unknown/undefined instruction.
+    pub const UNKNOWN: u64 = 0x00;
+    /// Trapped `MSR`/`MRS` from an insufficient EL.
+    pub const TRAPPED_MSR: u64 = 0x18;
+    /// Instruction abort from a lower EL.
+    pub const INSN_ABORT_LOWER: u64 = 0x20;
+    /// Instruction abort, same EL.
+    pub const INSN_ABORT_SAME: u64 = 0x21;
+    /// `SVC` from AArch64.
+    pub const SVC64: u64 = 0x15;
+    /// Data abort from a lower EL.
+    pub const DATA_ABORT_LOWER: u64 = 0x24;
+    /// Data abort, same EL.
+    pub const DATA_ABORT_SAME: u64 = 0x25;
+}
+
+/// Exception-vector offsets from `VBAR_EL1` (SP_ELx forms).
+pub mod vector {
+    /// Synchronous exception from the current EL.
+    pub const SYNC_SAME_EL: u64 = 0x200;
+    /// IRQ from the current EL.
+    pub const IRQ_SAME_EL: u64 = 0x280;
+    /// Synchronous exception from a lower EL.
+    pub const SYNC_LOWER_EL: u64 = 0x400;
+    /// IRQ from a lower EL.
+    pub const IRQ_LOWER_EL: u64 = 0x480;
+}
+
+/// Hardware feature switches for the simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwFeatures {
+    /// ARMv8.3-PAuth implemented.
+    ///
+    /// When `false` (an ARMv8.0 core such as the paper's Raspberry Pi 3),
+    /// the register-form and combined PAuth instructions are UNDEFINED,
+    /// while the hint-space forms (`PACIA1716`, `PACIASP`, ...) execute as
+    /// `NOP` — the behaviour §5.5's backward-compatible build relies on.
+    pub pauth: bool,
+}
+
+impl Default for HwFeatures {
+    fn default() -> Self {
+        HwFeatures { pauth: true }
+    }
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// PAC sign operations executed.
+    pub pac_signs: u64,
+    /// Successful authentications.
+    pub pac_auth_ok: u64,
+    /// Failed authentications (corrupted pointer produced).
+    pub pac_auth_fail: u64,
+    /// Writes to PAuth key system registers.
+    pub key_writes: u64,
+    /// Exceptions taken (SVC, aborts, IRQs).
+    pub exceptions: u64,
+}
+
+/// What a single [`Cpu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An ordinary instruction retired.
+    Executed,
+    /// `SVC` executed; if a vector base is installed the PC now points at
+    /// the EL1 synchronous entry.
+    SvcTaken {
+        /// The SVC immediate.
+        imm: u16,
+    },
+    /// `BRK` executed. The simulator repurposes `BRK` as an *upcall* to the
+    /// host-side kernel logic: the executor returns to the harness without
+    /// vectoring, and the PC has already advanced past the `BRK`.
+    BrkTrap {
+        /// The BRK immediate, identifying the upcall.
+        imm: u16,
+    },
+    /// `ERET` executed.
+    EretTo {
+        /// Destination exception level.
+        el: El,
+        /// Destination program counter.
+        pc: u64,
+    },
+    /// A synchronous fault was taken to EL1 (vector base installed).
+    FaultTaken {
+        /// The faulting access.
+        fault: MemFault,
+    },
+    /// An interrupt was taken.
+    IrqTaken,
+    /// The PC reached [`CALL_SENTINEL`].
+    SentinelReturn,
+}
+
+/// Unrecoverable simulation errors (no handler installed, or a bug in the
+/// simulated program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuError {
+    /// Word did not decode (or used a feature the core lacks).
+    UndefinedInsn {
+        /// The raw word.
+        word: u32,
+        /// Where it was fetched.
+        pc: u64,
+    },
+    /// A fault occurred with no vector base installed.
+    UnhandledFault {
+        /// The fault.
+        fault: MemFault,
+        /// PC of the faulting instruction.
+        pc: u64,
+    },
+    /// [`Cpu::call`] exceeded its step budget.
+    TimedOut {
+        /// The configured budget.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::UndefinedInsn { word, pc } => {
+                write!(f, "undefined instruction {word:#010x} at {pc:#x}")
+            }
+            CpuError::UnhandledFault { fault, pc } => {
+                write!(f, "unhandled fault at {pc:#x}: {fault}")
+            }
+            CpuError::TimedOut { steps } => write!(f, "execution exceeded {steps} steps"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// Result of a [`Cpu::call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallResult {
+    /// The callee's `x0` on return.
+    pub x0: u64,
+    /// Cycles consumed by the call.
+    pub cycles: u64,
+    /// Instructions retired by the call.
+    pub instructions: u64,
+}
+
+/// One simulated AArch64 core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Architectural state (public: the kernel model manipulates it the way
+    /// real kernel entry assembly manipulates real registers).
+    pub state: CpuState,
+    cost: CostModel,
+    features: HwFeatures,
+    cycles: u64,
+    stats: CpuStats,
+    pending_irq: bool,
+    /// Top-byte-ignore for user-half pointers (Linux default).
+    pub tbi_user: bool,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new(HwFeatures::default())
+    }
+}
+
+impl Cpu {
+    /// Creates a core with the given features and the default cost model.
+    pub fn new(features: HwFeatures) -> Self {
+        Cpu {
+            state: CpuState::new(),
+            cost: CostModel::default(),
+            features,
+            cycles: 0,
+            stats: CpuStats::default(),
+            pending_irq: false,
+            tbi_user: true,
+        }
+    }
+
+    /// Replaces the cycle-cost model (ablation experiments).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Hardware features of this core.
+    pub fn features(&self) -> HwFeatures {
+        self.features
+    }
+
+    /// Total consumed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// Flags a pending interrupt, taken at the next step boundary if
+    /// unmasked.
+    pub fn raise_irq(&mut self) {
+        self.pending_irq = true;
+    }
+
+    /// Performs `ERET` semantics without executing an instruction: restores
+    /// PSTATE from `SPSR_EL1` and jumps to `ELR_EL1`.
+    ///
+    /// Host-side exception handlers (the kernel's upcall-based IRQ tick)
+    /// use this to resume the interrupted context.
+    pub fn return_from_exception(&mut self) {
+        let spsr = self.state.sysreg(SysReg::SpsrEl1);
+        let elr = self.state.sysreg(SysReg::ElrEl1);
+        self.state.restore_spsr(spsr);
+        self.state.pc = elr;
+    }
+
+    /// The translation context implied by current register state.
+    pub fn translation_ctx(&self) -> TranslationCtx {
+        TranslationCtx {
+            ttbr0: TableId::from_raw(self.state.sysreg(SysReg::Ttbr0El1)),
+            ttbr1: TableId::from_raw(self.state.sysreg(SysReg::Ttbr1El1)),
+            el: self.state.el,
+            tbi_user: self.tbi_user,
+        }
+    }
+
+    fn charge(&mut self, insn: &Insn) {
+        self.cycles += self.cost.cycles(insn);
+    }
+
+    fn take_exception(&mut self, ec: u64, iss: u64, elr: u64, far: Option<u64>, irq: bool) {
+        self.stats.exceptions += 1;
+        let from_lower = self.state.el == El::El0;
+        self.state
+            .set_sysreg(SysReg::SpsrEl1, self.state.spsr_bits());
+        self.state.set_sysreg(SysReg::ElrEl1, elr);
+        self.state
+            .set_sysreg(SysReg::EsrEl1, (ec << 26) | (iss & 0x1FF_FFFF));
+        if let Some(va) = far {
+            self.state.set_sysreg(SysReg::FarEl1, va);
+        }
+        self.state.el = El::El1;
+        self.state.irq_masked = true;
+        let offset = match (irq, from_lower) {
+            (false, false) => vector::SYNC_SAME_EL,
+            (false, true) => vector::SYNC_LOWER_EL,
+            (true, false) => vector::IRQ_SAME_EL,
+            (true, true) => vector::IRQ_LOWER_EL,
+        };
+        self.state.pc = self.state.sysreg(SysReg::VbarEl1) + offset;
+    }
+
+    fn vectored_fault(&mut self, fault: MemFault, pc: u64, is_fetch: bool) -> Result<Step, CpuError> {
+        let vbar = self.state.sysreg(SysReg::VbarEl1);
+        if vbar == 0 {
+            return Err(CpuError::UnhandledFault { fault, pc });
+        }
+        let from_lower = self.state.el == El::El0;
+        let ec = match (is_fetch, from_lower) {
+            (true, true) => ec::INSN_ABORT_LOWER,
+            (true, false) => ec::INSN_ABORT_SAME,
+            (false, true) => ec::DATA_ABORT_LOWER,
+            (false, false) => ec::DATA_ABORT_SAME,
+        };
+        let far = match fault {
+            MemFault::NonCanonical { va }
+            | MemFault::Translation { va }
+            | MemFault::Permission { va, .. }
+            | MemFault::Stage2 { va, .. }
+            | MemFault::FetchUnaligned { va } => Some(va),
+            MemFault::Unmapped { pa } => Some(pa),
+        };
+        self.take_exception(ec, 0, pc, far, false);
+        Ok(Step::FaultTaken { fault })
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] when the simulation cannot continue: an
+    /// undefined instruction, or a fault with no vector base installed.
+    pub fn step(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
+        if self.state.pc == CALL_SENTINEL {
+            return Ok(Step::SentinelReturn);
+        }
+        if self.pending_irq && !self.state.irq_masked {
+            self.pending_irq = false;
+            let pc = self.state.pc;
+            self.take_exception(0, 0, pc, None, true);
+            return Ok(Step::IrqTaken);
+        }
+
+        let pc = self.state.pc;
+        let ctx = self.translation_ctx();
+        let word = match mem.fetch(&ctx, pc) {
+            Ok(word) => word,
+            Err(fault) => return self.vectored_fault(fault, pc, true),
+        };
+        let insn = decode(word).ok_or(CpuError::UndefinedInsn { word, pc })?;
+
+        // Feature gating (§5.5): without PAuth, hint-space forms are NOPs
+        // and the 8.3-only encodings are UNDEFINED.
+        if !self.features.pauth && insn.is_pauth() {
+            match insn {
+                Insn::PacSp { .. }
+                | Insn::AutSp { .. }
+                | Insn::Pac1716 { .. }
+                | Insn::Aut1716 { .. } => {
+                    self.cycles += self.cost.nop;
+                    self.stats.instructions += 1;
+                    self.state.pc = pc + 4;
+                    return Ok(Step::Executed);
+                }
+                _ => return Err(CpuError::UndefinedInsn { word, pc }),
+            }
+        }
+
+        self.charge(&insn);
+        self.stats.instructions += 1;
+        self.execute(mem, insn, pc)
+    }
+
+    fn key_for(&self, key: PacKey) -> camo_qarma::QarmaKey {
+        self.state.pauth_key(key.to_pauth_key())
+    }
+
+    fn class_of(key: PacKey) -> KeyClass {
+        match key {
+            PacKey::IA | PacKey::IB => KeyClass::Instruction,
+            PacKey::DA | PacKey::DB => KeyClass::Data,
+        }
+    }
+
+    fn do_pac(&mut self, key: PacKey, rd: Reg, modifier: u64) {
+        if !self.state.key_enabled(key.to_pauth_key()) {
+            return; // architecturally a NOP when the key is disabled
+        }
+        let value = self.state.read(rd);
+        let signed = add_pac(value, modifier, self.key_for(key), self.tbi_user);
+        self.state.write(rd, signed);
+        self.stats.pac_signs += 1;
+    }
+
+    fn do_aut(&mut self, key: PacKey, rd: Reg, modifier: u64) -> u64 {
+        let value = self.state.read(rd);
+        if !self.state.key_enabled(key.to_pauth_key()) {
+            return value;
+        }
+        let out = match auth_pac(
+            value,
+            modifier,
+            self.key_for(key),
+            Self::class_of(key),
+            self.tbi_user,
+        ) {
+            Ok(stripped) => {
+                self.stats.pac_auth_ok += 1;
+                stripped
+            }
+            Err(corrupted) => {
+                self.stats.pac_auth_fail += 1;
+                corrupted
+            }
+        };
+        self.state.write(rd, out);
+        out
+    }
+
+    fn addr_single(&mut self, rn: Reg, mode: AddrMode) -> u64 {
+        let base = self.state.read(rn);
+        match mode {
+            AddrMode::Unsigned(imm) => base.wrapping_add(u64::from(imm)),
+            AddrMode::Post(imm) => {
+                self.state
+                    .write(rn, base.wrapping_add(imm as i64 as u64));
+                base
+            }
+            AddrMode::Pre(imm) => {
+                let addr = base.wrapping_add(imm as i64 as u64);
+                self.state.write(rn, addr);
+                addr
+            }
+        }
+    }
+
+    fn addr_pair(&mut self, rn: Reg, mode: PairMode) -> u64 {
+        let base = self.state.read(rn);
+        match mode {
+            PairMode::SignedOffset(imm) => base.wrapping_add(imm as i64 as u64),
+            PairMode::Post(imm) => {
+                self.state
+                    .write(rn, base.wrapping_add(imm as i64 as u64));
+                base
+            }
+            PairMode::Pre(imm) => {
+                let addr = base.wrapping_add(imm as i64 as u64);
+                self.state.write(rn, addr);
+                addr
+            }
+        }
+    }
+
+    fn execute(&mut self, mem: &mut Memory, insn: Insn, pc: u64) -> Result<Step, CpuError> {
+        let mut next_pc = pc + 4;
+        let ctx = self.translation_ctx();
+
+        macro_rules! mem_try {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => return self.vectored_fault(fault, pc, false),
+                }
+            };
+        }
+
+        match insn {
+            Insn::Movz { rd, imm16, shift } => {
+                self.state.write(rd, u64::from(imm16) << (16 * shift));
+            }
+            Insn::Movn { rd, imm16, shift } => {
+                self.state.write(rd, !(u64::from(imm16) << (16 * shift)));
+            }
+            Insn::Movk { rd, imm16, shift } => {
+                let old = self.state.read(rd);
+                let mask = 0xFFFFu64 << (16 * shift);
+                self.state
+                    .write(rd, (old & !mask) | (u64::from(imm16) << (16 * shift)));
+            }
+            Insn::AddImm {
+                rd,
+                rn,
+                imm12,
+                shifted,
+            } => {
+                let imm = if shifted {
+                    u64::from(imm12) << 12
+                } else {
+                    u64::from(imm12)
+                };
+                let v = self.state.read(rn).wrapping_add(imm);
+                self.state.write(rd, v);
+            }
+            Insn::SubImm {
+                rd,
+                rn,
+                imm12,
+                shifted,
+            } => {
+                let imm = if shifted {
+                    u64::from(imm12) << 12
+                } else {
+                    u64::from(imm12)
+                };
+                let v = self.state.read(rn).wrapping_sub(imm);
+                self.state.write(rd, v);
+            }
+            Insn::AddReg { rd, rn, rm } => {
+                let v = self.state.read(rn).wrapping_add(self.state.read(rm));
+                self.state.write(rd, v);
+            }
+            Insn::SubReg { rd, rn, rm } => {
+                let v = self.state.read(rn).wrapping_sub(self.state.read(rm));
+                self.state.write(rd, v);
+            }
+            Insn::AndReg { rd, rn, rm } => {
+                let v = self.state.read(rn) & self.state.read(rm);
+                self.state.write(rd, v);
+            }
+            Insn::OrrReg { rd, rn, rm } => {
+                let v = self.state.read(rn) | self.state.read(rm);
+                self.state.write(rd, v);
+            }
+            Insn::EorReg { rd, rn, rm } => {
+                let v = self.state.read(rn) ^ self.state.read(rm);
+                self.state.write(rd, v);
+            }
+            Insn::Bfm { rd, rn, immr, imms } => {
+                // BFI/BFXIL semantics (64-bit BFM with N=1).
+                let src = self.state.read(rn);
+                let dst = self.state.read(rd);
+                let r = u32::from(immr);
+                let s = u32::from(imms);
+                let result = if s >= r {
+                    // BFXIL: extract s-r+1 bits at position r into low bits.
+                    let width = s - r + 1;
+                    let mask = mask_lo(width);
+                    let field = (src >> r) & mask;
+                    (dst & !mask) | field
+                } else {
+                    // BFI: insert s+1 low bits of src at position 64-r.
+                    let width = s + 1;
+                    let lsb = 64 - r;
+                    let mask = mask_lo(width) << lsb;
+                    (dst & !mask) | ((src << lsb) & mask)
+                };
+                self.state.write(rd, result);
+            }
+            Insn::Ubfm { rd, rn, immr, imms } => {
+                let src = self.state.read(rn);
+                let r = u32::from(immr);
+                let s = u32::from(imms);
+                let result = if s >= r {
+                    // LSR/UBFX: bits s:r moved to the bottom.
+                    (src >> r) & mask_lo(s - r + 1)
+                } else {
+                    // LSL/UBFIZ: s+1 low bits shifted up to 64-r.
+                    (src & mask_lo(s + 1)) << (64 - r)
+                };
+                self.state.write(rd, result);
+            }
+            Insn::Adr { rd, offset } => {
+                self.state.write(rd, pc.wrapping_add(offset as i64 as u64));
+            }
+            Insn::Ldr { rt, rn, mode } => {
+                let addr = self.addr_single(rn, mode);
+                let v = mem_try!(mem.read_u64(&ctx, addr));
+                self.state.write(rt, v);
+            }
+            Insn::Str { rt, rn, mode } => {
+                let addr = self.addr_single(rn, mode);
+                let v = self.state.read(rt);
+                mem_try!(mem.write_u64(&ctx, addr, v));
+            }
+            Insn::Ldp { rt, rt2, rn, mode } => {
+                let addr = self.addr_pair(rn, mode);
+                let v1 = mem_try!(mem.read_u64(&ctx, addr));
+                let v2 = mem_try!(mem.read_u64(&ctx, addr + 8));
+                self.state.write(rt, v1);
+                self.state.write(rt2, v2);
+            }
+            Insn::Stp { rt, rt2, rn, mode } => {
+                let addr = self.addr_pair(rn, mode);
+                let v1 = self.state.read(rt);
+                let v2 = self.state.read(rt2);
+                mem_try!(mem.write_u64(&ctx, addr, v1));
+                mem_try!(mem.write_u64(&ctx, addr + 8, v2));
+            }
+            Insn::B { offset } => next_pc = pc.wrapping_add(offset as i64 as u64),
+            Insn::Bl { offset } => {
+                self.state.write(Reg::LR, pc + 4);
+                next_pc = pc.wrapping_add(offset as i64 as u64);
+            }
+            Insn::Br { rn } => next_pc = self.state.read(rn),
+            Insn::Blr { rn } => {
+                next_pc = self.state.read(rn);
+                self.state.write(Reg::LR, pc + 4);
+            }
+            Insn::Ret { rn } => next_pc = self.state.read(rn),
+            Insn::Cbz { rt, offset } => {
+                if self.state.read(rt) == 0 {
+                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                }
+            }
+            Insn::Cbnz { rt, offset } => {
+                if self.state.read(rt) != 0 {
+                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                }
+            }
+            Insn::Svc { imm } => {
+                if self.state.sysreg(SysReg::VbarEl1) != 0 {
+                    self.take_exception(ec::SVC64, u64::from(imm), pc + 4, None, false);
+                } else {
+                    // Harness mode: surface the event without vectoring.
+                    self.state.pc = pc + 4;
+                }
+                return Ok(Step::SvcTaken { imm });
+            }
+            Insn::Brk { imm } => {
+                // Kernel-upcall boundary: return to the harness, PC past the
+                // BRK so execution resumes seamlessly.
+                self.state.pc = pc + 4;
+                return Ok(Step::BrkTrap { imm });
+            }
+            Insn::Eret => {
+                let spsr = self.state.sysreg(SysReg::SpsrEl1);
+                let elr = self.state.sysreg(SysReg::ElrEl1);
+                self.state.restore_spsr(spsr);
+                self.state.pc = elr;
+                return Ok(Step::EretTo {
+                    el: self.state.el,
+                    pc: elr,
+                });
+            }
+            Insn::Msr { sr, rt } => {
+                if self.state.el != El::El1 && sr != SysReg::CntvctEl0 {
+                    self.take_exception(ec::TRAPPED_MSR, 0, pc, None, false);
+                    return Ok(Step::FaultTaken {
+                        fault: MemFault::Permission {
+                            va: pc,
+                            access: camo_mem::AccessType::Write,
+                            el: El::El0,
+                        },
+                    });
+                }
+                if sr.is_pauth_key() {
+                    self.stats.key_writes += 1;
+                }
+                let v = self.state.read(rt);
+                self.state.set_sysreg(sr, v);
+            }
+            Insn::Mrs { rt, sr } => {
+                if self.state.el != El::El1 && sr != SysReg::CntvctEl0 {
+                    self.take_exception(ec::TRAPPED_MSR, 0, pc, None, false);
+                    return Ok(Step::FaultTaken {
+                        fault: MemFault::Permission {
+                            va: pc,
+                            access: camo_mem::AccessType::Read,
+                            el: El::El0,
+                        },
+                    });
+                }
+                let v = if sr == SysReg::CntvctEl0 {
+                    self.cycles
+                } else {
+                    self.state.sysreg(sr)
+                };
+                self.state.write(rt, v);
+            }
+            Insn::Pac { key, rd, rn } => {
+                let modifier = self.state.read(rn);
+                self.do_pac(key, rd, modifier);
+            }
+            Insn::Aut { key, rd, rn } => {
+                let modifier = self.state.read(rn);
+                self.do_aut(key, rd, modifier);
+            }
+            Insn::PacSp { key } => {
+                let modifier = self.state.sp();
+                self.do_pac(to_pac_key(key), Reg::LR, modifier);
+            }
+            Insn::AutSp { key } => {
+                let modifier = self.state.sp();
+                self.do_aut(to_pac_key(key), Reg::LR, modifier);
+            }
+            Insn::Pac1716 { key } => {
+                let modifier = self.state.read(Reg::IP0);
+                self.do_pac(to_pac_key(key), Reg::IP1, modifier);
+            }
+            Insn::Aut1716 { key } => {
+                let modifier = self.state.read(Reg::IP0);
+                self.do_aut(to_pac_key(key), Reg::IP1, modifier);
+            }
+            Insn::Xpaci { rd } | Insn::Xpacd { rd } => {
+                let v = strip_pac(self.state.read(rd), self.tbi_user);
+                self.state.write(rd, v);
+            }
+            Insn::Pacga { rd, rn, rm } => {
+                let key = self.state.pauth_key(camo_isa::PauthKey::GA);
+                let mac = camo_qarma::compute_mac(self.state.read(rn), self.state.read(rm), key);
+                self.state.write(rd, u64::from(mac) << 32);
+                self.stats.pac_signs += 1;
+            }
+            Insn::Reta { key } => {
+                let modifier = self.state.sp();
+                next_pc = self.do_aut(to_pac_key(key), Reg::LR, modifier);
+            }
+            Insn::Blra { key, rn, rm } => {
+                let modifier = self.state.read(rm);
+                next_pc = self.do_aut(to_pac_key(key), rn, modifier);
+                self.state.write(Reg::LR, pc + 4);
+            }
+            Insn::Bra { key, rn, rm } => {
+                let modifier = self.state.read(rm);
+                next_pc = self.do_aut(to_pac_key(key), rn, modifier);
+            }
+            Insn::Nop => {}
+        }
+
+        self.state.pc = next_pc;
+        Ok(Step::Executed)
+    }
+
+    /// Calls a function at `fn_va` with up to eight `args`, running until it
+    /// returns (LR sentinel reached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`]; returns [`CpuError::TimedOut`] after
+    /// `max_steps`.
+    pub fn call(
+        &mut self,
+        mem: &mut Memory,
+        fn_va: u64,
+        args: &[u64],
+        max_steps: u64,
+    ) -> Result<CallResult, CpuError> {
+        assert!(args.len() <= 8, "at most eight register arguments");
+        for (i, &arg) in args.iter().enumerate() {
+            self.state.gprs[i] = arg;
+        }
+        self.state.write(Reg::LR, CALL_SENTINEL);
+        self.state.pc = fn_va;
+        let start_cycles = self.cycles;
+        let start_insns = self.stats.instructions;
+        for _ in 0..max_steps {
+            match self.step(mem)? {
+                Step::SentinelReturn => {
+                    return Ok(CallResult {
+                        x0: self.state.gprs[0],
+                        cycles: self.cycles - start_cycles,
+                        instructions: self.stats.instructions - start_insns,
+                    })
+                }
+                _ => continue,
+            }
+        }
+        Err(CpuError::TimedOut { steps: max_steps })
+    }
+}
+
+fn to_pac_key(key: InsnKey) -> PacKey {
+    match key {
+        InsnKey::A => PacKey::IA,
+        InsnKey::B => PacKey::IB,
+    }
+}
+
+fn mask_lo(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_isa::{encode, Assembler};
+    use camo_mem::{S1Attr, KERNEL_BASE};
+
+    /// Loads `insns` at KERNEL_BASE with a data page above it, returns
+    /// (cpu, mem) ready to run at EL1.
+    fn machine(insns: &[Insn]) -> (Cpu, Memory) {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let text = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        mem.map_new(table, KERNEL_BASE + 0x1000, S1Attr::kernel_data());
+        for (i, insn) in insns.iter().enumerate() {
+            mem.phys_mut()
+                .write_u32(text.base() + 4 * i as u64, encode(insn))
+                .unwrap();
+        }
+        let mut cpu = Cpu::default();
+        cpu.state.pc = KERNEL_BASE;
+        cpu.state
+            .set_sysreg(SysReg::Ttbr0El1, TableId::from_raw(table.raw()).raw());
+        cpu.state.set_sysreg(SysReg::Ttbr1El1, table.raw());
+        cpu.state.sp_el1 = KERNEL_BASE + 0x2000; // top of the data page
+        (cpu, mem)
+    }
+
+    fn run(cpu: &mut Cpu, mem: &mut Memory, steps: usize) {
+        for _ in 0..steps {
+            cpu.step(mem).expect("step failed");
+        }
+    }
+
+    #[test]
+    fn movz_movk_builds_constant() {
+        let (mut cpu, mut mem) = machine(&[
+            Insn::Movz {
+                rd: Reg::x(0),
+                imm16: 0x1111,
+                shift: 0,
+            },
+            Insn::Movk {
+                rd: Reg::x(0),
+                imm16: 0x2222,
+                shift: 1,
+            },
+            Insn::Movk {
+                rd: Reg::x(0),
+                imm16: 0x3333,
+                shift: 2,
+            },
+            Insn::Movk {
+                rd: Reg::x(0),
+                imm16: 0x4444,
+                shift: 3,
+            },
+        ]);
+        run(&mut cpu, &mut mem, 4);
+        assert_eq!(cpu.state.gprs[0], 0x4444_3333_2222_1111);
+    }
+
+    #[test]
+    fn movewide_costs_one_cycle_each() {
+        let (mut cpu, mut mem) = machine(&[
+            Insn::Movz {
+                rd: Reg::x(0),
+                imm16: 1,
+                shift: 0,
+            },
+            Insn::Movk {
+                rd: Reg::x(0),
+                imm16: 2,
+                shift: 1,
+            },
+            Insn::Movk {
+                rd: Reg::x(0),
+                imm16: 3,
+                shift: 2,
+            },
+            Insn::Movk {
+                rd: Reg::x(0),
+                imm16: 4,
+                shift: 3,
+            },
+        ]);
+        run(&mut cpu, &mut mem, 4);
+        assert_eq!(cpu.cycles(), 4);
+    }
+
+    #[test]
+    fn bfi_merges_sp_into_modifier() {
+        // The Listing 3 modifier: x16 = fn address, x17 = SP, bfi x16, x17, #32, #32.
+        let (mut cpu, mut mem) = machine(&[Insn::bfi(Reg::IP0, Reg::IP1, 32, 32)]);
+        cpu.state.gprs[16] = 0xffff_0000_1234_5678;
+        cpu.state.gprs[17] = 0xffff_8000_9abc_def0;
+        run(&mut cpu, &mut mem, 1);
+        assert_eq!(cpu.state.gprs[16], 0x9abc_def0_1234_5678);
+    }
+
+    #[test]
+    fn ubfm_lsl_lsr() {
+        let (mut cpu, mut mem) = machine(&[
+            Insn::lsl(Reg::x(1), Reg::x(0), 16),
+            Insn::lsr(Reg::x(2), Reg::x(0), 48),
+        ]);
+        cpu.state.gprs[0] = 0xABCD_0000_0000_4321;
+        run(&mut cpu, &mut mem, 2);
+        assert_eq!(cpu.state.gprs[1], 0x0000_0000_4321_0000);
+        assert_eq!(cpu.state.gprs[2], 0xABCD);
+    }
+
+    #[test]
+    fn frame_record_push_pop() {
+        let (mut cpu, mut mem) = machine(&[
+            Insn::Stp {
+                rt: Reg::FP,
+                rt2: Reg::LR,
+                rn: Reg::Sp,
+                mode: PairMode::Pre(-16),
+            },
+            Insn::Ldp {
+                rt: Reg::x(0),
+                rt2: Reg::x(1),
+                rn: Reg::Sp,
+                mode: PairMode::Post(16),
+            },
+        ]);
+        let sp0 = cpu.state.sp();
+        cpu.state.gprs[29] = 0x2900;
+        cpu.state.gprs[30] = 0x3000;
+        run(&mut cpu, &mut mem, 2);
+        assert_eq!(cpu.state.gprs[0], 0x2900);
+        assert_eq!(cpu.state.gprs[1], 0x3000);
+        assert_eq!(cpu.state.sp(), sp0, "SP restored after pop");
+    }
+
+    #[test]
+    fn pac_aut_roundtrip_on_core() {
+        let (mut cpu, mut mem) = machine(&[
+            Insn::Pac {
+                key: PacKey::IB,
+                rd: Reg::x(0),
+                rn: Reg::x(1),
+            },
+            Insn::Aut {
+                key: PacKey::IB,
+                rd: Reg::x(0),
+                rn: Reg::x(1),
+            },
+        ]);
+        cpu.state
+            .set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(7, 9));
+        let ptr = KERNEL_BASE + 0x123;
+        cpu.state.gprs[0] = ptr;
+        cpu.state.gprs[1] = 0x42;
+        run(&mut cpu, &mut mem, 1);
+        assert_ne!(cpu.state.gprs[0], ptr, "pointer is signed");
+        run(&mut cpu, &mut mem, 1);
+        assert_eq!(cpu.state.gprs[0], ptr, "authentication strips the PAC");
+        assert_eq!(cpu.stats().pac_signs, 1);
+        assert_eq!(cpu.stats().pac_auth_ok, 1);
+    }
+
+    #[test]
+    fn aut_failure_corrupts_pointer() {
+        let (mut cpu, mut mem) = machine(&[Insn::Aut {
+            key: PacKey::DB,
+            rd: Reg::x(0),
+            rn: Reg::x(1),
+        }]);
+        cpu.state
+            .set_pauth_key(camo_isa::PauthKey::DB, camo_qarma::QarmaKey::new(7, 9));
+        cpu.state.gprs[0] = KERNEL_BASE + 0x123; // unsigned, forged
+        cpu.state.gprs[1] = 0x42;
+        run(&mut cpu, &mut mem, 1);
+        assert_eq!(cpu.stats().pac_auth_fail, 1);
+        assert!(crate::pac::looks_like_pac_failure(cpu.state.gprs[0], true));
+    }
+
+    #[test]
+    fn disabled_key_makes_pac_a_nop() {
+        use camo_isa::sysreg::sctlr;
+        let (mut cpu, mut mem) = machine(&[Insn::Pac {
+            key: PacKey::IB,
+            rd: Reg::x(0),
+            rn: Reg::x(1),
+        }]);
+        cpu.state
+            .set_sysreg(SysReg::SctlrEl1, sctlr::EN_ALL & !sctlr::EN_IB);
+        cpu.state.gprs[0] = KERNEL_BASE;
+        run(&mut cpu, &mut mem, 1);
+        assert_eq!(cpu.state.gprs[0], KERNEL_BASE, "no PAC inserted");
+        assert_eq!(cpu.stats().pac_signs, 0);
+    }
+
+    #[test]
+    fn pre_v83_core_nops_hint_forms_and_rejects_reg_forms() {
+        let insns = [
+            Insn::Pac1716 { key: InsnKey::B },
+            Insn::Pac {
+                key: PacKey::IB,
+                rd: Reg::x(0),
+                rn: Reg::x(1),
+            },
+        ];
+        let (mut cpu, mut mem) = machine(&insns);
+        cpu.features.pauth = false;
+        cpu.state.gprs[17] = KERNEL_BASE;
+        assert_eq!(cpu.step(&mut mem), Ok(Step::Executed));
+        assert_eq!(cpu.state.gprs[17], KERNEL_BASE, "1716 form is a NOP");
+        let err = cpu.step(&mut mem).unwrap_err();
+        assert!(matches!(err, CpuError::UndefinedInsn { .. }));
+    }
+
+    #[test]
+    fn brk_is_an_upcall() {
+        let (mut cpu, mut mem) = machine(&[Insn::Brk { imm: 0x77 }, Insn::Nop]);
+        assert_eq!(cpu.step(&mut mem), Ok(Step::BrkTrap { imm: 0x77 }));
+        assert_eq!(cpu.state.pc, KERNEL_BASE + 4, "resumes after the BRK");
+    }
+
+    #[test]
+    fn call_helper_runs_to_sentinel() {
+        let mut asm = Assembler::new();
+        asm.push(Insn::AddImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 5,
+            shifted: false,
+        });
+        asm.push(Insn::ret());
+        let block = asm.finish(KERNEL_BASE);
+        let (mut cpu, mut mem) = machine(&[]);
+        let ctx = cpu.translation_ctx();
+        mem.write_bytes(&ctx, KERNEL_BASE, &block.to_bytes())
+            .unwrap_err(); // text page is not writable through the MMU...
+        for (i, w) in block.to_words().iter().enumerate() {
+            let pa = mem
+                .translate(&ctx, KERNEL_BASE + 4 * i as u64, camo_mem::AccessType::Execute)
+                .unwrap();
+            mem.phys_mut().write_u32(pa, *w).unwrap();
+        }
+        let result = cpu.call(&mut mem, KERNEL_BASE, &[37], 100).unwrap();
+        assert_eq!(result.x0, 42);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn mrs_from_el0_faults() {
+        let (mut cpu, mut mem) = machine(&[Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::ApibKeyLoEl1,
+        }]);
+        // Make the page EL0-executable and drop to EL0.
+        mem.set_attr(
+            TableId::from_raw(cpu.state.sysreg(SysReg::Ttbr0El1)),
+            KERNEL_BASE,
+            S1Attr {
+                el0_read: true,
+                el0_write: false,
+                el0_exec: true,
+                el1_write: false,
+                el1_exec: true,
+            },
+        );
+        cpu.state.el = El::El0;
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        let step = cpu.step(&mut mem).unwrap();
+        assert!(matches!(step, Step::FaultTaken { .. }));
+        assert_eq!(cpu.state.el, El::El1, "vectored to EL1");
+        assert_eq!(
+            cpu.state.sysreg(SysReg::EsrEl1) >> 26,
+            ec::TRAPPED_MSR,
+            "syndrome identifies a trapped MSR/MRS"
+        );
+    }
+
+    #[test]
+    fn svc_vectors_to_el1_entry() {
+        let (mut cpu, mut mem) = machine(&[Insn::Svc { imm: 7 }]);
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        cpu.state.el = El::El0;
+        // EL0 needs an executable mapping: reuse the text page.
+        mem.set_attr(
+            TableId::from_raw(cpu.state.sysreg(SysReg::Ttbr0El1)),
+            KERNEL_BASE,
+            S1Attr {
+                el0_read: true,
+                el0_write: false,
+                el0_exec: true,
+                el1_write: false,
+                el1_exec: true,
+            },
+        );
+        let step = cpu.step(&mut mem).unwrap();
+        assert_eq!(step, Step::SvcTaken { imm: 7 });
+        assert_eq!(cpu.state.el, El::El1);
+        assert_eq!(
+            cpu.state.pc,
+            KERNEL_BASE + 0x8000 + vector::SYNC_LOWER_EL,
+            "lower-EL sync vector"
+        );
+        assert_eq!(cpu.state.sysreg(SysReg::ElrEl1), KERNEL_BASE + 4);
+        assert_eq!(cpu.state.sysreg(SysReg::EsrEl1) >> 26, ec::SVC64);
+    }
+
+    #[test]
+    fn eret_returns_to_saved_context() {
+        let (mut cpu, mut mem) = machine(&[Insn::Eret]);
+        cpu.state.set_sysreg(SysReg::ElrEl1, KERNEL_BASE + 0x100);
+        cpu.state.set_sysreg(SysReg::SpsrEl1, 0); // EL0, IRQs unmasked
+        let step = cpu.step(&mut mem).unwrap();
+        assert_eq!(
+            step,
+            Step::EretTo {
+                el: El::El0,
+                pc: KERNEL_BASE + 0x100
+            }
+        );
+        assert_eq!(cpu.state.el, El::El0);
+        assert!(!cpu.state.irq_masked);
+    }
+
+    #[test]
+    fn irq_taken_when_unmasked() {
+        let (mut cpu, mut mem) = machine(&[Insn::Nop, Insn::Nop]);
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        cpu.state.irq_masked = false;
+        cpu.raise_irq();
+        let step = cpu.step(&mut mem).unwrap();
+        assert_eq!(step, Step::IrqTaken);
+        assert_eq!(
+            cpu.state.pc,
+            KERNEL_BASE + 0x8000 + vector::IRQ_SAME_EL
+        );
+        // Masked again inside the handler.
+        assert!(cpu.state.irq_masked);
+    }
+
+    #[test]
+    fn reading_xom_page_faults_into_kernel() {
+        let (mut cpu, mut mem) = machine(&[Insn::Ldr {
+            rt: Reg::x(0),
+            rn: Reg::x(1),
+            mode: AddrMode::Unsigned(0),
+        }]);
+        // Turn the second page into XOM.
+        let ctx = cpu.translation_ctx();
+        let pa = mem
+            .translate(&ctx, KERNEL_BASE + 0x1000, camo_mem::AccessType::Read)
+            .unwrap();
+        mem.protect_stage2(camo_mem::Frame::containing(pa), camo_mem::S2Attr::execute_only())
+            .unwrap();
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        cpu.state.gprs[1] = KERNEL_BASE + 0x1000;
+        let step = cpu.step(&mut mem).unwrap();
+        assert!(matches!(
+            step,
+            Step::FaultTaken {
+                fault: MemFault::Stage2 { .. }
+            }
+        ));
+        assert_eq!(cpu.state.sysreg(SysReg::FarEl1), KERNEL_BASE + 0x1000);
+    }
+}

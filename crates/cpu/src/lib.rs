@@ -1,0 +1,53 @@
+//! Cycle-modeled AArch64 core with ARMv8.3 pointer authentication.
+//!
+//! This is the execution substrate of the Camouflage reproduction. The core
+//! interprets the `camo-isa` instruction subset against a `camo-mem` memory
+//! system, and implements PAuth faithfully enough for the paper's security
+//! arguments to be *executed* rather than asserted:
+//!
+//! * `PAC*`/`AUT*` compute real QARMA-64 MACs over pointers with the key
+//!   material currently in the key system registers;
+//! * authentication failure produces a non-canonical pointer (error code in
+//!   the extension bits) that faults on use — the behaviour the kernel's
+//!   brute-force mitigation (§5.4) keys off;
+//! * `SCTLR_EL1` enable bits gate each key; pre-ARMv8.3 cores execute the
+//!   hint-space forms as NOPs and fault on the register forms (§5.5);
+//! * exceptions bank SP, swap EL, and honour the vector layout, so kernel
+//!   entry/exit — where the PAuth keys must be switched — is simulated
+//!   instruction by instruction;
+//! * cycle accounting follows the paper's PA-analogue (4 cycles per PAuth
+//!   instruction) on a simple in-order cost model approximating the
+//!   Cortex-A53 the paper measured on.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_cpu::{Cpu, Step};
+//! use camo_isa::{encode, Insn, PacKey, Reg};
+//! use camo_mem::{Memory, S1Attr, KERNEL_BASE};
+//!
+//! let mut mem = Memory::new();
+//! let table = mem.new_table();
+//! let text = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+//! let insn = Insn::Pac { key: PacKey::IB, rd: Reg::x(0), rn: Reg::Xzr };
+//! mem.phys_mut().write_u32(text.base(), encode(&insn)).unwrap();
+//!
+//! let mut cpu = Cpu::default();
+//! cpu.state.pc = KERNEL_BASE;
+//! cpu.state.set_sysreg(camo_isa::SysReg::Ttbr1El1, table.raw());
+//! cpu.state.set_sysreg(camo_isa::SysReg::Ttbr0El1, table.raw());
+//! cpu.state.set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(1, 2));
+//! cpu.state.gprs[0] = KERNEL_BASE + 0x100;
+//! assert_eq!(cpu.step(&mut mem), Ok(Step::Executed));
+//! assert_ne!(cpu.state.gprs[0], KERNEL_BASE + 0x100, "pointer got signed");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+pub mod pac;
+mod state;
+
+pub use exec::{ec, vector, CallResult, Cpu, CpuError, CpuStats, HwFeatures, Step, CALL_SENTINEL};
+pub use state::CpuState;

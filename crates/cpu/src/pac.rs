@@ -1,0 +1,207 @@
+//! Pointer-authentication semantics: `AddPAC`, `AuthPAC`, `Strip`.
+//!
+//! Follows the ARMv8.3 pseudocode structure: the PAC is a QARMA-64 MAC of
+//! the *stripped* pointer under the key, tweaked by the modifier, truncated
+//! to the bits the address layout leaves free. Authentication failure does
+//! not fault immediately (pre-FPAC behaviour): it returns a pointer whose
+//! extension bits carry an error code, guaranteeing a translation fault
+//! when the pointer is eventually used. That deferred fault is exactly what
+//! the paper's §5.4 brute-force mitigation counts.
+
+use camo_mem::layout::truncate_mac;
+use camo_mem::PointerLayout;
+use camo_qarma::{compute_mac, QarmaKey};
+
+/// Which key class signed a pointer (affects the failure error code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyClass {
+    /// Instruction keys (IA/IB): error code `0b01`.
+    Instruction,
+    /// Data keys (DA/DB): error code `0b10`.
+    Data,
+}
+
+impl KeyClass {
+    fn error_code(self) -> u64 {
+        match self {
+            KeyClass::Instruction => 0b01,
+            KeyClass::Data => 0b10,
+        }
+    }
+}
+
+/// The layout governing a pointer, chosen by its half of the address space.
+pub fn layout_for(ptr: u64, tbi_user: bool) -> PointerLayout {
+    if (ptr >> 55) & 1 == 1 {
+        PointerLayout::kernel()
+    } else if tbi_user {
+        PointerLayout::user()
+    } else {
+        PointerLayout {
+            va_bits: camo_mem::VA_BITS,
+            tbi: false,
+        }
+    }
+}
+
+/// Computes the truncated PAC for `ptr` under `key` and `modifier`.
+pub fn compute_pac(ptr: u64, modifier: u64, key: QarmaKey, layout: &PointerLayout) -> u32 {
+    let stripped = layout.strip(ptr);
+    truncate_mac(compute_mac(stripped, modifier, key), layout)
+}
+
+/// `AddPAC`: signs `ptr`, replacing its extension bits with the PAC.
+pub fn add_pac(ptr: u64, modifier: u64, key: QarmaKey, tbi_user: bool) -> u64 {
+    let layout = layout_for(ptr, tbi_user);
+    let pac = compute_pac(ptr, modifier, key, &layout);
+    layout.embed_pac(ptr, pac)
+}
+
+/// `AuthPAC`: authenticates `ptr`.
+///
+/// On success returns the canonical (stripped) pointer. On failure returns
+/// a *corrupted* pointer: the canonical form with the key-class error code
+/// XOR-ed into bits 62:61, which makes it non-canonical so any use faults.
+pub fn auth_pac(
+    ptr: u64,
+    modifier: u64,
+    key: QarmaKey,
+    class: KeyClass,
+    tbi_user: bool,
+) -> Result<u64, u64> {
+    let layout = layout_for(ptr, tbi_user);
+    let expected = compute_pac(ptr, modifier, key, &layout);
+    let stripped = layout.strip(ptr);
+    if layout.extract_pac(ptr) == expected {
+        Ok(stripped)
+    } else {
+        Err(stripped ^ (class.error_code() << 61))
+    }
+}
+
+/// `Strip` (`XPACI`/`XPACD`): removes the PAC without authenticating.
+pub fn strip_pac(ptr: u64, tbi_user: bool) -> u64 {
+    layout_for(ptr, tbi_user).strip(ptr)
+}
+
+/// Whether `va` looks like the product of a failed authentication.
+///
+/// The kernel's fault handler uses this heuristic to distinguish PAC
+/// failures (counted against the §5.4 panic threshold) from ordinary bad
+/// pointers: the address is non-canonical *and* removing the error code
+/// from bits 62:61 yields a canonical address.
+pub fn looks_like_pac_failure(va: u64, tbi_user: bool) -> bool {
+    let layout = layout_for(va, tbi_user);
+    if layout.is_canonical(va) {
+        return false;
+    }
+    [KeyClass::Instruction, KeyClass::Data]
+        .into_iter()
+        .any(|class| layout.is_canonical(va ^ (class.error_code() << 61)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: QarmaKey = QarmaKey {
+        w0: 0x84be_85ce_9804_e94b,
+        k0: 0xec28_02d4_e0a4_88e9,
+    };
+    const KPTR: u64 = 0xffff_0000_1234_5678;
+    const UPTR: u64 = 0x0000_7fff_0000_1000;
+
+    #[test]
+    fn sign_then_auth_roundtrip() {
+        let signed = add_pac(KPTR, 42, KEY, true);
+        assert_ne!(signed, KPTR, "PAC space must be non-trivially used");
+        let out = auth_pac(signed, 42, KEY, KeyClass::Instruction, true);
+        assert_eq!(out, Ok(KPTR));
+    }
+
+    #[test]
+    fn wrong_modifier_detected() {
+        let signed = add_pac(KPTR, 42, KEY, true);
+        let out = auth_pac(signed, 43, KEY, KeyClass::Instruction, true);
+        let corrupted = out.unwrap_err();
+        assert!(!PointerLayout::kernel().is_canonical(corrupted));
+        assert!(looks_like_pac_failure(corrupted, true));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let signed = add_pac(KPTR, 42, KEY, true);
+        let other = QarmaKey::new(1, 2);
+        assert!(auth_pac(signed, 42, other, KeyClass::Data, true).is_err());
+    }
+
+    #[test]
+    fn raw_pointer_injection_detected() {
+        // An attacker writes an unsigned pointer where a signed one belongs.
+        let out = auth_pac(KPTR, 42, KEY, KeyClass::Data, true);
+        // All-ones PAC (the canonical pattern) only passes if the MAC
+        // happens to be all-ones: overwhelmingly unlikely with this key.
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn error_codes_differ_by_key_class() {
+        let signed = add_pac(KPTR, 1, KEY, true);
+        let e_i = auth_pac(signed, 2, KEY, KeyClass::Instruction, true).unwrap_err();
+        let e_d = auth_pac(signed, 2, KEY, KeyClass::Data, true).unwrap_err();
+        assert_ne!(e_i, e_d);
+        assert_eq!(e_i ^ e_d, 0b11 << 61);
+    }
+
+    #[test]
+    fn user_pointers_use_user_layout() {
+        let signed = add_pac(UPTR, 9, KEY, true);
+        // With TBI on, the tag byte is untouched.
+        assert_eq!(signed >> 56, UPTR >> 56);
+        assert_eq!(
+            auth_pac(signed, 9, KEY, KeyClass::Instruction, true),
+            Ok(UPTR)
+        );
+    }
+
+    #[test]
+    fn strip_is_unauthenticated() {
+        let signed = add_pac(KPTR, 42, KEY, true);
+        assert_eq!(strip_pac(signed, true), KPTR);
+        // Stripping a forged pointer also "succeeds" — that is why XPAC is
+        // for debugging, not security.
+        assert_eq!(strip_pac(KPTR ^ (0x55 << 48), true), KPTR);
+    }
+
+    #[test]
+    fn canonical_addresses_are_not_pac_failures() {
+        assert!(!looks_like_pac_failure(KPTR, true));
+        assert!(!looks_like_pac_failure(UPTR, true));
+        assert!(!looks_like_pac_failure(0, true));
+    }
+
+    #[test]
+    fn kernel_pac_width_is_15_bits() {
+        // Count how many distinct signed forms a kernel pointer can take:
+        // the PAC field is 15 bits, so two different modifiers almost surely
+        // give different PACs but always stay within the 15-bit field.
+        let layout = PointerLayout::kernel();
+        for modifier in 0..32u64 {
+            let signed = add_pac(KPTR, modifier, KEY, true);
+            assert_eq!(layout.strip(signed), KPTR);
+            assert!(layout.extract_pac(signed) < (1 << 15));
+        }
+    }
+
+    #[test]
+    fn pac_collision_probability_is_plausible() {
+        // With 15-bit PACs, scanning ~2^15 modifiers should produce at least
+        // one collision with the PAC of modifier 0 (birthday bound makes
+        // this overwhelmingly likely), demonstrating why §5.4 rate-limits
+        // guesses rather than relying on PAC width alone.
+        let target = compute_pac(KPTR, 0, KEY, &PointerLayout::kernel());
+        let hit = (1..=100_000u64)
+            .any(|m| compute_pac(KPTR, m, KEY, &PointerLayout::kernel()) == target);
+        assert!(hit, "expected a 15-bit collision within 100k trials");
+    }
+}

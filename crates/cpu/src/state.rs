@@ -1,0 +1,208 @@
+//! Architectural register state.
+
+use camo_isa::{PauthKey, Reg, SysReg};
+use camo_mem::El;
+use camo_qarma::QarmaKey;
+use std::collections::BTreeMap;
+
+/// Saved program-status word layout used by `SPSR_EL1` in this model:
+/// bit 0 = source EL (0 = EL0, 1 = EL1), bit 7 = IRQ mask (I).
+pub(crate) const SPSR_EL1_BIT: u64 = 1;
+pub(crate) const SPSR_IRQ_MASK_BIT: u64 = 1 << 7;
+
+/// The register file and system state of one simulated core.
+#[derive(Debug, Clone)]
+pub struct CpuState {
+    /// General-purpose registers x0..x30.
+    pub gprs: [u64; 31],
+    /// Banked stack pointer for EL0.
+    pub sp_el0: u64,
+    /// Banked stack pointer for EL1.
+    pub sp_el1: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Current exception level.
+    pub el: El,
+    /// IRQ mask (PSTATE.I).
+    pub irq_masked: bool,
+    sysregs: BTreeMap<SysReg, u64>,
+}
+
+impl Default for CpuState {
+    fn default() -> Self {
+        let mut sysregs = BTreeMap::new();
+        // Reset state: PAuth enable bits set (the bootloader model assumes
+        // firmware leaves them on; the kernel verifies nothing clears them).
+        sysregs.insert(SysReg::SctlrEl1, camo_isa::sysreg::sctlr::EN_ALL);
+        CpuState {
+            gprs: [0; 31],
+            sp_el0: 0,
+            sp_el1: 0,
+            pc: 0,
+            el: El::El1,
+            irq_masked: true,
+            sysregs,
+        }
+    }
+}
+
+impl CpuState {
+    /// Creates reset state (EL1, IRQs masked, PAuth enabled).
+    pub fn new() -> Self {
+        CpuState::default()
+    }
+
+    /// Reads a register operand (`xzr` reads 0, `sp` reads the banked SP).
+    pub fn read(&self, reg: Reg) -> u64 {
+        match reg {
+            Reg::X(n) => self.gprs[usize::from(n)],
+            Reg::Xzr => 0,
+            Reg::Sp => self.sp(),
+        }
+    }
+
+    /// Writes a register operand (`xzr` discards, `sp` sets the banked SP).
+    pub fn write(&mut self, reg: Reg, value: u64) {
+        match reg {
+            Reg::X(n) => self.gprs[usize::from(n)] = value,
+            Reg::Xzr => {}
+            Reg::Sp => self.set_sp(value),
+        }
+    }
+
+    /// The stack pointer of the current EL.
+    pub fn sp(&self) -> u64 {
+        match self.el {
+            El::El0 => self.sp_el0,
+            El::El1 => self.sp_el1,
+        }
+    }
+
+    /// Sets the stack pointer of the current EL.
+    pub fn set_sp(&mut self, value: u64) {
+        match self.el {
+            El::El0 => self.sp_el0 = value,
+            El::El1 => self.sp_el1 = value,
+        }
+    }
+
+    /// Reads a system register (0 if never written).
+    pub fn sysreg(&self, sr: SysReg) -> u64 {
+        self.sysregs.get(&sr).copied().unwrap_or(0)
+    }
+
+    /// Writes a system register.
+    pub fn set_sysreg(&mut self, sr: SysReg, value: u64) {
+        self.sysregs.insert(sr, value);
+    }
+
+    /// Assembles the 128-bit PAuth key currently programmed for `key`.
+    pub fn pauth_key(&self, key: PauthKey) -> QarmaKey {
+        let (lo, hi) = key.sysregs();
+        QarmaKey::new(self.sysreg(lo), self.sysreg(hi))
+    }
+
+    /// Programs the 128-bit PAuth key registers for `key`.
+    pub fn set_pauth_key(&mut self, key: PauthKey, value: QarmaKey) {
+        let (lo, hi) = key.sysregs();
+        self.set_sysreg(lo, value.w0);
+        self.set_sysreg(hi, value.k0);
+    }
+
+    /// Whether `SCTLR_EL1` currently enables `key`.
+    ///
+    /// The GA key has no enable bit; it is always on.
+    pub fn key_enabled(&self, key: PauthKey) -> bool {
+        use camo_isa::sysreg::sctlr;
+        let sctlr = self.sysreg(SysReg::SctlrEl1);
+        let bit = match key {
+            PauthKey::IA => sctlr::EN_IA,
+            PauthKey::IB => sctlr::EN_IB,
+            PauthKey::DA => sctlr::EN_DA,
+            PauthKey::DB => sctlr::EN_DB,
+            PauthKey::GA => return true,
+        };
+        sctlr & bit != 0
+    }
+
+    /// Encodes the current PSTATE into the SPSR format.
+    pub(crate) fn spsr_bits(&self) -> u64 {
+        let mut bits = 0;
+        if self.el == El::El1 {
+            bits |= SPSR_EL1_BIT;
+        }
+        if self.irq_masked {
+            bits |= SPSR_IRQ_MASK_BIT;
+        }
+        bits
+    }
+
+    /// Restores PSTATE from SPSR bits.
+    pub(crate) fn restore_spsr(&mut self, bits: u64) {
+        self.el = if bits & SPSR_EL1_BIT != 0 {
+            El::El1
+        } else {
+            El::El0
+        };
+        self.irq_masked = bits & SPSR_IRQ_MASK_BIT != 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xzr_reads_zero_and_discards_writes() {
+        let mut state = CpuState::new();
+        state.write(Reg::Xzr, 0xdead);
+        assert_eq!(state.read(Reg::Xzr), 0);
+    }
+
+    #[test]
+    fn sp_is_banked_per_el() {
+        let mut state = CpuState::new();
+        state.el = El::El1;
+        state.set_sp(0x1000);
+        state.el = El::El0;
+        state.set_sp(0x2000);
+        assert_eq!(state.sp_el1, 0x1000);
+        assert_eq!(state.sp_el0, 0x2000);
+        assert_eq!(state.read(Reg::Sp), 0x2000);
+        state.el = El::El1;
+        assert_eq!(state.read(Reg::Sp), 0x1000);
+    }
+
+    #[test]
+    fn pauth_key_roundtrip() {
+        let mut state = CpuState::new();
+        let key = QarmaKey::new(0x1111, 0x2222);
+        state.set_pauth_key(PauthKey::IB, key);
+        assert_eq!(state.pauth_key(PauthKey::IB), key);
+        assert_eq!(state.pauth_key(PauthKey::IA), QarmaKey::new(0, 0));
+    }
+
+    #[test]
+    fn sctlr_gates_keys() {
+        use camo_isa::sysreg::sctlr;
+        let mut state = CpuState::new();
+        assert!(state.key_enabled(PauthKey::IB), "reset state enables keys");
+        state.set_sysreg(SysReg::SctlrEl1, sctlr::EN_ALL & !sctlr::EN_IB);
+        assert!(!state.key_enabled(PauthKey::IB));
+        assert!(state.key_enabled(PauthKey::IA));
+        assert!(state.key_enabled(PauthKey::GA), "GA has no enable bit");
+    }
+
+    #[test]
+    fn spsr_roundtrip() {
+        let mut state = CpuState::new();
+        state.el = El::El0;
+        state.irq_masked = false;
+        let bits = state.spsr_bits();
+        state.el = El::El1;
+        state.irq_masked = true;
+        state.restore_spsr(bits);
+        assert_eq!(state.el, El::El0);
+        assert!(!state.irq_masked);
+    }
+}

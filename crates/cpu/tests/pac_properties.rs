@@ -1,0 +1,101 @@
+//! Property tests: the PAuth sign/authenticate invariants the whole design
+//! rests on.
+
+use camo_cpu::pac::{add_pac, auth_pac, strip_pac, KeyClass};
+use camo_mem::PointerLayout;
+use camo_qarma::QarmaKey;
+use proptest::prelude::*;
+
+fn any_key() -> impl Strategy<Value = QarmaKey> {
+    (any::<u64>(), any::<u64>()).prop_map(|(w0, k0)| QarmaKey::new(w0, k0))
+}
+
+fn any_class() -> impl Strategy<Value = KeyClass> {
+    prop::sample::select(vec![KeyClass::Instruction, KeyClass::Data])
+}
+
+/// Canonical kernel-half pointers (what kernel code signs).
+fn kernel_ptr() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|v| PointerLayout::kernel().strip(v | (1 << 55)))
+}
+
+proptest! {
+    /// Sign → authenticate with the same key and modifier restores the
+    /// canonical pointer.
+    #[test]
+    fn sign_auth_roundtrip(
+        ptr in kernel_ptr(),
+        modifier in any::<u64>(),
+        key in any_key(),
+        class in any_class(),
+    ) {
+        let signed = add_pac(ptr, modifier, key, true);
+        prop_assert_eq!(auth_pac(signed, modifier, key, class, true), Ok(ptr));
+    }
+
+    /// Authenticating with a different modifier yields a *non-canonical*
+    /// pointer — unless the 15-bit PACs collide, in which case the result
+    /// must still be the stripped pointer (graceful degradation the §5.4
+    /// rate limiter accounts for).
+    #[test]
+    fn wrong_modifier_never_yields_a_different_address(
+        ptr in kernel_ptr(),
+        m1 in any::<u64>(),
+        m2 in any::<u64>(),
+        key in any_key(),
+    ) {
+        prop_assume!(m1 != m2);
+        let signed = add_pac(ptr, m1, key, true);
+        match auth_pac(signed, m2, key, KeyClass::Data, true) {
+            Ok(out) => prop_assert_eq!(out, ptr, "collision must still strip correctly"),
+            Err(corrupted) => {
+                prop_assert!(!PointerLayout::kernel().is_canonical(corrupted));
+                prop_assert!(camo_cpu::pac::looks_like_pac_failure(corrupted, true));
+            }
+        }
+    }
+
+    /// An attacker-injected *raw* pointer authenticates only on PAC
+    /// collision with the canonical all-ones pattern; otherwise the result
+    /// is corrupted, never some other valid address.
+    #[test]
+    fn raw_pointer_injection_never_redirects(
+        ptr in kernel_ptr(),
+        modifier in any::<u64>(),
+        key in any_key(),
+    ) {
+        match auth_pac(ptr, modifier, key, KeyClass::Instruction, true) {
+            Ok(out) => prop_assert_eq!(out, ptr),
+            Err(corrupted) => {
+                prop_assert_eq!(PointerLayout::kernel().strip(corrupted ^ (0b01 << 61)), ptr);
+            }
+        }
+    }
+
+    /// Strip removes whatever the signer added, regardless of key.
+    #[test]
+    fn strip_undoes_sign(ptr in kernel_ptr(), modifier in any::<u64>(), key in any_key()) {
+        prop_assert_eq!(strip_pac(add_pac(ptr, modifier, key, true), true), ptr);
+    }
+
+    /// Two different keys virtually never produce the same signed pointer
+    /// (checked modulo the 15-bit collision rate, with a second probe on
+    /// collision).
+    #[test]
+    fn keys_separate_signatures(
+        ptr in kernel_ptr(),
+        modifier in any::<u64>(),
+        k1 in any_key(),
+        k2 in any_key(),
+    ) {
+        prop_assume!(k1 != k2);
+        if add_pac(ptr, modifier, k1, true) == add_pac(ptr, modifier, k2, true) {
+            let probe = ptr ^ 0x1000;
+            prop_assert_ne!(
+                add_pac(probe, modifier, k1, true),
+                add_pac(probe, modifier, k2, true),
+                "double collision across keys"
+            );
+        }
+    }
+}

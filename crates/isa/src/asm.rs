@@ -1,0 +1,311 @@
+//! A small assembler: instruction sequences with labels and fixups.
+//!
+//! `camo-codegen` and `camo-boot` build all executable code through this
+//! interface — function prologues, the XOM key setter, syscall stubs — and
+//! hand the resulting [`CodeBlock`]s to the loader, which writes the encoded
+//! bytes into simulated memory.
+
+use crate::{encode, Insn, Reg};
+use std::collections::HashMap;
+
+/// A forward-referenceable code position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    B,
+    Bl,
+    Cbz(Reg),
+    Cbnz(Reg),
+    Adr(Reg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    index: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// An append-only assembler with label resolution.
+///
+/// # Example
+///
+/// ```
+/// use camo_isa::{Assembler, Insn, Reg};
+///
+/// let mut asm = Assembler::new();
+/// let loop_top = asm.new_label();
+/// asm.bind(loop_top);
+/// asm.push(Insn::SubImm { rd: Reg::x(0), rn: Reg::x(0), imm12: 1, shifted: false });
+/// asm.cbnz(Reg::x(0), loop_top);
+/// asm.push(Insn::ret());
+/// let block = asm.finish(0xffff_0000_0000_0000);
+/// assert_eq!(block.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insns: Vec<Insn>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice at instruction {}",
+            self.insns.len()
+        );
+        self.labels[label.0] = Some(self.insns.len());
+    }
+
+    /// Appends a fully-formed instruction.
+    pub fn push(&mut self, insn: Insn) {
+        self.insns.push(insn);
+    }
+
+    /// Appends several instructions.
+    pub fn extend(&mut self, insns: impl IntoIterator<Item = Insn>) {
+        self.insns.extend(insns);
+    }
+
+    /// Current instruction count (next instruction index).
+    pub fn position(&self) -> usize {
+        self.insns.len()
+    }
+
+    fn push_fixup(&mut self, label: Label, kind: FixupKind, placeholder: Insn) {
+        self.fixups.push(Fixup {
+            index: self.insns.len(),
+            label,
+            kind,
+        });
+        self.insns.push(placeholder);
+    }
+
+    /// Appends `b label`.
+    pub fn b(&mut self, label: Label) {
+        self.push_fixup(label, FixupKind::B, Insn::B { offset: 0 });
+    }
+
+    /// Appends `bl label`.
+    pub fn bl(&mut self, label: Label) {
+        self.push_fixup(label, FixupKind::Bl, Insn::Bl { offset: 0 });
+    }
+
+    /// Appends `cbz rt, label`.
+    pub fn cbz(&mut self, rt: Reg, label: Label) {
+        self.push_fixup(label, FixupKind::Cbz(rt), Insn::Cbz { rt, offset: 0 });
+    }
+
+    /// Appends `cbnz rt, label`.
+    pub fn cbnz(&mut self, rt: Reg, label: Label) {
+        self.push_fixup(label, FixupKind::Cbnz(rt), Insn::Cbnz { rt, offset: 0 });
+    }
+
+    /// Appends `adr rd, label`.
+    pub fn adr(&mut self, rd: Reg, label: Label) {
+        self.push_fixup(label, FixupKind::Adr(rd), Insn::Adr { rd, offset: 0 });
+    }
+
+    /// Resolves all fixups and produces a code block based at `base_va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound or a branch target is out
+    /// of range for its encoding.
+    pub fn finish(mut self, base_va: u64) -> CodeBlock {
+        for fixup in &self.fixups {
+            let target = self.labels[fixup.label.0]
+                .unwrap_or_else(|| panic!("unbound label used at instruction {}", fixup.index));
+            let offset = (target as i64 - fixup.index as i64) * 4;
+            let offset = i32::try_from(offset).expect("branch distance overflows i32");
+            self.insns[fixup.index] = match fixup.kind {
+                FixupKind::B => Insn::B { offset },
+                FixupKind::Bl => Insn::Bl { offset },
+                FixupKind::Cbz(rt) => Insn::Cbz { rt, offset },
+                FixupKind::Cbnz(rt) => Insn::Cbnz { rt, offset },
+                FixupKind::Adr(rd) => Insn::Adr { rd, offset },
+            };
+        }
+        let label_vas = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, pos)| pos.map(|p| (Label(i), base_va + 4 * p as u64)))
+            .collect();
+        CodeBlock {
+            base_va,
+            insns: self.insns,
+            label_vas,
+        }
+    }
+}
+
+/// A finished, position-resolved sequence of instructions.
+#[derive(Debug, Clone)]
+pub struct CodeBlock {
+    base_va: u64,
+    insns: Vec<Insn>,
+    label_vas: HashMap<Label, u64>,
+}
+
+impl CodeBlock {
+    /// The virtual address of the first instruction.
+    pub fn base_va(&self) -> u64 {
+        self.base_va
+    }
+
+    /// The instructions in program order.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.insns.len() as u64 * 4
+    }
+
+    /// The encoded little-endian machine code.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::encode::encode_all(&self.insns)
+    }
+
+    /// The encoded 32-bit words.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.insns.iter().map(encode).collect()
+    }
+
+    /// The virtual address a bound label resolved to.
+    pub fn label_va(&self, label: Label) -> Option<u64> {
+        self.label_vas.get(&label).copied()
+    }
+
+    /// Pretty-prints the block as `va: encoding  mnemonic` lines.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            let va = self.base_va + 4 * i as u64;
+            let _ = writeln!(out, "{va:#018x}: {:08x}  {insn}", encode(insn));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn backward_branch_resolves_negative() {
+        let mut asm = Assembler::new();
+        let top = asm.new_label();
+        asm.bind(top);
+        asm.push(Insn::Nop);
+        asm.b(top);
+        let block = asm.finish(0x1000);
+        assert_eq!(block.insns()[1], Insn::B { offset: -4 });
+    }
+
+    #[test]
+    fn forward_branch_resolves_positive() {
+        let mut asm = Assembler::new();
+        let end = asm.new_label();
+        asm.cbz(Reg::x(0), end);
+        asm.push(Insn::Nop);
+        asm.push(Insn::Nop);
+        asm.bind(end);
+        asm.push(Insn::ret());
+        let block = asm.finish(0);
+        assert_eq!(
+            block.insns()[0],
+            Insn::Cbz {
+                rt: Reg::x(0),
+                offset: 12
+            }
+        );
+    }
+
+    #[test]
+    fn adr_points_at_label_va() {
+        let mut asm = Assembler::new();
+        let data = asm.new_label();
+        asm.adr(Reg::x(0), data);
+        asm.push(Insn::ret());
+        asm.bind(data);
+        asm.push(Insn::Nop);
+        let block = asm.finish(0x4000);
+        assert_eq!(block.insns()[0], Insn::Adr { rd: Reg::x(0), offset: 8 });
+        assert_eq!(block.label_va(data), Some(0x4008));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut asm = Assembler::new();
+        let nowhere = asm.new_label();
+        asm.b(nowhere);
+        let _ = asm.finish(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn block_bytes_decode_back() {
+        let mut asm = Assembler::new();
+        asm.push(Insn::PacSp { key: crate::InsnKey::B });
+        asm.push(Insn::ret());
+        let block = asm.finish(0);
+        let words = block.to_words();
+        assert_eq!(decode(words[0]), Some(Insn::PacSp { key: crate::InsnKey::B }));
+        assert_eq!(decode(words[1]), Some(Insn::ret()));
+        assert_eq!(block.size_bytes(), 8);
+    }
+
+    #[test]
+    fn listing_contains_va_and_mnemonic() {
+        let mut asm = Assembler::new();
+        asm.push(Insn::Nop);
+        let block = asm.finish(0xffff_0000_0000_1000);
+        let listing = block.listing();
+        assert!(listing.contains("0xffff000000001000"));
+        assert!(listing.contains("nop"));
+    }
+}

@@ -1,0 +1,440 @@
+//! A64 instruction decoder for the modeled subset.
+//!
+//! [`decode`] is the exact inverse of [`crate::encode`]: any word produced
+//! by the encoder decodes back to the original instruction, and any word
+//! that decodes re-encodes to itself (both properties are enforced by
+//! property tests). Unmodeled words decode to `None`, which the simulator
+//! treats as an undefined-instruction fault.
+
+use crate::insn::{AddrMode, Insn, InsnKey, PacKey, PairMode};
+use crate::{Reg, SysReg};
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn field_rd(w: u32) -> u8 {
+    (w & 0x1F) as u8
+}
+
+fn field_rn(w: u32) -> u8 {
+    ((w >> 5) & 0x1F) as u8
+}
+
+fn field_rt2(w: u32) -> u8 {
+    ((w >> 10) & 0x1F) as u8
+}
+
+fn field_rm(w: u32) -> u8 {
+    ((w >> 16) & 0x1F) as u8
+}
+
+fn decode_movewide(w: u32) -> Option<Insn> {
+    let rd = Reg::from_field_zr(field_rd(w));
+    let imm16 = ((w >> 5) & 0xFFFF) as u16;
+    let shift = ((w >> 21) & 0x3) as u8;
+    match w & 0xFF80_0000 {
+        0x9280_0000 => Some(Insn::Movn { rd, imm16, shift }),
+        0xD280_0000 => Some(Insn::Movz { rd, imm16, shift }),
+        0xF280_0000 => Some(Insn::Movk { rd, imm16, shift }),
+        _ => None,
+    }
+}
+
+fn decode_addsub_imm(w: u32) -> Option<Insn> {
+    let rd = Reg::from_field_sp(field_rd(w));
+    let rn = Reg::from_field_sp(field_rn(w));
+    let imm12 = ((w >> 10) & 0xFFF) as u16;
+    let shifted = (w >> 22) & 1 == 1;
+    match w & 0xFF80_0000 {
+        0x9100_0000 => Some(Insn::AddImm {
+            rd,
+            rn,
+            imm12,
+            shifted,
+        }),
+        0xD100_0000 => Some(Insn::SubImm {
+            rd,
+            rn,
+            imm12,
+            shifted,
+        }),
+        _ => None,
+    }
+}
+
+fn decode_reg_op(w: u32) -> Option<Insn> {
+    let rd = Reg::from_field_zr(field_rd(w));
+    let rn = Reg::from_field_zr(field_rn(w));
+    let rm = Reg::from_field_zr(field_rm(w));
+    match w & 0xFFE0_FC00 {
+        0x8B00_0000 => Some(Insn::AddReg { rd, rn, rm }),
+        0xCB00_0000 => Some(Insn::SubReg { rd, rn, rm }),
+        0x8A00_0000 => Some(Insn::AndReg { rd, rn, rm }),
+        0xAA00_0000 => Some(Insn::OrrReg { rd, rn, rm }),
+        0xCA00_0000 => Some(Insn::EorReg { rd, rn, rm }),
+        _ => None,
+    }
+}
+
+fn decode_bitfield(w: u32) -> Option<Insn> {
+    let rd = Reg::from_field_zr(field_rd(w));
+    let rn = Reg::from_field_zr(field_rn(w));
+    let immr = ((w >> 16) & 0x3F) as u8;
+    let imms = ((w >> 10) & 0x3F) as u8;
+    match w & 0xFFC0_0000 {
+        0xB340_0000 => Some(Insn::Bfm { rd, rn, immr, imms }),
+        0xD340_0000 => Some(Insn::Ubfm { rd, rn, immr, imms }),
+        _ => None,
+    }
+}
+
+fn decode_ldst_single(w: u32) -> Option<Insn> {
+    let rt = Reg::from_field_zr(field_rd(w));
+    let rn = Reg::from_field_sp(field_rn(w));
+    match w & 0xFFC0_0000 {
+        0xF940_0000 => {
+            let imm = (((w >> 10) & 0xFFF) * 8) as u16;
+            return Some(Insn::Ldr {
+                rt,
+                rn,
+                mode: AddrMode::Unsigned(imm),
+            });
+        }
+        0xF900_0000 => {
+            let imm = (((w >> 10) & 0xFFF) * 8) as u16;
+            return Some(Insn::Str {
+                rt,
+                rn,
+                mode: AddrMode::Unsigned(imm),
+            });
+        }
+        _ => {}
+    }
+    let imm9 = sign_extend((w >> 12) & 0x1FF, 9) as i16;
+    match w & 0xFFE0_0C00 {
+        0xF840_0400 => Some(Insn::Ldr {
+            rt,
+            rn,
+            mode: AddrMode::Post(imm9),
+        }),
+        0xF840_0C00 => Some(Insn::Ldr {
+            rt,
+            rn,
+            mode: AddrMode::Pre(imm9),
+        }),
+        0xF800_0400 => Some(Insn::Str {
+            rt,
+            rn,
+            mode: AddrMode::Post(imm9),
+        }),
+        0xF800_0C00 => Some(Insn::Str {
+            rt,
+            rn,
+            mode: AddrMode::Pre(imm9),
+        }),
+        _ => None,
+    }
+}
+
+fn decode_ldst_pair(w: u32) -> Option<Insn> {
+    let rt = Reg::from_field_zr(field_rd(w));
+    let rt2 = Reg::from_field_zr(field_rt2(w));
+    let rn = Reg::from_field_sp(field_rn(w));
+    let imm = (sign_extend((w >> 15) & 0x7F, 7) * 8) as i16;
+    let (load, mode) = match w & 0xFFC0_0000 {
+        0xA940_0000 => (true, PairMode::SignedOffset(imm)),
+        0xA900_0000 => (false, PairMode::SignedOffset(imm)),
+        0xA9C0_0000 => (true, PairMode::Pre(imm)),
+        0xA980_0000 => (false, PairMode::Pre(imm)),
+        0xA8C0_0000 => (true, PairMode::Post(imm)),
+        0xA880_0000 => (false, PairMode::Post(imm)),
+        _ => return None,
+    };
+    Some(if load {
+        Insn::Ldp { rt, rt2, rn, mode }
+    } else {
+        Insn::Stp { rt, rt2, rn, mode }
+    })
+}
+
+fn decode_pauth(w: u32) -> Option<Insn> {
+    // XPACI/XPACD (fixed rn = 11111).
+    if w & 0xFFFF_FBE0 == 0xDAC1_43E0 {
+        let rd = Reg::from_field_zr(field_rd(w));
+        return Some(if w & 0x400 == 0 {
+            Insn::Xpaci { rd }
+        } else {
+            Insn::Xpacd { rd }
+        });
+    }
+    if w & 0xFFFF_E000 == 0xDAC1_0000 {
+        let rd = Reg::from_field_zr(field_rd(w));
+        let rn = Reg::from_field_sp(field_rn(w));
+        let key = match (w >> 10) & 0x3 {
+            0 => PacKey::IA,
+            1 => PacKey::IB,
+            2 => PacKey::DA,
+            _ => PacKey::DB,
+        };
+        return Some(if w & 0x1000 == 0 {
+            Insn::Pac { key, rd, rn }
+        } else {
+            Insn::Aut { key, rd, rn }
+        });
+    }
+    if w & 0xFFE0_FC00 == 0x9AC0_3000 {
+        return Some(Insn::Pacga {
+            rd: Reg::from_field_zr(field_rd(w)),
+            rn: Reg::from_field_zr(field_rn(w)),
+            rm: Reg::from_field_sp(field_rm(w)),
+        });
+    }
+    match w & 0xFFFF_FC00 {
+        0xD73F_0800 | 0xD73F_0C00 | 0xD71F_0800 | 0xD71F_0C00 => {
+            let key = if w & 0x400 == 0 { InsnKey::A } else { InsnKey::B };
+            let rn = Reg::from_field_zr(field_rn(w));
+            let rm = Reg::from_field_sp(field_rd(w));
+            Some(if w & 0x0020_0000 != 0 {
+                Insn::Blra { key, rn, rm }
+            } else {
+                Insn::Bra { key, rn, rm }
+            })
+        }
+        _ => None,
+    }
+}
+
+fn decode_system(w: u32) -> Option<Insn> {
+    let fields = (
+        (2 + ((w >> 19) & 1)) as u8,
+        ((w >> 16) & 0x7) as u8,
+        ((w >> 12) & 0xF) as u8,
+        ((w >> 8) & 0xF) as u8,
+        ((w >> 5) & 0x7) as u8,
+    );
+    let rt = Reg::from_field_zr(field_rd(w));
+    match w & 0xFFF0_0000 {
+        0xD510_0000 => SysReg::from_fields(fields).map(|sr| Insn::Msr { sr, rt }),
+        0xD530_0000 => SysReg::from_fields(fields).map(|sr| Insn::Mrs { rt, sr }),
+        _ => None,
+    }
+}
+
+/// Decodes one 32-bit word, returning `None` for unmodeled encodings.
+///
+/// # Example
+///
+/// ```
+/// use camo_isa::{decode, Insn};
+/// assert_eq!(decode(0xD503201F), Some(Insn::Nop));
+/// assert_eq!(decode(0xFFFFFFFF), None);
+/// ```
+pub fn decode(w: u32) -> Option<Insn> {
+    // Exact-match words first (hint space, returns, system).
+    match w {
+        0xD503_201F => return Some(Insn::Nop),
+        0xD69F_03E0 => return Some(Insn::Eret),
+        0xD503_233F => return Some(Insn::PacSp { key: InsnKey::A }),
+        0xD503_237F => return Some(Insn::PacSp { key: InsnKey::B }),
+        0xD503_23BF => return Some(Insn::AutSp { key: InsnKey::A }),
+        0xD503_23FF => return Some(Insn::AutSp { key: InsnKey::B }),
+        0xD503_211F => return Some(Insn::Pac1716 { key: InsnKey::A }),
+        0xD503_215F => return Some(Insn::Pac1716 { key: InsnKey::B }),
+        0xD503_213F => return Some(Insn::Aut1716 { key: InsnKey::A }),
+        0xD503_217F => return Some(Insn::Aut1716 { key: InsnKey::B }),
+        0xD65F_0BFF => return Some(Insn::Reta { key: InsnKey::A }),
+        0xD65F_0FFF => return Some(Insn::Reta { key: InsnKey::B }),
+        _ => {}
+    }
+
+    if w & 0x9F00_0000 == 0x1000_0000 {
+        let immlo = (w >> 29) & 0x3;
+        let immhi = (w >> 5) & 0x7_FFFF;
+        let offset = sign_extend((immhi << 2) | immlo, 21);
+        return Some(Insn::Adr {
+            rd: Reg::from_field_zr(field_rd(w)),
+            offset,
+        });
+    }
+    if w & 0xFC00_0000 == 0x1400_0000 {
+        return Some(Insn::B {
+            offset: sign_extend(w & 0x03FF_FFFF, 26) * 4,
+        });
+    }
+    if w & 0xFC00_0000 == 0x9400_0000 {
+        return Some(Insn::Bl {
+            offset: sign_extend(w & 0x03FF_FFFF, 26) * 4,
+        });
+    }
+    if w & 0xFF00_0000 == 0xB400_0000 || w & 0xFF00_0000 == 0xB500_0000 {
+        let rt = Reg::from_field_zr(field_rd(w));
+        let offset = sign_extend((w >> 5) & 0x7_FFFF, 19) * 4;
+        return Some(if w & 0x0100_0000 == 0 {
+            Insn::Cbz { rt, offset }
+        } else {
+            Insn::Cbnz { rt, offset }
+        });
+    }
+    match w & 0xFFFF_FC1F {
+        0xD61F_0000 => {
+            return Some(Insn::Br {
+                rn: Reg::from_field_zr(field_rn(w)),
+            })
+        }
+        0xD63F_0000 => {
+            return Some(Insn::Blr {
+                rn: Reg::from_field_zr(field_rn(w)),
+            })
+        }
+        0xD65F_0000 => {
+            return Some(Insn::Ret {
+                rn: Reg::from_field_zr(field_rn(w)),
+            })
+        }
+        _ => {}
+    }
+    if w & 0xFFE0_001F == 0xD400_0001 {
+        return Some(Insn::Svc {
+            imm: ((w >> 5) & 0xFFFF) as u16,
+        });
+    }
+    if w & 0xFFE0_001F == 0xD420_0000 {
+        return Some(Insn::Brk {
+            imm: ((w >> 5) & 0xFFFF) as u16,
+        });
+    }
+
+    decode_movewide(w)
+        .or_else(|| decode_addsub_imm(w))
+        .or_else(|| decode_reg_op(w))
+        .or_else(|| decode_bitfield(w))
+        .or_else(|| decode_ldst_single(w))
+        .or_else(|| decode_ldst_pair(w))
+        .or_else(|| decode_pauth(w))
+        .or_else(|| decode_system(w))
+}
+
+/// Disassembles a sequence of little-endian words into assembly text.
+///
+/// Unmodeled words render as `.inst 0x????????`, mirroring how a real
+/// toolchain prints unknown encodings.
+pub fn disassemble(words: &[u32]) -> Vec<String> {
+    words
+        .iter()
+        .map(|&w| match decode(w) {
+            Some(insn) => insn.to_string(),
+            None => format!(".inst {w:#010x}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn decodes_well_known_words() {
+        assert_eq!(decode(0xD503_201F), Some(Insn::Nop));
+        assert_eq!(decode(0xD65F_03C0), Some(Insn::ret()));
+        assert_eq!(
+            decode(0xA9BF_7BFD),
+            Some(Insn::Stp {
+                rt: Reg::FP,
+                rt2: Reg::LR,
+                rn: Reg::Sp,
+                mode: PairMode::Pre(-16),
+            })
+        );
+    }
+
+    #[test]
+    fn undefined_words_decode_to_none() {
+        assert_eq!(decode(0x0000_0000), None);
+        assert_eq!(decode(0xFFFF_FFFF), None);
+        // An MRS of an unmodeled register is also undefined here.
+        assert_eq!(decode(0xD53F_FFE0), None);
+    }
+
+    #[test]
+    fn round_trip_representative_sample() {
+        let sample = [
+            Insn::Movz {
+                rd: Reg::x(9),
+                imm16: 0xfb45,
+                shift: 0,
+            },
+            Insn::Movk {
+                rd: Reg::x(9),
+                imm16: 0x1234,
+                shift: 3,
+            },
+            Insn::bfi(Reg::x(9), Reg::x(0), 16, 48),
+            Insn::mov_sp(Reg::IP1, Reg::Sp),
+            Insn::Adr {
+                rd: Reg::IP0,
+                offset: -64,
+            },
+            Insn::Pac {
+                key: PacKey::IB,
+                rd: Reg::LR,
+                rn: Reg::IP0,
+            },
+            Insn::Aut {
+                key: PacKey::DB,
+                rd: Reg::x(8),
+                rn: Reg::x(9),
+            },
+            Insn::Ldr {
+                rt: Reg::x(8),
+                rn: Reg::x(0),
+                mode: AddrMode::Unsigned(40),
+            },
+            Insn::Blr { rn: Reg::x(8) },
+            Insn::Blra {
+                key: InsnKey::B,
+                rn: Reg::x(8),
+                rm: Reg::x(9),
+            },
+            Insn::Bra {
+                key: InsnKey::A,
+                rn: Reg::x(2),
+                rm: Reg::Sp,
+            },
+            Insn::Msr {
+                sr: SysReg::ApibKeyLoEl1,
+                rt: Reg::x(1),
+            },
+            Insn::Mrs {
+                rt: Reg::x(1),
+                sr: SysReg::SctlrEl1,
+            },
+            Insn::Pacga {
+                rd: Reg::x(0),
+                rn: Reg::x(1),
+                rm: Reg::x(2),
+            },
+            Insn::Xpaci { rd: Reg::x(5) },
+            Insn::Xpacd { rd: Reg::x(6) },
+            Insn::Svc { imm: 93 },
+            Insn::Cbnz {
+                rt: Reg::x(0),
+                offset: -8,
+            },
+        ];
+        for insn in sample {
+            let w = encode(&insn);
+            assert_eq!(decode(w), Some(insn), "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn disassemble_mixed_stream() {
+        let words = [0xD503_201F, 0xDEAD_BEEF];
+        let text = disassemble(&words);
+        assert_eq!(text[0], "nop");
+        assert_eq!(text[1], ".inst 0xdeadbeef");
+    }
+}

@@ -1,0 +1,342 @@
+//! A64 instruction encoder.
+//!
+//! Produces the architectural 32-bit little-endian words for the modeled
+//! subset. Immediate ranges are validated with assertions: the assembler is
+//! trusted tooling, so a range error is a programming bug, not an input
+//! error.
+
+use crate::insn::{AddrMode, Insn, InsnKey, PacKey, PairMode};
+use crate::{Reg, SysReg};
+
+fn rd(r: Reg) -> u32 {
+    u32::from(r.number())
+}
+
+fn rn(r: Reg) -> u32 {
+    u32::from(r.number()) << 5
+}
+
+fn rt2(r: Reg) -> u32 {
+    u32::from(r.number()) << 10
+}
+
+fn rm(r: Reg) -> u32 {
+    u32::from(r.number()) << 16
+}
+
+fn movewide(base: u32, reg: Reg, imm16: u16, shift: u8) -> u32 {
+    assert!(shift <= 3, "move-wide shift selector out of range");
+    base | (u32::from(shift) << 21) | (u32::from(imm16) << 5) | rd(reg)
+}
+
+fn addsub_imm(base: u32, d: Reg, n: Reg, imm12: u16, shifted: bool) -> u32 {
+    assert!(imm12 < 4096, "imm12 out of range");
+    base | (u32::from(shifted) << 22) | (u32::from(imm12) << 10) | rn(n) | rd(d)
+}
+
+fn branch26(base: u32, offset: i32) -> u32 {
+    assert!(offset % 4 == 0, "branch offset must be word aligned");
+    let imm = offset / 4;
+    assert!((-(1 << 25)..(1 << 25)).contains(&imm), "branch out of range");
+    base | ((imm as u32) & 0x03FF_FFFF)
+}
+
+fn branch19(base: u32, reg: Reg, offset: i32) -> u32 {
+    assert!(offset % 4 == 0, "branch offset must be word aligned");
+    let imm = offset / 4;
+    assert!((-(1 << 18)..(1 << 18)).contains(&imm), "cb branch out of range");
+    base | (((imm as u32) & 0x7_FFFF) << 5) | rd(reg)
+}
+
+fn sysreg_op(base: u32, sr: SysReg, reg: Reg) -> u32 {
+    let (op0, op1, crn, crm, op2) = sr.fields();
+    assert!(op0 == 2 || op0 == 3, "only op0 in 2..=3 is encodable");
+    let o0 = u32::from(op0 - 2);
+    base | (o0 << 19)
+        | (u32::from(op1) << 16)
+        | (u32::from(crn) << 12)
+        | (u32::from(crm) << 8)
+        | (u32::from(op2) << 5)
+        | rd(reg)
+}
+
+fn pac_aut(base: u32, key: PacKey, d: Reg, n: Reg) -> u32 {
+    let sel = match key {
+        PacKey::IA => 0,
+        PacKey::IB => 1,
+        PacKey::DA => 2,
+        PacKey::DB => 3,
+    };
+    base | (sel << 10) | rn(n) | rd(d)
+}
+
+fn ldst_single(load: bool, t: Reg, base_reg: Reg, mode: AddrMode) -> u32 {
+    match mode {
+        AddrMode::Unsigned(imm) => {
+            assert!(imm % 8 == 0, "unsigned offset must be 8-byte scaled");
+            let imm12 = u32::from(imm) / 8;
+            assert!(imm12 < 4096, "unsigned offset out of range");
+            let op = if load { 0xF940_0000 } else { 0xF900_0000 };
+            op | (imm12 << 10) | rn(base_reg) | rd(t)
+        }
+        AddrMode::Post(imm) | AddrMode::Pre(imm) => {
+            assert!((-256..256).contains(&imm), "imm9 out of range");
+            let idx_bits = if matches!(mode, AddrMode::Pre(_)) {
+                0xC00
+            } else {
+                0x400
+            };
+            let op = if load { 0xF840_0000 } else { 0xF800_0000 };
+            op | idx_bits | (((imm as u32) & 0x1FF) << 12) | rn(base_reg) | rd(t)
+        }
+    }
+}
+
+fn ldst_pair(load: bool, t: Reg, t2: Reg, base_reg: Reg, mode: PairMode) -> u32 {
+    let (variant, imm) = match mode {
+        PairMode::SignedOffset(imm) => (0xA900_0000u32, imm),
+        PairMode::Pre(imm) => (0xA980_0000, imm),
+        PairMode::Post(imm) => (0xA880_0000, imm),
+    };
+    assert!(imm % 8 == 0, "pair offset must be 8-byte scaled");
+    let imm7 = imm / 8;
+    assert!((-64..64).contains(&imm7), "imm7 out of range");
+    let load_bit = if load { 1 << 22 } else { 0 };
+    variant | load_bit | (((imm7 as u32) & 0x7F) << 15) | rt2(t2) | rn(base_reg) | rd(t)
+}
+
+/// Encodes one instruction to its architectural 32-bit word.
+///
+/// # Panics
+///
+/// Panics when an immediate operand is outside its encodable range (offset
+/// misalignment, out-of-range branch target, ...). See the module
+/// documentation for the rationale.
+///
+/// # Example
+///
+/// ```
+/// use camo_isa::{encode, Insn};
+/// assert_eq!(encode(&Insn::Nop), 0xD503201F);
+/// assert_eq!(encode(&Insn::ret()), 0xD65F03C0);
+/// ```
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Movn { rd: d, imm16, shift } => movewide(0x9280_0000, d, imm16, shift),
+        Insn::Movz { rd: d, imm16, shift } => movewide(0xD280_0000, d, imm16, shift),
+        Insn::Movk { rd: d, imm16, shift } => movewide(0xF280_0000, d, imm16, shift),
+        Insn::AddImm {
+            rd: d,
+            rn: n,
+            imm12,
+            shifted,
+        } => addsub_imm(0x9100_0000, d, n, imm12, shifted),
+        Insn::SubImm {
+            rd: d,
+            rn: n,
+            imm12,
+            shifted,
+        } => addsub_imm(0xD100_0000, d, n, imm12, shifted),
+        Insn::AddReg { rd: d, rn: n, rm: m } => 0x8B00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::SubReg { rd: d, rn: n, rm: m } => 0xCB00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::AndReg { rd: d, rn: n, rm: m } => 0x8A00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::OrrReg { rd: d, rn: n, rm: m } => 0xAA00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::EorReg { rd: d, rn: n, rm: m } => 0xCA00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::Bfm {
+            rd: d,
+            rn: n,
+            immr,
+            imms,
+        } => {
+            assert!(immr < 64 && imms < 64, "bfm immediates out of range");
+            0xB340_0000 | (u32::from(immr) << 16) | (u32::from(imms) << 10) | rn(n) | rd(d)
+        }
+        Insn::Ubfm {
+            rd: d,
+            rn: n,
+            immr,
+            imms,
+        } => {
+            assert!(immr < 64 && imms < 64, "ubfm immediates out of range");
+            0xD340_0000 | (u32::from(immr) << 16) | (u32::from(imms) << 10) | rn(n) | rd(d)
+        }
+        Insn::Adr { rd: d, offset } => {
+            assert!((-(1 << 20)..(1 << 20)).contains(&offset), "adr out of range");
+            let imm = offset as u32;
+            let immlo = imm & 0x3;
+            let immhi = (imm >> 2) & 0x7_FFFF;
+            0x1000_0000 | (immlo << 29) | (immhi << 5) | rd(d)
+        }
+        Insn::Ldr { rt, rn: n, mode } => ldst_single(true, rt, n, mode),
+        Insn::Str { rt, rn: n, mode } => ldst_single(false, rt, n, mode),
+        Insn::Ldp {
+            rt,
+            rt2: t2,
+            rn: n,
+            mode,
+        } => ldst_pair(true, rt, t2, n, mode),
+        Insn::Stp {
+            rt,
+            rt2: t2,
+            rn: n,
+            mode,
+        } => ldst_pair(false, rt, t2, n, mode),
+        Insn::B { offset } => branch26(0x1400_0000, offset),
+        Insn::Bl { offset } => branch26(0x9400_0000, offset),
+        Insn::Br { rn: n } => 0xD61F_0000 | rn(n),
+        Insn::Blr { rn: n } => 0xD63F_0000 | rn(n),
+        Insn::Ret { rn: n } => 0xD65F_0000 | rn(n),
+        Insn::Cbz { rt, offset } => branch19(0xB400_0000, rt, offset),
+        Insn::Cbnz { rt, offset } => branch19(0xB500_0000, rt, offset),
+        Insn::Svc { imm } => 0xD400_0001 | (u32::from(imm) << 5),
+        Insn::Brk { imm } => 0xD420_0000 | (u32::from(imm) << 5),
+        Insn::Eret => 0xD69F_03E0,
+        Insn::Nop => 0xD503_201F,
+        Insn::Msr { sr, rt } => sysreg_op(0xD510_0000, sr, rt),
+        Insn::Mrs { rt, sr } => sysreg_op(0xD530_0000, sr, rt),
+        Insn::Pac { key, rd: d, rn: n } => pac_aut(0xDAC1_0000, key, d, n),
+        Insn::Aut { key, rd: d, rn: n } => pac_aut(0xDAC1_1000, key, d, n),
+        Insn::PacSp { key: InsnKey::A } => 0xD503_233F,
+        Insn::PacSp { key: InsnKey::B } => 0xD503_237F,
+        Insn::AutSp { key: InsnKey::A } => 0xD503_23BF,
+        Insn::AutSp { key: InsnKey::B } => 0xD503_23FF,
+        Insn::Pac1716 { key: InsnKey::A } => 0xD503_211F,
+        Insn::Pac1716 { key: InsnKey::B } => 0xD503_215F,
+        Insn::Aut1716 { key: InsnKey::A } => 0xD503_213F,
+        Insn::Aut1716 { key: InsnKey::B } => 0xD503_217F,
+        Insn::Xpaci { rd: d } => 0xDAC1_43E0 | rd(d),
+        Insn::Xpacd { rd: d } => 0xDAC1_47E0 | rd(d),
+        Insn::Pacga { rd: d, rn: n, rm: m } => 0x9AC0_3000 | rm(m) | rn(n) | rd(d),
+        Insn::Reta { key: InsnKey::A } => 0xD65F_0BFF,
+        Insn::Reta { key: InsnKey::B } => 0xD65F_0FFF,
+        Insn::Blra { key, rn: n, rm: m } => {
+            let k = if key == InsnKey::B { 0x400 } else { 0 };
+            0xD73F_0800 | k | rn(n) | rd(m)
+        }
+        Insn::Bra { key, rn: n, rm: m } => {
+            let k = if key == InsnKey::B { 0x400 } else { 0 };
+            0xD71F_0800 | k | rn(n) | rd(m)
+        }
+    }
+}
+
+/// Encodes a sequence of instructions into little-endian bytes.
+pub fn encode_all(insns: &[Insn]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(insns.len() * 4);
+    for insn in insns {
+        bytes.extend_from_slice(&encode(insn).to_le_bytes());
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_words() {
+        assert_eq!(encode(&Insn::Nop), 0xD503_201F);
+        assert_eq!(encode(&Insn::ret()), 0xD65F_03C0);
+        assert_eq!(encode(&Insn::Eret), 0xD69F_03E0);
+        assert_eq!(encode(&Insn::PacSp { key: InsnKey::A }), 0xD503_233F);
+        assert_eq!(encode(&Insn::AutSp { key: InsnKey::A }), 0xD503_23BF);
+        assert_eq!(encode(&Insn::Svc { imm: 0 }), 0xD400_0001);
+    }
+
+    #[test]
+    fn msr_ttbr0_matches_reference() {
+        // `msr ttbr0_el1, x0` assembles to 0xD5182000 with GNU binutils.
+        let w = encode(&Insn::Msr {
+            sr: SysReg::Ttbr0El1,
+            rt: Reg::x(0),
+        });
+        assert_eq!(w, 0xD518_2000);
+        // `mrs x0, ttbr0_el1` is the L=1 twin.
+        let r = encode(&Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::Ttbr0El1,
+        });
+        assert_eq!(r, 0xD538_2000);
+    }
+
+    #[test]
+    fn listing1_frame_record() {
+        // stp fp, lr, [sp, #-16]!
+        let stp = encode(&Insn::Stp {
+            rt: Reg::FP,
+            rt2: Reg::LR,
+            rn: Reg::Sp,
+            mode: PairMode::Pre(-16),
+        });
+        assert_eq!(stp, 0xA9BF_7BFD);
+        // ldp fp, lr, [sp], #16
+        let ldp = encode(&Insn::Ldp {
+            rt: Reg::FP,
+            rt2: Reg::LR,
+            rn: Reg::Sp,
+            mode: PairMode::Post(16),
+        });
+        assert_eq!(ldp, 0xA8C1_7BFD);
+    }
+
+    #[test]
+    fn listing2_pacia_lr_sp() {
+        // `pacia lr, sp` — rd = x30, rn = sp(31).
+        let w = encode(&Insn::Pac {
+            key: PacKey::IA,
+            rd: Reg::LR,
+            rn: Reg::Sp,
+        });
+        assert_eq!(w, 0xDAC1_03FE);
+        let a = encode(&Insn::Aut {
+            key: PacKey::IA,
+            rd: Reg::LR,
+            rn: Reg::Sp,
+        });
+        assert_eq!(a, 0xDAC1_13FE);
+    }
+
+    #[test]
+    fn nop_compatible_1716_forms_are_hints() {
+        // All *1716 forms must live in the hint space (0xD503_20xx..0xD503_21xx)
+        // so that pre-8.3 cores execute them as NOP (§5.5).
+        for insn in [
+            Insn::Pac1716 { key: InsnKey::A },
+            Insn::Pac1716 { key: InsnKey::B },
+            Insn::Aut1716 { key: InsnKey::A },
+            Insn::Aut1716 { key: InsnKey::B },
+        ] {
+            let w = encode(&insn);
+            assert_eq!(w & 0xFFFF_F01F, 0xD503_201F & 0xFFFF_F01F, "{insn}");
+        }
+    }
+
+    #[test]
+    fn branch_offsets() {
+        assert_eq!(encode(&Insn::B { offset: 8 }), 0x1400_0002);
+        assert_eq!(encode(&Insn::B { offset: -4 }), 0x17FF_FFFF);
+        assert_eq!(encode(&Insn::Bl { offset: 0 }), 0x9400_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch offset must be word aligned")]
+    fn misaligned_branch_panics() {
+        let _ = encode(&Insn::B { offset: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned offset must be 8-byte scaled")]
+    fn misaligned_load_panics() {
+        let _ = encode(&Insn::Ldr {
+            rt: Reg::x(0),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(12),
+        });
+    }
+
+    #[test]
+    fn encode_all_is_little_endian() {
+        let bytes = encode_all(&[Insn::Nop]);
+        assert_eq!(bytes, vec![0x1F, 0x20, 0x03, 0xD5]);
+    }
+}

@@ -1,0 +1,794 @@
+//! The instruction model.
+
+use crate::{Reg, SysReg};
+use core::fmt;
+
+/// Addressing mode for single-register loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// `[Xn, #imm]` — unsigned scaled 12-bit offset (bytes, multiple of 8).
+    Unsigned(u16),
+    /// `[Xn], #imm` — post-indexed, signed 9-bit byte offset.
+    Post(i16),
+    /// `[Xn, #imm]!` — pre-indexed, signed 9-bit byte offset.
+    Pre(i16),
+}
+
+/// Addressing mode for load/store pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairMode {
+    /// `[Xn, #imm]` — signed 7-bit offset scaled by 8.
+    SignedOffset(i16),
+    /// `[Xn], #imm` — post-indexed.
+    Post(i16),
+    /// `[Xn, #imm]!` — pre-indexed.
+    Pre(i16),
+}
+
+/// The four address-diversified PAC keys usable with `PAC*`/`AUT*` register
+/// forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacKey {
+    /// Instruction key A (`PACIA`/`AUTIA`).
+    IA,
+    /// Instruction key B (`PACIB`/`AUTIB`).
+    IB,
+    /// Data key A (`PACDA`/`AUTDA`).
+    DA,
+    /// Data key B (`PACDB`/`AUTDB`).
+    DB,
+}
+
+impl PacKey {
+    /// The corresponding architectural key.
+    pub fn to_pauth_key(self) -> crate::PauthKey {
+        match self {
+            PacKey::IA => crate::PauthKey::IA,
+            PacKey::IB => crate::PauthKey::IB,
+            PacKey::DA => crate::PauthKey::DA,
+            PacKey::DB => crate::PauthKey::DB,
+        }
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            PacKey::IA => "ia",
+            PacKey::IB => "ib",
+            PacKey::DA => "da",
+            PacKey::DB => "db",
+        }
+    }
+}
+
+/// Instruction-key selector for hint-space and combined PAuth forms
+/// (`PACIASP` vs `PACIBSP`, `RETAA` vs `RETAB`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnKey {
+    /// Key A.
+    A,
+    /// Key B.
+    B,
+}
+
+impl InsnKey {
+    /// The corresponding architectural instruction key.
+    pub fn to_pauth_key(self) -> crate::PauthKey {
+        match self {
+            InsnKey::A => crate::PauthKey::IA,
+            InsnKey::B => crate::PauthKey::IB,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            InsnKey::A => "a",
+            InsnKey::B => "b",
+        }
+    }
+}
+
+/// One A64 instruction from the modeled subset.
+///
+/// All data-processing operations are the 64-bit (`sf = 1`) forms; the
+/// Camouflage code paths never need 32-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// `MOVZ Xd, #imm16, LSL #(16*shift)` — move wide with zero.
+    Movz {
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm16: u16,
+        /// Shift selector 0..=3 (multiples of 16 bits).
+        shift: u8,
+    },
+    /// `MOVK Xd, #imm16, LSL #(16*shift)` — move wide with keep.
+    Movk {
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm16: u16,
+        /// Shift selector 0..=3.
+        shift: u8,
+    },
+    /// `MOVN Xd, #imm16, LSL #(16*shift)` — move wide with NOT.
+    Movn {
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm16: u16,
+        /// Shift selector 0..=3.
+        shift: u8,
+    },
+    /// `ADD Xd|SP, Xn|SP, #imm12 {, LSL #12}`.
+    AddImm {
+        /// Destination (SP allowed).
+        rd: Reg,
+        /// Source (SP allowed).
+        rn: Reg,
+        /// 12-bit immediate.
+        imm12: u16,
+        /// Whether the immediate is shifted left by 12.
+        shifted: bool,
+    },
+    /// `SUB Xd|SP, Xn|SP, #imm12 {, LSL #12}`.
+    SubImm {
+        /// Destination (SP allowed).
+        rd: Reg,
+        /// Source (SP allowed).
+        rn: Reg,
+        /// 12-bit immediate.
+        imm12: u16,
+        /// Whether the immediate is shifted left by 12.
+        shifted: bool,
+    },
+    /// `ADD Xd, Xn, Xm` (shifted register, shift 0).
+    AddReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `SUB Xd, Xn, Xm`.
+    SubReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `AND Xd, Xn, Xm`.
+    AndReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `ORR Xd, Xn, Xm` (`MOV Xd, Xm` when `rn` is `xzr`).
+    OrrReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `EOR Xd, Xn, Xm`.
+    EorReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `BFM Xd, Xn, #immr, #imms` — bit-field move (BFI/BFXIL alias base).
+    Bfm {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+        /// Rotate amount.
+        immr: u8,
+        /// Source width control.
+        imms: u8,
+    },
+    /// `UBFM Xd, Xn, #immr, #imms` — unsigned bit-field move (LSL/LSR alias
+    /// base).
+    Ubfm {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+        /// Rotate amount.
+        immr: u8,
+        /// Source width control.
+        imms: u8,
+    },
+    /// `ADR Xd, label` — PC-relative address (±1 MiB).
+    Adr {
+        /// Destination.
+        rd: Reg,
+        /// Byte offset from this instruction's address.
+        offset: i32,
+    },
+    /// `LDR Xt, ...`.
+    Ldr {
+        /// Destination.
+        rt: Reg,
+        /// Base register (SP allowed).
+        rn: Reg,
+        /// Addressing mode.
+        mode: AddrMode,
+    },
+    /// `STR Xt, ...`.
+    Str {
+        /// Source.
+        rt: Reg,
+        /// Base register (SP allowed).
+        rn: Reg,
+        /// Addressing mode.
+        mode: AddrMode,
+    },
+    /// `LDP Xt, Xt2, ...`.
+    Ldp {
+        /// First destination.
+        rt: Reg,
+        /// Second destination.
+        rt2: Reg,
+        /// Base register (SP allowed).
+        rn: Reg,
+        /// Addressing mode.
+        mode: PairMode,
+    },
+    /// `STP Xt, Xt2, ...`.
+    Stp {
+        /// First source.
+        rt: Reg,
+        /// Second source.
+        rt2: Reg,
+        /// Base register (SP allowed).
+        rn: Reg,
+        /// Addressing mode.
+        mode: PairMode,
+    },
+    /// `B label` (±128 MiB).
+    B {
+        /// Byte offset from this instruction's address.
+        offset: i32,
+    },
+    /// `BL label`.
+    Bl {
+        /// Byte offset from this instruction's address.
+        offset: i32,
+    },
+    /// `BR Xn`.
+    Br {
+        /// Target address register.
+        rn: Reg,
+    },
+    /// `BLR Xn`.
+    Blr {
+        /// Target address register.
+        rn: Reg,
+    },
+    /// `RET {Xn}` (defaults to `x30`).
+    Ret {
+        /// Return address register.
+        rn: Reg,
+    },
+    /// `CBZ Xt, label` (±1 MiB).
+    Cbz {
+        /// Tested register.
+        rt: Reg,
+        /// Byte offset from this instruction's address.
+        offset: i32,
+    },
+    /// `CBNZ Xt, label`.
+    Cbnz {
+        /// Tested register.
+        rt: Reg,
+        /// Byte offset from this instruction's address.
+        offset: i32,
+    },
+    /// `SVC #imm` — supervisor call (syscall).
+    Svc {
+        /// Immediate passed to the exception handler.
+        imm: u16,
+    },
+    /// `BRK #imm` — software breakpoint.
+    Brk {
+        /// Immediate.
+        imm: u16,
+    },
+    /// `ERET` — exception return.
+    Eret,
+    /// `NOP`.
+    Nop,
+    /// `MSR <sysreg>, Xt`.
+    Msr {
+        /// Written system register.
+        sr: SysReg,
+        /// Source register.
+        rt: Reg,
+    },
+    /// `MRS Xt, <sysreg>`.
+    Mrs {
+        /// Destination register.
+        rt: Reg,
+        /// Read system register.
+        sr: SysReg,
+    },
+    /// `PACIA/PACIB/PACDA/PACDB Xd, Xn|SP` — sign `Xd` with modifier `Xn`.
+    Pac {
+        /// Key selection.
+        key: PacKey,
+        /// Pointer register (signed in place).
+        rd: Reg,
+        /// Modifier register (SP allowed).
+        rn: Reg,
+    },
+    /// `AUTIA/AUTIB/AUTDA/AUTDB Xd, Xn|SP` — authenticate `Xd`.
+    Aut {
+        /// Key selection.
+        key: PacKey,
+        /// Pointer register (authenticated in place).
+        rd: Reg,
+        /// Modifier register (SP allowed).
+        rn: Reg,
+    },
+    /// `PACIASP`/`PACIBSP` — sign LR with SP as modifier (hint space).
+    PacSp {
+        /// Key selection.
+        key: InsnKey,
+    },
+    /// `AUTIASP`/`AUTIBSP` — authenticate LR with SP as modifier.
+    AutSp {
+        /// Key selection.
+        key: InsnKey,
+    },
+    /// `PACIA1716`/`PACIB1716` — sign x17 with x16 as modifier.
+    ///
+    /// Lives in the hint space, so it executes as `NOP` on pre-8.3 cores:
+    /// this is the paper's §5.5 backward-compatibility mechanism.
+    Pac1716 {
+        /// Key selection.
+        key: InsnKey,
+    },
+    /// `AUTIA1716`/`AUTIB1716` — authenticate x17 with x16 as modifier.
+    Aut1716 {
+        /// Key selection.
+        key: InsnKey,
+    },
+    /// `XPACI Xd` — strip the PAC from an instruction pointer.
+    Xpaci {
+        /// Pointer register.
+        rd: Reg,
+    },
+    /// `XPACD Xd` — strip the PAC from a data pointer.
+    Xpacd {
+        /// Pointer register.
+        rd: Reg,
+    },
+    /// `PACGA Xd, Xn, Xm` — generic MAC of `Xn` with modifier `Xm`.
+    Pacga {
+        /// Destination (receives the MAC in the top 32 bits).
+        rd: Reg,
+        /// Data register.
+        rn: Reg,
+        /// Modifier register.
+        rm: Reg,
+    },
+    /// `RETAA`/`RETAB` — authenticate LR (SP modifier) and return.
+    Reta {
+        /// Key selection.
+        key: InsnKey,
+    },
+    /// `BLRAA`/`BLRAB Xn, Xm` — authenticate and branch with link.
+    Blra {
+        /// Key selection.
+        key: InsnKey,
+        /// Target register.
+        rn: Reg,
+        /// Modifier register (SP allowed).
+        rm: Reg,
+    },
+    /// `BRAA`/`BRAB Xn, Xm` — authenticate and branch.
+    Bra {
+        /// Key selection.
+        key: InsnKey,
+        /// Target register.
+        rn: Reg,
+        /// Modifier register (SP allowed).
+        rm: Reg,
+    },
+}
+
+impl Insn {
+    /// `BFI Xd, Xn, #lsb, #width` — bit-field insert (alias of `BFM`).
+    ///
+    /// This is the Listing 3 workhorse: `bfi ip0, ip1, #32, #32` merges the
+    /// low 32 bits of SP into the top half of the function-address modifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lsb < 64`, `1 <= width <= 64 - lsb`.
+    pub fn bfi(rd: Reg, rn: Reg, lsb: u8, width: u8) -> Insn {
+        assert!(lsb < 64, "bfi lsb out of range");
+        assert!(width >= 1 && width <= 64 - lsb, "bfi width out of range");
+        Insn::Bfm {
+            rd,
+            rn,
+            immr: (64 - lsb) % 64,
+            imms: width - 1,
+        }
+    }
+
+    /// `LSL Xd, Xn, #shift` (alias of `UBFM`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > 63`.
+    pub fn lsl(rd: Reg, rn: Reg, shift: u8) -> Insn {
+        assert!(shift <= 63, "lsl shift out of range");
+        Insn::Ubfm {
+            rd,
+            rn,
+            immr: (64 - shift) % 64,
+            imms: 63 - shift,
+        }
+    }
+
+    /// `LSR Xd, Xn, #shift` (alias of `UBFM`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > 63`.
+    pub fn lsr(rd: Reg, rn: Reg, shift: u8) -> Insn {
+        assert!(shift <= 63, "lsr shift out of range");
+        Insn::Ubfm {
+            rd,
+            rn,
+            immr: shift,
+            imms: 63,
+        }
+    }
+
+    /// `MOV Xd, Xm` (alias of `ORR Xd, xzr, Xm`).
+    pub fn mov(rd: Reg, rm: Reg) -> Insn {
+        Insn::OrrReg {
+            rd,
+            rn: Reg::Xzr,
+            rm,
+        }
+    }
+
+    /// `MOV Xd, SP` / `MOV SP, Xn` (alias of `ADD ..., #0`).
+    pub fn mov_sp(rd: Reg, rn: Reg) -> Insn {
+        Insn::AddImm {
+            rd,
+            rn,
+            imm12: 0,
+            shifted: false,
+        }
+    }
+
+    /// `RET` with the default `x30` return register.
+    pub fn ret() -> Insn {
+        Insn::Ret { rn: Reg::LR }
+    }
+
+    /// Whether the instruction is a PAuth operation (any form).
+    ///
+    /// Used by the cost model: the paper's PA-analogue charges these
+    /// 4 cycles each (§6.1).
+    pub fn is_pauth(&self) -> bool {
+        matches!(
+            self,
+            Insn::Pac { .. }
+                | Insn::Aut { .. }
+                | Insn::PacSp { .. }
+                | Insn::AutSp { .. }
+                | Insn::Pac1716 { .. }
+                | Insn::Aut1716 { .. }
+                | Insn::Xpaci { .. }
+                | Insn::Xpacd { .. }
+                | Insn::Pacga { .. }
+                | Insn::Reta { .. }
+                | Insn::Blra { .. }
+                | Insn::Bra { .. }
+        )
+    }
+
+    /// Whether the instruction reads a PAuth key system register.
+    ///
+    /// The §4.1 static verifier rejects kernel and module images containing
+    /// any such instruction.
+    pub fn reads_pauth_key(&self) -> bool {
+        matches!(self, Insn::Mrs { sr, .. } if sr.is_pauth_key())
+    }
+
+    /// Whether the instruction writes `SCTLR_EL1` (and could therefore clear
+    /// the PAuth enable bits).
+    pub fn writes_sctlr(&self) -> bool {
+        matches!(
+            self,
+            Insn::Msr {
+                sr: SysReg::SctlrEl1,
+                ..
+            }
+        )
+    }
+}
+
+fn fmt_pair_mode(f: &mut fmt::Formatter<'_>, rn: Reg, mode: PairMode) -> fmt::Result {
+    match mode {
+        PairMode::SignedOffset(0) => write!(f, "[{rn}]"),
+        PairMode::SignedOffset(imm) => write!(f, "[{rn}, #{imm}]"),
+        PairMode::Post(imm) => write!(f, "[{rn}], #{imm}"),
+        PairMode::Pre(imm) => write!(f, "[{rn}, #{imm}]!"),
+    }
+}
+
+fn fmt_addr_mode(f: &mut fmt::Formatter<'_>, rn: Reg, mode: AddrMode) -> fmt::Result {
+    match mode {
+        AddrMode::Unsigned(0) => write!(f, "[{rn}]"),
+        AddrMode::Unsigned(imm) => write!(f, "[{rn}, #{imm}]"),
+        AddrMode::Post(imm) => write!(f, "[{rn}], #{imm}"),
+        AddrMode::Pre(imm) => write!(f, "[{rn}, #{imm}]!"),
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Insn::Movz { rd, imm16, shift } => {
+                if shift == 0 {
+                    write!(f, "movz {rd}, #{imm16:#x}")
+                } else {
+                    write!(f, "movz {rd}, #{imm16:#x}, lsl #{}", 16 * shift)
+                }
+            }
+            Insn::Movk { rd, imm16, shift } => {
+                if shift == 0 {
+                    write!(f, "movk {rd}, #{imm16:#x}")
+                } else {
+                    write!(f, "movk {rd}, #{imm16:#x}, lsl #{}", 16 * shift)
+                }
+            }
+            Insn::Movn { rd, imm16, shift } => {
+                if shift == 0 {
+                    write!(f, "movn {rd}, #{imm16:#x}")
+                } else {
+                    write!(f, "movn {rd}, #{imm16:#x}, lsl #{}", 16 * shift)
+                }
+            }
+            Insn::AddImm {
+                rd,
+                rn,
+                imm12,
+                shifted,
+            } => {
+                if shifted {
+                    write!(f, "add {rd}, {rn}, #{imm12}, lsl #12")
+                } else {
+                    write!(f, "add {rd}, {rn}, #{imm12}")
+                }
+            }
+            Insn::SubImm {
+                rd,
+                rn,
+                imm12,
+                shifted,
+            } => {
+                if shifted {
+                    write!(f, "sub {rd}, {rn}, #{imm12}, lsl #12")
+                } else {
+                    write!(f, "sub {rd}, {rn}, #{imm12}")
+                }
+            }
+            Insn::AddReg { rd, rn, rm } => write!(f, "add {rd}, {rn}, {rm}"),
+            Insn::SubReg { rd, rn, rm } => write!(f, "sub {rd}, {rn}, {rm}"),
+            Insn::AndReg { rd, rn, rm } => write!(f, "and {rd}, {rn}, {rm}"),
+            Insn::OrrReg { rd, rn, rm } => {
+                if rn == Reg::Xzr {
+                    write!(f, "mov {rd}, {rm}")
+                } else {
+                    write!(f, "orr {rd}, {rn}, {rm}")
+                }
+            }
+            Insn::EorReg { rd, rn, rm } => write!(f, "eor {rd}, {rn}, {rm}"),
+            Insn::Bfm { rd, rn, immr, imms } => {
+                // Render the BFI alias when it applies (imms < immr).
+                if imms < immr {
+                    let lsb = (64 - immr) % 64;
+                    write!(f, "bfi {rd}, {rn}, #{lsb}, #{}", imms + 1)
+                } else {
+                    write!(f, "bfm {rd}, {rn}, #{immr}, #{imms}")
+                }
+            }
+            Insn::Ubfm { rd, rn, immr, imms } => {
+                if imms == 63 {
+                    write!(f, "lsr {rd}, {rn}, #{immr}")
+                } else if imms + 1 == immr {
+                    write!(f, "lsl {rd}, {rn}, #{}", 63 - imms)
+                } else {
+                    write!(f, "ubfm {rd}, {rn}, #{immr}, #{imms}")
+                }
+            }
+            Insn::Adr { rd, offset } => write!(f, "adr {rd}, {offset:+}"),
+            Insn::Ldr { rt, rn, mode } => {
+                write!(f, "ldr {rt}, ")?;
+                fmt_addr_mode(f, rn, mode)
+            }
+            Insn::Str { rt, rn, mode } => {
+                write!(f, "str {rt}, ")?;
+                fmt_addr_mode(f, rn, mode)
+            }
+            Insn::Ldp { rt, rt2, rn, mode } => {
+                write!(f, "ldp {rt}, {rt2}, ")?;
+                fmt_pair_mode(f, rn, mode)
+            }
+            Insn::Stp { rt, rt2, rn, mode } => {
+                write!(f, "stp {rt}, {rt2}, ")?;
+                fmt_pair_mode(f, rn, mode)
+            }
+            Insn::B { offset } => write!(f, "b {offset:+}"),
+            Insn::Bl { offset } => write!(f, "bl {offset:+}"),
+            Insn::Br { rn } => write!(f, "br {rn}"),
+            Insn::Blr { rn } => write!(f, "blr {rn}"),
+            Insn::Ret { rn } => {
+                if rn == Reg::LR {
+                    write!(f, "ret")
+                } else {
+                    write!(f, "ret {rn}")
+                }
+            }
+            Insn::Cbz { rt, offset } => write!(f, "cbz {rt}, {offset:+}"),
+            Insn::Cbnz { rt, offset } => write!(f, "cbnz {rt}, {offset:+}"),
+            Insn::Svc { imm } => write!(f, "svc #{imm:#x}"),
+            Insn::Brk { imm } => write!(f, "brk #{imm:#x}"),
+            Insn::Eret => write!(f, "eret"),
+            Insn::Nop => write!(f, "nop"),
+            Insn::Msr { sr, rt } => write!(f, "msr {sr}, {rt}"),
+            Insn::Mrs { rt, sr } => write!(f, "mrs {rt}, {sr}"),
+            Insn::Pac { key, rd, rn } => write!(f, "pac{} {rd}, {rn}", key.suffix()),
+            Insn::Aut { key, rd, rn } => write!(f, "aut{} {rd}, {rn}", key.suffix()),
+            Insn::PacSp { key } => write!(f, "paci{}sp", key.letter()),
+            Insn::AutSp { key } => write!(f, "auti{}sp", key.letter()),
+            Insn::Pac1716 { key } => write!(f, "paci{}1716", key.letter()),
+            Insn::Aut1716 { key } => write!(f, "auti{}1716", key.letter()),
+            Insn::Xpaci { rd } => write!(f, "xpaci {rd}"),
+            Insn::Xpacd { rd } => write!(f, "xpacd {rd}"),
+            Insn::Pacga { rd, rn, rm } => write!(f, "pacga {rd}, {rn}, {rm}"),
+            Insn::Reta { key } => write!(f, "reta{}", key.letter()),
+            Insn::Blra { key, rn, rm } => write!(f, "blra{} {rn}, {rm}", key.letter()),
+            Insn::Bra { key, rn, rm } => write!(f, "bra{} {rn}, {rm}", key.letter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfi_alias_listing3() {
+        // Listing 3: bfi ip0, ip1, #32, #32
+        let insn = Insn::bfi(Reg::IP0, Reg::IP1, 32, 32);
+        assert_eq!(
+            insn,
+            Insn::Bfm {
+                rd: Reg::IP0,
+                rn: Reg::IP1,
+                immr: 32,
+                imms: 31
+            }
+        );
+        assert_eq!(insn.to_string(), "bfi x16, x17, #32, #32");
+    }
+
+    #[test]
+    fn lsl_lsr_aliases() {
+        assert_eq!(Insn::lsl(Reg::x(1), Reg::x(2), 16).to_string(), "lsl x1, x2, #16");
+        assert_eq!(Insn::lsr(Reg::x(1), Reg::x(2), 48).to_string(), "lsr x1, x2, #48");
+    }
+
+    #[test]
+    fn mov_aliases() {
+        assert_eq!(Insn::mov(Reg::x(0), Reg::x(1)).to_string(), "mov x0, x1");
+        assert_eq!(
+            Insn::mov_sp(Reg::IP1, Reg::Sp).to_string(),
+            "add x17, sp, #0"
+        );
+        assert_eq!(Insn::ret().to_string(), "ret");
+    }
+
+    #[test]
+    fn pauth_classification() {
+        assert!(Insn::Pac {
+            key: PacKey::IB,
+            rd: Reg::LR,
+            rn: Reg::Sp
+        }
+        .is_pauth());
+        assert!(Insn::Reta { key: InsnKey::B }.is_pauth());
+        assert!(!Insn::Nop.is_pauth());
+        assert!(!Insn::ret().is_pauth());
+    }
+
+    #[test]
+    fn verifier_predicates() {
+        let read_key = Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::ApibKeyLoEl1,
+        };
+        assert!(read_key.reads_pauth_key());
+        let read_ok = Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::ContextidrEl1,
+        };
+        assert!(!read_ok.reads_pauth_key());
+        let write_sctlr = Insn::Msr {
+            sr: SysReg::SctlrEl1,
+            rt: Reg::x(0),
+        };
+        assert!(write_sctlr.writes_sctlr());
+        let write_key = Insn::Msr {
+            sr: SysReg::ApibKeyLoEl1,
+            rt: Reg::x(0),
+        };
+        assert!(!write_key.writes_sctlr(), "writing keys is the setter's job");
+    }
+
+    #[test]
+    fn display_pauth_forms() {
+        assert_eq!(Insn::PacSp { key: InsnKey::A }.to_string(), "paciasp");
+        assert_eq!(Insn::Aut1716 { key: InsnKey::B }.to_string(), "autib1716");
+        assert_eq!(
+            Insn::Pac {
+                key: PacKey::DB,
+                rd: Reg::x(8),
+                rn: Reg::x(9)
+            }
+            .to_string(),
+            "pacdb x8, x9"
+        );
+        assert_eq!(Insn::Reta { key: InsnKey::B }.to_string(), "retab");
+    }
+
+    #[test]
+    fn display_memory_forms() {
+        let stp = Insn::Stp {
+            rt: Reg::FP,
+            rt2: Reg::LR,
+            rn: Reg::Sp,
+            mode: PairMode::Pre(-16),
+        };
+        assert_eq!(stp.to_string(), "stp x29, x30, [sp, #-16]!");
+        let ldp = Insn::Ldp {
+            rt: Reg::FP,
+            rt2: Reg::LR,
+            rn: Reg::Sp,
+            mode: PairMode::Post(16),
+        };
+        assert_eq!(ldp.to_string(), "ldp x29, x30, [sp], #16");
+        let ldr = Insn::Ldr {
+            rt: Reg::x(8),
+            rn: Reg::x(0),
+            mode: AddrMode::Unsigned(40),
+        };
+        assert_eq!(ldr.to_string(), "ldr x8, [x0, #40]");
+    }
+
+    #[test]
+    #[should_panic(expected = "bfi width out of range")]
+    fn bfi_rejects_overwide_field() {
+        let _ = Insn::bfi(Reg::x(0), Reg::x(1), 40, 32);
+    }
+}

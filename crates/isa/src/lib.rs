@@ -1,0 +1,140 @@
+//! AArch64 instruction-set subset for the Camouflage simulator.
+//!
+//! This crate models the slice of the A64 instruction set that the
+//! Camouflage kernel-CFI design exercises: move-immediates (the XOM
+//! key-setter is built from `MOVZ`/`MOVK`), arithmetic, bit-field moves
+//! (the Listing 3 modifier construction), loads/stores incl. pair forms
+//! (frame records), branches, system-register access (`MSR`/`MRS` of the
+//! PAuth key registers and `SCTLR_EL1`), and the complete ARMv8.3 PAuth
+//! instruction family (`PAC*`, `AUT*`, `XPAC*`, combined and hint-space
+//! forms, including the NOP-compatible `*1716` variants used for backward
+//! compatibility).
+//!
+//! Instructions carry **real A64 encodings**: [`encode`] produces the
+//! architectural 32-bit words and [`decode`] parses them back. This matters
+//! to the reproduction because both the execute-only-memory argument (key
+//! material lives in instruction immediates) and the kernel's static module
+//! verification (scanning for `MRS <key register>`) operate on machine code,
+//! not on a convenient IR.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_isa::{encode, decode, Insn, Reg};
+//!
+//! let insn = Insn::Movz { rd: Reg::x(0), imm16: 0xbeef, shift: 1 };
+//! let word = encode(&insn);
+//! assert_eq!(decode(word), Some(insn));
+//! assert_eq!(insn.to_string(), "movz x0, #0xbeef, lsl #16");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod cost;
+mod decode;
+mod encode;
+mod insn;
+mod reg;
+pub mod sysreg;
+
+pub use asm::{Assembler, CodeBlock, Label};
+pub use cost::{cycles, CostModel, PA_ANALOGUE_CYCLES};
+pub use decode::{decode, disassemble};
+pub use encode::{encode, encode_all};
+pub use insn::{AddrMode, Insn, InsnKey, PacKey, PairMode};
+pub use reg::Reg;
+pub use sysreg::SysReg;
+
+/// The five architectural PAuth keys of ARMv8.3-A.
+///
+/// Two instruction keys (IA, IB), two data keys (DA, DB) and one generic key
+/// (GA). Camouflage uses three of the five: one instruction key for
+/// backward-edge CFI, the other for forward-edge CFI, and one data key for
+/// data-flow integrity (§4.5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PauthKey {
+    /// Instruction key A.
+    IA,
+    /// Instruction key B.
+    IB,
+    /// Data key A.
+    DA,
+    /// Data key B.
+    DB,
+    /// Generic key (used by `PACGA` only).
+    GA,
+}
+
+impl PauthKey {
+    /// All five keys, in architectural order.
+    pub const ALL: [PauthKey; 5] = [
+        PauthKey::IA,
+        PauthKey::IB,
+        PauthKey::DA,
+        PauthKey::DB,
+        PauthKey::GA,
+    ];
+
+    /// Whether this is an instruction key (IA/IB).
+    pub fn is_instruction(self) -> bool {
+        matches!(self, PauthKey::IA | PauthKey::IB)
+    }
+
+    /// Whether this is a data key (DA/DB).
+    pub fn is_data(self) -> bool {
+        matches!(self, PauthKey::DA | PauthKey::DB)
+    }
+
+    /// The pair of system registers holding this 128-bit key (lo, hi).
+    pub fn sysregs(self) -> (SysReg, SysReg) {
+        match self {
+            PauthKey::IA => (SysReg::ApiaKeyLoEl1, SysReg::ApiaKeyHiEl1),
+            PauthKey::IB => (SysReg::ApibKeyLoEl1, SysReg::ApibKeyHiEl1),
+            PauthKey::DA => (SysReg::ApdaKeyLoEl1, SysReg::ApdaKeyHiEl1),
+            PauthKey::DB => (SysReg::ApdbKeyLoEl1, SysReg::ApdbKeyHiEl1),
+            PauthKey::GA => (SysReg::ApgaKeyLoEl1, SysReg::ApgaKeyHiEl1),
+        }
+    }
+}
+
+impl core::fmt::Display for PauthKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PauthKey::IA => "IA",
+            PauthKey::IB => "IB",
+            PauthKey::DA => "DA",
+            PauthKey::DB => "DB",
+            PauthKey::GA => "GA",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_classes() {
+        assert!(PauthKey::IA.is_instruction());
+        assert!(PauthKey::IB.is_instruction());
+        assert!(PauthKey::DA.is_data());
+        assert!(PauthKey::DB.is_data());
+        assert!(!PauthKey::GA.is_instruction());
+        assert!(!PauthKey::GA.is_data());
+    }
+
+    #[test]
+    fn each_key_has_distinct_register_pair() {
+        let mut seen = std::collections::HashSet::new();
+        for key in PauthKey::ALL {
+            let (lo, hi) = key.sysregs();
+            assert!(seen.insert(lo));
+            assert!(seen.insert(hi));
+            assert_ne!(lo, hi);
+        }
+        assert_eq!(seen.len(), 10, "ten key system registers in total");
+    }
+}

@@ -1,0 +1,118 @@
+//! General-purpose register names.
+
+use core::fmt;
+
+/// An AArch64 general-purpose register operand.
+///
+/// Register number 31 is context-dependent in A64: it names the stack
+/// pointer in address/arithmetic contexts and the zero register elsewhere.
+/// This model makes the distinction explicit at the type level; the
+/// encoder maps both [`Reg::Sp`] and [`Reg::Xzr`] to 31 and the decoder
+/// picks the right one from the instruction context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// General-purpose register `x0`..`x30`.
+    X(u8),
+    /// The stack pointer (`sp`).
+    Sp,
+    /// The zero register (`xzr`).
+    Xzr,
+}
+
+impl Reg {
+    /// The link register `x30` (aka `lr`).
+    pub const LR: Reg = Reg::X(30);
+    /// The frame pointer `x29` (aka `fp`).
+    pub const FP: Reg = Reg::X(29);
+    /// The first intra-procedure-call scratch register `x16` (aka `ip0`).
+    pub const IP0: Reg = Reg::X(16);
+    /// The second intra-procedure-call scratch register `x17` (aka `ip1`).
+    pub const IP1: Reg = Reg::X(17);
+
+    /// Creates `x<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30` (use [`Reg::Sp`] or [`Reg::Xzr`] for number 31).
+    pub fn x(n: u8) -> Reg {
+        assert!(n <= 30, "x{n} is not a general-purpose register");
+        Reg::X(n)
+    }
+
+    /// The 5-bit encoding of this register.
+    pub fn number(self) -> u8 {
+        match self {
+            Reg::X(n) => n,
+            Reg::Sp | Reg::Xzr => 31,
+        }
+    }
+
+    /// Decodes a 5-bit field in a context where 31 means the stack pointer.
+    pub fn from_field_sp(n: u8) -> Reg {
+        if n == 31 {
+            Reg::Sp
+        } else {
+            Reg::X(n)
+        }
+    }
+
+    /// Decodes a 5-bit field in a context where 31 means the zero register.
+    pub fn from_field_zr(n: u8) -> Reg {
+        if n == 31 {
+            Reg::Xzr
+        } else {
+            Reg::X(n)
+        }
+    }
+
+    /// Whether this operand is an allocatable general-purpose register.
+    pub fn is_gpr(self) -> bool {
+        matches!(self, Reg::X(_))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::X(n) => write!(f, "x{n}"),
+            Reg::Sp => write!(f, "sp"),
+            Reg::Xzr => write!(f, "xzr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases() {
+        assert_eq!(Reg::LR, Reg::X(30));
+        assert_eq!(Reg::FP, Reg::X(29));
+        assert_eq!(Reg::IP0.number(), 16);
+        assert_eq!(Reg::IP1.number(), 17);
+    }
+
+    #[test]
+    fn number_31_is_context_dependent() {
+        assert_eq!(Reg::Sp.number(), 31);
+        assert_eq!(Reg::Xzr.number(), 31);
+        assert_eq!(Reg::from_field_sp(31), Reg::Sp);
+        assert_eq!(Reg::from_field_zr(31), Reg::Xzr);
+        assert_eq!(Reg::from_field_sp(7), Reg::X(7));
+        assert_eq!(Reg::from_field_zr(7), Reg::X(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "x31 is not a general-purpose register")]
+    fn x31_rejected() {
+        let _ = Reg::x(31);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::x(0).to_string(), "x0");
+        assert_eq!(Reg::Sp.to_string(), "sp");
+        assert_eq!(Reg::Xzr.to_string(), "xzr");
+    }
+}

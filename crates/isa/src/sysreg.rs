@@ -1,0 +1,245 @@
+//! System registers reachable via `MSR`/`MRS` in the simulated machine.
+
+use core::fmt;
+
+/// A system register, identified by its `(op0, op1, CRn, CRm, op2)` tuple.
+///
+/// The set covers what the Camouflage design touches: the ten PAuth key
+/// registers, `SCTLR_EL1` (whose `EnIA`/`EnIB`/`EnDA`/`EnDB` bits gate the
+/// keys), translation-table bases, exception plumbing, and
+/// `CONTEXTIDR_EL1` (which the paper uses as the side-effect-free `MSR`
+/// target of the PA-analogue on pre-8.3 hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum SysReg {
+    /// `SCTLR_EL1` — system control register (PAuth enable bits live here).
+    SctlrEl1,
+    /// `TTBR0_EL1` — user-half translation-table base.
+    Ttbr0El1,
+    /// `TTBR1_EL1` — kernel-half translation-table base.
+    Ttbr1El1,
+    /// `VBAR_EL1` — exception vector base.
+    VbarEl1,
+    /// `ESR_EL1` — exception syndrome.
+    EsrEl1,
+    /// `ELR_EL1` — exception link register.
+    ElrEl1,
+    /// `SPSR_EL1` — saved program status.
+    SpsrEl1,
+    /// `FAR_EL1` — fault address.
+    FarEl1,
+    /// `SP_EL0` — banked user stack pointer, accessible from EL1.
+    SpEl0,
+    /// `CONTEXTIDR_EL1` — context ID; PA-analogue `MSR` target.
+    ContextidrEl1,
+    /// `TPIDR_EL1` — EL1 software thread ID (holds `current` in Linux).
+    TpidrEl1,
+    /// `DAIF` — interrupt mask bits.
+    Daif,
+    /// `CNTVCT_EL0` — virtual counter (cycle source for benchmarks).
+    CntvctEl0,
+    /// `APIAKeyLo_EL1` — instruction key A, low half.
+    ApiaKeyLoEl1,
+    /// `APIAKeyHi_EL1` — instruction key A, high half.
+    ApiaKeyHiEl1,
+    /// `APIBKeyLo_EL1` — instruction key B, low half.
+    ApibKeyLoEl1,
+    /// `APIBKeyHi_EL1` — instruction key B, high half.
+    ApibKeyHiEl1,
+    /// `APDAKeyLo_EL1` — data key A, low half.
+    ApdaKeyLoEl1,
+    /// `APDAKeyHi_EL1` — data key A, high half.
+    ApdaKeyHiEl1,
+    /// `APDBKeyLo_EL1` — data key B, low half.
+    ApdbKeyLoEl1,
+    /// `APDBKeyHi_EL1` — data key B, high half.
+    ApdbKeyHiEl1,
+    /// `APGAKeyLo_EL1` — generic key, low half.
+    ApgaKeyLoEl1,
+    /// `APGAKeyHi_EL1` — generic key, high half.
+    ApgaKeyHiEl1,
+}
+
+impl SysReg {
+    /// All modeled system registers.
+    pub const ALL: [SysReg; 23] = [
+        SysReg::SctlrEl1,
+        SysReg::Ttbr0El1,
+        SysReg::Ttbr1El1,
+        SysReg::VbarEl1,
+        SysReg::EsrEl1,
+        SysReg::ElrEl1,
+        SysReg::SpsrEl1,
+        SysReg::FarEl1,
+        SysReg::SpEl0,
+        SysReg::ContextidrEl1,
+        SysReg::TpidrEl1,
+        SysReg::Daif,
+        SysReg::CntvctEl0,
+        SysReg::ApiaKeyLoEl1,
+        SysReg::ApiaKeyHiEl1,
+        SysReg::ApibKeyLoEl1,
+        SysReg::ApibKeyHiEl1,
+        SysReg::ApdaKeyLoEl1,
+        SysReg::ApdaKeyHiEl1,
+        SysReg::ApdbKeyLoEl1,
+        SysReg::ApdbKeyHiEl1,
+        SysReg::ApgaKeyLoEl1,
+        SysReg::ApgaKeyHiEl1,
+    ];
+
+    /// The `(op0, op1, CRn, CRm, op2)` encoding (ARM ARM, D17).
+    pub fn fields(self) -> (u8, u8, u8, u8, u8) {
+        match self {
+            SysReg::SctlrEl1 => (3, 0, 1, 0, 0),
+            SysReg::Ttbr0El1 => (3, 0, 2, 0, 0),
+            SysReg::Ttbr1El1 => (3, 0, 2, 0, 1),
+            SysReg::VbarEl1 => (3, 0, 12, 0, 0),
+            SysReg::EsrEl1 => (3, 0, 5, 2, 0),
+            SysReg::ElrEl1 => (3, 0, 4, 0, 1),
+            SysReg::SpsrEl1 => (3, 0, 4, 0, 0),
+            SysReg::FarEl1 => (3, 0, 6, 0, 0),
+            SysReg::SpEl0 => (3, 0, 4, 1, 0),
+            SysReg::ContextidrEl1 => (3, 0, 13, 0, 1),
+            SysReg::TpidrEl1 => (3, 0, 13, 0, 4),
+            SysReg::Daif => (3, 3, 4, 2, 1),
+            SysReg::CntvctEl0 => (3, 3, 14, 0, 2),
+            SysReg::ApiaKeyLoEl1 => (3, 0, 2, 1, 0),
+            SysReg::ApiaKeyHiEl1 => (3, 0, 2, 1, 1),
+            SysReg::ApibKeyLoEl1 => (3, 0, 2, 1, 2),
+            SysReg::ApibKeyHiEl1 => (3, 0, 2, 1, 3),
+            SysReg::ApdaKeyLoEl1 => (3, 0, 2, 2, 0),
+            SysReg::ApdaKeyHiEl1 => (3, 0, 2, 2, 1),
+            SysReg::ApdbKeyLoEl1 => (3, 0, 2, 2, 2),
+            SysReg::ApdbKeyHiEl1 => (3, 0, 2, 2, 3),
+            SysReg::ApgaKeyLoEl1 => (3, 0, 2, 3, 0),
+            SysReg::ApgaKeyHiEl1 => (3, 0, 2, 3, 1),
+        }
+    }
+
+    /// Decodes a register from its field tuple, if modeled.
+    pub fn from_fields(fields: (u8, u8, u8, u8, u8)) -> Option<SysReg> {
+        SysReg::ALL.into_iter().find(|sr| sr.fields() == fields)
+    }
+
+    /// Whether this register holds half of a PAuth key.
+    ///
+    /// These are exactly the registers the kernel's static verifier refuses
+    /// to see read (`MRS`) anywhere in kernel or module code (§4.1).
+    pub fn is_pauth_key(self) -> bool {
+        matches!(
+            self,
+            SysReg::ApiaKeyLoEl1
+                | SysReg::ApiaKeyHiEl1
+                | SysReg::ApibKeyLoEl1
+                | SysReg::ApibKeyHiEl1
+                | SysReg::ApdaKeyLoEl1
+                | SysReg::ApdaKeyHiEl1
+                | SysReg::ApdbKeyLoEl1
+                | SysReg::ApdbKeyHiEl1
+                | SysReg::ApgaKeyLoEl1
+                | SysReg::ApgaKeyHiEl1
+        )
+    }
+
+    /// The architectural name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysReg::SctlrEl1 => "sctlr_el1",
+            SysReg::Ttbr0El1 => "ttbr0_el1",
+            SysReg::Ttbr1El1 => "ttbr1_el1",
+            SysReg::VbarEl1 => "vbar_el1",
+            SysReg::EsrEl1 => "esr_el1",
+            SysReg::ElrEl1 => "elr_el1",
+            SysReg::SpsrEl1 => "spsr_el1",
+            SysReg::FarEl1 => "far_el1",
+            SysReg::SpEl0 => "sp_el0",
+            SysReg::ContextidrEl1 => "contextidr_el1",
+            SysReg::TpidrEl1 => "tpidr_el1",
+            SysReg::Daif => "daif",
+            SysReg::CntvctEl0 => "cntvct_el0",
+            SysReg::ApiaKeyLoEl1 => "apiakeylo_el1",
+            SysReg::ApiaKeyHiEl1 => "apiakeyhi_el1",
+            SysReg::ApibKeyLoEl1 => "apibkeylo_el1",
+            SysReg::ApibKeyHiEl1 => "apibkeyhi_el1",
+            SysReg::ApdaKeyLoEl1 => "apdakeylo_el1",
+            SysReg::ApdaKeyHiEl1 => "apdakeyhi_el1",
+            SysReg::ApdbKeyLoEl1 => "apdbkeylo_el1",
+            SysReg::ApdbKeyHiEl1 => "apdbkeyhi_el1",
+            SysReg::ApgaKeyLoEl1 => "apgakeylo_el1",
+            SysReg::ApgaKeyHiEl1 => "apgakeyhi_el1",
+        }
+    }
+}
+
+impl fmt::Display for SysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// `SCTLR_EL1` bit positions for the PAuth enable flags.
+///
+/// Clearing any of these disables the corresponding key class; the static
+/// verifier therefore also rejects code that writes `SCTLR_EL1` (§4.1).
+pub mod sctlr {
+    /// Enable instruction key A (`EnIA`).
+    pub const EN_IA: u64 = 1 << 31;
+    /// Enable instruction key B (`EnIB`).
+    pub const EN_IB: u64 = 1 << 30;
+    /// Enable data key A (`EnDA`).
+    pub const EN_DA: u64 = 1 << 27;
+    /// Enable data key B (`EnDB`).
+    pub const EN_DB: u64 = 1 << 13;
+    /// All four PAuth enable bits.
+    pub const EN_ALL: u64 = EN_IA | EN_IB | EN_DA | EN_DB;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_round_trip() {
+        for sr in SysReg::ALL {
+            assert_eq!(SysReg::from_fields(sr.fields()), Some(sr), "{sr}");
+        }
+    }
+
+    #[test]
+    fn fields_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for sr in SysReg::ALL {
+            assert!(seen.insert(sr.fields()), "duplicate fields for {sr}");
+        }
+    }
+
+    #[test]
+    fn exactly_ten_key_registers() {
+        let n = SysReg::ALL.iter().filter(|sr| sr.is_pauth_key()).count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn key_registers_share_crn_crm_space() {
+        // All PAuth key registers live at op0=3, op1=0, CRn=2, CRm in 1..=3.
+        for sr in SysReg::ALL.iter().filter(|sr| sr.is_pauth_key()) {
+            let (op0, op1, crn, crm, _) = sr.fields();
+            assert_eq!((op0, op1, crn), (3, 0, 2));
+            assert!((1..=3).contains(&crm));
+        }
+    }
+
+    #[test]
+    fn sctlr_enable_bits_are_distinct() {
+        use sctlr::*;
+        assert_eq!(EN_ALL.count_ones(), 4);
+        assert_eq!(EN_IA & EN_IB, 0);
+        assert_eq!(EN_DA & EN_DB, 0);
+    }
+
+    #[test]
+    fn unknown_fields_decode_to_none() {
+        assert_eq!(SysReg::from_fields((3, 7, 15, 15, 7)), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: the encoder and decoder are exact inverses.
+
+use camo_isa::{decode, encode, AddrMode, Insn, InsnKey, PacKey, PairMode, Reg, SysReg};
+use proptest::prelude::*;
+
+fn any_reg_zr() -> impl Strategy<Value = Reg> {
+    prop_oneof![(0u8..=30).prop_map(Reg::x), Just(Reg::Xzr)]
+}
+
+fn any_reg_sp() -> impl Strategy<Value = Reg> {
+    prop_oneof![(0u8..=30).prop_map(Reg::x), Just(Reg::Sp)]
+}
+
+fn any_gpr() -> impl Strategy<Value = Reg> {
+    (0u8..=30).prop_map(Reg::x)
+}
+
+fn any_sysreg() -> impl Strategy<Value = SysReg> {
+    prop::sample::select(SysReg::ALL.to_vec())
+}
+
+fn any_pac_key() -> impl Strategy<Value = PacKey> {
+    prop::sample::select(vec![PacKey::IA, PacKey::IB, PacKey::DA, PacKey::DB])
+}
+
+fn any_insn_key() -> impl Strategy<Value = InsnKey> {
+    prop::sample::select(vec![InsnKey::A, InsnKey::B])
+}
+
+fn any_addr_mode() -> impl Strategy<Value = AddrMode> {
+    prop_oneof![
+        (0u16..4096).prop_map(|i| AddrMode::Unsigned(i * 8)),
+        (-256i16..256).prop_map(AddrMode::Post),
+        (-256i16..256).prop_map(AddrMode::Pre),
+    ]
+}
+
+fn any_pair_mode() -> impl Strategy<Value = PairMode> {
+    prop_oneof![
+        (-64i16..64).prop_map(|i| PairMode::SignedOffset(i * 8)),
+        (-64i16..64).prop_map(|i| PairMode::Post(i * 8)),
+        (-64i16..64).prop_map(|i| PairMode::Pre(i * 8)),
+    ]
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (any_reg_zr(), any::<u16>(), 0u8..4)
+            .prop_map(|(rd, imm16, shift)| Insn::Movz { rd, imm16, shift }),
+        (any_reg_zr(), any::<u16>(), 0u8..4)
+            .prop_map(|(rd, imm16, shift)| Insn::Movk { rd, imm16, shift }),
+        (any_reg_zr(), any::<u16>(), 0u8..4)
+            .prop_map(|(rd, imm16, shift)| Insn::Movn { rd, imm16, shift }),
+        (any_reg_sp(), any_reg_sp(), 0u16..4096, any::<bool>()).prop_map(
+            |(rd, rn, imm12, shifted)| Insn::AddImm {
+                rd,
+                rn,
+                imm12,
+                shifted
+            }
+        ),
+        (any_reg_sp(), any_reg_sp(), 0u16..4096, any::<bool>()).prop_map(
+            |(rd, rn, imm12, shifted)| Insn::SubImm {
+                rd,
+                rn,
+                imm12,
+                shifted
+            }
+        ),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr())
+            .prop_map(|(rd, rn, rm)| Insn::AddReg { rd, rn, rm }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr())
+            .prop_map(|(rd, rn, rm)| Insn::SubReg { rd, rn, rm }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr())
+            .prop_map(|(rd, rn, rm)| Insn::AndReg { rd, rn, rm }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr())
+            .prop_map(|(rd, rn, rm)| Insn::OrrReg { rd, rn, rm }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr())
+            .prop_map(|(rd, rn, rm)| Insn::EorReg { rd, rn, rm }),
+        (any_reg_zr(), any_reg_zr(), 0u8..64, 0u8..64)
+            .prop_map(|(rd, rn, immr, imms)| Insn::Bfm { rd, rn, immr, imms }),
+        (any_reg_zr(), any_reg_zr(), 0u8..64, 0u8..64)
+            .prop_map(|(rd, rn, immr, imms)| Insn::Ubfm { rd, rn, immr, imms }),
+        (any_reg_zr(), -(1i32 << 20)..(1i32 << 20))
+            .prop_map(|(rd, offset)| Insn::Adr { rd, offset }),
+        (any_reg_zr(), any_reg_sp(), any_addr_mode())
+            .prop_map(|(rt, rn, mode)| Insn::Ldr { rt, rn, mode }),
+        (any_reg_zr(), any_reg_sp(), any_addr_mode())
+            .prop_map(|(rt, rn, mode)| Insn::Str { rt, rn, mode }),
+        (any_reg_zr(), any_reg_zr(), any_reg_sp(), any_pair_mode())
+            .prop_map(|(rt, rt2, rn, mode)| Insn::Ldp { rt, rt2, rn, mode }),
+        (any_reg_zr(), any_reg_zr(), any_reg_sp(), any_pair_mode())
+            .prop_map(|(rt, rt2, rn, mode)| Insn::Stp { rt, rt2, rn, mode }),
+        ((-(1i32 << 25)..(1i32 << 25)).prop_map(|w| Insn::B { offset: w * 4 })),
+        ((-(1i32 << 25)..(1i32 << 25)).prop_map(|w| Insn::Bl { offset: w * 4 })),
+        any_reg_zr().prop_map(|rn| Insn::Br { rn }),
+        any_reg_zr().prop_map(|rn| Insn::Blr { rn }),
+        any_reg_zr().prop_map(|rn| Insn::Ret { rn }),
+        (any_reg_zr(), -(1i32 << 18)..(1i32 << 18))
+            .prop_map(|(rt, w)| Insn::Cbz { rt, offset: w * 4 }),
+        (any_reg_zr(), -(1i32 << 18)..(1i32 << 18))
+            .prop_map(|(rt, w)| Insn::Cbnz { rt, offset: w * 4 }),
+        any::<u16>().prop_map(|imm| Insn::Svc { imm }),
+        any::<u16>().prop_map(|imm| Insn::Brk { imm }),
+        Just(Insn::Eret),
+        Just(Insn::Nop),
+        (any_sysreg(), any_reg_zr()).prop_map(|(sr, rt)| Insn::Msr { sr, rt }),
+        (any_reg_zr(), any_sysreg()).prop_map(|(rt, sr)| Insn::Mrs { rt, sr }),
+        (any_pac_key(), any_reg_zr(), any_reg_sp())
+            .prop_map(|(key, rd, rn)| Insn::Pac { key, rd, rn }),
+        (any_pac_key(), any_reg_zr(), any_reg_sp())
+            .prop_map(|(key, rd, rn)| Insn::Aut { key, rd, rn }),
+        any_insn_key().prop_map(|key| Insn::PacSp { key }),
+        any_insn_key().prop_map(|key| Insn::AutSp { key }),
+        any_insn_key().prop_map(|key| Insn::Pac1716 { key }),
+        any_insn_key().prop_map(|key| Insn::Aut1716 { key }),
+        any_reg_zr().prop_map(|rd| Insn::Xpaci { rd }),
+        any_reg_zr().prop_map(|rd| Insn::Xpacd { rd }),
+        (any_gpr(), any_gpr(), any_gpr()).prop_map(|(rd, rn, rm)| Insn::Pacga { rd, rn, rm }),
+        any_insn_key().prop_map(|key| Insn::Reta { key }),
+        (any_insn_key(), any_reg_zr(), any_reg_sp())
+            .prop_map(|(key, rn, rm)| Insn::Blra { key, rn, rm }),
+        (any_insn_key(), any_reg_zr(), any_reg_sp())
+            .prop_map(|(key, rn, rm)| Insn::Bra { key, rn, rm }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity on every representable instruction.
+    #[test]
+    fn encode_decode_roundtrip(insn in any_insn()) {
+        let word = encode(&insn);
+        prop_assert_eq!(decode(word), Some(insn), "word {:#010x}", word);
+    }
+
+    /// decode → encode is the identity on every word that decodes at all:
+    /// the decoder never loses or invents operand bits.
+    #[test]
+    fn decode_encode_roundtrip(word in any::<u32>()) {
+        if let Some(insn) = decode(word) {
+            prop_assert_eq!(encode(&insn), word, "{}", insn);
+        }
+    }
+
+    /// The display form is never empty and never panics.
+    #[test]
+    fn display_total(insn in any_insn()) {
+        prop_assert!(!insn.to_string().is_empty());
+    }
+}

@@ -1,0 +1,820 @@
+//! The kernel's simulated text: entry/exit stubs, syscall bodies, the
+//! context switch, and helper routines.
+//!
+//! Everything the paper *measures* is generated here as real instruction
+//! sequences and executed on the simulated core: register save/restore on
+//! kernel entry, the call into the XOM key setter, instrumented call
+//! chains standing in for syscall implementations, Listing 4 operations
+//! dispatch, and the §5.2 `cpu_switch_to` with signed stack pointers.
+
+use crate::layout::{
+    self, file_operations, file_struct, task_struct, type_consts, upcall, KEYSETTER_VA,
+    PT_ELR, PT_REGS_SIZE, PT_SPSR, PT_SP_EL0, PT_X30,
+};
+use camo_codegen::{
+    build_call_chain, CodegenConfig, Function, FunctionBuilder, Image, ProtectedPointer, Program,
+};
+use camo_isa::{AddrMode, Insn, PacKey, PairMode, Reg, SysReg};
+
+/// One syscall's synthetic shape: its AArch64 number, the call-chain depth
+/// standing in for its C implementation, per-function body mix, how many
+/// ops-table dispatches it performs, and whether it signs a fresh
+/// `f_ops` (open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallSpec {
+    /// AArch64 syscall number.
+    pub nr: u64,
+    /// Symbolic name.
+    pub name: &'static str,
+    /// Call-chain depth below `sys_<name>`.
+    pub depth: usize,
+    /// ALU instructions per chain function.
+    pub alu: usize,
+    /// Load/store pairs per chain function.
+    pub mem: usize,
+    /// `file_operations` members invoked through the protected `f_ops`
+    /// pointer (offset within the ops table, repeated per call).
+    pub fops_calls: &'static [u16],
+    /// Whether the syscall signs and stores a fresh `f_ops` (§5.3's
+    /// `set_file_ops`).
+    pub sign_fops: bool,
+}
+
+/// The syscalls modeled by the kernel — the lmbench set of Figure 3.
+///
+/// Depths and body sizes are scaled to reproduce lmbench's *relative*
+/// magnitudes on Linux (a null call is an order of magnitude cheaper than
+/// open/close; select over 10 fds performs 10 ops-table dispatches).
+pub const SYSCALLS: &[SyscallSpec] = &[
+    SyscallSpec {
+        nr: 172,
+        name: "getpid",
+        depth: 1,
+        alu: 6,
+        mem: 1,
+        fops_calls: &[],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 63,
+        name: "read",
+        depth: 3,
+        alu: 12,
+        mem: 4,
+        fops_calls: &[file_operations::READ],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 64,
+        name: "write",
+        depth: 3,
+        alu: 12,
+        mem: 4,
+        fops_calls: &[file_operations::WRITE],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 80,
+        name: "fstat",
+        depth: 2,
+        alu: 14,
+        mem: 5,
+        fops_calls: &[],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 79,
+        name: "stat",
+        depth: 5,
+        alu: 18,
+        mem: 6,
+        fops_calls: &[],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 56,
+        name: "open_close",
+        depth: 6,
+        alu: 24,
+        mem: 8,
+        fops_calls: &[file_operations::OPEN],
+        sign_fops: true,
+    },
+    SyscallSpec {
+        nr: 72,
+        name: "select",
+        depth: 2,
+        alu: 8,
+        mem: 3,
+        fops_calls: &[
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+            file_operations::POLL,
+        ],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 134,
+        name: "sig_install",
+        depth: 2,
+        alu: 10,
+        mem: 3,
+        fops_calls: &[],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 139,
+        name: "sig_handle",
+        depth: 3,
+        alu: 12,
+        mem: 4,
+        fops_calls: &[],
+        sign_fops: false,
+    },
+    SyscallSpec {
+        nr: 59,
+        name: "pipe",
+        depth: 4,
+        alu: 14,
+        mem: 5,
+        fops_calls: &[],
+        sign_fops: false,
+    },
+    // Bulk receive: the copy-heavy data path of a network download —
+    // larger per-function bodies (the buffer copy) at the same call
+    // structure as read.
+    SyscallSpec {
+        nr: 207,
+        name: "recv",
+        depth: 3,
+        alu: 80,
+        mem: 80,
+        fops_calls: &[file_operations::READ],
+        sign_fops: false,
+    },
+];
+
+/// Looks up a syscall spec by number.
+pub fn syscall_by_nr(nr: u64) -> Option<&'static SyscallSpec> {
+    SYSCALLS.iter().find(|s| s.nr == nr)
+}
+
+/// The protected `file::f_ops` descriptor (Listing 4).
+pub fn f_ops_pointer() -> ProtectedPointer {
+    ProtectedPointer::new(PacKey::DB, type_consts::FILE_F_OPS)
+}
+
+/// The protected `work_struct::func` descriptor (§4.4 lone function
+/// pointer — forward-edge key).
+pub fn work_func_pointer() -> ProtectedPointer {
+    ProtectedPointer::new(PacKey::IA, type_consts::WORK_FUNC)
+}
+
+/// The protected `task_struct::saved_sp` descriptor (§5.2).
+pub fn task_sp_pointer() -> ProtectedPointer {
+    ProtectedPointer::new(PacKey::DB, type_consts::TASK_SAVED_SP)
+}
+
+fn stp_seq(base: Reg, neg: bool) -> Vec<Insn> {
+    // Save (or restore) x0..x29 as pairs + x30, relative to `base`.
+    let mut insns = Vec::new();
+    for i in 0..15u8 {
+        let mode = PairMode::SignedOffset((16 * i16::from(i)) as i16);
+        let (rt, rt2) = (Reg::x(2 * i), Reg::x(2 * i + 1));
+        insns.push(if neg {
+            Insn::Ldp {
+                rt,
+                rt2,
+                rn: base,
+                mode,
+            }
+        } else {
+            Insn::Stp {
+                rt,
+                rt2,
+                rn: base,
+                mode,
+            }
+        });
+    }
+    insns.push(if neg {
+        Insn::Ldr {
+            rt: Reg::LR,
+            rn: base,
+            mode: AddrMode::Unsigned(PT_X30),
+        }
+    } else {
+        Insn::Str {
+            rt: Reg::LR,
+            rn: base,
+            mode: AddrMode::Unsigned(PT_X30),
+        }
+    });
+    insns
+}
+
+/// `kernel_entry` for synchronous exceptions from EL0 (the `0x400` vector
+/// target): save `pt_regs`, classify SVC vs fault, switch to the kernel
+/// keys, and upcall for dispatch.
+fn build_el0_sync_entry(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("el0_sync_entry", cfg).naked();
+    b.ins(Insn::SubImm {
+        rd: Reg::Sp,
+        rn: Reg::Sp,
+        imm12: PT_REGS_SIZE,
+        shifted: false,
+    });
+    b.ins_all(stp_seq(Reg::Sp, false));
+    for (sr, off) in [
+        (SysReg::SpEl0, PT_SP_EL0),
+        (SysReg::ElrEl1, PT_ELR),
+        (SysReg::SpsrEl1, PT_SPSR),
+    ] {
+        b.ins(Insn::Mrs {
+            rt: Reg::x(21),
+            sr,
+        });
+        b.ins(Insn::Str {
+            rt: Reg::x(21),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(off),
+        });
+    }
+    // Classify the exception: ESR.EC == 0x15 (SVC64)?
+    b.ins(Insn::Mrs {
+        rt: Reg::x(24),
+        sr: SysReg::EsrEl1,
+    });
+    b.ins(Insn::lsr(Reg::x(25), Reg::x(24), 26));
+    b.ins(Insn::Movz {
+        rd: Reg::x(26),
+        imm16: 0x15,
+        shift: 0,
+    });
+    b.ins(Insn::SubReg {
+        rd: Reg::x(25),
+        rn: Reg::x(25),
+        rm: Reg::x(26),
+    });
+    // cbz x25, +8  → skip the fault upcall.
+    b.ins(Insn::Cbz {
+        rt: Reg::x(25),
+        offset: 8,
+    });
+    b.ins(Insn::Brk {
+        imm: upcall::EL0_FAULT,
+    });
+    // SVC path: install kernel keys (the XOM setter), then dispatch.
+    if cfg.scheme != camo_codegen::CfiScheme::None {
+        b.call("__kernel_key_setter");
+    }
+    b.ins(Insn::Brk {
+        imm: upcall::SYSCALL,
+    });
+    // The dispatcher redirects the PC; never falls through.
+    b.ins(Insn::Brk { imm: 0xDEAD });
+    b.build()
+}
+
+/// `ret_to_user`: restore the user PAuth keys from `thread_struct`
+/// (`TPIDR_EL1` points at the current task), restore `pt_regs`, `ERET`.
+fn build_ret_to_user(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("ret_to_user", cfg).naked();
+    if cfg.scheme != camo_codegen::CfiScheme::None {
+        b.call("restore_user_keys");
+    }
+    for (sr, off) in [
+        (SysReg::SpsrEl1, PT_SPSR),
+        (SysReg::ElrEl1, PT_ELR),
+        (SysReg::SpEl0, PT_SP_EL0),
+    ] {
+        b.ins(Insn::Ldr {
+            rt: Reg::x(21),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(off),
+        });
+        b.ins(Insn::Msr {
+            sr,
+            rt: Reg::x(21),
+        });
+    }
+    b.ins_all(stp_seq(Reg::Sp, true));
+    b.ins(Insn::AddImm {
+        rd: Reg::Sp,
+        rn: Reg::Sp,
+        imm12: PT_REGS_SIZE,
+        shifted: false,
+    });
+    b.ins(Insn::Eret);
+    b.build()
+}
+
+/// Restores the three per-thread user keys (IB, IA, DB) from
+/// `thread_struct` — the §2.2 context-switch path, 6 `MSR`s + 3 `LDP`s.
+fn build_restore_user_keys(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("restore_user_keys", cfg).naked();
+    b.ins(Insn::Mrs {
+        rt: Reg::x(0),
+        sr: SysReg::TpidrEl1,
+    });
+    let keys: [(u16, SysReg, SysReg); 3] = [
+        (
+            task_struct::USER_KEYS,
+            SysReg::ApibKeyLoEl1,
+            SysReg::ApibKeyHiEl1,
+        ),
+        (
+            task_struct::USER_KEYS + 16,
+            SysReg::ApiaKeyLoEl1,
+            SysReg::ApiaKeyHiEl1,
+        ),
+        (
+            task_struct::USER_KEYS + 32,
+            SysReg::ApdbKeyLoEl1,
+            SysReg::ApdbKeyHiEl1,
+        ),
+    ];
+    for (off, lo, hi) in keys {
+        b.ins(Insn::Ldp {
+            rt: Reg::x(1),
+            rt2: Reg::x(2),
+            rn: Reg::x(0),
+            mode: PairMode::SignedOffset(off as i16),
+        });
+        b.ins(Insn::Msr { sr: lo, rt: Reg::x(1) });
+        b.ins(Insn::Msr { sr: hi, rt: Reg::x(2) });
+    }
+    // No key material may linger in GPRs (§5.1).
+    for r in [0u8, 1, 2] {
+        b.ins(Insn::Movz {
+            rd: Reg::x(r),
+            imm16: 0,
+            shift: 0,
+        });
+    }
+    b.ins(Insn::ret());
+    b.build()
+}
+
+/// The EL1 synchronous vector target: a kernel-mode fault (data abort on a
+/// corrupted pointer, most interestingly a PAC authentication failure).
+fn build_el1_sync_entry(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("el1_sync_entry", cfg).naked();
+    b.ins(Insn::Brk {
+        imm: upcall::EL1_FAULT,
+    });
+    b.ins(Insn::Brk { imm: 0xDEAD });
+    b.build()
+}
+
+/// IRQ vector targets (same for both ELs in this model): upcall to the
+/// host-side tick handler.
+fn build_irq_entry(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("irq_entry", cfg).naked();
+    b.ins(Insn::Brk { imm: upcall::IRQ });
+    b.ins(Insn::Brk { imm: 0xDEAD });
+    b.build()
+}
+
+/// Post-body glue: fall into `ret_to_user` after the syscall body returns.
+/// The dispatcher has already parked the semantic return value in
+/// `pt_regs->regs[0]`, which the exit path restores into the user's x0.
+fn build_syscall_ret_glue(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("syscall_ret_glue", cfg).naked();
+    b.call("ret_to_user");
+    // ret_to_user never returns (ERET); the BL is a branch in effect but
+    // keeps the symbol reference simple.
+    b.ins(Insn::Brk { imm: 0xDEAD });
+    b.build()
+}
+
+/// `cpu_switch_to(prev=x0, next=x1)` — §5.2: saves callee-saved registers,
+/// signs the outgoing task's SP, authenticates the incoming one.
+fn build_cpu_switch_to(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("cpu_switch_to", cfg).naked();
+    let cc = task_struct::CPU_CONTEXT as i16;
+    for i in 0..5u8 {
+        b.ins(Insn::Stp {
+            rt: Reg::x(19 + 2 * i),
+            rt2: Reg::x(20 + 2 * i),
+            rn: Reg::x(0),
+            mode: PairMode::SignedOffset(cc + 16 * i16::from(i)),
+        });
+    }
+    b.ins(Insn::Stp {
+        rt: Reg::FP,
+        rt2: Reg::LR,
+        rn: Reg::x(0),
+        mode: PairMode::SignedOffset(cc + 80),
+    });
+    // Save (and under protection, sign) the outgoing SP.
+    b.ins(Insn::mov_sp(Reg::x(9), Reg::Sp));
+    if cfg.scheme != camo_codegen::CfiScheme::None {
+        task_sp_pointer().emit_store(
+            &mut b,
+            Reg::x(9),
+            Reg::x(0),
+            task_struct::SAVED_SP,
+            Reg::x(10),
+        );
+    } else {
+        b.ins(Insn::Str {
+            rt: Reg::x(9),
+            rn: Reg::x(0),
+            mode: AddrMode::Unsigned(task_struct::SAVED_SP),
+        });
+    }
+    // Load (and authenticate) the incoming SP.
+    if cfg.scheme != camo_codegen::CfiScheme::None {
+        task_sp_pointer().emit_load(
+            &mut b,
+            Reg::x(9),
+            Reg::x(1),
+            task_struct::SAVED_SP,
+            Reg::x(10),
+        );
+    } else {
+        b.ins(Insn::Ldr {
+            rt: Reg::x(9),
+            rn: Reg::x(1),
+            mode: AddrMode::Unsigned(task_struct::SAVED_SP),
+        });
+    }
+    b.ins(Insn::mov_sp(Reg::Sp, Reg::x(9)));
+    for i in 0..5u8 {
+        b.ins(Insn::Ldp {
+            rt: Reg::x(19 + 2 * i),
+            rt2: Reg::x(20 + 2 * i),
+            rn: Reg::x(1),
+            mode: PairMode::SignedOffset(cc + 16 * i16::from(i)),
+        });
+    }
+    b.ins(Insn::Ldp {
+        rt: Reg::FP,
+        rt2: Reg::LR,
+        rn: Reg::x(1),
+        mode: PairMode::SignedOffset(cc + 80),
+    });
+    b.ins(Insn::Msr {
+        sr: SysReg::TpidrEl1,
+        rt: Reg::x(1),
+    });
+    b.ins(Insn::ret());
+    b.build()
+}
+
+/// `task_init_sp(task=x0, sp=x1)`: fork-time seeding of the signed saved
+/// SP, run as kernel code so the signing uses the PAuth instructions.
+fn build_task_init_sp(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("task_init_sp", cfg).naked();
+    b.ins(Insn::mov(Reg::x(9), Reg::x(1)));
+    if cfg.scheme != camo_codegen::CfiScheme::None {
+        task_sp_pointer().emit_store(
+            &mut b,
+            Reg::x(9),
+            Reg::x(0),
+            task_struct::SAVED_SP,
+            Reg::x(10),
+        );
+    } else {
+        b.ins(Insn::Str {
+            rt: Reg::x(9),
+            rn: Reg::x(0),
+            mode: AddrMode::Unsigned(task_struct::SAVED_SP),
+        });
+    }
+    b.ins(Insn::ret());
+    b.build()
+}
+
+/// `sign_slot_db(obj=x0, slot=x1, const=x2)` and the IA twin: the §4.6
+/// in-kernel signing helpers used by the module loader and `INIT_WORK`.
+fn build_sign_slot(name: &str, key: PacKey, cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new(name, cfg).naked();
+    b.ins(Insn::Ldr {
+        rt: Reg::x(9),
+        rn: Reg::x(1),
+        mode: AddrMode::Unsigned(0),
+    });
+    if cfg.protect_pointers {
+        if cfg.compat_v80 {
+            // §5.5: only the hint-space PACIB1716 exists pre-8.3; route the
+            // value through x17 and the modifier through x16.
+            b.ins(Insn::mov(Reg::IP1, Reg::x(9)));
+            b.ins(Insn::mov(Reg::IP0, Reg::x(2)));
+            b.ins(Insn::bfi(Reg::IP0, Reg::x(0), 16, 48));
+            b.ins(Insn::Pac1716 {
+                key: camo_isa::InsnKey::B,
+            });
+            b.ins(Insn::mov(Reg::x(9), Reg::IP1));
+        } else {
+            // modifier = const ‖ low48(obj): mov x10, x2; bfi x10, x0, #16, #48
+            b.ins(Insn::mov(Reg::x(10), Reg::x(2)));
+            b.ins(Insn::bfi(Reg::x(10), Reg::x(0), 16, 48));
+            b.ins(Insn::Pac {
+                key,
+                rd: Reg::x(9),
+                rn: Reg::x(10),
+            });
+        }
+    }
+    b.ins(Insn::Str {
+        rt: Reg::x(9),
+        rn: Reg::x(1),
+        mode: AddrMode::Unsigned(0),
+    });
+    b.ins(Insn::ret());
+    b.build()
+}
+
+/// `run_work(work=x0)`: authenticate the lone `func` pointer and call it
+/// (§4.4 forward-edge CFI on a writable function pointer).
+fn build_run_work(cfg: CodegenConfig) -> Function {
+    let mut b = FunctionBuilder::new("run_work", cfg).locals(16);
+    work_func_pointer().emit_load(
+        &mut b,
+        Reg::x(8),
+        Reg::x(0),
+        layout::work_struct::FUNC,
+        Reg::x(9),
+    );
+    b.ins(Insn::Blr { rn: Reg::x(8) });
+    b.build()
+}
+
+/// Builds `sys_<name>` plus its call chain.
+fn build_syscall_fns(program: &mut Program, spec: &SyscallSpec, cfg: CodegenConfig) {
+    let chain_prefix = format!("{}_sub", spec.name);
+    program.append(build_call_chain(
+        &chain_prefix,
+        spec.depth.saturating_sub(1),
+        spec.alu,
+        spec.mem,
+        cfg,
+    ));
+
+    let mut b = FunctionBuilder::new(format!("sys_{}", spec.name), cfg).locals(64);
+    // Preserve the dispatcher-provided object pointers across calls.
+    b.ins(Insn::mov(Reg::x(19), Reg::x(0))); // file (or first arg)
+    b.ins(Insn::mov(Reg::x(20), Reg::x(1))); // ops table (open) / buf
+    camo_codegen_body(&mut b, spec.alu / 2, spec.mem / 2);
+    b.call(format!("{chain_prefix}_d0_n0"));
+    if spec.sign_fops {
+        // set_file_ops(file, ops) — sign the fresh ops pointer (§5.3).
+        b.ins(Insn::mov(Reg::x(0), Reg::x(19)));
+        b.ins(Insn::mov(Reg::x(1), Reg::x(20)));
+        f_ops_pointer().emit_store(&mut b, Reg::x(1), Reg::x(0), file_struct::F_OPS, Reg::x(9));
+    }
+    for &member in spec.fops_calls {
+        // file_ops(fp)->member(fp, ...) — Listing 4.
+        b.ins(Insn::mov(Reg::x(0), Reg::x(19)));
+        f_ops_pointer().emit_call_through(&mut b, Reg::x(0), file_struct::F_OPS, member);
+    }
+    program.push(b.build());
+}
+
+// Small shim: reuse the synthetic body generator from camo-codegen.
+fn camo_codegen_body(b: &mut FunctionBuilder, alu: usize, mem: usize) {
+    for i in 0..alu {
+        b.ins(Insn::AddImm {
+            rd: Reg::x(10),
+            rn: Reg::x(10),
+            imm12: ((i % 63) + 1) as u16,
+            shifted: false,
+        });
+    }
+    for i in 0..mem {
+        let off = ((i % 8) * 8) as u16;
+        b.ins(Insn::Str {
+            rt: Reg::x(10),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(off),
+        });
+        b.ins(Insn::Ldr {
+            rt: Reg::x(11),
+            rn: Reg::Sp,
+            mode: AddrMode::Unsigned(off),
+        });
+    }
+}
+
+/// Builds the device driver functions targeted by the ops tables.
+fn build_drivers(program: &mut Program, cfg: CodegenConfig) {
+    for (name, alu, mem) in [
+        ("dev_llseek", 4usize, 1usize),
+        ("dev_read", 10, 6),
+        ("dev_write", 10, 6),
+        ("dev_poll", 4, 1),
+        ("dev_open", 6, 2),
+        ("dev_release", 4, 1),
+    ] {
+        let mut b = FunctionBuilder::new(name, cfg).locals(64);
+        camo_codegen_body(&mut b, alu, mem);
+        program.push(b.build());
+    }
+}
+
+/// The complete linked kernel.
+#[derive(Debug, Clone)]
+pub struct KernelImage {
+    image: Image,
+    cfg: CodegenConfig,
+}
+
+impl KernelImage {
+    /// Builds and links the kernel text for `cfg`.
+    pub fn build(cfg: CodegenConfig) -> Self {
+        let mut program = Program::new(cfg);
+        program.define_external("__kernel_key_setter", KEYSETTER_VA);
+        program.push(build_el0_sync_entry(cfg));
+        program.push(build_el1_sync_entry(cfg));
+        program.push(build_irq_entry(cfg));
+        program.push(build_ret_to_user(cfg));
+        program.push(build_restore_user_keys(cfg));
+        program.push(build_syscall_ret_glue(cfg));
+        program.push(build_cpu_switch_to(cfg));
+        program.push(build_task_init_sp(cfg));
+        program.push(build_sign_slot("sign_slot_db", PacKey::DB, cfg));
+        program.push(build_sign_slot("sign_slot_ia", PacKey::IA, cfg));
+        program.push(build_run_work(cfg));
+        build_drivers(&mut program, cfg);
+        for spec in SYSCALLS {
+            build_syscall_fns(&mut program, spec, cfg);
+        }
+        KernelImage {
+            image: program.link(layout::KERNEL_TEXT_BASE),
+            cfg,
+        }
+    }
+
+    /// The linked image.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> CodegenConfig {
+        self.cfg
+    }
+
+    /// Resolves a kernel symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown symbols — the set is fixed at build time.
+    pub fn symbol(&self, name: &str) -> u64 {
+        self.image
+            .symbol(name)
+            .unwrap_or_else(|| panic!("unknown kernel symbol {name}"))
+    }
+}
+
+/// Builds a user program image: for each `(name, alu, mem)` block spec, a
+/// `user_main_<name>` entry that runs `x0` iterations of
+/// *block-computation, then one `SVC`* (syscall number in `x1`, first
+/// argument in `x2`), ending in the `USER_DONE` upcall.
+pub fn build_user_program(blocks: &[(&str, usize, usize)]) -> Program {
+    let cfg = CodegenConfig::baseline(); // user space is not kernel-instrumented
+    let mut program = Program::new(cfg);
+    for &(name, alu, mem) in blocks {
+        let mut block = FunctionBuilder::new(format!("user_block_{name}"), cfg).locals(64);
+        camo_codegen_body(&mut block, alu, mem);
+        program.push(block.build());
+
+        let mut b = FunctionBuilder::new(format!("user_main_{name}"), cfg).naked();
+        b.ins(Insn::mov(Reg::x(20), Reg::x(0))); // iterations
+        b.ins(Insn::mov(Reg::x(21), Reg::x(1))); // syscall nr
+        b.ins(Insn::mov(Reg::x(22), Reg::x(2))); // arg0
+        // loop:
+        b.call(format!("user_block_{name}")); // index 3
+        b.ins(Insn::mov(Reg::x(8), Reg::x(21)));
+        b.ins(Insn::mov(Reg::x(0), Reg::x(22)));
+        b.ins(Insn::Svc { imm: 0 });
+        b.ins(Insn::SubImm {
+            rd: Reg::x(20),
+            rn: Reg::x(20),
+            imm12: 1,
+            shifted: false,
+        });
+        // cbnz x20, loop (loop head is instruction index 3; cbnz is 8).
+        b.ins(Insn::Cbnz {
+            rt: Reg::x(20),
+            offset: -5 * 4,
+        });
+        b.ins(Insn::Brk {
+            imm: upcall::USER_DONE,
+        });
+        program.push(b.build());
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_codegen::CfiScheme;
+
+    #[test]
+    fn image_links_with_all_symbols() {
+        let k = KernelImage::build(CodegenConfig::camouflage());
+        for sym in [
+            "el0_sync_entry",
+            "el1_sync_entry",
+            "irq_entry",
+            "ret_to_user",
+            "restore_user_keys",
+            "syscall_ret_glue",
+            "cpu_switch_to",
+            "task_init_sp",
+            "run_work",
+            "dev_read",
+            "sys_getpid",
+            "sys_read",
+            "sys_select",
+            "sys_open_close",
+        ] {
+            assert!(k.image().symbol(sym).is_some(), "{sym}");
+        }
+    }
+
+    #[test]
+    fn baseline_kernel_contains_no_pauth() {
+        let k = KernelImage::build(CodegenConfig::baseline());
+        assert!(
+            k.image().insns().iter().all(|i| !i.is_pauth()),
+            "baseline must be uninstrumented"
+        );
+    }
+
+    #[test]
+    fn full_kernel_signs_and_authenticates() {
+        let k = KernelImage::build(CodegenConfig::camouflage());
+        let pac = k.image().insns().iter().filter(|i| i.is_pauth()).count();
+        assert!(pac > 50, "expected plenty of PAuth instructions, got {pac}");
+    }
+
+    #[test]
+    fn backward_only_kernel_has_no_data_key_ops() {
+        let cfg = CodegenConfig {
+            scheme: CfiScheme::Camouflage,
+            protect_pointers: false,
+            compat_v80: false,
+        };
+        let k = KernelImage::build(cfg);
+        assert!(k.image().insns().iter().all(|i| !matches!(
+            i,
+            Insn::Pac { key: PacKey::DB, .. } | Insn::Aut { key: PacKey::DB, .. }
+        )));
+    }
+
+    #[test]
+    fn entry_calls_key_setter_only_when_protected() {
+        let protected = KernelImage::build(CodegenConfig::camouflage());
+        let baseline = KernelImage::build(CodegenConfig::baseline());
+        let count_bl_to_setter = |img: &KernelImage| {
+            let entry = img.symbol("el0_sync_entry");
+            img.image()
+                .insns()
+                .iter()
+                .enumerate()
+                .filter(|(i, insn)| {
+                    if let Insn::Bl { offset } = insn {
+                        let va = img.image().base_va() + 4 * *i as u64;
+                        va >= entry && va.wrapping_add(*offset as i64 as u64) == KEYSETTER_VA
+                    } else {
+                        false
+                    }
+                })
+                .count()
+        };
+        assert_eq!(count_bl_to_setter(&protected), 1);
+        assert_eq!(count_bl_to_setter(&baseline), 0);
+    }
+
+    #[test]
+    fn syscall_table_covers_lmbench_set() {
+        assert_eq!(SYSCALLS.len(), 11);
+        assert!(syscall_by_nr(172).is_some());
+        assert!(syscall_by_nr(63).is_some());
+        assert_eq!(syscall_by_nr(9999), None);
+        // select performs ten ops dispatches (10 fds).
+        assert_eq!(syscall_by_nr(72).unwrap().fops_calls.len(), 10);
+    }
+
+    #[test]
+    fn user_program_builds_and_links() {
+        let p = build_user_program(&[("small", 16, 2), ("big", 200, 40)]);
+        let image = p.link(layout::USER_TEXT_BASE);
+        assert!(image.symbol("user_main_small").is_some());
+        assert!(image.symbol("user_block_big").is_some());
+        // User code carries no kernel instrumentation.
+        assert!(image.insns().iter().all(|i| !i.is_pauth()));
+    }
+}

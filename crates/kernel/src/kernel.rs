@@ -1,0 +1,1106 @@
+//! The kernel: boot, syscall machinery, scheduling, modules, workqueues.
+
+use crate::image::{build_user_program, syscall_by_nr, KernelImage};
+use crate::layout::{
+    self, file_struct, task_struct, type_consts, upcall, KEYSETTER_VA, PT_X8, RODATA_BASE,
+    USER_STACK_TOP, USER_TEXT_BASE, VECTORS_VA,
+};
+use crate::objects::{FileKind, FileTable, KernelEvent, PacPolicy, Task, Tid};
+use camo_analysis::verify_image;
+use camo_boot::Bootloader;
+use camo_codegen::{CodegenConfig, Image, Program, ProtectionLevel, StaticPointerTable};
+use camo_cpu::pac::looks_like_pac_failure;
+use camo_cpu::{Cpu, CpuError, HwFeatures, Step, CALL_SENTINEL};
+use camo_isa::{encode, Reg, SysReg};
+use camo_mem::{El, Frame, Memory, S1Attr, TableId, PAGE_SIZE};
+use camo_qarma::QarmaKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kernel build & boot configuration.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Instrumentation level (§6.1's none / backward-edge / full).
+    pub protection: ProtectionLevel,
+    /// Overrides the backward-edge scheme (default: Camouflage). Used to
+    /// boot SP-only or PARTS kernels for the Figure 2 comparison and the
+    /// replay-attack matrix.
+    pub scheme_override: Option<camo_codegen::CfiScheme>,
+    /// §5.5 backward-compatible build (hint-space PAuth forms only).
+    pub compat_v80: bool,
+    /// Boot entropy (keys, user-key generation).
+    pub seed: u64,
+    /// §5.4 PAC-failure panic threshold.
+    pub pac_panic_threshold: u32,
+    /// Whether the simulated core implements ARMv8.3-PAuth.
+    pub pauth_hw: bool,
+    /// User program blocks `(name, alu, mem)` available to every process.
+    pub user_blocks: Vec<(String, usize, usize)>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            protection: ProtectionLevel::Full,
+            scheme_override: None,
+            compat_v80: false,
+            seed: 0xCAF0_0D5E,
+            pac_panic_threshold: 16,
+            pauth_hw: true,
+            user_blocks: vec![("stub".to_string(), 2, 1)],
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A configuration at `level` with everything else default.
+    pub fn with_protection(level: ProtectionLevel) -> Self {
+        KernelConfig {
+            protection: level,
+            ..KernelConfig::default()
+        }
+    }
+
+    /// The matching instrumentation configuration.
+    pub fn codegen(&self) -> CodegenConfig {
+        let mut cfg = CodegenConfig {
+            compat_v80: self.compat_v80,
+            ..CodegenConfig::for_level(self.protection)
+        };
+        if self.protection != ProtectionLevel::None {
+            if let Some(scheme) = self.scheme_override {
+                cfg.scheme = scheme;
+            }
+        }
+        cfg
+    }
+}
+
+/// Fatal kernel conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// §5.4: the PAC-failure threshold was reached; the system halts.
+    PacPanic {
+        /// Failures recorded when the panic tripped.
+        failures: u32,
+    },
+    /// The simulated CPU hit an unrecoverable state.
+    Cpu(CpuError),
+    /// A module failed §4.1 verification.
+    ModuleRejected {
+        /// Human-readable violation descriptions.
+        violations: Vec<String>,
+    },
+    /// Operation on a dead or unknown task.
+    BadTask(Tid),
+    /// A run exceeded its step budget.
+    Hung,
+}
+
+impl core::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelError::PacPanic { failures } => {
+                write!(f, "kernel panic: {failures} PAC authentication failures")
+            }
+            KernelError::Cpu(e) => write!(f, "cpu error: {e}"),
+            KernelError::ModuleRejected { violations } => {
+                write!(f, "module rejected: {} violations", violations.len())
+            }
+            KernelError::BadTask(tid) => write!(f, "no live task {tid}"),
+            KernelError::Hung => write!(f, "simulation exceeded its step budget"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<CpuError> for KernelError {
+    fn from(e: CpuError) -> Self {
+        KernelError::Cpu(e)
+    }
+}
+
+/// Details of a fault observed during a kernel-internal call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Faulting address (`FAR_EL1`).
+    pub far: u64,
+    /// PC of the faulting instruction (`ELR_EL1`).
+    pub elr: u64,
+    /// Whether the address carries the PAC-failure signature.
+    pub pac_failure: bool,
+}
+
+/// Result of executing a kernel function or user program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// x0 at completion (return value).
+    pub x0: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// The fault that aborted execution, if any.
+    pub fault: Option<FaultInfo>,
+    /// Syscalls completed (user runs).
+    pub syscalls: u64,
+}
+
+/// A loaded kernel module.
+#[derive(Debug, Clone)]
+pub struct ModuleHandle {
+    /// Load address.
+    pub base_va: u64,
+    /// The module's linked image.
+    pub image: Image,
+}
+
+/// The simulated machine: CPU + memory + the kernel proper.
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: KernelConfig,
+    codegen_cfg: CodegenConfig,
+    cpu: Cpu,
+    mem: Memory,
+    boot: Bootloader,
+    kimage: KernelImage,
+    kernel_table: TableId,
+    user_image: Image,
+    user_frames: Vec<(u64, Frame)>,
+    tasks: Vec<Task>,
+    current: usize,
+    files: FileTable,
+    policy: PacPolicy,
+    events: Vec<KernelEvent>,
+    modules: Vec<ModuleHandle>,
+    rng: StdRng,
+    next_file_slot: u64,
+    next_work_slot: u64,
+    next_tid: Tid,
+}
+
+/// Pages backing each of the file and work heaps.
+const HEAP_PAGES: u64 = 8;
+
+/// Step budget for a single kernel-internal call.
+const KCALL_BUDGET: u64 = 1_000_000;
+/// Step budget for a user program run.
+const RUN_BUDGET: u64 = 200_000_000;
+
+impl Kernel {
+    /// Boots a machine with `cfg`: builds and loads the kernel image,
+    /// installs the XOM key setter, writes the vector table and rodata ops
+    /// tables, seals everything through the hypervisor, installs the kernel
+    /// keys by *executing* the setter, and spawns the init task.
+    pub fn boot(cfg: KernelConfig) -> Result<Kernel, KernelError> {
+        let codegen_cfg = cfg.codegen();
+        let mut mem = Memory::new();
+        let kernel_table = mem.new_table();
+        let boot = Bootloader::new(cfg.seed);
+        let kimage = KernelImage::build(codegen_cfg);
+        boot.load_image(&mut mem, kernel_table, kimage.image());
+        let setter = boot.install_keysetter(&mut mem, kernel_table, KEYSETTER_VA);
+
+        // Vector page: branches to the entry stubs.
+        let vec_frame = mem.map_new(kernel_table, VECTORS_VA, S1Attr::kernel_text());
+        let vectors = [
+            (camo_cpu::vector::SYNC_SAME_EL, "el1_sync_entry"),
+            (camo_cpu::vector::IRQ_SAME_EL, "irq_entry"),
+            (camo_cpu::vector::SYNC_LOWER_EL, "el0_sync_entry"),
+            (camo_cpu::vector::IRQ_LOWER_EL, "irq_entry"),
+        ];
+        for (off, sym) in vectors {
+            let target = kimage.symbol(sym);
+            let site = VECTORS_VA + off;
+            let b = camo_isa::Insn::B {
+                offset: i32::try_from(target.wrapping_sub(site) as i64)
+                    .expect("vector branch in range"),
+            };
+            mem.phys_mut()
+                .write_u32(vec_frame.base() + off, encode(&b))
+                .expect("vector frame backed");
+        }
+        boot.hypervisor()
+            .seal_read_exec(&mut mem, vec_frame)
+            .expect("boot order");
+
+        // Read-only operations tables (§4.4): function pointers stored
+        // unsigned in memory no one can write.
+        let rodata_frame = mem.map_new(kernel_table, RODATA_BASE, S1Attr::kernel_rodata());
+        let members: [(u16, &str); 6] = [
+            (layout::file_operations::LLSEEK, "dev_llseek"),
+            (layout::file_operations::READ, "dev_read"),
+            (layout::file_operations::WRITE, "dev_write"),
+            (layout::file_operations::POLL, "dev_poll"),
+            (layout::file_operations::OPEN, "dev_open"),
+            (layout::file_operations::RELEASE, "dev_release"),
+        ];
+        for kind in FileKind::ALL {
+            let table_off = kind.ops_va() - RODATA_BASE;
+            for (member, sym) in members {
+                mem.phys_mut()
+                    .write_u64(
+                        rodata_frame.base() + table_off + u64::from(member),
+                        kimage.symbol(sym),
+                    )
+                    .expect("rodata frame backed");
+            }
+        }
+        boot.hypervisor()
+            .seal_read_only(&mut mem, rodata_frame)
+            .expect("boot order");
+
+        // Kernel heap pages: file objects and work items.
+        for page in 0..HEAP_PAGES {
+            mem.map_new(
+                kernel_table,
+                file_heap_base() + page * PAGE_SIZE,
+                S1Attr::kernel_data(),
+            );
+            mem.map_new(
+                kernel_table,
+                work_heap_base() + page * PAGE_SIZE,
+                S1Attr::kernel_data(),
+            );
+        }
+
+        // User program text (shared frames, mapped per process).
+        let blocks: Vec<(&str, usize, usize)> = cfg
+            .user_blocks
+            .iter()
+            .map(|(n, a, m)| (n.as_str(), *a, *m))
+            .collect();
+        let user_image = build_user_program(&blocks).link(USER_TEXT_BASE);
+        let ubytes = user_image.to_bytes();
+        let mut user_frames = Vec::new();
+        for (page, chunk) in ubytes.chunks(PAGE_SIZE as usize).enumerate() {
+            let frame = mem.alloc_frame();
+            mem.phys_mut()
+                .write_bytes(frame.base(), chunk)
+                .expect("fresh frame backed");
+            user_frames.push((USER_TEXT_BASE + page as u64 * PAGE_SIZE, frame));
+        }
+
+        let mut cpu = Cpu::new(HwFeatures { pauth: cfg.pauth_hw });
+        cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
+        cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
+        cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);
+
+        let mut kernel = Kernel {
+            policy: PacPolicy::new(cfg.pac_panic_threshold),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5eed_0000_0001),
+            codegen_cfg,
+            cpu,
+            mem,
+            boot,
+            kimage,
+            kernel_table,
+            user_image,
+            user_frames,
+            tasks: Vec::new(),
+            current: 0,
+            files: FileTable::new(),
+            events: Vec::new(),
+            modules: Vec::new(),
+            next_file_slot: 0,
+            next_work_slot: 0,
+            next_tid: 0,
+            cfg,
+        };
+
+        // Install the kernel keys by running the XOM setter — the §5.1
+        // boot-time key installation, executed instruction by instruction.
+        // This must precede any kernel-code signing (task SPs, f_ops).
+        if kernel.protected() {
+            let out = kernel.kexec(setter.va, &[])?;
+            debug_assert!(out.fault.is_none());
+        }
+
+        // Init task (tid 0): gives later kernel calls a stack.
+        let init = kernel.spawn("init")?;
+        debug_assert_eq!(init, 0);
+
+        kernel.boot.finalize(&mut kernel.mem);
+        Ok(kernel)
+    }
+
+    fn protected(&self) -> bool {
+        self.cfg.protection != ProtectionLevel::None && self.cfg.pauth_hw
+    }
+
+    /// The boot configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// The instrumentation configuration the kernel was built with.
+    pub fn codegen_config(&self) -> CodegenConfig {
+        self.codegen_cfg
+    }
+
+    /// The kernel image (symbol lookups, listings).
+    pub fn image(&self) -> &KernelImage {
+        &self.kimage
+    }
+
+    /// Resolves a kernel symbol.
+    pub fn symbol(&self, name: &str) -> u64 {
+        self.kimage.symbol(name)
+    }
+
+    /// The simulated memory system.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access — this is the attacker's arbitrary
+    /// read/write primitive from the §3.1 threat model (and the loader's
+    /// tool). Stage-2-protected pages still refuse writes.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The CPU.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU access (attack setup, inspection).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Simultaneous mutable access to CPU and memory — what an external
+    /// driver needs to single-step the machine itself.
+    pub fn cpu_mem_mut(&mut self) -> (&mut Cpu, &mut Memory) {
+        (&mut self.cpu, &mut self.mem)
+    }
+
+    /// Loaded modules.
+    pub fn modules(&self) -> &[ModuleHandle] {
+        &self.modules
+    }
+
+    /// The kernel-half translation table.
+    pub fn kernel_table(&self) -> TableId {
+        self.kernel_table
+    }
+
+    /// Logged events.
+    pub fn events(&self) -> &[KernelEvent] {
+        &self.events
+    }
+
+    /// PAC failures recorded so far.
+    pub fn pac_failures(&self) -> u32 {
+        self.policy.failures()
+    }
+
+    /// Live task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// The currently scheduled task.
+    pub fn current_task(&self) -> &Task {
+        &self.tasks[self.current]
+    }
+
+    fn task_index(&self, tid: Tid) -> Result<usize, KernelError> {
+        self.tasks
+            .iter()
+            .position(|t| t.tid == tid && t.alive)
+            .ok_or(KernelError::BadTask(tid))
+    }
+
+    /// Creates a task: kernel stack, `task_struct`, fresh per-thread user
+    /// keys (the §2.2 `exec()` behaviour), a user address space with the
+    /// shared program text, and a pre-opened `/dev/zero` file at fd ≥ 3.
+    pub fn spawn(&mut self, name: &str) -> Result<Tid, KernelError> {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+
+        // Kernel stack (16 KiB at a 64 KiB stride, §4.2).
+        let stack_base = layout::stack_top(tid) - layout::STACK_SIZE;
+        for page in 0..(layout::STACK_SIZE / PAGE_SIZE) {
+            self.mem.map_new(
+                self.kernel_table,
+                stack_base + page * PAGE_SIZE,
+                S1Attr::kernel_data(),
+            );
+        }
+        // task_struct page.
+        let ts_va = layout::task_struct_va(tid);
+        self.mem
+            .map_new(self.kernel_table, ts_va, S1Attr::kernel_data());
+        let kctx = self.mem.kernel_ctx(self.kernel_table);
+        self.mem
+            .write_u64(&kctx, ts_va + u64::from(task_struct::TID), u64::from(tid))
+            .expect("task page mapped");
+
+        // Per-thread user keys (IB, IA, DB) into thread_struct.
+        let user_keys = [
+            QarmaKey::new(self.rng.gen(), self.rng.gen()),
+            QarmaKey::new(self.rng.gen(), self.rng.gen()),
+            QarmaKey::new(self.rng.gen(), self.rng.gen()),
+        ];
+        for (i, key) in user_keys.iter().enumerate() {
+            let off = u64::from(task_struct::USER_KEYS) + 16 * i as u64;
+            self.mem
+                .write_u64(&kctx, ts_va + off, key.w0)
+                .expect("task page mapped");
+            self.mem
+                .write_u64(&kctx, ts_va + off + 8, key.k0)
+                .expect("task page mapped");
+        }
+        // Seed the switch context: parked LR, so a switch into this task
+        // unwinds to the kernel's call driver.
+        let cc = ts_va + u64::from(task_struct::CPU_CONTEXT);
+        self.mem
+            .write_u64(&kctx, cc + 80 + 8, CALL_SENTINEL)
+            .expect("task page mapped");
+
+        // User address space: program text (shared frames) + stack.
+        let user_table = self.mem.new_table();
+        for &(va, frame) in &self.user_frames {
+            self.mem.map(user_table, va, frame, S1Attr::user_text());
+        }
+        for page in 1..=4u64 {
+            self.mem.map_new(
+                user_table,
+                USER_STACK_TOP - page * PAGE_SIZE,
+                S1Attr::user_data(),
+            );
+        }
+
+        self.tasks.push(Task {
+            tid,
+            name: name.to_string(),
+            user_table,
+            alive: true,
+            user_keys,
+        });
+
+        // Seed the signed saved-SP via kernel code (fork does this with
+        // PAuth instructions, §5.2).
+        let sp0 = layout::stack_top(tid) - 512;
+        let init_sp = self.symbol("task_init_sp");
+        self.kexec(init_sp, &[ts_va, sp0])?;
+
+        // Pre-open a /dev/zero file so fd-based syscalls have a target.
+        let file = self.alloc_file(FileKind::DevZero)?;
+        self.files.insert(file);
+        Ok(tid)
+    }
+
+    /// Allocates and initialises a `struct file`, signing its `f_ops`
+    /// through kernel code (`set_file_ops`, §5.3).
+    pub fn alloc_file(&mut self, kind: FileKind) -> Result<u64, KernelError> {
+        let capacity = HEAP_PAGES * PAGE_SIZE / file_struct::SIZE;
+        let va = file_heap_base() + (self.next_file_slot % capacity) * file_struct::SIZE;
+        self.next_file_slot += 1;
+        let kctx = self.mem.kernel_ctx(self.kernel_table);
+        self.mem
+            .write_u64(&kctx, va + u64::from(file_struct::FLAGS), 1)
+            .expect("file heap mapped");
+        self.mem
+            .write_u64(&kctx, va + u64::from(file_struct::F_OPS), kind.ops_va())
+            .expect("file heap mapped");
+        if self.protected() && self.codegen_cfg.protect_pointers {
+            let sign = self.symbol("sign_slot_db");
+            self.kexec(
+                sign,
+                &[
+                    va,
+                    va + u64::from(file_struct::F_OPS),
+                    u64::from(type_consts::FILE_F_OPS),
+                ],
+            )?;
+        }
+        Ok(va)
+    }
+
+    /// The file object behind `fd`.
+    pub fn file_of_fd(&self, fd: u64) -> Option<u64> {
+        self.files.get(fd)
+    }
+
+    /// Allocates a `work_struct` and initialises its protected callback
+    /// (`INIT_WORK`): raw store, then in-kernel signing (§4.6).
+    pub fn init_work(&mut self, func_sym: &str) -> Result<u64, KernelError> {
+        let capacity = HEAP_PAGES * PAGE_SIZE / layout::work_struct::SIZE;
+        let va = work_heap_base() + (self.next_work_slot % capacity) * layout::work_struct::SIZE;
+        self.next_work_slot += 1;
+        let func = self.symbol(func_sym);
+        let kctx = self.mem.kernel_ctx(self.kernel_table);
+        self.mem
+            .write_u64(&kctx, va + u64::from(layout::work_struct::FUNC), func)
+            .expect("work heap mapped");
+        if self.protected() && self.codegen_cfg.protect_pointers {
+            let sign = self.symbol("sign_slot_ia");
+            self.kexec(
+                sign,
+                &[
+                    va,
+                    va + u64::from(layout::work_struct::FUNC),
+                    u64::from(type_consts::WORK_FUNC),
+                ],
+            )?;
+        }
+        Ok(va)
+    }
+
+    /// Runs a queued work item: authenticate its callback and call it
+    /// (§4.4 forward-edge CFI).
+    pub fn run_work(&mut self, work_va: u64) -> Result<ExecOutcome, KernelError> {
+        let f = self.symbol("run_work");
+        self.kexec(f, &[work_va])
+    }
+
+    /// Context-switches between two live tasks by executing
+    /// `cpu_switch_to` (§5.2).
+    pub fn context_switch(&mut self, from: Tid, to: Tid) -> Result<ExecOutcome, KernelError> {
+        let from_idx = self.task_index(from)?;
+        let to_idx = self.task_index(to)?;
+        self.cpu.state.el = El::El1;
+        self.cpu.state.sp_el1 = layout::stack_top(from) - 512;
+        let f = self.symbol("cpu_switch_to");
+        let out = self.kexec(
+            f,
+            &[
+                self.tasks[from_idx].tid as u64 * 0 + layout::task_struct_va(from),
+                layout::task_struct_va(to),
+            ],
+        )?;
+        if out.fault.is_none() {
+            self.current = to_idx;
+        }
+        Ok(out)
+    }
+
+    /// Loads a kernel module: §4.1 static verification first, then map,
+    /// then §4.6 in-kernel signing of its static pointer table.
+    pub fn load_module(
+        &mut self,
+        program: Program,
+        statics: &StaticPointerTable,
+    ) -> Result<ModuleHandle, KernelError> {
+        let base = layout::MODULES_BASE + self.modules.len() as u64 * 0x2_0000;
+        let image = program.link(base);
+        let violations = verify_image(&image.to_words());
+        if !violations.is_empty() {
+            self.events.push(KernelEvent::ModuleRejected {
+                violations: violations.len(),
+            });
+            return Err(KernelError::ModuleRejected {
+                violations: violations.iter().map(|v| v.to_string()).collect(),
+            });
+        }
+        let bytes = image.to_bytes();
+        for (page, chunk) in bytes.chunks(PAGE_SIZE as usize).enumerate() {
+            let frame = self.mem.map_new(
+                self.kernel_table,
+                base + page as u64 * PAGE_SIZE,
+                S1Attr::kernel_text(),
+            );
+            self.mem
+                .phys_mut()
+                .write_bytes(frame.base(), chunk)
+                .expect("fresh frame backed");
+        }
+        // Sign the module's statically-initialised pointers in kernel code.
+        if self.protected() && self.codegen_cfg.protect_pointers {
+            for entry in statics.entries() {
+                let sym = match entry.key {
+                    camo_isa::PacKey::IA | camo_isa::PacKey::IB => "sign_slot_ia",
+                    _ => "sign_slot_db",
+                };
+                let f = self.symbol(sym);
+                self.kexec(
+                    f,
+                    &[
+                        entry.object_base(),
+                        entry.location,
+                        u64::from(entry.type_const),
+                    ],
+                )?;
+            }
+        }
+        let handle = ModuleHandle {
+            base_va: base,
+            image,
+        };
+        self.modules.push(handle.clone());
+        Ok(handle)
+    }
+
+    /// Executes a kernel function at EL1 with the current task's stack,
+    /// handling upcalls and faults per kernel policy.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::PacPanic`] when the §5.4 threshold trips;
+    /// [`KernelError::Cpu`]/[`KernelError::Hung`] on simulation failure.
+    pub fn kexec(&mut self, fn_va: u64, args: &[u64]) -> Result<ExecOutcome, KernelError> {
+        assert!(args.len() <= 8, "at most eight register arguments");
+        self.cpu.state.el = El::El1;
+        if self.cpu.state.sp_el1 == 0 {
+            self.cpu.state.sp_el1 = layout::stack_top(self.current_tid()) - 512;
+        }
+        let tpidr = self
+            .tasks
+            .get(self.current)
+            .map(|t| t.struct_va())
+            .unwrap_or(0);
+        self.cpu.state.set_sysreg(SysReg::TpidrEl1, tpidr);
+        for (i, &a) in args.iter().enumerate() {
+            self.cpu.state.gprs[i] = a;
+        }
+        self.cpu.state.write(Reg::LR, CALL_SENTINEL);
+        self.cpu.state.pc = fn_va;
+        let c0 = self.cpu.cycles();
+        let i0 = self.cpu.stats().instructions;
+        for _ in 0..KCALL_BUDGET {
+            match self.cpu.step(&mut self.mem)? {
+                Step::SentinelReturn => {
+                    return Ok(ExecOutcome {
+                        x0: self.cpu.state.gprs[0],
+                        cycles: self.cpu.cycles() - c0,
+                        instructions: self.cpu.stats().instructions - i0,
+                        fault: None,
+                        syscalls: 0,
+                    })
+                }
+                Step::BrkTrap { imm } if imm == upcall::EL1_FAULT => {
+                    let info = self.note_kernel_fault()?;
+                    return Ok(ExecOutcome {
+                        x0: self.cpu.state.gprs[0],
+                        cycles: self.cpu.cycles() - c0,
+                        instructions: self.cpu.stats().instructions - i0,
+                        fault: Some(info),
+                        syscalls: 0,
+                    });
+                }
+                _ => continue,
+            }
+        }
+        Err(KernelError::Hung)
+    }
+
+    fn current_tid(&self) -> Tid {
+        self.tasks.get(self.current).map(|t| t.tid).unwrap_or(0)
+    }
+
+    /// Applies kernel fault policy to an EL1 fault the caller observed
+    /// while driving the CPU itself (the attack framework's entry point
+    /// into §5.4 handling).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::PacPanic`] when the failure threshold trips.
+    pub fn observe_el1_fault(&mut self) -> Result<FaultInfo, KernelError> {
+        self.note_kernel_fault()
+    }
+
+    /// Classifies and logs a kernel-mode fault; trips the §5.4 panic
+    /// policy on PAC-failure signatures.
+    fn note_kernel_fault(&mut self) -> Result<FaultInfo, KernelError> {
+        let far = self.cpu.state.sysreg(SysReg::FarEl1);
+        let elr = self.cpu.state.sysreg(SysReg::ElrEl1);
+        let pac = looks_like_pac_failure(far, true);
+        let tid = self.current_tid();
+        if pac {
+            self.events.push(KernelEvent::PacFailure { far, elr, tid });
+            if self.policy.record_failure() {
+                return Err(KernelError::PacPanic {
+                    failures: self.policy.failures(),
+                });
+            }
+        } else {
+            self.events.push(KernelEvent::KernelFault { far, tid });
+        }
+        // Default policy: the offending process is killed (§5.4).
+        self.events.push(KernelEvent::TaskKilled { tid });
+        if let Some(task) = self.tasks.iter_mut().find(|t| t.tid == tid) {
+            task.alive = false;
+        }
+        Ok(FaultInfo {
+            far,
+            elr,
+            pac_failure: pac,
+        })
+    }
+
+    /// Runs a user program: `iterations` × (user block + one syscall `nr`
+    /// with first argument `arg0`), fully simulated from `ERET`-free user
+    /// entry through every kernel entry/exit.
+    pub fn run_user(
+        &mut self,
+        tid: Tid,
+        block: &str,
+        iterations: u64,
+        nr: u64,
+        arg0: u64,
+    ) -> Result<ExecOutcome, KernelError> {
+        let idx = self.task_index(tid)?;
+        self.current = idx;
+        let task_va = self.tasks[idx].struct_va();
+        let user_table = self.tasks[idx].user_table;
+        let stack_top = self.tasks[idx].stack_top();
+        self.cpu.state.set_sysreg(SysReg::Ttbr0El1, user_table.raw());
+        self.cpu.state.set_sysreg(SysReg::TpidrEl1, task_va);
+        self.cpu.state.sp_el1 = stack_top;
+
+        // exec(): provision the user keys by running the kernel's restore
+        // path (reads thread_struct, writes the key registers).
+        if self.protected() {
+            let f = self.symbol("restore_user_keys");
+            self.kexec(f, &[])?;
+            self.cpu.state.sp_el1 = stack_top;
+        }
+
+        let entry = self
+            .user_image
+            .symbol(&format!("user_main_{block}"))
+            .unwrap_or_else(|| panic!("unknown user block {block}"));
+        self.cpu.state.el = El::El0;
+        self.cpu.state.sp_el0 = USER_STACK_TOP - 2 * PAGE_SIZE;
+        self.cpu.state.pc = entry;
+        self.cpu.state.gprs[0] = iterations;
+        self.cpu.state.gprs[1] = nr;
+        self.cpu.state.gprs[2] = arg0;
+
+        let c0 = self.cpu.cycles();
+        let i0 = self.cpu.stats().instructions;
+        let mut syscalls = 0u64;
+        for _ in 0..RUN_BUDGET {
+            match self.cpu.step(&mut self.mem)? {
+                Step::BrkTrap { imm } => match imm {
+                    x if x == upcall::SYSCALL => {
+                        self.dispatch_syscall()?;
+                        syscalls += 1;
+                    }
+                    x if x == upcall::USER_DONE => {
+                        return Ok(ExecOutcome {
+                            x0: self.cpu.state.gprs[0],
+                            cycles: self.cpu.cycles() - c0,
+                            instructions: self.cpu.stats().instructions - i0,
+                            fault: None,
+                            syscalls,
+                        });
+                    }
+                    x if x == upcall::EL1_FAULT => {
+                        let info = self.note_kernel_fault()?;
+                        return Ok(ExecOutcome {
+                            x0: self.cpu.state.gprs[0],
+                            cycles: self.cpu.cycles() - c0,
+                            instructions: self.cpu.stats().instructions - i0,
+                            fault: Some(info),
+                            syscalls,
+                        });
+                    }
+                    x if x == upcall::EL0_FAULT => {
+                        let tid = self.current_tid();
+                        self.events.push(KernelEvent::TaskKilled { tid });
+                        if let Some(t) = self.tasks.iter_mut().find(|t| t.tid == tid) {
+                            t.alive = false;
+                        }
+                        let far = self.cpu.state.sysreg(SysReg::FarEl1);
+                        let elr = self.cpu.state.sysreg(SysReg::ElrEl1);
+                        return Ok(ExecOutcome {
+                            x0: self.cpu.state.gprs[0],
+                            cycles: self.cpu.cycles() - c0,
+                            instructions: self.cpu.stats().instructions - i0,
+                            fault: Some(FaultInfo {
+                                far,
+                                elr,
+                                pac_failure: looks_like_pac_failure(far, true),
+                            }),
+                            syscalls,
+                        });
+                    }
+                    x if x == upcall::IRQ => {
+                        self.cpu.return_from_exception();
+                    }
+                    _ => {
+                        return Err(KernelError::Cpu(CpuError::TimedOut { steps: 0 }));
+                    }
+                },
+                _ => continue,
+            }
+        }
+        Err(KernelError::Hung)
+    }
+
+    /// One complete syscall round-trip from the current task.
+    pub fn syscall(&mut self, nr: u64, arg0: u64) -> Result<ExecOutcome, KernelError> {
+        let tid = self.current_tid();
+        self.run_user(tid, "stub", 1, nr, arg0)
+    }
+
+    /// The `SYSCALL` upcall: read the number from `pt_regs`, apply
+    /// host-side semantics, and redirect the PC into the syscall body with
+    /// the return glue as LR.
+    fn dispatch_syscall(&mut self) -> Result<(), KernelError> {
+        let sp = self.cpu.state.sp_el1;
+        let kctx = self.cpu.translation_ctx();
+        let nr = self
+            .mem
+            .read_u64(&kctx, sp + u64::from(PT_X8))
+            .expect("pt_regs mapped");
+        let a0 = self.mem.read_u64(&kctx, sp).expect("pt_regs mapped");
+        let a1 = self.mem.read_u64(&kctx, sp + 8).expect("pt_regs mapped");
+        let a2 = self.mem.read_u64(&kctx, sp + 16).expect("pt_regs mapped");
+
+        let Some(spec) = syscall_by_nr(nr) else {
+            // -ENOSYS; straight to the exit path.
+            self.mem
+                .write_u64(&mut self.cpu.translation_ctx().clone(), sp, (-38i64) as u64)
+                .expect("pt_regs mapped");
+            self.cpu.state.pc = self.symbol("ret_to_user");
+            return Ok(());
+        };
+
+        // Host-side semantics (the parts of the C kernel outside the
+        // measured instruction paths).
+        let default_file = self.files.get(3).unwrap_or(0);
+        let (body_args, ret): ([u64; 3], u64) = match spec.name {
+            "getpid" => ([0, 0, 0], u64::from(self.current_tid())),
+            "read" | "write" => {
+                let file = self.files.get(a0).unwrap_or(default_file);
+                ([file, a1, a2], a2)
+            }
+            "fstat" | "select" => {
+                let file = self.files.get(a0).unwrap_or(default_file);
+                ([file, a1, a2], 0)
+            }
+            "open_close" => {
+                let file = self.alloc_file_raw()?;
+                let fd = self.files.insert(file);
+                ([file, FileKind::DevZero.ops_va(), 0], fd)
+            }
+            _ => ([default_file, a1, a2], 0),
+        };
+        self.mem
+            .write_u64(&mut self.cpu.translation_ctx().clone(), sp, ret)
+            .expect("pt_regs mapped");
+        self.cpu.state.gprs[0] = body_args[0];
+        self.cpu.state.gprs[1] = body_args[1];
+        self.cpu.state.gprs[2] = body_args[2];
+        self.cpu.state.write(Reg::LR, self.symbol("syscall_ret_glue"));
+        self.cpu.state.pc = self.symbol(&format!("sys_{}", spec.name));
+        Ok(())
+    }
+
+    /// Allocates a file *without* signing (the open syscall body performs
+    /// the `set_file_ops` signing itself; §5.3).
+    fn alloc_file_raw(&mut self) -> Result<u64, KernelError> {
+        let capacity = HEAP_PAGES * PAGE_SIZE / file_struct::SIZE;
+        let va = file_heap_base() + (self.next_file_slot % capacity) * file_struct::SIZE;
+        self.next_file_slot += 1;
+        let kctx = self.mem.kernel_ctx(self.kernel_table);
+        self.mem
+            .write_u64(&kctx, va + u64::from(file_struct::FLAGS), 1)
+            .expect("file heap mapped");
+        Ok(va)
+    }
+}
+
+/// Base of the file-object heap page.
+pub fn file_heap_base() -> u64 {
+    layout::KDATA_BASE + 0x10_0000
+}
+
+/// Base of the work-item heap page.
+pub fn work_heap_base() -> u64 {
+    layout::KDATA_BASE + 0x20_0000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted(level: ProtectionLevel) -> Kernel {
+        Kernel::boot(KernelConfig::with_protection(level)).expect("boot")
+    }
+
+    #[test]
+    fn boots_at_all_protection_levels() {
+        for level in ProtectionLevel::ALL {
+            let k = booted(level);
+            assert_eq!(k.tasks().count(), 1, "{level}: init task");
+            assert_eq!(k.pac_failures(), 0, "{level}");
+        }
+    }
+
+    #[test]
+    fn kernel_keys_are_installed_by_running_the_setter() {
+        let k = booted(ProtectionLevel::Full);
+        // The CPU's IB key registers now hold the boot keys...
+        let ib = k.cpu().state.pauth_key(camo_isa::PauthKey::IB);
+        assert_ne!(ib, QarmaKey::new(0, 0));
+        // ...and they were written by MSRs, not host pokes.
+        assert!(k.cpu().stats().key_writes >= 6);
+    }
+
+    #[test]
+    fn baseline_kernel_never_touches_key_registers() {
+        let k = booted(ProtectionLevel::None);
+        assert_eq!(k.cpu().stats().key_writes, 0);
+    }
+
+    #[test]
+    fn getpid_round_trip() {
+        let mut k = booted(ProtectionLevel::Full);
+        let out = k.syscall(172, 0).expect("syscall");
+        assert_eq!(out.x0, 0, "init's tid");
+        assert_eq!(out.syscalls, 1);
+        assert!(out.fault.is_none());
+        assert!(out.cycles > 100, "a syscall costs real cycles");
+    }
+
+    #[test]
+    fn read_dispatches_through_authenticated_f_ops() {
+        let mut k = booted(ProtectionLevel::Full);
+        let auth_before = k.cpu().stats().pac_auth_ok;
+        let out = k.syscall(63, 3).expect("read");
+        assert!(out.fault.is_none());
+        // The user stub leaves x2 = arg0, and read returns its length
+        // argument (a2), so the syscall result echoes arg0.
+        assert_eq!(out.x0, 3);
+        assert!(
+            k.cpu().stats().pac_auth_ok > auth_before,
+            "f_ops was authenticated"
+        );
+    }
+
+    #[test]
+    fn protected_syscall_costs_more_than_baseline() {
+        let mut base = booted(ProtectionLevel::None);
+        let mut full = booted(ProtectionLevel::Full);
+        let b = base.syscall(172, 0).unwrap().cycles;
+        let f = full.syscall(172, 0).unwrap().cycles;
+        assert!(
+            f > b,
+            "full protection must cost more ({f} vs {b} cycles)"
+        );
+        // Double-digit percentage on a null syscall (Figure 3's shape).
+        assert!(f * 100 > b * 110, "expected >10% overhead, got {f}/{b}");
+    }
+
+    #[test]
+    fn context_switch_signs_and_verifies_sp() {
+        let mut k = booted(ProtectionLevel::Full);
+        let a = k.spawn("a").unwrap();
+        let b = k.spawn("b").unwrap();
+        let auth0 = k.cpu().stats().pac_auth_ok;
+        let out = k.context_switch(a, b).expect("switch");
+        assert!(out.fault.is_none());
+        assert!(k.cpu().stats().pac_auth_ok > auth0, "SP was authenticated");
+        assert_eq!(k.current_task().tid, b);
+        // And back.
+        let out = k.context_switch(b, a).expect("switch back");
+        assert!(out.fault.is_none());
+        assert_eq!(k.current_task().tid, a);
+    }
+
+    #[test]
+    fn work_item_round_trip() {
+        let mut k = booted(ProtectionLevel::Full);
+        let work = k.init_work("dev_poll").expect("init_work");
+        let out = k.run_work(work).expect("run_work");
+        assert!(out.fault.is_none());
+    }
+
+    #[test]
+    fn forged_work_pointer_is_caught() {
+        let mut k = booted(ProtectionLevel::Full);
+        let work = k.init_work("dev_poll").expect("init_work");
+        // Attacker overwrites the signed callback with a raw pointer.
+        let target = k.symbol("dev_read");
+        let kctx = k.mem().kernel_ctx(k.kernel_table());
+        let slot = work + u64::from(layout::work_struct::FUNC);
+        k.mem_mut().write_u64(&kctx, slot, target).unwrap();
+        let out = k.run_work(work).expect("no panic yet");
+        let fault = out.fault.expect("authentication must fail");
+        assert!(fault.pac_failure, "fault carries the PAC signature");
+        assert_eq!(k.pac_failures(), 1);
+    }
+
+    #[test]
+    fn pac_panic_threshold_halts_the_kernel() {
+        let mut cfg = KernelConfig::with_protection(ProtectionLevel::Full);
+        cfg.pac_panic_threshold = 3;
+        let mut k = Kernel::boot(cfg).expect("boot");
+        let target = k.symbol("dev_read");
+        for attempt in 0..3 {
+            let work = k.init_work("dev_poll").expect("init_work");
+            let kctx = k.mem().kernel_ctx(k.kernel_table());
+            let slot = work + u64::from(layout::work_struct::FUNC);
+            k.mem_mut().write_u64(&kctx, slot, target).unwrap();
+            match k.run_work(work) {
+                Ok(out) => {
+                    assert!(attempt < 2, "third failure must panic");
+                    assert!(out.fault.expect("fault").pac_failure);
+                }
+                Err(KernelError::PacPanic { failures }) => {
+                    assert_eq!(attempt, 2);
+                    assert_eq!(failures, 3);
+                    return;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        panic!("panic threshold never tripped");
+    }
+
+    #[test]
+    fn module_with_key_read_is_rejected() {
+        let mut k = booted(ProtectionLevel::Full);
+        let cfg = k.codegen_config();
+        let mut p = Program::new(cfg);
+        let mut evil = camo_codegen::FunctionBuilder::new("evil_init", cfg);
+        evil.ins(camo_isa::Insn::Mrs {
+            rt: Reg::x(0),
+            sr: SysReg::ApibKeyLoEl1,
+        });
+        p.push(evil.build());
+        let err = k
+            .load_module(p, &StaticPointerTable::new())
+            .expect_err("must be rejected");
+        match err {
+            KernelError::ModuleRejected { violations } => {
+                assert_eq!(violations.len(), 1);
+                assert!(violations[0].contains("apibkeylo_el1"));
+            }
+            e => panic!("unexpected error {e}"),
+        }
+        assert!(matches!(
+            k.events().last(),
+            Some(KernelEvent::ModuleRejected { violations: 1 })
+        ));
+    }
+
+    #[test]
+    fn clean_module_loads_and_runs() {
+        let mut k = booted(ProtectionLevel::Full);
+        let cfg = k.codegen_config();
+        let mut p = Program::new(cfg);
+        let mut f = camo_codegen::FunctionBuilder::new("mod_entry", cfg).locals(32);
+        f.ins(camo_isa::Insn::AddImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 1,
+            shifted: false,
+        });
+        p.push(f.build());
+        let handle = k
+            .load_module(p, &StaticPointerTable::new())
+            .expect("clean module loads");
+        let entry = handle.image.symbol("mod_entry").unwrap();
+        let out = k.kexec(entry, &[41]).expect("module code runs");
+        assert_eq!(out.x0, 42);
+        assert!(out.fault.is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Miniature ARM Linux-like kernel for the Camouflage reproduction.
+//!
+//! This crate assembles the substrates into a bootable machine exhibiting
+//! every kernel pattern the paper's design addresses:
+//!
+//! * **Key management** (§4.1, §5.1): keys are installed on every kernel
+//!   entry by *executing* the XOM key setter; user keys are restored from
+//!   `thread_struct` on exit. Neither the host-side kernel logic nor the
+//!   simulated kernel can read the key values.
+//! * **Syscall machinery**: full simulated round trips — user `SVC`,
+//!   vectored entry, `pt_regs` save, key switch, instrumented call chains,
+//!   Listing 4 operations dispatch, `pt_regs` restore, `ERET`.
+//! * **Backward-edge CFI** (§4.2, §5.2): every generated kernel function
+//!   carries the configured prologue/epilogue; `cpu_switch_to` signs and
+//!   authenticates the saved stack pointers of scheduled-out tasks.
+//! * **Forward-edge CFI + DFI** (§4.4, §4.5): `struct file::f_ops` and
+//!   `work_struct::func` are signed at initialisation and authenticated at
+//!   every use; ops tables live in hypervisor-sealed rodata.
+//! * **Run-time linkage** (§4.6): module static-pointer tables are signed
+//!   in place by kernel code at load time, after §4.1 verification.
+//! * **Brute-force mitigation** (§5.4): PAC-failure signatures are
+//!   counted, logged, kill the offending task, and panic the kernel at the
+//!   configured threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_kernel::{Kernel, KernelConfig};
+//!
+//! let mut kernel = Kernel::boot(KernelConfig::default())?;
+//! let out = kernel.syscall(172, 0)?; // getpid
+//! assert_eq!(out.x0, 0);
+//! # Ok::<(), camo_kernel::KernelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+mod kernel;
+pub mod layout;
+mod objects;
+
+pub use image::{build_user_program, syscall_by_nr, KernelImage, SyscallSpec, SYSCALLS};
+pub use kernel::{
+    file_heap_base, work_heap_base, ExecOutcome, FaultInfo, Kernel, KernelConfig, KernelError,
+    ModuleHandle,
+};
+pub use objects::{FileKind, FileTable, KernelEvent, PacPolicy, Task, Tid};

@@ -1,0 +1,341 @@
+//! lmbench-style workloads for Figures 3 and 4.
+//!
+//! The paper evaluates syscall-level overhead with lmbench micro-benchmarks
+//! (Figure 3) and end-to-end overhead with three user-space workloads
+//! (Figure 4): a JPEG resize (predominantly user computation), a Debian
+//! package build (balanced) and a network download (mostly kernel).
+//!
+//! This crate reproduces both: [`figure3`] measures per-syscall latencies
+//! under the three protection levels; [`figure4`] runs instruction-mix
+//! workloads whose user/kernel balance matches the three scenarios. All
+//! measurements are simulated cycles from full syscall round trips.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use camo_core::{Machine, ProtectionLevel};
+use camo_kernel::{KernelConfig, KernelError, SYSCALLS};
+
+/// Iterations per micro-benchmark measurement (beyond warm-up).
+pub const MICRO_ITERS: u64 = 20;
+
+/// One Figure 3 row: cycles per operation under each protection level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Benchmark (syscall) name.
+    pub name: &'static str,
+    /// Baseline cycles/op.
+    pub none: f64,
+    /// Backward-edge-only cycles/op.
+    pub backward: f64,
+    /// Full protection cycles/op.
+    pub full: f64,
+}
+
+impl Fig3Row {
+    /// Relative latency of the backward-edge kernel.
+    pub fn rel_backward(&self) -> f64 {
+        self.backward / self.none
+    }
+
+    /// Relative latency of the fully protected kernel.
+    pub fn rel_full(&self) -> f64 {
+        self.full / self.none
+    }
+}
+
+/// The `KernelConfig` used by the workload benchmarks at `level`
+/// (registers the user computation blocks).
+pub fn workload_config(level: ProtectionLevel) -> KernelConfig {
+    let mut cfg = KernelConfig::with_protection(level);
+    cfg.user_blocks = vec![
+        ("stub".to_string(), 2, 1),
+        // JPEG resize: large user compute block per syscall.
+        ("jpeg".to_string(), 8000, 500),
+        // Package build: medium blocks between varied syscalls.
+        ("build".to_string(), 3000, 350),
+        // Download: small user block, copy-heavy recv syscalls.
+        ("net".to_string(), 700, 60),
+    ];
+    cfg
+}
+
+/// Measures one syscall's cycles/op on `machine` (one warm-up call, then
+/// [`MICRO_ITERS`] measured iterations).
+///
+/// # Errors
+///
+/// Propagates kernel errors (none expected on benign runs).
+pub fn measure_syscall(machine: &mut Machine, nr: u64, iters: u64) -> Result<f64, KernelError> {
+    let kernel = machine.kernel_mut();
+    let tid = kernel.current_task().tid;
+    // Warm-up (file allocation in open paths, etc.).
+    let _ = kernel.run_user(tid, "stub", 1, nr, 3)?;
+    let out = kernel.run_user(tid, "stub", iters, nr, 3)?;
+    debug_assert_eq!(out.syscalls, iters);
+    Ok(out.cycles as f64 / iters as f64)
+}
+
+/// Runs the full lmbench suite at one protection level.
+///
+/// # Errors
+///
+/// Propagates boot or run errors.
+pub fn lmbench_suite(
+    level: ProtectionLevel,
+    iters: u64,
+) -> Result<Vec<(&'static str, f64)>, KernelError> {
+    let mut machine = Machine::with_config(workload_config(level))?;
+    let mut rows = Vec::new();
+    for spec in SYSCALLS {
+        rows.push((spec.name, measure_syscall(&mut machine, spec.nr, iters)?));
+    }
+    Ok(rows)
+}
+
+/// Reproduces Figure 3: per-syscall latencies under all three levels.
+///
+/// # Errors
+///
+/// Propagates boot or run errors.
+pub fn figure3(iters: u64) -> Result<Vec<Fig3Row>, KernelError> {
+    let none = lmbench_suite(ProtectionLevel::None, iters)?;
+    let backward = lmbench_suite(ProtectionLevel::BackwardEdge, iters)?;
+    let full = lmbench_suite(ProtectionLevel::Full, iters)?;
+    Ok(none
+        .into_iter()
+        .zip(backward)
+        .zip(full)
+        .map(|(((name, n), (_, b)), (_, f))| Fig3Row {
+            name,
+            none: n,
+            backward: b,
+            full: f,
+        })
+        .collect())
+}
+
+/// One phase of a macro workload: `iterations` × (user block + syscall).
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// User computation block name (must be in [`workload_config`]).
+    pub block: &'static str,
+    /// Iterations.
+    pub iterations: u64,
+    /// Syscall number issued after each block.
+    pub nr: u64,
+    /// First syscall argument.
+    pub arg0: u64,
+}
+
+/// A Figure 4 macro workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (the Figure 4 x-axis).
+    pub name: &'static str,
+    /// Phases run back to back.
+    pub phases: Vec<Phase>,
+}
+
+/// The three Figure 4 workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            // "JPEG picture resize (predominantly user computation)"
+            name: "jpeg-resize",
+            phases: vec![Phase {
+                block: "jpeg",
+                iterations: 30,
+                nr: 63, // read
+                arg0: 3,
+            }],
+        },
+        Workload {
+            // "Debian package build (balanced)"
+            name: "deb-build",
+            phases: vec![
+                Phase {
+                    block: "build",
+                    iterations: 12,
+                    nr: 56, // open+close
+                    arg0: 3,
+                },
+                Phase {
+                    block: "build",
+                    iterations: 30,
+                    nr: 63, // read
+                    arg0: 3,
+                },
+                Phase {
+                    block: "build",
+                    iterations: 18,
+                    nr: 64, // write
+                    arg0: 3,
+                },
+                Phase {
+                    block: "build",
+                    iterations: 12,
+                    nr: 79, // stat
+                    arg0: 3,
+                },
+            ],
+        },
+        Workload {
+            // "Network download (mostly kernel)"
+            name: "net-download",
+            phases: vec![Phase {
+                block: "net",
+                iterations: 120,
+                nr: 207, // recv
+                arg0: 3,
+            }],
+        },
+    ]
+}
+
+/// Runs a workload to completion, returning total cycles.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run_workload(machine: &mut Machine, workload: &Workload) -> Result<u64, KernelError> {
+    let mut total = 0;
+    for phase in &workload.phases {
+        let kernel = machine.kernel_mut();
+        let tid = kernel.current_task().tid;
+        let out = kernel.run_user(tid, phase.block, phase.iterations, phase.nr, phase.arg0)?;
+        total += out.cycles;
+    }
+    Ok(total)
+}
+
+/// One Figure 4 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Baseline cycles.
+    pub none: u64,
+    /// Backward-edge cycles.
+    pub backward: u64,
+    /// Full-protection cycles.
+    pub full: u64,
+}
+
+impl Fig4Row {
+    /// Relative time of the backward-edge kernel.
+    pub fn rel_backward(&self) -> f64 {
+        self.backward as f64 / self.none as f64
+    }
+
+    /// Relative time of the fully protected kernel.
+    pub fn rel_full(&self) -> f64 {
+        self.full as f64 / self.none as f64
+    }
+}
+
+/// Reproduces Figure 4: the three workloads under all three levels.
+///
+/// # Errors
+///
+/// Propagates boot or run errors.
+pub fn figure4() -> Result<Vec<Fig4Row>, KernelError> {
+    let mut rows = Vec::new();
+    let defs = workloads();
+    let mut machines = [
+        Machine::with_config(workload_config(ProtectionLevel::None))?,
+        Machine::with_config(workload_config(ProtectionLevel::BackwardEdge))?,
+        Machine::with_config(workload_config(ProtectionLevel::Full))?,
+    ];
+    for w in &defs {
+        let none = run_workload(&mut machines[0], w)?;
+        let backward = run_workload(&mut machines[1], w)?;
+        let full = run_workload(&mut machines[2], w)?;
+        rows.push(Fig4Row {
+            name: w.name,
+            none,
+            backward,
+            full,
+        });
+    }
+    Ok(rows)
+}
+
+/// Geometric mean of the full-protection relative times (the paper's
+/// headline "< 4%" number).
+pub fn geomean_full_overhead(rows: &[Fig4Row]) -> f64 {
+    let product: f64 = rows.iter().map(Fig4Row::rel_full).product();
+    product.powf(1.0 / rows.len() as f64)
+}
+
+/// Converts simulator cycles to nanoseconds at the paper's evaluation
+/// clock (Raspberry Pi 3, 1.2 GHz).
+pub fn cycles_to_ns(cycles: f64) -> f64 {
+    cycles / 1.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getpid_latency_shows_double_digit_overhead() {
+        let mut base = Machine::with_protection(ProtectionLevel::None).unwrap();
+        let mut full = Machine::with_protection(ProtectionLevel::Full).unwrap();
+        let b = measure_syscall(&mut base, 172, 10).unwrap();
+        let f = measure_syscall(&mut full, 172, 10).unwrap();
+        let rel = f / b;
+        assert!(
+            rel > 1.10,
+            "null-call overhead should be double-digit percent, got {rel:.3}"
+        );
+        assert!(rel < 3.0, "but not absurd: {rel:.3}");
+    }
+
+    #[test]
+    fn backward_only_costs_less_than_full() {
+        let mut none = Machine::with_protection(ProtectionLevel::None).unwrap();
+        let mut backward = Machine::with_protection(ProtectionLevel::BackwardEdge).unwrap();
+        let mut full = Machine::with_protection(ProtectionLevel::Full).unwrap();
+        // `select` has ten ops dispatches: DFI cost shows up clearly.
+        let n = measure_syscall(&mut none, 72, 10).unwrap();
+        let b = measure_syscall(&mut backward, 72, 10).unwrap();
+        let f = measure_syscall(&mut full, 72, 10).unwrap();
+        assert!(n < b, "backward adds cost: {n:.0} vs {b:.0}");
+        assert!(b < f, "DFI adds more: {b:.0} vs {f:.0}");
+    }
+
+    #[test]
+    fn jpeg_workload_is_user_dominated() {
+        let mut m = Machine::with_config(workload_config(ProtectionLevel::None)).unwrap();
+        let w = &workloads()[0];
+        let kernel = m.kernel_mut();
+        let tid = kernel.current_task().tid;
+        let out = kernel
+            .run_user(tid, w.phases[0].block, 4, w.phases[0].nr, 3)
+            .unwrap();
+        // Each iteration burns thousands of user cycles against a few
+        // hundred kernel cycles.
+        assert!(out.cycles / out.syscalls > 5_000);
+    }
+
+    #[test]
+    fn figure4_workload_ordering_matches_paper() {
+        let rows = figure4().expect("figure 4 runs");
+        let by_name: std::collections::HashMap<_, _> =
+            rows.iter().map(|r| (r.name, r.rel_full())).collect();
+        let jpeg = by_name["jpeg-resize"];
+        let build = by_name["deb-build"];
+        let net = by_name["net-download"];
+        assert!(jpeg < build, "jpeg {jpeg:.3} < build {build:.3}");
+        assert!(build < net, "build {build:.3} < net {net:.3}");
+        let geo = geomean_full_overhead(&rows);
+        assert!(geo < 1.04, "geomean under 4% (paper headline): {geo:.4}");
+        assert!(geo > 1.0, "but measurably nonzero: {geo:.4}");
+    }
+
+    #[test]
+    fn cycles_to_ns_uses_rpi3_clock() {
+        assert!((cycles_to_ns(1200.0) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,299 @@
+//! Virtual-address layout: Tables 1 and 2 of the paper, and PAC placement.
+//!
+//! A typical Linux/AArch64 configuration uses a 48-bit VA space per half,
+//! selected by bit 55, with the remaining top bits sign-extended. Linux
+//! enables top-byte-ignore for user space but not for kernel space, so the
+//! bits available for a PAC differ between the halves — 15 usable PAC bits
+//! for kernel pointers, which is what makes the paper's brute-force
+//! mitigation necessary (§5.4).
+
+/// Translation granule size: 4 KiB.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Virtual address bits per half (standard Linux configuration).
+pub const VA_BITS: u32 = 48;
+
+/// Lowest kernel virtual address (48-bit configuration).
+pub const KERNEL_BASE: u64 = 0xffff_0000_0000_0000;
+
+/// Highest user virtual address (48-bit configuration).
+pub const USER_TOP: u64 = 0x0000_ffff_ffff_ffff;
+
+/// Classification of a virtual address per Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VaClass {
+    /// Bit 55 set, upper bits all ones: mapped through `TTBR1_EL1`.
+    Kernel,
+    /// Bit 55 clear, upper bits all zeros: mapped through `TTBR0_EL1`.
+    User,
+    /// Non-canonical: the sign-extension bits do not match bit 55.
+    Invalid,
+}
+
+/// Classifies `va` per Table 1 (ignoring tag bits; see [`PointerLayout`]).
+///
+/// # Example
+///
+/// ```
+/// use camo_mem::layout::{classify_va, VaClass};
+/// assert_eq!(classify_va(0xffff_0000_dead_beef), VaClass::Kernel);
+/// assert_eq!(classify_va(0x0000_7fff_dead_beef), VaClass::User);
+/// assert_eq!(classify_va(0x00ff_0000_dead_beef), VaClass::Invalid);
+/// ```
+pub fn classify_va(va: u64) -> VaClass {
+    let select = (va >> 55) & 1;
+    let ext = va >> VA_BITS; // bits 63:48
+    if select == 1 {
+        if ext == 0xFFFF {
+            VaClass::Kernel
+        } else {
+            VaClass::Invalid
+        }
+    } else if ext == 0 {
+        VaClass::User
+    } else {
+        VaClass::Invalid
+    }
+}
+
+/// The three rows of Table 1, as `(range_top, range_bottom, bit55, usage)`.
+pub fn table1_rows() -> [(u64, u64, Option<u8>, &'static str); 3] {
+    [
+        (u64::MAX, KERNEL_BASE, Some(1), "Kernel"),
+        (KERNEL_BASE - 1, USER_TOP + 1, None, "Invalid"),
+        (USER_TOP, 0, Some(0), "User"),
+    ]
+}
+
+/// Pointer bit-field layout for one address-space half (Table 2).
+///
+/// `tbi` is top-byte-ignore: enabled for Linux user addresses, disabled for
+/// kernel addresses (outside KASAN debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerLayout {
+    /// Virtual-address bits (48 in the modeled configuration).
+    pub va_bits: u32,
+    /// Whether the top byte (bits 63:56) is ignored by translation.
+    pub tbi: bool,
+}
+
+impl PointerLayout {
+    /// The kernel-half layout of a standard Linux configuration.
+    pub fn kernel() -> Self {
+        PointerLayout {
+            va_bits: VA_BITS,
+            tbi: false,
+        }
+    }
+
+    /// The user-half layout of a standard Linux configuration.
+    pub fn user() -> Self {
+        PointerLayout {
+            va_bits: VA_BITS,
+            tbi: true,
+        }
+    }
+
+    /// Bit positions holding PAC bits, as a mask.
+    ///
+    /// The PAC occupies the sign-extension bits excluding bit 55 (which
+    /// still selects the translation table): bits `54:va_bits`, plus the tag
+    /// byte `63:56` when TBI is off.
+    pub fn pac_mask(&self) -> u64 {
+        let low_span: u64 = ((1u64 << 55) - 1) & !((1u64 << self.va_bits) - 1);
+        if self.tbi {
+            low_span
+        } else {
+            low_span | 0xFF00_0000_0000_0000
+        }
+    }
+
+    /// Number of usable PAC bits.
+    ///
+    /// 15 for the kernel half (the §5.4 brute-force bound), 7 for the user
+    /// half with TBI enabled.
+    pub fn pac_bits(&self) -> u32 {
+        self.pac_mask().count_ones()
+    }
+
+    /// The canonical pointer for `va`: PAC field replaced by sign extension.
+    pub fn strip(&self, ptr: u64) -> u64 {
+        let select = (ptr >> 55) & 1;
+        if select == 1 {
+            ptr | self.pac_mask()
+        } else {
+            ptr & !self.pac_mask()
+        }
+    }
+
+    /// Inserts `pac` bits into the pointer's PAC field, preserving bit 55
+    /// and the addressing bits.
+    ///
+    /// Surplus PAC bits are discarded, mirroring the architecture
+    /// ("extraneous MAC bits are discarded", Appendix B).
+    pub fn embed_pac(&self, ptr: u64, pac: u32) -> u64 {
+        let mask = self.pac_mask();
+        let mut out = ptr & !mask;
+        let mut pac = u64::from(pac);
+        // Scatter PAC bits into the mask positions, lowest first.
+        for bit in 0..64 {
+            if mask & (1u64 << bit) != 0 {
+                out |= (pac & 1) << bit;
+                pac >>= 1;
+            }
+        }
+        out
+    }
+
+    /// Extracts the PAC field of `ptr`, gathered into the low bits.
+    pub fn extract_pac(&self, ptr: u64) -> u32 {
+        let mask = self.pac_mask();
+        let mut out: u64 = 0;
+        let mut pos = 0;
+        for bit in 0..64 {
+            if mask & (1u64 << bit) != 0 {
+                out |= ((ptr >> bit) & 1) << pos;
+                pos += 1;
+            }
+        }
+        out as u32
+    }
+
+    /// The expected PAC field of an *unsigned* canonical pointer
+    /// (all-ones for the kernel half, all-zeros for the user half).
+    pub fn canonical_pac(&self, ptr: u64) -> u32 {
+        self.extract_pac(self.strip(ptr))
+    }
+
+    /// Whether `ptr` is canonical (unsigned, valid for translation).
+    pub fn is_canonical(&self, ptr: u64) -> bool {
+        self.strip(ptr) == ptr
+    }
+
+    /// Renders the Table 2 field descriptions for this half.
+    pub fn table2_fields(&self) -> Vec<(&'static str, &'static str)> {
+        let mut rows = Vec::new();
+        if self.tbi {
+            rows.push(("63-56", "tag (ignored)"));
+        } else {
+            rows.push(("63-56", "sign extension"));
+        }
+        rows.push(("55", "translation-table select"));
+        rows.push(("54-48", "sign extension"));
+        rows.push(("47-12", "page number"));
+        rows.push(("11-0", "page offset"));
+        rows
+    }
+}
+
+/// Truncates a MAC to the PAC width of `layout` (low bits kept).
+pub fn truncate_mac(mac: u32, layout: &PointerLayout) -> u32 {
+    let bits = layout.pac_bits();
+    if bits >= 32 {
+        mac
+    } else {
+        mac & ((1u32 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_classification() {
+        // Spot-check the three rows of Table 1.
+        assert_eq!(classify_va(u64::MAX), VaClass::Kernel);
+        assert_eq!(classify_va(KERNEL_BASE), VaClass::Kernel);
+        assert_eq!(classify_va(KERNEL_BASE - 1), VaClass::Invalid);
+        assert_eq!(classify_va(0x0001_0000_0000_0000), VaClass::Invalid);
+        assert_eq!(classify_va(USER_TOP), VaClass::User);
+        assert_eq!(classify_va(0), VaClass::User);
+    }
+
+    #[test]
+    fn table1_rows_are_contiguous() {
+        let rows = table1_rows();
+        assert_eq!(rows[0].1, rows[1].0 + 1);
+        assert_eq!(rows[1].1, rows[2].0 + 1);
+        assert_eq!(rows[2].1, 0);
+    }
+
+    #[test]
+    fn kernel_pac_is_15_bits() {
+        // §5.4: "with typical Linux page and virtual address configurations
+        // the space remaining for the PACs is 15 bits".
+        assert_eq!(PointerLayout::kernel().pac_bits(), 15);
+    }
+
+    #[test]
+    fn user_pac_is_7_bits_with_tbi() {
+        assert_eq!(PointerLayout::user().pac_bits(), 7);
+    }
+
+    #[test]
+    fn pac_mask_excludes_bit_55_and_address_bits() {
+        for layout in [PointerLayout::kernel(), PointerLayout::user()] {
+            let mask = layout.pac_mask();
+            assert_eq!(mask & (1 << 55), 0, "bit 55 must be preserved");
+            assert_eq!(mask & ((1 << 48) - 1), 0, "address bits must be preserved");
+        }
+    }
+
+    #[test]
+    fn embed_extract_roundtrip() {
+        let layout = PointerLayout::kernel();
+        let ptr = 0xffff_0000_1234_5678u64;
+        for pac in [0u32, 1, 0x7FFF, 0x5A5A & 0x7FFF] {
+            let signed = layout.embed_pac(ptr, pac);
+            assert_eq!(layout.extract_pac(signed), pac);
+            assert_eq!(layout.strip(signed), ptr);
+            assert_eq!(signed & (1 << 55), ptr & (1 << 55));
+        }
+    }
+
+    #[test]
+    fn strip_restores_canonical_form() {
+        let layout = PointerLayout::kernel();
+        let ptr = 0xffff_8000_0000_1000u64;
+        let signed = layout.embed_pac(ptr, 0x2BCD);
+        assert!(!layout.is_canonical(signed) || layout.extract_pac(signed) == layout.canonical_pac(ptr));
+        assert!(layout.is_canonical(layout.strip(signed)));
+
+        let user = PointerLayout::user();
+        let uptr = 0x0000_7fff_0000_2000u64;
+        let usigned = user.embed_pac(uptr, 0x55);
+        assert_eq!(user.strip(usigned), uptr);
+    }
+
+    #[test]
+    fn signed_kernel_pointer_is_noncanonical_unless_pac_matches_sign() {
+        let layout = PointerLayout::kernel();
+        let ptr = 0xffff_0000_0000_4000u64;
+        // The canonical PAC pattern for a kernel pointer is all-ones.
+        let canon = layout.canonical_pac(ptr);
+        assert_eq!(canon, 0x7FFF);
+        let signed = layout.embed_pac(ptr, 0x1234);
+        assert!(!layout.is_canonical(signed));
+    }
+
+    #[test]
+    fn truncate_mac_respects_width() {
+        let k = PointerLayout::kernel();
+        assert_eq!(truncate_mac(0xFFFF_FFFF, &k), 0x7FFF);
+        let u = PointerLayout::user();
+        assert_eq!(truncate_mac(0xFFFF_FFFF, &u), 0x7F);
+    }
+
+    #[test]
+    fn table2_fields_match_paper() {
+        let user = PointerLayout::user().table2_fields();
+        assert_eq!(user[0], ("63-56", "tag (ignored)"));
+        let kernel = PointerLayout::kernel().table2_fields();
+        assert_eq!(kernel[0], ("63-56", "sign extension"));
+        for rows in [user, kernel] {
+            assert_eq!(rows[1], ("55", "translation-table select"));
+            assert_eq!(rows[3], ("47-12", "page number"));
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Two-stage translation and the memory facade used by the CPU.
+
+use crate::layout::{classify_va, VaClass, PAGE_SIZE};
+use crate::phys::{Frame, PhysMem};
+use crate::stage1::{S1Attr, Stage1Table};
+use crate::stage2::{S2Attr, Stage2Locked, Stage2Table};
+use core::fmt;
+
+/// Exception level of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum El {
+    /// User mode.
+    El0,
+    /// Kernel mode.
+    El1,
+}
+
+impl fmt::Display for El {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            El::El0 => write!(f, "EL0"),
+            El::El1 => write!(f, "EL1"),
+        }
+    }
+}
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessType::Read => write!(f, "read"),
+            AccessType::Write => write!(f, "write"),
+            AccessType::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// Handle to a stage-1 translation table owned by [`Memory`].
+///
+/// The value programmed into `TTBR0_EL1`/`TTBR1_EL1` in the simulated
+/// machine is a `TableId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub(crate) usize);
+
+impl TableId {
+    /// The raw index, as stored in a TTBR system register.
+    pub fn raw(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Reconstructs a table id from a TTBR register value.
+    pub fn from_raw(raw: u64) -> TableId {
+        TableId(raw as usize)
+    }
+}
+
+/// Everything translation needs to know about the current machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationCtx {
+    /// Table for the user half (VA bit 55 = 0).
+    pub ttbr0: TableId,
+    /// Table for the kernel half (VA bit 55 = 1).
+    pub ttbr1: TableId,
+    /// Exception level performing the access.
+    pub el: El,
+    /// Top-byte-ignore for user addresses (Linux default: on).
+    pub tbi_user: bool,
+}
+
+/// A translation or permission fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// The address's sign-extension bits do not match bit 55 — the fault a
+    /// failed `AUT*` ultimately produces when the pointer is used.
+    NonCanonical {
+        /// Faulting virtual address.
+        va: u64,
+    },
+    /// No stage-1 mapping for the page.
+    Translation {
+        /// Faulting virtual address.
+        va: u64,
+    },
+    /// Stage-1 permission denial.
+    Permission {
+        /// Faulting virtual address.
+        va: u64,
+        /// Attempted access.
+        access: AccessType,
+        /// Level performing the access.
+        el: El,
+    },
+    /// Stage-2 (hypervisor) permission denial — e.g. reading XOM.
+    Stage2 {
+        /// Faulting virtual address.
+        va: u64,
+        /// Physical address after stage-1 translation.
+        pa: u64,
+        /// Attempted access.
+        access: AccessType,
+    },
+    /// Translation produced a physical address with no backing frame.
+    Unmapped {
+        /// The unbacked physical address.
+        pa: u64,
+    },
+    /// Instruction fetch from a non-word-aligned address.
+    FetchUnaligned {
+        /// Faulting virtual address.
+        va: u64,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::NonCanonical { va } => write!(f, "non-canonical address {va:#x}"),
+            MemFault::Translation { va } => write!(f, "translation fault at {va:#x}"),
+            MemFault::Permission { va, access, el } => {
+                write!(f, "stage-1 permission fault: {access} at {va:#x} from {el}")
+            }
+            MemFault::Stage2 { va, pa, access } => {
+                write!(f, "stage-2 fault: {access} at {va:#x} (pa {pa:#x})")
+            }
+            MemFault::Unmapped { pa } => write!(f, "no frame backs pa {pa:#x}"),
+            MemFault::FetchUnaligned { va } => write!(f, "unaligned fetch from {va:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The complete simulated memory system: physical frames, stage-1 tables,
+/// and the hypervisor's stage-2 overlay.
+#[derive(Debug, Default)]
+pub struct Memory {
+    phys: PhysMem,
+    tables: Vec<Stage1Table>,
+    stage2: Stage2Table,
+}
+
+impl Memory {
+    /// Creates an empty memory system.
+    pub fn new() -> Self {
+        Memory {
+            phys: PhysMem::new(),
+            tables: Vec::new(),
+            stage2: Stage2Table::new(),
+        }
+    }
+
+    /// Allocates a new, empty stage-1 table.
+    pub fn new_table(&mut self) -> TableId {
+        self.tables.push(Stage1Table::new());
+        TableId(self.tables.len() - 1)
+    }
+
+    /// Allocates a zeroed physical frame.
+    pub fn alloc_frame(&mut self) -> Frame {
+        self.phys.alloc()
+    }
+
+    /// Maps `va`'s page to `frame` in `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is stale or `va` is not page-aligned.
+    pub fn map(&mut self, table: TableId, va: u64, frame: Frame, attr: S1Attr) {
+        self.tables[table.0].map(va, frame, attr);
+    }
+
+    /// Changes the stage-1 attributes of a mapped page.
+    pub fn set_attr(&mut self, table: TableId, va: u64, attr: S1Attr) -> bool {
+        self.tables[table.0].set_attr(va, attr)
+    }
+
+    /// Read access to a stage-1 table.
+    pub fn table(&self, table: TableId) -> &Stage1Table {
+        &self.tables[table.0]
+    }
+
+    /// Applies a stage-2 permission override (hypervisor operation).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Stage2Locked`] after [`Memory::lock_stage2`].
+    pub fn protect_stage2(&mut self, frame: Frame, attr: S2Attr) -> Result<(), Stage2Locked> {
+        self.stage2.protect(frame, attr)
+    }
+
+    /// Locks the stage-2 table (hypervisor boot-finalisation).
+    pub fn lock_stage2(&mut self) {
+        self.stage2.lock();
+    }
+
+    /// The hypervisor's stage-2 table.
+    pub fn stage2(&self) -> &Stage2Table {
+        &self.stage2
+    }
+
+    /// Direct physical memory access (bootloader / debugging use).
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// Direct mutable physical memory access (bootloader / debugging use).
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// A kernel-mode translation context with both halves on `table`.
+    ///
+    /// Convenient for early boot, before any user address space exists.
+    pub fn kernel_ctx(&self, table: TableId) -> TranslationCtx {
+        TranslationCtx {
+            ttbr0: table,
+            ttbr1: table,
+            el: El::El1,
+            tbi_user: true,
+        }
+    }
+
+    /// Strips ignored tag bits and validates canonical form.
+    fn effective_va(&self, ctx: &TranslationCtx, va: u64) -> Result<u64, MemFault> {
+        let select = (va >> 55) & 1;
+        let va = if select == 0 && ctx.tbi_user {
+            va & 0x00FF_FFFF_FFFF_FFFF
+        } else {
+            va
+        };
+        match classify_va(va) {
+            VaClass::Invalid => Err(MemFault::NonCanonical { va }),
+            _ => Ok(va),
+        }
+    }
+
+    /// Translates `va` for `access`, applying both stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural fault the access would raise, in priority
+    /// order: canonical check, stage-1 walk, stage-1 permissions, stage-2
+    /// permissions, physical backing.
+    pub fn translate(
+        &self,
+        ctx: &TranslationCtx,
+        va: u64,
+        access: AccessType,
+    ) -> Result<u64, MemFault> {
+        let eva = self.effective_va(ctx, va)?;
+        let table = if (eva >> 55) & 1 == 1 {
+            &self.tables[ctx.ttbr1.0]
+        } else {
+            &self.tables[ctx.ttbr0.0]
+        };
+        let entry = table.lookup(eva).ok_or(MemFault::Translation { va: eva })?;
+
+        let s1_ok = match (ctx.el, access) {
+            // The VMSAv8 quirk: stage 1 cannot deny an EL1 read.
+            (El::El1, AccessType::Read) => true,
+            (El::El1, AccessType::Write) => entry.attr.el1_write,
+            (El::El1, AccessType::Execute) => entry.attr.el1_exec,
+            (El::El0, AccessType::Read) => entry.attr.el0_read,
+            (El::El0, AccessType::Write) => entry.attr.el0_write,
+            (El::El0, AccessType::Execute) => entry.attr.el0_exec,
+        };
+        if !s1_ok {
+            return Err(MemFault::Permission {
+                va: eva,
+                access,
+                el: ctx.el,
+            });
+        }
+
+        let pa = entry.frame.base() + (eva % PAGE_SIZE);
+        let s2 = self.stage2.attr(entry.frame);
+        let s2_ok = match access {
+            AccessType::Read => s2.read,
+            AccessType::Write => s2.write,
+            AccessType::Execute => s2.exec,
+        };
+        if !s2_ok {
+            return Err(MemFault::Stage2 {
+                va: eva,
+                pa,
+                access,
+            });
+        }
+
+        if !self.phys.is_allocated(entry.frame) {
+            return Err(MemFault::Unmapped { pa });
+        }
+        Ok(pa)
+    }
+
+    /// Reads `buf.len()` bytes at `va` (may span pages).
+    pub fn read_bytes(
+        &self,
+        ctx: &TranslationCtx,
+        va: u64,
+        buf: &mut [u8],
+    ) -> Result<(), MemFault> {
+        for (i, byte) in buf.iter_mut().enumerate() {
+            let addr = va.wrapping_add(i as u64);
+            let pa = self.translate(ctx, addr, AccessType::Read)?;
+            *byte = self.phys.read_u8(pa).ok_or(MemFault::Unmapped { pa })?;
+        }
+        Ok(())
+    }
+
+    /// Writes `bytes` at `va` (may span pages).
+    pub fn write_bytes(
+        &mut self,
+        ctx: &TranslationCtx,
+        va: u64,
+        bytes: &[u8],
+    ) -> Result<(), MemFault> {
+        // Validate all pages before mutating anything, so a faulting write
+        // has no partial effect.
+        for i in 0..bytes.len() {
+            self.translate(ctx, va.wrapping_add(i as u64), AccessType::Write)?;
+        }
+        for (i, &byte) in bytes.iter().enumerate() {
+            let addr = va.wrapping_add(i as u64);
+            let pa = self.translate(ctx, addr, AccessType::Write)?;
+            self.phys.write_u8(pa, byte).ok_or(MemFault::Unmapped { pa })?;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, ctx: &TranslationCtx, va: u64) -> Result<u64, MemFault> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(ctx, va, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, ctx: &TranslationCtx, va: u64, value: u64) -> Result<(), MemFault> {
+        self.write_bytes(ctx, va, &value.to_le_bytes())
+    }
+
+    /// Fetches one instruction word (execute access, must be 4-aligned).
+    pub fn fetch(&self, ctx: &TranslationCtx, va: u64) -> Result<u32, MemFault> {
+        if va % 4 != 0 {
+            return Err(MemFault::FetchUnaligned { va });
+        }
+        let pa = self.translate(ctx, va, AccessType::Execute)?;
+        self.phys.read_u32(pa).ok_or(MemFault::Unmapped { pa })
+    }
+
+    /// Maps a fresh frame at `va` and returns it (allocate-and-map).
+    pub fn map_new(&mut self, table: TableId, va: u64, attr: S1Attr) -> Frame {
+        let frame = self.alloc_frame();
+        self.map(table, va, frame, attr);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::KERNEL_BASE;
+
+    fn setup() -> (Memory, TableId) {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        (mem, table)
+    }
+
+    #[test]
+    fn read_write_through_translation() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        mem.write_u64(&ctx, KERNEL_BASE + 8, 0xfeed_f00d).unwrap();
+        assert_eq!(mem.read_u64(&ctx, KERNEL_BASE + 8), Ok(0xfeed_f00d));
+    }
+
+    #[test]
+    fn unmapped_page_translation_fault() {
+        let (mem, table) = setup();
+        let ctx = mem.kernel_ctx(table);
+        assert_eq!(
+            mem.read_u64(&ctx, KERNEL_BASE),
+            Err(MemFault::Translation { va: KERNEL_BASE })
+        );
+    }
+
+    #[test]
+    fn noncanonical_address_faults() {
+        let (mem, table) = setup();
+        let ctx = mem.kernel_ctx(table);
+        let bad = 0x00ff_0000_0000_1000u64; // ext bits set, bit 55 clear
+        assert!(matches!(
+            mem.read_u64(&ctx, bad),
+            Err(MemFault::NonCanonical { .. })
+        ));
+    }
+
+    #[test]
+    fn user_tag_byte_is_ignored_with_tbi() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, 0x1000, S1Attr::user_data());
+        let mut ctx = mem.kernel_ctx(table);
+        ctx.el = El::El0;
+        let tagged = 0xAB00_0000_0000_1008u64;
+        mem.write_u64(&ctx, tagged, 7).unwrap();
+        assert_eq!(mem.read_u64(&ctx, 0x1008), Ok(7));
+
+        // Kernel addresses get no such leniency: a "tagged" kernel pointer
+        // is simply non-canonical.
+        let mut kctx = mem.kernel_ctx(table);
+        kctx.el = El::El1;
+        let tagged_kernel = KERNEL_BASE & !(0xFFu64 << 56) | (0xAB << 56);
+        assert!(matches!(
+            mem.read_u64(&kctx, tagged_kernel),
+            Err(MemFault::NonCanonical { .. })
+        ));
+    }
+
+    #[test]
+    fn el1_read_cannot_be_denied_by_stage1() {
+        // The architectural quirk from Appendix A.2.
+        let (mut mem, table) = setup();
+        let frame = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        let ctx = mem.kernel_ctx(table);
+        // kernel_text denies EL1 writes but reads still succeed.
+        assert!(mem.read_u64(&ctx, KERNEL_BASE).is_ok());
+        assert!(matches!(
+            mem.write_u64(&mut mem.kernel_ctx(table).clone(), KERNEL_BASE, 0),
+            Err(MemFault::Permission { .. })
+        ));
+        let _ = frame;
+    }
+
+    #[test]
+    fn stage2_makes_xom_real() {
+        let (mut mem, table) = setup();
+        let frame = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        mem.protect_stage2(frame, S2Attr::execute_only()).unwrap();
+        let ctx = mem.kernel_ctx(table);
+        // Fetch works...
+        assert!(mem.fetch(&ctx, KERNEL_BASE).is_ok());
+        // ...but reads now take a stage-2 fault, despite stage 1 allowing
+        // every EL1 read.
+        assert!(matches!(
+            mem.read_u64(&ctx, KERNEL_BASE),
+            Err(MemFault::Stage2 {
+                access: AccessType::Read,
+                ..
+            })
+        ));
+        // And writes too.
+        assert!(matches!(
+            mem.write_u64(&mut mem.kernel_ctx(table).clone(), KERNEL_BASE, 0),
+            Err(MemFault::Permission { .. }) | Err(MemFault::Stage2 { .. })
+        ));
+    }
+
+    #[test]
+    fn el0_cannot_execute_kernel_xom() {
+        let (mut mem, table) = setup();
+        let frame = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        mem.protect_stage2(frame, S2Attr::execute_only()).unwrap();
+        let mut ctx = mem.kernel_ctx(table);
+        ctx.el = El::El0;
+        assert!(matches!(
+            mem.fetch(&ctx, KERNEL_BASE),
+            Err(MemFault::Permission {
+                access: AccessType::Execute,
+                el: El::El0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn el0_cannot_touch_kernel_data() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let mut ctx = mem.kernel_ctx(table);
+        ctx.el = El::El0;
+        assert!(matches!(
+            mem.read_u64(&ctx, KERNEL_BASE),
+            Err(MemFault::Permission { .. })
+        ));
+    }
+
+    #[test]
+    fn split_halves_use_their_own_tables() {
+        let mut mem = Memory::new();
+        let user_table = mem.new_table();
+        let kernel_table = mem.new_table();
+        mem.map_new(user_table, 0x1000, S1Attr::user_data());
+        mem.map_new(kernel_table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = TranslationCtx {
+            ttbr0: user_table,
+            ttbr1: kernel_table,
+            el: El::El1,
+            tbi_user: true,
+        };
+        assert!(mem.read_u64(&ctx, 0x1000).is_ok());
+        assert!(mem.read_u64(&ctx, KERNEL_BASE).is_ok());
+        // The kernel half never consults TTBR0.
+        assert!(mem.read_u64(&ctx, KERNEL_BASE + 0x1000).is_err());
+    }
+
+    #[test]
+    fn fetch_requires_alignment() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        let ctx = mem.kernel_ctx(table);
+        assert_eq!(
+            mem.fetch(&ctx, KERNEL_BASE + 2),
+            Err(MemFault::FetchUnaligned { va: KERNEL_BASE + 2 })
+        );
+    }
+
+    #[test]
+    fn faulting_write_has_no_partial_effect() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        // Next page unmapped: a straddling write must fail atomically.
+        let ctx = mem.kernel_ctx(table);
+        let straddle = KERNEL_BASE + PAGE_SIZE - 4;
+        let before = mem.read_u64(&ctx, KERNEL_BASE + PAGE_SIZE - 8).unwrap();
+        assert!(mem.write_u64(&mut ctx.clone(), straddle, u64::MAX).is_err());
+        assert_eq!(mem.read_u64(&ctx, KERNEL_BASE + PAGE_SIZE - 8), Ok(before));
+    }
+}

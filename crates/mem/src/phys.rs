@@ -1,0 +1,175 @@
+//! Sparse physical memory.
+
+use crate::layout::PAGE_SIZE;
+use std::collections::HashMap;
+
+/// A physical page frame number.
+///
+/// Frames are handed out by [`PhysMem::alloc`]; the frame's base physical
+/// address is `frame.base()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Frame(u64);
+
+impl Frame {
+    /// The frame containing physical address `pa`.
+    pub fn containing(pa: u64) -> Frame {
+        Frame(pa / PAGE_SIZE)
+    }
+
+    /// The frame number.
+    pub fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The base physical address of this frame.
+    pub fn base(self) -> u64 {
+        self.0 * PAGE_SIZE
+    }
+}
+
+/// Sparse byte-addressable physical memory, allocated in 4 KiB frames.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    next_frame: u64,
+}
+
+impl PhysMem {
+    /// Creates empty physical memory.
+    pub fn new() -> Self {
+        PhysMem {
+            frames: HashMap::new(),
+            // Leave frame 0 unused so that physical address 0 stays invalid.
+            next_frame: 1,
+        }
+    }
+
+    /// Allocates a fresh zeroed frame.
+    pub fn alloc(&mut self) -> Frame {
+        let frame = Frame(self.next_frame);
+        self.next_frame += 1;
+        self.frames
+            .insert(frame.0, Box::new([0u8; PAGE_SIZE as usize]));
+        frame
+    }
+
+    /// Whether `frame` is backed by storage.
+    pub fn is_allocated(&self, frame: Frame) -> bool {
+        self.frames.contains_key(&frame.0)
+    }
+
+    /// Number of allocated frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Reads one byte at physical address `pa`, if backed.
+    pub fn read_u8(&self, pa: u64) -> Option<u8> {
+        let frame = self.frames.get(&(pa / PAGE_SIZE))?;
+        Some(frame[(pa % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte at physical address `pa`, if backed.
+    pub fn write_u8(&mut self, pa: u64, value: u8) -> Option<()> {
+        let frame = self.frames.get_mut(&(pa / PAGE_SIZE))?;
+        frame[(pa % PAGE_SIZE) as usize] = value;
+        Some(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa` (may span frames).
+    pub fn read_bytes(&self, pa: u64, buf: &mut [u8]) -> Option<()> {
+        for (i, byte) in buf.iter_mut().enumerate() {
+            *byte = self.read_u8(pa + i as u64)?;
+        }
+        Some(())
+    }
+
+    /// Writes `bytes` starting at `pa` (may span frames).
+    pub fn write_bytes(&mut self, pa: u64, bytes: &[u8]) -> Option<()> {
+        for (i, &byte) in bytes.iter().enumerate() {
+            self.write_u8(pa + i as u64, byte)?;
+        }
+        Some(())
+    }
+
+    /// Reads a little-endian u64 at `pa`.
+    pub fn read_u64(&self, pa: u64) -> Option<u64> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(pa, &mut buf)?;
+        Some(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian u64 at `pa`.
+    pub fn write_u64(&mut self, pa: u64, value: u64) -> Option<()> {
+        self.write_bytes(pa, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian u32 at `pa`.
+    pub fn read_u32(&self, pa: u64) -> Option<u32> {
+        let mut buf = [0u8; 4];
+        self.read_bytes(pa, &mut buf)?;
+        Some(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian u32 at `pa`.
+    pub fn write_u32(&mut self, pa: u64, value: u32) -> Option<()> {
+        self.write_bytes(pa, &value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_frames_are_zeroed() {
+        let mut mem = PhysMem::new();
+        let f = mem.alloc();
+        assert_eq!(mem.read_u64(f.base()), Some(0));
+        assert_eq!(mem.read_u64(f.base() + PAGE_SIZE - 8), Some(0));
+    }
+
+    #[test]
+    fn frame_zero_is_never_handed_out() {
+        let mut mem = PhysMem::new();
+        for _ in 0..16 {
+            assert_ne!(mem.alloc().number(), 0);
+        }
+        assert_eq!(mem.read_u8(0), None);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = PhysMem::new();
+        let f = mem.alloc();
+        mem.write_u64(f.base() + 16, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(mem.read_u64(f.base() + 16), Some(0xdead_beef_cafe_f00d));
+        mem.write_u32(f.base(), 0xD503_201F).unwrap();
+        assert_eq!(mem.read_u32(f.base()), Some(0xD503_201F));
+    }
+
+    #[test]
+    fn unbacked_access_returns_none() {
+        let mut mem = PhysMem::new();
+        assert_eq!(mem.read_u8(0x1_0000_0000), None);
+        assert_eq!(mem.write_u8(0x1_0000_0000, 1), None);
+    }
+
+    #[test]
+    fn cross_frame_spanning_access() {
+        let mut mem = PhysMem::new();
+        let f1 = mem.alloc();
+        let f2 = mem.alloc();
+        assert_eq!(f2.number(), f1.number() + 1, "frames allocate contiguously");
+        let boundary = f1.base() + PAGE_SIZE - 4;
+        mem.write_u64(boundary, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.read_u64(boundary), Some(0x1122_3344_5566_7788));
+    }
+
+    #[test]
+    fn frame_base_and_containing() {
+        let f = Frame::containing(0x3_2100);
+        assert_eq!(f.number(), 0x32);
+        assert_eq!(f.base(), 0x3_2000);
+    }
+}

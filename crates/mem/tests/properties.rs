@@ -1,0 +1,85 @@
+//! Property tests: address-layout and translation invariants.
+
+use camo_mem::layout::{classify_va, truncate_mac, VaClass};
+use camo_mem::{Memory, PointerLayout, S1Attr, S2Attr, KERNEL_BASE, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn any_layout() -> impl Strategy<Value = PointerLayout> {
+    prop::sample::select(vec![PointerLayout::kernel(), PointerLayout::user()])
+}
+
+proptest! {
+    /// embed → extract is the identity on the PAC field, and embedding
+    /// never disturbs the addressing bits or bit 55.
+    #[test]
+    fn pac_embedding_roundtrip(layout in any_layout(), ptr in any::<u64>(), pac in any::<u32>()) {
+        let pac = truncate_mac(pac, &layout);
+        let signed = layout.embed_pac(ptr, pac);
+        prop_assert_eq!(layout.extract_pac(signed), pac);
+        prop_assert_eq!(signed & ((1u64 << 48) - 1), ptr & ((1u64 << 48) - 1));
+        prop_assert_eq!(signed & (1 << 55), ptr & (1 << 55));
+        if layout.tbi {
+            prop_assert_eq!(signed >> 56, ptr >> 56, "tag byte untouched under TBI");
+        }
+    }
+
+    /// strip() always yields a canonical pointer, and stripping is
+    /// idempotent.
+    #[test]
+    fn strip_canonicalises(layout in any_layout(), ptr in any::<u64>()) {
+        let stripped = layout.strip(ptr);
+        prop_assert!(layout.is_canonical(stripped));
+        prop_assert_eq!(layout.strip(stripped), stripped);
+    }
+
+    /// Every address is exactly one of kernel / user / invalid, decided by
+    /// its extension bits.
+    #[test]
+    fn classification_is_total_and_consistent(va in any::<u64>()) {
+        match classify_va(va) {
+            VaClass::Kernel => prop_assert_eq!(va >> 48, 0xFFFF),
+            VaClass::User => prop_assert_eq!(va >> 48, 0),
+            VaClass::Invalid => {
+                prop_assert_ne!(va >> 48, 0xFFFF);
+                prop_assert_ne!(va >> 48, 0);
+            }
+        }
+    }
+
+    /// Stage-2 always dominates stage-1: whatever the stage-1 attributes,
+    /// an execute-only stage-2 frame never serves a data read.
+    #[test]
+    fn stage2_dominates_stage1(
+        el1_write in any::<bool>(),
+        el1_exec in any::<bool>(),
+        page in 0u64..64,
+    ) {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        let va = KERNEL_BASE + page * PAGE_SIZE;
+        let attr = S1Attr {
+            el0_read: false,
+            el0_write: false,
+            el0_exec: false,
+            el1_write,
+            el1_exec: el1_exec && !el1_write, // keep W^X like real mappings
+        };
+        let frame = mem.map_new(table, va, attr);
+        mem.protect_stage2(frame, S2Attr::execute_only()).unwrap();
+        let ctx = mem.kernel_ctx(table);
+        prop_assert!(mem.read_u64(&ctx, va).is_err());
+        prop_assert!(mem.write_u64(&mut ctx.clone(), va, 1).is_err());
+    }
+
+    /// Memory reads return exactly what was written (through translation),
+    /// for arbitrary in-page offsets and values.
+    #[test]
+    fn write_read_roundtrip(offset in 0u64..(PAGE_SIZE - 8), value in any::<u64>()) {
+        let mut mem = Memory::new();
+        let table = mem.new_table();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        mem.write_u64(&ctx, KERNEL_BASE + offset, value).unwrap();
+        prop_assert_eq!(mem.read_u64(&ctx, KERNEL_BASE + offset), Ok(value));
+    }
+}

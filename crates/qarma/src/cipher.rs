@@ -1,0 +1,447 @@
+//! The QARMA-64 cipher core: round functions, tweak schedule, reflector.
+
+use crate::cells::Cells;
+use core::fmt;
+
+/// Round count used for PAC computation.
+///
+/// The QARMA paper recommends r = 5 for QARMA-64 in pointer-authentication
+/// use ("QARMA-64-σ₁ with 5 rounds"); the published test vectors also use
+/// r = 5.
+pub const PAC_ROUNDS: usize = 5;
+
+/// The reflection constant α.
+const ALPHA: u64 = 0xC0AC_29B7_C97C_50DD;
+
+/// Round constants c₀..c₇ (digits of π, as in the paper).
+const C: [u64; 8] = [
+    0x0000_0000_0000_0000,
+    0x1319_8A2E_0370_7344,
+    0xA409_3822_299F_31D0,
+    0x082E_FA98_EC4E_6C89,
+    0x4528_21E6_38D0_1377,
+    0xBE54_66CF_34E9_0C6C,
+    0x3F84_D5B5_B547_0917,
+    0x9216_D5D9_8979_FB1B,
+];
+
+/// Cell shuffle τ (a MIDORI-style permutation).
+const TAU: [usize; 16] = [0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2];
+
+/// Tweak cell permutation h.
+const H: [usize; 16] = [6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11];
+
+/// Tweak cells advanced by the LFSR ω on each tweak-schedule step.
+const LFSR_CELLS: [usize; 7] = [0, 1, 3, 4, 8, 11, 13];
+
+/// The involutory MixColumns matrix M = Q = circ(0, ρ¹, ρ², ρ¹).
+const M: [u8; 16] = [0, 1, 2, 1, 1, 0, 1, 2, 2, 1, 0, 1, 1, 2, 1, 0];
+
+/// σ₀ S-box.
+const SIGMA0: [u8; 16] = [0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5];
+/// σ₁ S-box (the recommended one, used by the reference PAuth design).
+const SIGMA1: [u8; 16] = [10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4];
+/// σ₂ S-box.
+const SIGMA2: [u8; 16] = [11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10];
+
+/// Selects which of the three QARMA S-boxes the cipher uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sigma {
+    /// σ₀ — cheapest, lowest latency.
+    Sigma0,
+    /// σ₁ — the paper's recommendation and the PAuth reference choice.
+    #[default]
+    Sigma1,
+    /// σ₂ — highest cryptographic margin.
+    Sigma2,
+}
+
+impl Sigma {
+    fn table(self) -> &'static [u8; 16] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0,
+            Sigma::Sigma1 => &SIGMA1,
+            Sigma::Sigma2 => &SIGMA2,
+        }
+    }
+
+    fn inverse_table(self) -> [u8; 16] {
+        let mut inv = [0u8; 16];
+        for (i, &v) in self.table().iter().enumerate() {
+            inv[usize::from(v)] = i as u8;
+        }
+        inv
+    }
+}
+
+impl fmt::Display for Sigma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sigma::Sigma0 => write!(f, "sigma0"),
+            Sigma::Sigma1 => write!(f, "sigma1"),
+            Sigma::Sigma2 => write!(f, "sigma2"),
+        }
+    }
+}
+
+/// A 128-bit QARMA key, split into the whitening half `w0` and core half `k0`.
+///
+/// This maps one-to-one onto an ARMv8.3 PAuth key, which occupies a pair of
+/// 64-bit system registers (e.g. `APIBKeyLo_EL1`/`APIBKeyHi_EL1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QarmaKey {
+    /// Whitening key w⁰.
+    pub w0: u64,
+    /// Core key k⁰.
+    pub k0: u64,
+}
+
+impl QarmaKey {
+    /// Creates a key from its whitening and core halves.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use camo_qarma::QarmaKey;
+    /// let key = QarmaKey::new(0x0123, 0x4567);
+    /// assert_eq!(key.w0, 0x0123);
+    /// assert_eq!(key.k0, 0x4567);
+    /// ```
+    pub fn new(w0: u64, k0: u64) -> Self {
+        QarmaKey { w0, k0 }
+    }
+
+    /// Builds a key from a 128-bit value, low half = `w0`, high half = `k0`.
+    pub fn from_u128(v: u128) -> Self {
+        QarmaKey {
+            w0: v as u64,
+            k0: (v >> 64) as u64,
+        }
+    }
+
+    /// Packs the key into a 128-bit value, low half = `w0`, high half = `k0`.
+    pub fn to_u128(self) -> u128 {
+        u128::from(self.w0) | (u128::from(self.k0) << 64)
+    }
+}
+
+/// A QARMA-64 cipher instance: key, S-box choice, and round count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Qarma {
+    key: QarmaKey,
+    sigma: Sigma,
+    rounds: usize,
+    sbox: [u8; 16],
+    sbox_inv: [u8; 16],
+}
+
+impl Qarma {
+    /// Creates a cipher with `rounds` forward (and backward) rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is 0 or greater than 8 (no round constants are
+    /// defined past c₇).
+    pub fn new(key: QarmaKey, sigma: Sigma, rounds: usize) -> Self {
+        assert!(
+            rounds >= 1 && rounds <= C.len(),
+            "QARMA-64 supports 1..=8 rounds, got {rounds}"
+        );
+        Qarma {
+            key,
+            sigma,
+            rounds,
+            sbox: *sigma.table(),
+            sbox_inv: sigma.inverse_table(),
+        }
+    }
+
+    /// The cipher's key.
+    pub fn key(&self) -> QarmaKey {
+        self.key
+    }
+
+    /// The cipher's S-box selection.
+    pub fn sigma(&self) -> Sigma {
+        self.sigma
+    }
+
+    /// The number of forward rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Encrypts one 64-bit block under the 64-bit tweak.
+    pub fn encrypt(&self, plaintext: u64, tweak: u64) -> u64 {
+        let w0 = self.key.w0;
+        let w1 = derive_w1(w0);
+        let k0 = self.key.k0;
+        let k1 = k0;
+
+        let mut state = plaintext ^ w0;
+        let mut t = tweak;
+
+        for i in 0..self.rounds {
+            state = self.forward(state, k0 ^ t ^ C[i], i != 0);
+            t = forward_update_tweak(t);
+        }
+
+        state = self.forward(state, w1 ^ t, true);
+        state = self.pseudo_reflect(state, k1);
+        state = self.backward(state, w0 ^ t, true);
+
+        for i in (0..self.rounds).rev() {
+            t = backward_update_tweak(t);
+            state = self.backward(state, k0 ^ t ^ C[i] ^ ALPHA, i != 0);
+        }
+
+        state ^ w1
+    }
+
+    /// Decrypts one 64-bit block under the 64-bit tweak.
+    ///
+    /// Implemented as the exact step-by-step inverse of [`Qarma::encrypt`],
+    /// so `decrypt(encrypt(p, t), t) == p` holds by construction.
+    pub fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64 {
+        let w0 = self.key.w0;
+        let w1 = derive_w1(w0);
+        let k0 = self.key.k0;
+        let k1 = k0;
+
+        // Recompute the tweak sequence of the forward pass.
+        let mut tweaks = Vec::with_capacity(self.rounds + 1);
+        let mut t = tweak;
+        for _ in 0..self.rounds {
+            tweaks.push(t);
+            t = forward_update_tweak(t);
+        }
+        let t_mid = t; // value used around the reflector
+
+        let mut state = ciphertext ^ w1;
+
+        // Undo the backward half (which re-consumed tweaks in reverse).
+        let mut t = t_mid;
+        let mut back_keys = Vec::with_capacity(self.rounds);
+        for i in (0..self.rounds).rev() {
+            t = backward_update_tweak(t);
+            back_keys.push((k0 ^ t ^ C[i] ^ ALPHA, i != 0));
+        }
+        for &(rk, full) in back_keys.iter().rev() {
+            state = self.backward_inv(state, rk, full);
+        }
+
+        state = self.backward_inv(state, w0 ^ t_mid, true);
+        state = self.pseudo_reflect_inv(state, k1);
+        state = self.forward_inv(state, w1 ^ t_mid, true);
+
+        for i in (0..self.rounds).rev() {
+            state = self.forward_inv(state, k0 ^ tweaks[i] ^ C[i], i != 0);
+        }
+
+        state ^ w0
+    }
+
+    /// One forward round: AddRoundTweakey, then (τ, M) unless short, then S.
+    fn forward(&self, state: u64, round_key: u64, full: bool) -> u64 {
+        let mut cells = Cells::from_u64(state ^ round_key);
+        if full {
+            cells = cells.permute(&TAU).mix_columns(&M);
+        }
+        cells.sub_cells(&self.sbox).to_u64()
+    }
+
+    /// Inverse of [`Qarma::forward`].
+    fn forward_inv(&self, state: u64, round_key: u64, full: bool) -> u64 {
+        let mut cells = Cells::from_u64(state).sub_cells(&self.sbox_inv);
+        if full {
+            cells = cells.mix_columns(&M).permute_inv(&TAU);
+        }
+        cells.to_u64() ^ round_key
+    }
+
+    /// One backward round: S⁻¹, then (M, τ⁻¹) unless short, then tweakey.
+    fn backward(&self, state: u64, round_key: u64, full: bool) -> u64 {
+        let mut cells = Cells::from_u64(state).sub_cells(&self.sbox_inv);
+        if full {
+            cells = cells.mix_columns(&M).permute_inv(&TAU);
+        }
+        cells.to_u64() ^ round_key
+    }
+
+    /// Inverse of [`Qarma::backward`].
+    fn backward_inv(&self, state: u64, round_key: u64, full: bool) -> u64 {
+        let mut cells = Cells::from_u64(state ^ round_key);
+        if full {
+            cells = cells.permute(&TAU).mix_columns(&M);
+        }
+        cells.sub_cells(&self.sbox).to_u64()
+    }
+
+    /// The central reflector: τ, Q, add k¹, τ⁻¹.
+    fn pseudo_reflect(&self, state: u64, k1: u64) -> u64 {
+        Cells::from_u64(state)
+            .permute(&TAU)
+            .mix_columns(&M)
+            .add_round_tweakey(k1)
+            .permute_inv(&TAU)
+            .to_u64()
+    }
+
+    /// Inverse of the reflector (it is an involution up to key order; the
+    /// strict inverse reverses the step order).
+    fn pseudo_reflect_inv(&self, state: u64, k1: u64) -> u64 {
+        Cells::from_u64(state)
+            .permute(&TAU)
+            .add_round_tweakey(k1)
+            .mix_columns(&M)
+            .permute_inv(&TAU)
+            .to_u64()
+    }
+}
+
+/// Derives the second whitening key: w¹ = (w⁰ ≫ 1) ⊕ (w⁰ ≫ 63).
+fn derive_w1(w0: u64) -> u64 {
+    w0.rotate_right(1) ^ (w0 >> 63)
+}
+
+/// Advances one tweak cell through the LFSR ω: (b₃b₂b₁b₀) → (b₀⊕b₁, b₃, b₂, b₁).
+fn lfsr(x: u8) -> u8 {
+    let b0 = x & 1;
+    let b1 = (x >> 1) & 1;
+    let b2 = (x >> 2) & 1;
+    let b3 = (x >> 3) & 1;
+    ((b0 ^ b1) << 3) | (b3 << 2) | (b2 << 1) | b1
+}
+
+/// Inverse of [`lfsr`].
+fn lfsr_inv(x: u8) -> u8 {
+    let o0 = x & 1;
+    let o1 = (x >> 1) & 1;
+    let o2 = (x >> 2) & 1;
+    let o3 = (x >> 3) & 1;
+    let b1 = o0;
+    let b2 = o1;
+    let b3 = o2;
+    let b0 = o3 ^ b1;
+    (b3 << 3) | (b2 << 2) | (b1 << 1) | b0
+}
+
+/// One step of the tweak schedule: permute by h, then ω on the LFSR cells.
+fn forward_update_tweak(t: u64) -> u64 {
+    let mut cells = Cells::from_u64(t).permute(&H);
+    for &i in &LFSR_CELLS {
+        cells.0[i] = lfsr(cells.0[i]);
+    }
+    cells.to_u64()
+}
+
+/// Inverse tweak-schedule step: ω⁻¹ on the LFSR cells, then h⁻¹.
+fn backward_update_tweak(t: u64) -> u64 {
+    let mut cells = Cells::from_u64(t);
+    for &i in &LFSR_CELLS {
+        cells.0[i] = lfsr_inv(cells.0[i]);
+    }
+    cells.permute_inv(&H).to_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published QARMA-64 test vectors (Avanzi 2017, Table 5), r = 5:
+    //   P = fb623599da6e8127, T = 477d469dec0b8762,
+    //   K = w0 ‖ k0 = 84be85ce9804e94b ‖ ec2802d4e0a488e9
+    const P: u64 = 0xfb62_3599_da6e_8127;
+    const T: u64 = 0x477d_469d_ec0b_8762;
+    const W0: u64 = 0x84be_85ce_9804_e94b;
+    const K0: u64 = 0xec28_02d4_e0a4_88e9;
+
+    #[test]
+    fn published_vector_sigma0() {
+        let c = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma0, 5);
+        assert_eq!(c.encrypt(P, T), 0x3ee9_9a6c_82af_0c38);
+    }
+
+    #[test]
+    fn published_vector_sigma1() {
+        let c = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma1, 5);
+        assert_eq!(c.encrypt(P, T), 0x544b_0ab9_5bda_7c3a);
+    }
+
+    #[test]
+    fn published_vector_sigma2() {
+        let c = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma2, 5);
+        assert_eq!(c.encrypt(P, T), 0xc003_b939_99b3_3765);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_on_vectors() {
+        for sigma in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            let c = Qarma::new(QarmaKey::new(W0, K0), sigma, 5);
+            let ct = c.encrypt(P, T);
+            assert_eq!(c.decrypt(ct, T), P, "{sigma}");
+        }
+    }
+
+    #[test]
+    fn lfsr_roundtrip_all_nibbles() {
+        for x in 0u8..16 {
+            assert_eq!(lfsr_inv(lfsr(x)), x);
+            assert_eq!(lfsr(lfsr_inv(x)), x);
+        }
+    }
+
+    #[test]
+    fn lfsr_is_maximal_period_on_nonzero() {
+        // ω is an LFSR with period 15 over the nonzero nibbles.
+        let mut x = 1u8;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..15 {
+            assert!(seen.insert(x));
+            x = lfsr(x);
+        }
+        assert_eq!(x, 1);
+        assert_eq!(lfsr(0), 0);
+    }
+
+    #[test]
+    fn tweak_update_roundtrip() {
+        for t in [0u64, 1, u64::MAX, T, 0x0123_4567_89ab_cdef] {
+            assert_eq!(backward_update_tweak(forward_update_tweak(t)), t);
+        }
+    }
+
+    #[test]
+    fn rounds_out_of_range_panics() {
+        let r = std::panic::catch_unwind(|| Qarma::new(QarmaKey::default(), Sigma::Sigma1, 0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| Qarma::new(QarmaKey::default(), Sigma::Sigma1, 9));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn key_u128_roundtrip() {
+        let k = QarmaKey::new(0x1122_3344_5566_7788, 0x99aa_bbcc_ddee_ff00);
+        assert_eq!(QarmaKey::from_u128(k.to_u128()), k);
+    }
+
+    #[test]
+    fn tweak_affects_ciphertext() {
+        let c = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma1, 5);
+        assert_ne!(c.encrypt(P, T), c.encrypt(P, T ^ 1));
+    }
+
+    #[test]
+    fn avalanche_single_bit_flip() {
+        // Flipping one plaintext bit should flip roughly half the output
+        // bits; allow a generous band since this is a smoke test.
+        let c = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma1, 5);
+        let base = c.encrypt(P, T);
+        let mut total = 0u32;
+        for bit in 0..64 {
+            total += (base ^ c.encrypt(P ^ (1u64 << bit), T)).count_ones();
+        }
+        let avg = f64::from(total) / 64.0;
+        assert!(avg > 24.0 && avg < 40.0, "avalanche average {avg}");
+    }
+}

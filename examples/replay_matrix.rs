@@ -1,0 +1,41 @@
+//! The replay matrix: why Camouflage's modifier beats SP-only and PARTS.
+//!
+//! Two replay attacks, three backward-edge schemes:
+//!
+//! * **same SP, different function** — defeats Clang's SP-only modifier;
+//! * **same function, stacks 64 KiB apart** — defeats PARTS' 16-bit SP
+//!   field (kernel stacks sit at exact multiples of 2¹⁶, §7).
+//!
+//! Camouflage's `low32(SP) ‖ low32(fn)` modifier blocks both.
+//!
+//! ```sh
+//! cargo run --example replay_matrix
+//! ```
+
+use camouflage::attacks::rop;
+use camouflage::core::CfiScheme;
+
+fn main() {
+    let schemes = [CfiScheme::SpOnly, CfiScheme::Parts, CfiScheme::Camouflage];
+    println!(
+        "{:<14} {:>28} {:>28}",
+        "scheme", "same-SP cross-function", "cross-thread 64KiB"
+    );
+    for scheme in schemes {
+        let cross_fn = rop::replay_same_sp_cross_function(scheme);
+        let cross_thread = rop::replay_cross_thread_same_function(scheme);
+        println!(
+            "{:<14} {:>28} {:>28}",
+            scheme.to_string(),
+            if cross_fn.blocked { "blocked" } else { "REPLAYED" },
+            if cross_thread.blocked { "blocked" } else { "REPLAYED" },
+        );
+        assert!(cross_fn.matches_paper() && cross_thread.matches_paper());
+    }
+    println!();
+    let residual = rop::replay_same_context_residual(CfiScheme::Camouflage);
+    println!(
+        "residual risk (identical function + SP): {} — the paper's §6.2.1 caveat",
+        if residual.blocked { "blocked" } else { "replayable" }
+    );
+}

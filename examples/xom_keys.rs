@@ -1,0 +1,56 @@
+//! Execute-only memory in action: the kernel keys are visible as
+//! *instructions* only to the bootloader; after boot nobody can read them.
+//!
+//! ```sh
+//! cargo run --example xom_keys
+//! ```
+
+use camouflage::boot::{Bootloader, KeySetter};
+use camouflage::core::Machine;
+use camouflage::isa::{disassemble, encode};
+use camouflage::kernel::layout::KEYSETTER_VA;
+use camouflage::mem::AccessType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Boot-time view: the bootloader generates the setter, so it can show
+    // what the XOM page will contain (this knowledge dies with boot).
+    let boot = Bootloader::new(0xC0FFEE);
+    let insns = KeySetter::new(boot.keys()).generate();
+    println!("key setter as only the bootloader ever sees it:");
+    let words: Vec<u32> = insns.iter().map(encode).collect();
+    for (i, line) in disassemble(&words).iter().enumerate().take(12) {
+        println!("  {:#06x}: {line}", 4 * i);
+    }
+    println!("  ... ({} instructions total)\n", insns.len());
+
+    // Run-time view: boot a machine and try to look at the same page.
+    let mut machine = Machine::protected()?;
+    let kernel = machine.kernel_mut();
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+
+    let read = kernel.mem().read_u64(&ctx, KEYSETTER_VA);
+    println!("kernel read of the setter page:  {read:?}");
+    let write = kernel
+        .mem()
+        .translate(&ctx, KEYSETTER_VA, AccessType::Write);
+    println!("kernel write to the setter page: {write:?}");
+    let fetch = kernel.mem().fetch(&ctx, KEYSETTER_VA);
+    println!(
+        "kernel execute of the setter:    Ok({:#010x}) — calling it is allowed",
+        fetch?
+    );
+
+    // And calling it is exactly what kernel entry does: measure the key
+    // switch (§6.1.1).
+    let out = kernel.kexec(KEYSETTER_VA, &[])?;
+    println!(
+        "\nexecuting the setter installs 3 keys in {} cycles ({:.1} cycles/key)",
+        out.cycles,
+        out.cycles as f64 / 3.0
+    );
+    println!(
+        "key registers written via MSR so far: {}",
+        kernel.cpu().stats().key_writes
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Camouflage: hardware-assisted CFI for an ARM Linux-like kernel,
+//! reproduced on a simulated AArch64/PAuth substrate.
+//!
+//! This facade re-exports the whole workspace. See the [`camo_core`]
+//! documentation for the top-level `Machine` API, and `DESIGN.md` /
+//! `EXPERIMENTS.md` in the repository root for the system inventory and the
+//! per-experiment reproduction index.
+
+pub use camo_analysis as analysis;
+pub use camo_attacks as attacks;
+pub use camo_boot as boot;
+pub use camo_codegen as codegen;
+pub use camo_core as core;
+pub use camo_cpu as cpu;
+pub use camo_isa as isa;
+pub use camo_kernel as kernel;
+pub use camo_lmbench as lmbench;
+pub use camo_mem as mem;
+pub use camo_qarma as qarma;

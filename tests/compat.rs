@@ -1,0 +1,72 @@
+//! §5.5 backward compatibility: one protected kernel binary, two CPUs.
+//!
+//! The compat build uses only the hint-space (`*1716`) PAuth forms, which
+//! execute as NOPs on pre-ARMv8.3 cores. The same binary must (a) run
+//! unprotected-but-correct on an old core and (b) deliver real protection
+//! on a new core.
+
+use camouflage::core::{Machine, ProtectionLevel};
+use camouflage::kernel::{layout, KernelConfig};
+
+fn compat_config(pauth_hw: bool) -> KernelConfig {
+    let mut cfg = KernelConfig::with_protection(ProtectionLevel::Full);
+    cfg.compat_v80 = true;
+    cfg.pauth_hw = pauth_hw;
+    cfg
+}
+
+#[test]
+fn compat_kernel_runs_on_pre_v83_core() {
+    let mut machine = Machine::with_config(compat_config(false)).expect("boot");
+    let kernel = machine.kernel_mut();
+    // Everything works — the PAuth hints are NOPs.
+    for (nr, arg) in [(172, 0), (63, 3), (56, 0)] {
+        let out = kernel.syscall(nr, arg).expect("syscall");
+        assert!(out.fault.is_none(), "syscall {nr}");
+    }
+    // And no PAC was ever computed.
+    assert_eq!(kernel.cpu().stats().pac_signs, 0);
+    assert_eq!(kernel.cpu().stats().pac_auth_ok, 0);
+}
+
+#[test]
+fn compat_kernel_protects_on_v83_core() {
+    let mut machine = Machine::with_config(compat_config(true)).expect("boot");
+    let kernel = machine.kernel_mut();
+    let out = kernel.syscall(63, 3).expect("read");
+    assert!(out.fault.is_none());
+    assert!(kernel.cpu().stats().pac_auth_ok > 0, "1716 forms authenticate");
+
+    // A forged work callback is caught, same as the native build.
+    let work = kernel.init_work("dev_poll").expect("init_work");
+    let target = kernel.symbol("dev_read");
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+    kernel
+        .mem_mut()
+        .write_u64(&ctx, work + u64::from(layout::work_struct::FUNC), target)
+        .expect("writable");
+    let out = kernel.run_work(work).expect("below threshold");
+    assert!(out.fault.expect("fault").pac_failure);
+}
+
+#[test]
+fn compat_build_costs_more_than_native_on_v83() {
+    // The register shuffles around the *1716 forms cost extra cycles —
+    // the price of one binary for two generations.
+    let mut native = Machine::protected().expect("boot");
+    let mut compat = Machine::with_config(compat_config(true)).expect("boot");
+    let n = native.kernel_mut().syscall(172, 0).expect("syscall").cycles;
+    let c = compat.kernel_mut().syscall(172, 0).expect("syscall").cycles;
+    assert!(c > n, "compat {c} should exceed native {n}");
+}
+
+#[test]
+fn same_source_different_core_same_semantics() {
+    // The user-visible results are identical regardless of the core.
+    let mut old = Machine::with_config(compat_config(false)).expect("boot");
+    let mut new = Machine::with_config(compat_config(true)).expect("boot");
+    let a = old.kernel_mut().syscall(172, 0).expect("syscall");
+    let b = new.kernel_mut().syscall(172, 0).expect("syscall");
+    assert_eq!(a.x0, b.x0);
+    assert_eq!(a.syscalls, b.syscalls);
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: boot → syscalls → scheduling → modules →
+//! workqueues, across every protection level.
+
+use camouflage::codegen::{FunctionBuilder, Program, StaticPointerTable};
+use camouflage::core::{Machine, ProtectionLevel};
+use camouflage::isa::{Insn, PacKey, Reg};
+use camouflage::kernel::{layout, FileKind, KernelEvent};
+
+#[test]
+fn every_protection_level_survives_a_busy_day() {
+    for level in ProtectionLevel::ALL {
+        let mut machine = Machine::with_protection(level).expect("boot");
+        let kernel = machine.kernel_mut();
+
+        // A burst of different syscalls.
+        for (nr, arg) in [(172, 0), (63, 3), (64, 3), (79, 0), (72, 3), (56, 0)] {
+            let out = kernel.syscall(nr, arg).expect("syscall");
+            assert!(out.fault.is_none(), "{level}: syscall {nr} faulted");
+        }
+
+        // Spawn and ping-pong between tasks.
+        let a = kernel.spawn("a").expect("spawn");
+        let b = kernel.spawn("b").expect("spawn");
+        for _ in 0..4 {
+            kernel.context_switch(a, b).expect("switch");
+            kernel.context_switch(b, a).expect("switch");
+        }
+
+        // Work queue round trip.
+        let work = kernel.init_work("dev_poll").expect("init_work");
+        let out = kernel.run_work(work).expect("run_work");
+        assert!(out.fault.is_none(), "{level}");
+
+        // Nothing counted as an attack.
+        assert_eq!(kernel.pac_failures(), 0, "{level}");
+        assert!(
+            !kernel
+                .events()
+                .iter()
+                .any(|e| matches!(e, KernelEvent::TaskKilled { .. })),
+            "{level}"
+        );
+    }
+}
+
+#[test]
+fn syscalls_from_different_tasks_use_their_own_kernel_stacks() {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    let a = kernel.spawn("a").expect("spawn");
+    let b = kernel.spawn("b").expect("spawn");
+    let out_a = kernel.run_user(a, "stub", 2, 172, 0).expect("run a");
+    let out_b = kernel.run_user(b, "stub", 2, 172, 0).expect("run b");
+    assert!(out_a.fault.is_none() && out_b.fault.is_none());
+    assert_eq!(out_a.x0, u64::from(a));
+    assert_eq!(out_b.x0, u64::from(b));
+}
+
+#[test]
+fn module_with_static_pointer_table_signs_at_load() {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    let cfg = kernel.codegen_config();
+
+    // The module's "DECLARE_WORK": a pointer slot in kernel data that must
+    // be signed at load time (§4.6).
+    let work = camouflage::kernel::work_heap_base() + 0x400;
+    let target = kernel.symbol("dev_poll");
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+    kernel
+        .mem_mut()
+        .write_u64(&ctx, work + u64::from(layout::work_struct::FUNC), target)
+        .expect("work heap mapped");
+
+    let mut statics = StaticPointerTable::new();
+    statics.push(camouflage::codegen::StaticPointerEntry {
+        location: work + u64::from(layout::work_struct::FUNC),
+        key: PacKey::IA,
+        type_const: layout::type_consts::WORK_FUNC,
+        field_offset: layout::work_struct::FUNC,
+    });
+
+    let mut p = Program::new(cfg);
+    let mut f = FunctionBuilder::new("mod_init", cfg);
+    f.ins(Insn::Movz {
+        rd: Reg::x(0),
+        imm16: 7,
+        shift: 0,
+    });
+    p.push(f.build());
+    kernel.load_module(p, &statics).expect("module loads");
+
+    // The slot now authenticates: run the work item through the kernel's
+    // authenticated dispatcher.
+    let out = kernel.run_work(work).expect("run_work");
+    assert!(out.fault.is_none(), "statically-declared work must run");
+
+    // A raw (unsigned) twin next to it fails.
+    let raw = camouflage::kernel::work_heap_base() + 0x440;
+    kernel
+        .mem_mut()
+        .write_u64(&ctx, raw + u64::from(layout::work_struct::FUNC), target)
+        .expect("mapped");
+    let out = kernel.run_work(raw).expect("below threshold");
+    assert!(out.fault.expect("must fault").pac_failure);
+}
+
+#[test]
+fn open_close_allocates_fresh_signed_files() {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    let before = kernel.cpu().stats().pac_signs;
+    let out = kernel.syscall(56, 0).expect("open");
+    assert!(out.fault.is_none());
+    let fd = out.x0;
+    assert!(fd >= 4, "fresh fd after the pre-opened one, got {fd}");
+    assert!(
+        kernel.cpu().stats().pac_signs > before,
+        "open signed the new f_ops in kernel code"
+    );
+    // The new file is immediately usable through the authenticated path.
+    let out = kernel.syscall(63, fd).expect("read new fd");
+    assert!(out.fault.is_none());
+}
+
+#[test]
+fn alloc_file_kinds_share_rodata_tables() {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    for kind in FileKind::ALL {
+        let file = kernel.alloc_file(kind).expect("alloc");
+        // Every allocated file authenticates against its rodata table.
+        let out = kernel
+            .kexec(kernel.symbol("sys_read"), &[file, 0, 0])
+            .expect("kexec");
+        assert!(out.fault.is_none(), "{kind:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! The evaluation figures hold end to end (small iteration counts; the
+//! full-size runs live in the bench harness and `reproduce`).
+
+use camouflage::core::{Machine, ProtectionLevel};
+
+#[test]
+fn fig2_scheme_ordering() {
+    use camouflage::codegen::CfiScheme;
+    // Re-derive the Figure 2 ordering from the instrumented kernels
+    // themselves (not just the microbenchmark): same syscall, four
+    // backward-edge schemes.
+    let cycles = |scheme: Option<CfiScheme>| {
+        let mut cfg = camouflage::kernel::KernelConfig::default();
+        match scheme {
+            None => cfg.protection = ProtectionLevel::None,
+            Some(s) => cfg.scheme_override = Some(s),
+        }
+        cfg.protection = if scheme.is_none() {
+            ProtectionLevel::None
+        } else {
+            ProtectionLevel::BackwardEdge
+        };
+        let mut m = Machine::with_config(cfg).expect("boot");
+        let k = m.kernel_mut();
+        let _ = k.syscall(172, 0).expect("warm");
+        let tid = k.current_task().tid;
+        k.run_user(tid, "stub", 10, 172, 0).expect("run").cycles
+    };
+    let none = cycles(None);
+    let sp = cycles(Some(CfiScheme::SpOnly));
+    let camo = cycles(Some(CfiScheme::Camouflage));
+    let parts = cycles(Some(CfiScheme::Parts));
+    assert!(none < sp, "{none} < {sp}");
+    assert!(sp < camo, "{sp} < {camo}");
+    assert!(camo < parts, "{camo} < {parts}");
+}
+
+#[test]
+fn fig3_syscall_overhead_is_double_digit_percent() {
+    let mut base = Machine::with_protection(ProtectionLevel::None).expect("boot");
+    let mut full = Machine::with_protection(ProtectionLevel::Full).expect("boot");
+    let run = |m: &mut Machine| {
+        let k = m.kernel_mut();
+        let _ = k.syscall(63, 3).expect("warm");
+        let tid = k.current_task().tid;
+        k.run_user(tid, "stub", 10, 63, 3).expect("run").cycles as f64
+    };
+    let rel = run(&mut full) / run(&mut base);
+    assert!(rel > 1.10, "double-digit overhead, got {rel:.3}");
+    assert!(rel < 2.5, "sane upper bound, got {rel:.3}");
+}
+
+#[test]
+fn key_switch_overhead_is_near_nine_cycles_per_key() {
+    let mut machine = Machine::protected().expect("boot");
+    let kernel = machine.kernel_mut();
+    let setter = camouflage::kernel::layout::KEYSETTER_VA;
+    let restore = kernel.symbol("restore_user_keys");
+    let install = kernel.kexec(setter, &[]).expect("setter").cycles as f64 / 3.0;
+    let restore = kernel.kexec(restore, &[]).expect("restore").cycles as f64 / 3.0;
+    let avg = (install + restore) / 2.0;
+    assert!(
+        (6.0..14.0).contains(&avg),
+        "≈9 cycles/key (paper §6.1.1), got {avg:.2}"
+    );
+}
+
+#[test]
+fn pac_space_matches_appendix_a() {
+    use camouflage::mem::PointerLayout;
+    assert_eq!(PointerLayout::kernel().pac_bits(), 15);
+    assert_eq!(PointerLayout::user().pac_bits(), 7);
+}

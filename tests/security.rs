@@ -1,0 +1,39 @@
+//! Workspace-level security regression: the §6.2 matrix holds.
+
+use camouflage::attacks::{brute, oracle, pointer, rop};
+use camouflage::core::{CfiScheme, ProtectionLevel};
+
+#[test]
+fn rop_and_replay_claims() {
+    assert!(!rop::injection_attack(ProtectionLevel::None).blocked);
+    assert!(rop::injection_attack(ProtectionLevel::Full).blocked);
+    assert!(!rop::replay_same_sp_cross_function(CfiScheme::SpOnly).blocked);
+    assert!(rop::replay_same_sp_cross_function(CfiScheme::Camouflage).blocked);
+    assert!(!rop::replay_cross_thread_same_function(CfiScheme::Parts).blocked);
+    assert!(rop::replay_cross_thread_same_function(CfiScheme::Camouflage).blocked);
+}
+
+#[test]
+fn forward_edge_and_dfi_claims() {
+    assert!(pointer::forge_f_ops(ProtectionLevel::Full).blocked);
+    assert!(!pointer::forge_f_ops(ProtectionLevel::BackwardEdge).blocked);
+    assert!(pointer::forge_work_callback(ProtectionLevel::Full).blocked);
+    assert!(pointer::memcpy_compliance_break().blocked);
+    assert!(pointer::resigned_copy_works());
+}
+
+#[test]
+fn key_confidentiality_claims() {
+    assert!(oracle::read_key_setter_memory().blocked);
+    assert!(oracle::overwrite_key_setter_memory().blocked);
+    assert!(oracle::load_key_reading_module().blocked);
+    assert!(oracle::load_sctlr_writing_module().blocked);
+    assert!(oracle::mrs_keys_from_el0().blocked);
+    assert!(oracle::user_keys_differ_from_kernel_keys());
+}
+
+#[test]
+fn brute_force_is_rate_limited() {
+    let r = brute::brute_force_pac(6);
+    assert!(r.blocked, "{}", r.detail);
+}
