@@ -130,7 +130,9 @@ pub fn analyze(corpus: &Corpus) -> CocciReport {
                     type_const: next_const,
                 },
             ));
-            next_const = next_const.checked_add(1).expect("type-const space exhausted");
+            next_const = next_const
+                .checked_add(1)
+                .expect("type-const space exhausted");
         }
     }
     CocciReport {

@@ -105,13 +105,11 @@ pub fn mrs_keys_from_el0() -> AttackResult {
     let mut machine = Machine::protected().expect("boot");
     let kernel = machine.kernel_mut();
     // Plant an EL0-executable page holding the MRS attempt.
-    let user_table = kernel
-        .tasks()
-        .next()
-        .expect("init task")
-        .user_table;
+    let user_table = kernel.tasks().next().expect("init task").user_table;
     let va = 0x0000_0000_00F0_0000u64;
-    let frame = kernel.mem_mut().map_new(user_table, va, S1Attr::user_text());
+    let frame = kernel
+        .mem_mut()
+        .map_new(user_table, va, S1Attr::user_text());
     let words = [
         encode(&Insn::Mrs {
             rt: Reg::x(0),

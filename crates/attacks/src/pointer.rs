@@ -87,7 +87,10 @@ pub fn memcpy_compliance_break() -> AttackResult {
     let copy = camo_kernel::work_heap_base() + 0xC00;
     let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
     for off in (0..file_struct::SIZE).step_by(8) {
-        let word = kernel.mem().read_u64(&ctx, original + off).expect("readable");
+        let word = kernel
+            .mem()
+            .read_u64(&ctx, original + off)
+            .expect("readable");
         kernel
             .mem_mut()
             .write_u64(&ctx, copy + off, word)
@@ -115,7 +118,9 @@ pub fn resigned_copy_works() -> bool {
     let sys_read = lab.symbol("sys_read");
     let sp = lab.stack_for(0);
     let kernel = lab.machine_mut().kernel_mut();
-    let copy = kernel.alloc_file(FileKind::DevZero).expect("fresh signed file");
+    let copy = kernel
+        .alloc_file(FileKind::DevZero)
+        .expect("fresh signed file");
     let end = lab
         .run(sys_read, sp, &[copy, 0, 0], &mut |_, _| {})
         .expect("clean run");

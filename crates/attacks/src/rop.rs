@@ -98,7 +98,11 @@ pub fn replay_same_sp_cross_function(scheme: CfiScheme) -> AttackResult {
 /// SP) see different stacks and detect it.
 pub fn replay_cross_thread_same_function(scheme: CfiScheme) -> AttackResult {
     let mut lab = boot_scheme(scheme);
-    let tid_b = lab.machine_mut().kernel_mut().spawn("thread-b").expect("spawn");
+    let tid_b = lab
+        .machine_mut()
+        .kernel_mut()
+        .spawn("thread-b")
+        .expect("spawn");
     let sp_a = lab.stack_for(0);
     let sp_b = lab.stack_for(tid_b);
     assert_eq!(sp_b - sp_a, (tid_b as u64) * 0x1_0000, "64 KiB stride");

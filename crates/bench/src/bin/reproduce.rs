@@ -64,7 +64,9 @@ fn keys() {
 
 fn figure2(iters: u64) {
     heading("Figure 2: function call overhead (ns at 1.2 GHz)");
-    println!("paper shape: Clang SP-only < Camouflage (32b SP + fn addr) < PARTS (16b SP + 48b fn id)");
+    println!(
+        "paper shape: Clang SP-only < Camouflage (32b SP + fn addr) < PARTS (16b SP + 48b fn id)"
+    );
     let costs = fig2::all(iters);
     let base = costs[0].cycles_per_call;
     println!(
@@ -138,10 +140,7 @@ fn figure4() {
 
 fn table1() {
     heading("Table 1: VMSAv8 address ranges");
-    println!(
-        "{:<20} {:<20} {:<7} {}",
-        "top", "bottom", "bit 55", "usage"
-    );
+    println!("{:<20} {:<20} {:<7} {}", "top", "bottom", "bit 55", "usage");
     for (top, bottom, bit55, usage) in table1_rows() {
         println!(
             "{:<#20x} {:<#20x} {:<7} {}",
@@ -169,9 +168,7 @@ fn table2() {
 fn cocci() {
     heading("§5.3 Coccinelle semantic search (synthetic Linux 5.2 corpus)");
     let report = analyze(&generate_linux52_corpus(52));
-    println!(
-        "paper:    1285 run-time-assigned fn-ptr members, 504 types, 229 with more than one"
-    );
+    println!("paper:    1285 run-time-assigned fn-ptr members, 504 types, 229 with more than one");
     println!(
         "measured: {} members, {} types, {} multi-pointer ({} individually protected)",
         report.fn_ptr_members,

@@ -72,7 +72,11 @@ pub mod fig2 {
         let table = mem.new_table();
         let bytes = image.to_bytes();
         for (page, chunk) in bytes.chunks(4096).enumerate() {
-            let frame = mem.map_new(table, KERNEL_BASE + page as u64 * 4096, S1Attr::kernel_text());
+            let frame = mem.map_new(
+                table,
+                KERNEL_BASE + page as u64 * 4096,
+                S1Attr::kernel_text(),
+            );
             mem.phys_mut().write_bytes(frame.base(), chunk).unwrap();
         }
         // A stack page for the frame records.
@@ -80,10 +84,14 @@ pub mod fig2 {
         mem.map_new(table, stack_va, S1Attr::kernel_data());
 
         let mut cpu = Cpu::default();
-        cpu.state.set_sysreg(camo_isa::SysReg::Ttbr0El1, table.raw());
-        cpu.state.set_sysreg(camo_isa::SysReg::Ttbr1El1, table.raw());
-        cpu.state.set_pauth_key(camo_isa::PauthKey::IA, camo_qarma::QarmaKey::new(11, 12));
-        cpu.state.set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(13, 14));
+        cpu.state
+            .set_sysreg(camo_isa::SysReg::Ttbr0El1, table.raw());
+        cpu.state
+            .set_sysreg(camo_isa::SysReg::Ttbr1El1, table.raw());
+        cpu.state
+            .set_pauth_key(camo_isa::PauthKey::IA, camo_qarma::QarmaKey::new(11, 12));
+        cpu.state
+            .set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(13, 14));
         cpu.state.sp_el1 = stack_va + 4096 - 64;
         let driver_va = image.symbol("driver").expect("driver symbol");
         let result = cpu

@@ -41,4 +41,4 @@ mod loader;
 pub use hypervisor::Hypervisor;
 pub use keygen::KernelKeys;
 pub use keysetter::{installed_keys, KeySetter, KeySetterHandle};
-pub use loader::{Bootloader, BootInfo, KERNEL_TEXT_BASE};
+pub use loader::{BootInfo, Bootloader, KERNEL_TEXT_BASE};

@@ -70,12 +70,7 @@ impl Bootloader {
     ///
     /// Panics if `va` is not page-aligned, the setter spills past one page,
     /// or the hypervisor is already locked (boot-order bug).
-    pub fn install_keysetter(
-        &self,
-        mem: &mut Memory,
-        table: TableId,
-        va: u64,
-    ) -> KeySetterHandle {
+    pub fn install_keysetter(&self, mem: &mut Memory, table: TableId, va: u64) -> KeySetterHandle {
         assert!(va % PAGE_SIZE == 0, "key setter page must be aligned");
         let insns = KeySetter::new(&self.keys).generate();
         let size = insns.len() as u64 * 4;
@@ -199,10 +194,7 @@ mod tests {
         let ctx = mem.kernel_ctx(table);
         let pa = mem.translate(&ctx, handle.va, AccessType::Execute).unwrap();
         let frame = camo_mem::Frame::containing(pa);
-        assert!(boot
-            .hypervisor()
-            .seal_read_exec(&mut mem, frame)
-            .is_err());
+        assert!(boot.hypervisor().seal_read_exec(&mut mem, frame).is_err());
     }
 
     #[test]
@@ -219,7 +211,9 @@ mod tests {
         // Readable (it is ordinary text), executable, but never writable.
         assert!(mem.read_u64(&ctx, KERNEL_TEXT_BASE).is_ok());
         assert!(mem.fetch(&ctx, KERNEL_TEXT_BASE).is_ok());
-        assert!(mem.translate(&ctx, KERNEL_TEXT_BASE, AccessType::Write).is_err());
+        assert!(mem
+            .translate(&ctx, KERNEL_TEXT_BASE, AccessType::Write)
+            .is_err());
         // And the loaded bytes round-trip.
         assert_eq!(
             mem.read_u64(&ctx, KERNEL_TEXT_BASE).unwrap() as u32,

@@ -78,7 +78,10 @@ impl ProtectedPointer {
         offset: u16,
         scratch: Reg,
     ) {
-        assert!(dst != obj && dst != scratch && obj != scratch, "register collision");
+        assert!(
+            dst != obj && dst != scratch && obj != scratch,
+            "register collision"
+        );
         if !b.config().protect_pointers {
             b.ins(Insn::Ldr {
                 rt: dst,
@@ -126,7 +129,10 @@ impl ProtectedPointer {
         offset: u16,
         scratch: Reg,
     ) {
-        assert!(value != obj && value != scratch && obj != scratch, "register collision");
+        assert!(
+            value != obj && value != scratch && obj != scratch,
+            "register collision"
+        );
         if !b.config().protect_pointers {
             b.ins(Insn::Str {
                 rt: value,
@@ -251,7 +257,13 @@ mod tests {
         assert!(
             f.insns().iter().all(|i| !matches!(
                 i,
-                Insn::Pac { key: PacKey::DB, .. } | Insn::Aut { key: PacKey::DB, .. }
+                Insn::Pac {
+                    key: PacKey::DB,
+                    ..
+                } | Insn::Aut {
+                    key: PacKey::DB,
+                    ..
+                }
             )),
             "no data-key PAuth in unprotected build"
         );

@@ -192,10 +192,7 @@ mod tests {
     #[test]
     fn all_keys_roundtrip() {
         for key in [PacKey::IA, PacKey::IB, PacKey::DA, PacKey::DB] {
-            let e = StaticPointerEntry {
-                key,
-                ..sample()
-            };
+            let e = StaticPointerEntry { key, ..sample() };
             assert_eq!(StaticPointerEntry::from_bytes(&e.to_bytes()), Some(e));
         }
     }

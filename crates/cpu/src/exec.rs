@@ -2,9 +2,7 @@
 
 use crate::pac::{add_pac, auth_pac, strip_pac, KeyClass};
 use crate::state::CpuState;
-use camo_isa::{
-    decode, AddrMode, CostModel, Insn, InsnKey, PacKey, PairMode, Reg, SysReg,
-};
+use camo_isa::{decode, AddrMode, CostModel, Insn, InsnKey, PacKey, PairMode, Reg, SysReg};
 use camo_mem::{El, MemFault, Memory, TableId, TranslationCtx};
 use core::fmt;
 
@@ -281,7 +279,12 @@ impl Cpu {
         self.state.pc = self.state.sysreg(SysReg::VbarEl1) + offset;
     }
 
-    fn vectored_fault(&mut self, fault: MemFault, pc: u64, is_fetch: bool) -> Result<Step, CpuError> {
+    fn vectored_fault(
+        &mut self,
+        fault: MemFault,
+        pc: u64,
+        is_fetch: bool,
+    ) -> Result<Step, CpuError> {
         let vbar = self.state.sysreg(SysReg::VbarEl1);
         if vbar == 0 {
             return Err(CpuError::UnhandledFault { fault, pc });
@@ -403,8 +406,7 @@ impl Cpu {
         match mode {
             AddrMode::Unsigned(imm) => base.wrapping_add(u64::from(imm)),
             AddrMode::Post(imm) => {
-                self.state
-                    .write(rn, base.wrapping_add(imm as i64 as u64));
+                self.state.write(rn, base.wrapping_add(imm as i64 as u64));
                 base
             }
             AddrMode::Pre(imm) => {
@@ -420,8 +422,7 @@ impl Cpu {
         match mode {
             PairMode::SignedOffset(imm) => base.wrapping_add(imm as i64 as u64),
             PairMode::Post(imm) => {
-                self.state
-                    .write(rn, base.wrapping_add(imm as i64 as u64));
+                self.state.write(rn, base.wrapping_add(imm as i64 as u64));
                 base
             }
             PairMode::Pre(imm) => {
@@ -993,7 +994,11 @@ mod tests {
             .unwrap_err(); // text page is not writable through the MMU...
         for (i, w) in block.to_words().iter().enumerate() {
             let pa = mem
-                .translate(&ctx, KERNEL_BASE + 4 * i as u64, camo_mem::AccessType::Execute)
+                .translate(
+                    &ctx,
+                    KERNEL_BASE + 4 * i as u64,
+                    camo_mem::AccessType::Execute,
+                )
                 .unwrap();
             mem.phys_mut().write_u32(pa, *w).unwrap();
         }
@@ -1086,10 +1091,7 @@ mod tests {
         cpu.raise_irq();
         let step = cpu.step(&mut mem).unwrap();
         assert_eq!(step, Step::IrqTaken);
-        assert_eq!(
-            cpu.state.pc,
-            KERNEL_BASE + 0x8000 + vector::IRQ_SAME_EL
-        );
+        assert_eq!(cpu.state.pc, KERNEL_BASE + 0x8000 + vector::IRQ_SAME_EL);
         // Masked again inside the handler.
         assert!(cpu.state.irq_masked);
     }
@@ -1106,8 +1108,11 @@ mod tests {
         let pa = mem
             .translate(&ctx, KERNEL_BASE + 0x1000, camo_mem::AccessType::Read)
             .unwrap();
-        mem.protect_stage2(camo_mem::Frame::containing(pa), camo_mem::S2Attr::execute_only())
-            .unwrap();
+        mem.protect_stage2(
+            camo_mem::Frame::containing(pa),
+            camo_mem::S2Attr::execute_only(),
+        )
+        .unwrap();
         cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
         cpu.state.gprs[1] = KERNEL_BASE + 0x1000;
         let step = cpu.step(&mut mem).unwrap();

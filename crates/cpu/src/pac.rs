@@ -200,8 +200,8 @@ mod tests {
         // this overwhelmingly likely), demonstrating why §5.4 rate-limits
         // guesses rather than relying on PAC width alone.
         let target = compute_pac(KPTR, 0, KEY, &PointerLayout::kernel());
-        let hit = (1..=100_000u64)
-            .any(|m| compute_pac(KPTR, m, KEY, &PointerLayout::kernel()) == target);
+        let hit =
+            (1..=100_000u64).any(|m| compute_pac(KPTR, m, KEY, &PointerLayout::kernel()) == target);
         assert!(hit, "expected a 15-bit collision within 100k trials");
     }
 }

@@ -265,7 +265,13 @@ mod tests {
         asm.bind(data);
         asm.push(Insn::Nop);
         let block = asm.finish(0x4000);
-        assert_eq!(block.insns()[0], Insn::Adr { rd: Reg::x(0), offset: 8 });
+        assert_eq!(
+            block.insns()[0],
+            Insn::Adr {
+                rd: Reg::x(0),
+                offset: 8
+            }
+        );
         assert_eq!(block.label_va(data), Some(0x4008));
     }
 
@@ -290,11 +296,18 @@ mod tests {
     #[test]
     fn block_bytes_decode_back() {
         let mut asm = Assembler::new();
-        asm.push(Insn::PacSp { key: crate::InsnKey::B });
+        asm.push(Insn::PacSp {
+            key: crate::InsnKey::B,
+        });
         asm.push(Insn::ret());
         let block = asm.finish(0);
         let words = block.to_words();
-        assert_eq!(decode(words[0]), Some(Insn::PacSp { key: crate::InsnKey::B }));
+        assert_eq!(
+            decode(words[0]),
+            Some(Insn::PacSp {
+                key: crate::InsnKey::B
+            })
+        );
         assert_eq!(decode(words[1]), Some(Insn::ret()));
         assert_eq!(block.size_bytes(), 8);
     }

@@ -193,7 +193,11 @@ fn decode_pauth(w: u32) -> Option<Insn> {
     }
     match w & 0xFFFF_FC00 {
         0xD73F_0800 | 0xD73F_0C00 | 0xD71F_0800 | 0xD71F_0C00 => {
-            let key = if w & 0x400 == 0 { InsnKey::A } else { InsnKey::B };
+            let key = if w & 0x400 == 0 {
+                InsnKey::A
+            } else {
+                InsnKey::B
+            };
             let rn = Reg::from_field_zr(field_rn(w));
             let rm = Reg::from_field_sp(field_rd(w));
             Some(if w & 0x0020_0000 != 0 {

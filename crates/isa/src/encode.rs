@@ -37,14 +37,20 @@ fn addsub_imm(base: u32, d: Reg, n: Reg, imm12: u16, shifted: bool) -> u32 {
 fn branch26(base: u32, offset: i32) -> u32 {
     assert!(offset % 4 == 0, "branch offset must be word aligned");
     let imm = offset / 4;
-    assert!((-(1 << 25)..(1 << 25)).contains(&imm), "branch out of range");
+    assert!(
+        (-(1 << 25)..(1 << 25)).contains(&imm),
+        "branch out of range"
+    );
     base | ((imm as u32) & 0x03FF_FFFF)
 }
 
 fn branch19(base: u32, reg: Reg, offset: i32) -> u32 {
     assert!(offset % 4 == 0, "branch offset must be word aligned");
     let imm = offset / 4;
-    assert!((-(1 << 18)..(1 << 18)).contains(&imm), "cb branch out of range");
+    assert!(
+        (-(1 << 18)..(1 << 18)).contains(&imm),
+        "cb branch out of range"
+    );
     base | (((imm as u32) & 0x7_FFFF) << 5) | rd(reg)
 }
 
@@ -122,9 +128,21 @@ fn ldst_pair(load: bool, t: Reg, t2: Reg, base_reg: Reg, mode: PairMode) -> u32 
 /// ```
 pub fn encode(insn: &Insn) -> u32 {
     match *insn {
-        Insn::Movn { rd: d, imm16, shift } => movewide(0x9280_0000, d, imm16, shift),
-        Insn::Movz { rd: d, imm16, shift } => movewide(0xD280_0000, d, imm16, shift),
-        Insn::Movk { rd: d, imm16, shift } => movewide(0xF280_0000, d, imm16, shift),
+        Insn::Movn {
+            rd: d,
+            imm16,
+            shift,
+        } => movewide(0x9280_0000, d, imm16, shift),
+        Insn::Movz {
+            rd: d,
+            imm16,
+            shift,
+        } => movewide(0xD280_0000, d, imm16, shift),
+        Insn::Movk {
+            rd: d,
+            imm16,
+            shift,
+        } => movewide(0xF280_0000, d, imm16, shift),
         Insn::AddImm {
             rd: d,
             rn: n,
@@ -137,11 +155,31 @@ pub fn encode(insn: &Insn) -> u32 {
             imm12,
             shifted,
         } => addsub_imm(0xD100_0000, d, n, imm12, shifted),
-        Insn::AddReg { rd: d, rn: n, rm: m } => 0x8B00_0000 | rm(m) | rn(n) | rd(d),
-        Insn::SubReg { rd: d, rn: n, rm: m } => 0xCB00_0000 | rm(m) | rn(n) | rd(d),
-        Insn::AndReg { rd: d, rn: n, rm: m } => 0x8A00_0000 | rm(m) | rn(n) | rd(d),
-        Insn::OrrReg { rd: d, rn: n, rm: m } => 0xAA00_0000 | rm(m) | rn(n) | rd(d),
-        Insn::EorReg { rd: d, rn: n, rm: m } => 0xCA00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::AddReg {
+            rd: d,
+            rn: n,
+            rm: m,
+        } => 0x8B00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::SubReg {
+            rd: d,
+            rn: n,
+            rm: m,
+        } => 0xCB00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::AndReg {
+            rd: d,
+            rn: n,
+            rm: m,
+        } => 0x8A00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::OrrReg {
+            rd: d,
+            rn: n,
+            rm: m,
+        } => 0xAA00_0000 | rm(m) | rn(n) | rd(d),
+        Insn::EorReg {
+            rd: d,
+            rn: n,
+            rm: m,
+        } => 0xCA00_0000 | rm(m) | rn(n) | rd(d),
         Insn::Bfm {
             rd: d,
             rn: n,
@@ -161,7 +199,10 @@ pub fn encode(insn: &Insn) -> u32 {
             0xD340_0000 | (u32::from(immr) << 16) | (u32::from(imms) << 10) | rn(n) | rd(d)
         }
         Insn::Adr { rd: d, offset } => {
-            assert!((-(1 << 20)..(1 << 20)).contains(&offset), "adr out of range");
+            assert!(
+                (-(1 << 20)..(1 << 20)).contains(&offset),
+                "adr out of range"
+            );
             let imm = offset as u32;
             let immlo = imm & 0x3;
             let immhi = (imm >> 2) & 0x7_FFFF;
@@ -206,7 +247,11 @@ pub fn encode(insn: &Insn) -> u32 {
         Insn::Aut1716 { key: InsnKey::B } => 0xD503_217F,
         Insn::Xpaci { rd: d } => 0xDAC1_43E0 | rd(d),
         Insn::Xpacd { rd: d } => 0xDAC1_47E0 | rd(d),
-        Insn::Pacga { rd: d, rn: n, rm: m } => 0x9AC0_3000 | rm(m) | rn(n) | rd(d),
+        Insn::Pacga {
+            rd: d,
+            rn: n,
+            rm: m,
+        } => 0x9AC0_3000 | rm(m) | rn(n) | rd(d),
         Insn::Reta { key: InsnKey::A } => 0xD65F_0BFF,
         Insn::Reta { key: InsnKey::B } => 0xD65F_0FFF,
         Insn::Blra { key, rn: n, rm: m } => {

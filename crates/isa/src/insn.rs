@@ -695,8 +695,14 @@ mod tests {
 
     #[test]
     fn lsl_lsr_aliases() {
-        assert_eq!(Insn::lsl(Reg::x(1), Reg::x(2), 16).to_string(), "lsl x1, x2, #16");
-        assert_eq!(Insn::lsr(Reg::x(1), Reg::x(2), 48).to_string(), "lsr x1, x2, #48");
+        assert_eq!(
+            Insn::lsl(Reg::x(1), Reg::x(2), 16).to_string(),
+            "lsl x1, x2, #16"
+        );
+        assert_eq!(
+            Insn::lsr(Reg::x(1), Reg::x(2), 48).to_string(),
+            "lsr x1, x2, #48"
+        );
     }
 
     #[test]
@@ -743,7 +749,10 @@ mod tests {
             sr: SysReg::ApibKeyLoEl1,
             rt: Reg::x(0),
         };
-        assert!(!write_key.writes_sctlr(), "writing keys is the setter's job");
+        assert!(
+            !write_key.writes_sctlr(),
+            "writing keys is the setter's job"
+        );
     }
 
     #[test]

@@ -45,12 +45,21 @@ fn any_pair_mode() -> impl Strategy<Value = PairMode> {
 
 fn any_insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
-        (any_reg_zr(), any::<u16>(), 0u8..4)
-            .prop_map(|(rd, imm16, shift)| Insn::Movz { rd, imm16, shift }),
-        (any_reg_zr(), any::<u16>(), 0u8..4)
-            .prop_map(|(rd, imm16, shift)| Insn::Movk { rd, imm16, shift }),
-        (any_reg_zr(), any::<u16>(), 0u8..4)
-            .prop_map(|(rd, imm16, shift)| Insn::Movn { rd, imm16, shift }),
+        (any_reg_zr(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, shift)| Insn::Movz {
+            rd,
+            imm16,
+            shift
+        }),
+        (any_reg_zr(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, shift)| Insn::Movk {
+            rd,
+            imm16,
+            shift
+        }),
+        (any_reg_zr(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, shift)| Insn::Movn {
+            rd,
+            imm16,
+            shift
+        }),
         (any_reg_sp(), any_reg_sp(), 0u16..4096, any::<bool>()).prop_map(
             |(rd, rn, imm12, shifted)| Insn::AddImm {
                 rd,
@@ -67,32 +76,57 @@ fn any_insn() -> impl Strategy<Value = Insn> {
                 shifted
             }
         ),
-        (any_reg_zr(), any_reg_zr(), any_reg_zr())
-            .prop_map(|(rd, rn, rm)| Insn::AddReg { rd, rn, rm }),
-        (any_reg_zr(), any_reg_zr(), any_reg_zr())
-            .prop_map(|(rd, rn, rm)| Insn::SubReg { rd, rn, rm }),
-        (any_reg_zr(), any_reg_zr(), any_reg_zr())
-            .prop_map(|(rd, rn, rm)| Insn::AndReg { rd, rn, rm }),
-        (any_reg_zr(), any_reg_zr(), any_reg_zr())
-            .prop_map(|(rd, rn, rm)| Insn::OrrReg { rd, rn, rm }),
-        (any_reg_zr(), any_reg_zr(), any_reg_zr())
-            .prop_map(|(rd, rn, rm)| Insn::EorReg { rd, rn, rm }),
-        (any_reg_zr(), any_reg_zr(), 0u8..64, 0u8..64)
-            .prop_map(|(rd, rn, immr, imms)| Insn::Bfm { rd, rn, immr, imms }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr()).prop_map(|(rd, rn, rm)| Insn::AddReg {
+            rd,
+            rn,
+            rm
+        }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr()).prop_map(|(rd, rn, rm)| Insn::SubReg {
+            rd,
+            rn,
+            rm
+        }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr()).prop_map(|(rd, rn, rm)| Insn::AndReg {
+            rd,
+            rn,
+            rm
+        }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr()).prop_map(|(rd, rn, rm)| Insn::OrrReg {
+            rd,
+            rn,
+            rm
+        }),
+        (any_reg_zr(), any_reg_zr(), any_reg_zr()).prop_map(|(rd, rn, rm)| Insn::EorReg {
+            rd,
+            rn,
+            rm
+        }),
+        (any_reg_zr(), any_reg_zr(), 0u8..64, 0u8..64).prop_map(|(rd, rn, immr, imms)| Insn::Bfm {
+            rd,
+            rn,
+            immr,
+            imms
+        }),
         (any_reg_zr(), any_reg_zr(), 0u8..64, 0u8..64)
             .prop_map(|(rd, rn, immr, imms)| Insn::Ubfm { rd, rn, immr, imms }),
         (any_reg_zr(), -(1i32 << 20)..(1i32 << 20))
             .prop_map(|(rd, offset)| Insn::Adr { rd, offset }),
-        (any_reg_zr(), any_reg_sp(), any_addr_mode())
-            .prop_map(|(rt, rn, mode)| Insn::Ldr { rt, rn, mode }),
-        (any_reg_zr(), any_reg_sp(), any_addr_mode())
-            .prop_map(|(rt, rn, mode)| Insn::Str { rt, rn, mode }),
+        (any_reg_zr(), any_reg_sp(), any_addr_mode()).prop_map(|(rt, rn, mode)| Insn::Ldr {
+            rt,
+            rn,
+            mode
+        }),
+        (any_reg_zr(), any_reg_sp(), any_addr_mode()).prop_map(|(rt, rn, mode)| Insn::Str {
+            rt,
+            rn,
+            mode
+        }),
         (any_reg_zr(), any_reg_zr(), any_reg_sp(), any_pair_mode())
             .prop_map(|(rt, rt2, rn, mode)| Insn::Ldp { rt, rt2, rn, mode }),
         (any_reg_zr(), any_reg_zr(), any_reg_sp(), any_pair_mode())
             .prop_map(|(rt, rt2, rn, mode)| Insn::Stp { rt, rt2, rn, mode }),
-        ((-(1i32 << 25)..(1i32 << 25)).prop_map(|w| Insn::B { offset: w * 4 })),
-        ((-(1i32 << 25)..(1i32 << 25)).prop_map(|w| Insn::Bl { offset: w * 4 })),
+        (-(1i32 << 25)..(1i32 << 25)).prop_map(|w| Insn::B { offset: w * 4 }),
+        (-(1i32 << 25)..(1i32 << 25)).prop_map(|w| Insn::Bl { offset: w * 4 }),
         any_reg_zr().prop_map(|rn| Insn::Br { rn }),
         any_reg_zr().prop_map(|rn| Insn::Blr { rn }),
         any_reg_zr().prop_map(|rn| Insn::Ret { rn }),
@@ -106,10 +140,16 @@ fn any_insn() -> impl Strategy<Value = Insn> {
         Just(Insn::Nop),
         (any_sysreg(), any_reg_zr()).prop_map(|(sr, rt)| Insn::Msr { sr, rt }),
         (any_reg_zr(), any_sysreg()).prop_map(|(rt, sr)| Insn::Mrs { rt, sr }),
-        (any_pac_key(), any_reg_zr(), any_reg_sp())
-            .prop_map(|(key, rd, rn)| Insn::Pac { key, rd, rn }),
-        (any_pac_key(), any_reg_zr(), any_reg_sp())
-            .prop_map(|(key, rd, rn)| Insn::Aut { key, rd, rn }),
+        (any_pac_key(), any_reg_zr(), any_reg_sp()).prop_map(|(key, rd, rn)| Insn::Pac {
+            key,
+            rd,
+            rn
+        }),
+        (any_pac_key(), any_reg_zr(), any_reg_sp()).prop_map(|(key, rd, rn)| Insn::Aut {
+            key,
+            rd,
+            rn
+        }),
         any_insn_key().prop_map(|key| Insn::PacSp { key }),
         any_insn_key().prop_map(|key| Insn::AutSp { key }),
         any_insn_key().prop_map(|key| Insn::Pac1716 { key }),
@@ -118,10 +158,16 @@ fn any_insn() -> impl Strategy<Value = Insn> {
         any_reg_zr().prop_map(|rd| Insn::Xpacd { rd }),
         (any_gpr(), any_gpr(), any_gpr()).prop_map(|(rd, rn, rm)| Insn::Pacga { rd, rn, rm }),
         any_insn_key().prop_map(|key| Insn::Reta { key }),
-        (any_insn_key(), any_reg_zr(), any_reg_sp())
-            .prop_map(|(key, rn, rm)| Insn::Blra { key, rn, rm }),
-        (any_insn_key(), any_reg_zr(), any_reg_sp())
-            .prop_map(|(key, rn, rm)| Insn::Bra { key, rn, rm }),
+        (any_insn_key(), any_reg_zr(), any_reg_sp()).prop_map(|(key, rn, rm)| Insn::Blra {
+            key,
+            rn,
+            rm
+        }),
+        (any_insn_key(), any_reg_zr(), any_reg_sp()).prop_map(|(key, rn, rm)| Insn::Bra {
+            key,
+            rn,
+            rm
+        }),
     ]
 }
 

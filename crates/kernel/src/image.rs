@@ -8,11 +8,11 @@
 //! dispatch, and the §5.2 `cpu_switch_to` with signed stack pointers.
 
 use crate::layout::{
-    self, file_operations, file_struct, task_struct, type_consts, upcall, KEYSETTER_VA,
-    PT_ELR, PT_REGS_SIZE, PT_SPSR, PT_SP_EL0, PT_X30,
+    self, file_operations, file_struct, task_struct, type_consts, upcall, KEYSETTER_VA, PT_ELR,
+    PT_REGS_SIZE, PT_SPSR, PT_SP_EL0, PT_X30,
 };
 use camo_codegen::{
-    build_call_chain, CodegenConfig, Function, FunctionBuilder, Image, ProtectedPointer, Program,
+    build_call_chain, CodegenConfig, Function, FunctionBuilder, Image, Program, ProtectedPointer,
 };
 use camo_isa::{AddrMode, Insn, PacKey, PairMode, Reg, SysReg};
 
@@ -237,10 +237,7 @@ fn build_el0_sync_entry(cfg: CodegenConfig) -> Function {
         (SysReg::ElrEl1, PT_ELR),
         (SysReg::SpsrEl1, PT_SPSR),
     ] {
-        b.ins(Insn::Mrs {
-            rt: Reg::x(21),
-            sr,
-        });
+        b.ins(Insn::Mrs { rt: Reg::x(21), sr });
         b.ins(Insn::Str {
             rt: Reg::x(21),
             rn: Reg::Sp,
@@ -300,10 +297,7 @@ fn build_ret_to_user(cfg: CodegenConfig) -> Function {
             rn: Reg::Sp,
             mode: AddrMode::Unsigned(off),
         });
-        b.ins(Insn::Msr {
-            sr,
-            rt: Reg::x(21),
-        });
+        b.ins(Insn::Msr { sr, rt: Reg::x(21) });
     }
     b.ins_all(stp_seq(Reg::Sp, true));
     b.ins(Insn::AddImm {
@@ -348,8 +342,14 @@ fn build_restore_user_keys(cfg: CodegenConfig) -> Function {
             rn: Reg::x(0),
             mode: PairMode::SignedOffset(off as i16),
         });
-        b.ins(Insn::Msr { sr: lo, rt: Reg::x(1) });
-        b.ins(Insn::Msr { sr: hi, rt: Reg::x(2) });
+        b.ins(Insn::Msr {
+            sr: lo,
+            rt: Reg::x(1),
+        });
+        b.ins(Insn::Msr {
+            sr: hi,
+            rt: Reg::x(2),
+        });
     }
     // No key material may linger in GPRs (§5.1).
     for r in [0u8, 1, 2] {
@@ -692,7 +692,7 @@ pub fn build_user_program(blocks: &[(&str, usize, usize)]) -> Program {
         b.ins(Insn::mov(Reg::x(20), Reg::x(0))); // iterations
         b.ins(Insn::mov(Reg::x(21), Reg::x(1))); // syscall nr
         b.ins(Insn::mov(Reg::x(22), Reg::x(2))); // arg0
-        // loop:
+                                                 // loop:
         b.call(format!("user_block_{name}")); // index 3
         b.ins(Insn::mov(Reg::x(8), Reg::x(21)));
         b.ins(Insn::mov(Reg::x(0), Reg::x(22)));
@@ -770,7 +770,13 @@ mod tests {
         let k = KernelImage::build(cfg);
         assert!(k.image().insns().iter().all(|i| !matches!(
             i,
-            Insn::Pac { key: PacKey::DB, .. } | Insn::Aut { key: PacKey::DB, .. }
+            Insn::Pac {
+                key: PacKey::DB,
+                ..
+            } | Insn::Aut {
+                key: PacKey::DB,
+                ..
+            }
         )));
     }
 

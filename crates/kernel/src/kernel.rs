@@ -282,7 +282,9 @@ impl Kernel {
             user_frames.push((USER_TEXT_BASE + page as u64 * PAGE_SIZE, frame));
         }
 
-        let mut cpu = Cpu::new(HwFeatures { pauth: cfg.pauth_hw });
+        let mut cpu = Cpu::new(HwFeatures {
+            pauth: cfg.pauth_hw,
+        });
         cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
         cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
         cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);
@@ -748,7 +750,9 @@ impl Kernel {
         let task_va = self.tasks[idx].struct_va();
         let user_table = self.tasks[idx].user_table;
         let stack_top = self.tasks[idx].stack_top();
-        self.cpu.state.set_sysreg(SysReg::Ttbr0El1, user_table.raw());
+        self.cpu
+            .state
+            .set_sysreg(SysReg::Ttbr0El1, user_table.raw());
         self.cpu.state.set_sysreg(SysReg::TpidrEl1, task_va);
         self.cpu.state.sp_el1 = stack_top;
 
@@ -888,7 +892,9 @@ impl Kernel {
         self.cpu.state.gprs[0] = body_args[0];
         self.cpu.state.gprs[1] = body_args[1];
         self.cpu.state.gprs[2] = body_args[2];
-        self.cpu.state.write(Reg::LR, self.symbol("syscall_ret_glue"));
+        self.cpu
+            .state
+            .write(Reg::LR, self.symbol("syscall_ret_glue"));
         self.cpu.state.pc = self.symbol(&format!("sys_{}", spec.name));
         Ok(())
     }
@@ -981,10 +987,7 @@ mod tests {
         let mut full = booted(ProtectionLevel::Full);
         let b = base.syscall(172, 0).unwrap().cycles;
         let f = full.syscall(172, 0).unwrap().cycles;
-        assert!(
-            f > b,
-            "full protection must cost more ({f} vs {b} cycles)"
-        );
+        assert!(f > b, "full protection must cost more ({f} vs {b} cycles)");
         // Double-digit percentage on a null syscall (Figure 3's shape).
         assert!(f * 100 > b * 110, "expected >10% overhead, got {f}/{b}");
     }

@@ -257,7 +257,9 @@ mod tests {
         let layout = PointerLayout::kernel();
         let ptr = 0xffff_8000_0000_1000u64;
         let signed = layout.embed_pac(ptr, 0x2BCD);
-        assert!(!layout.is_canonical(signed) || layout.extract_pac(signed) == layout.canonical_pac(ptr));
+        assert!(
+            !layout.is_canonical(signed) || layout.extract_pac(signed) == layout.canonical_pac(ptr)
+        );
         assert!(layout.is_canonical(layout.strip(signed)));
 
         let user = PointerLayout::user();

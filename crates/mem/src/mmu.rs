@@ -333,7 +333,9 @@ impl Memory {
         for (i, &byte) in bytes.iter().enumerate() {
             let addr = va.wrapping_add(i as u64);
             let pa = self.translate(ctx, addr, AccessType::Write)?;
-            self.phys.write_u8(pa, byte).ok_or(MemFault::Unmapped { pa })?;
+            self.phys
+                .write_u8(pa, byte)
+                .ok_or(MemFault::Unmapped { pa })?;
         }
         Ok(())
     }
@@ -523,7 +525,9 @@ mod tests {
         let ctx = mem.kernel_ctx(table);
         assert_eq!(
             mem.fetch(&ctx, KERNEL_BASE + 2),
-            Err(MemFault::FetchUnaligned { va: KERNEL_BASE + 2 })
+            Err(MemFault::FetchUnaligned {
+                va: KERNEL_BASE + 2
+            })
         );
     }
 

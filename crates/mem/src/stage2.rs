@@ -114,7 +114,10 @@ pub struct Stage2Locked;
 
 impl core::fmt::Display for Stage2Locked {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "stage-2 table is locked; hypervisor refuses reconfiguration")
+        write!(
+            f,
+            "stage-2 table is locked; hypervisor refuses reconfiguration"
+        )
     }
 }
 

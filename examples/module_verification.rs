@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sr: SysReg::ApibKeyLoEl1,
     });
     evil.push(steal.build());
-    match machine.kernel_mut().load_module(evil, &StaticPointerTable::new()) {
+    match machine
+        .kernel_mut()
+        .load_module(evil, &StaticPointerTable::new())
+    {
         Err(KernelError::ModuleRejected { violations }) => {
             println!("key-reading module rejected:");
             for v in violations {
@@ -72,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rt: Reg::x(0),
     });
     evil.push(disable.build());
-    match machine.kernel_mut().load_module(evil, &StaticPointerTable::new()) {
+    match machine
+        .kernel_mut()
+        .load_module(evil, &StaticPointerTable::new())
+    {
         Err(KernelError::ModuleRejected { violations }) => {
             println!("\nSCTLR-writing module rejected:");
             for v in violations {

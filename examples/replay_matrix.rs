@@ -27,8 +27,16 @@ fn main() {
         println!(
             "{:<14} {:>28} {:>28}",
             scheme.to_string(),
-            if cross_fn.blocked { "blocked" } else { "REPLAYED" },
-            if cross_thread.blocked { "blocked" } else { "REPLAYED" },
+            if cross_fn.blocked {
+                "blocked"
+            } else {
+                "REPLAYED"
+            },
+            if cross_thread.blocked {
+                "blocked"
+            } else {
+                "REPLAYED"
+            },
         );
         assert!(cross_fn.matches_paper() && cross_thread.matches_paper());
     }
@@ -36,6 +44,10 @@ fn main() {
     let residual = rop::replay_same_context_residual(CfiScheme::Camouflage);
     println!(
         "residual risk (identical function + SP): {} — the paper's §6.2.1 caveat",
-        if residual.blocked { "blocked" } else { "replayable" }
+        if residual.blocked {
+            "blocked"
+        } else {
+            "replayable"
+        }
     );
 }

@@ -35,7 +35,10 @@ fn compat_kernel_protects_on_v83_core() {
     let kernel = machine.kernel_mut();
     let out = kernel.syscall(63, 3).expect("read");
     assert!(out.fault.is_none());
-    assert!(kernel.cpu().stats().pac_auth_ok > 0, "1716 forms authenticate");
+    assert!(
+        kernel.cpu().stats().pac_auth_ok > 0,
+        "1716 forms authenticate"
+    );
 
     // A forged work callback is caught, same as the native build.
     let work = kernel.init_work("dev_poll").expect("init_work");
