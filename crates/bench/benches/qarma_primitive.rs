@@ -15,8 +15,16 @@ fn bench(c: &mut Criterion) {
             });
         });
     }
-    group.bench_function("compute_mac", |b| {
+    // Warm vs cold schedule: `compute_mac` re-derives the key schedule
+    // (w¹, round keys, inverse S-box) on every call — the seed behaviour —
+    // while `Qarma::mac` on a resident instance reuses it, which is what
+    // the CPU's PAC unit does per key.
+    group.bench_function("mac/cold_schedule", |b| {
         b.iter(|| black_box(compute_mac(black_box(0xffff_0000_1234_5678), 42, key)));
+    });
+    let warm = Qarma::new(key, Sigma::Sigma1, 5);
+    group.bench_function("mac/warm_schedule", |b| {
+        b.iter(|| black_box(warm.mac(black_box(0xffff_0000_1234_5678), 42)));
     });
     group.finish();
 }

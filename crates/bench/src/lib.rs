@@ -33,13 +33,16 @@ pub mod fig2 {
         pub ns_per_call: f64,
     }
 
-    /// Measures the per-call cost of an empty function under `scheme`
-    /// by running a simulated call loop of `iters` iterations.
+    /// Builds the Figure-2 call-loop machine for `scheme`: an instrumented
+    /// empty function plus an uninstrumented driver loop, loaded and ready
+    /// to run. Returns the machine and the driver's entry VA.
+    ///
+    /// Shared by [`measure`] and the `perfcheck` wall-clock harness.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation fails (a harness bug).
-    pub fn measure(scheme: CfiScheme, iters: u64) -> CallCost {
+    /// Panics if image building fails (a harness bug).
+    pub fn build_call_loop(scheme: CfiScheme) -> (Cpu, Memory, u64) {
         let cfg = CodegenConfig {
             scheme,
             protect_pointers: false,
@@ -94,6 +97,17 @@ pub mod fig2 {
             .set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(13, 14));
         cpu.state.sp_el1 = stack_va + 4096 - 64;
         let driver_va = image.symbol("driver").expect("driver symbol");
+        (cpu, mem, driver_va)
+    }
+
+    /// Measures the per-call cost of an empty function under `scheme`
+    /// by running a simulated call loop of `iters` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (a harness bug).
+    pub fn measure(scheme: CfiScheme, iters: u64) -> CallCost {
+        let (mut cpu, mut mem, driver_va) = build_call_loop(scheme);
         let result = cpu
             .call(&mut mem, driver_va, &[iters], 64 * iters + 1024)
             .expect("benchmark loop runs");
@@ -157,6 +171,90 @@ pub mod key_switch {
             restore_per_key,
             avg_per_key: (install_per_key + restore_per_key) / 2.0,
         }
+    }
+}
+
+/// Wall-clock throughput of the simulator itself (the `perfcheck` binary).
+///
+/// Everything else in this crate measures *simulated cycles* — the paper's
+/// quantity, unaffected by the fast-path caches by design. This module
+/// measures *host seconds per simulated step*: the thing the software TLB,
+/// decoded-instruction cache and warm QARMA schedules exist to improve.
+pub mod perf {
+    use super::fig2;
+    use camo_codegen::CfiScheme;
+    use camo_core::{Machine, ProtectionLevel};
+    use camo_kernel::SYSCALLS;
+    use camo_lmbench::workload_config;
+    use std::time::Instant;
+
+    /// One wall-clock measurement of a workload.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct PerfSample {
+        /// Whether the fast-path caches were enabled.
+        pub caches: bool,
+        /// Simulated instructions retired.
+        pub instructions: u64,
+        /// Simulated cycles consumed (must not depend on `caches`).
+        pub cycles: u64,
+        /// Host wall-clock seconds.
+        pub wall_secs: f64,
+        /// Simulated instructions per host second.
+        pub steps_per_sec: f64,
+    }
+
+    fn sample(caches: bool, instructions: u64, cycles: u64, wall_secs: f64) -> PerfSample {
+        PerfSample {
+            caches,
+            instructions,
+            cycles,
+            wall_secs,
+            steps_per_sec: instructions as f64 / wall_secs.max(1e-9),
+        }
+    }
+
+    /// The Figure-2 call loop (Camouflage scheme) run for `iters`
+    /// iterations with the caches on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (a harness bug).
+    pub fn hot_loop(iters: u64, caches: bool) -> PerfSample {
+        let (mut cpu, mut mem, driver_va) = fig2::build_call_loop(CfiScheme::Camouflage);
+        cpu.set_caching(caches);
+        mem.set_caching(caches);
+        let start = Instant::now();
+        let result = cpu
+            .call(&mut mem, driver_va, &[iters], 64 * iters + 1024)
+            .expect("benchmark loop runs");
+        let wall = start.elapsed().as_secs_f64();
+        sample(caches, result.instructions, result.cycles, wall)
+    }
+
+    /// The lmbench syscall mix (every modeled syscall, `reps` rounds each)
+    /// on a fully protected machine with the caches on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if boot or a syscall fails (a harness bug).
+    pub fn syscall_mix(reps: u64, caches: bool) -> PerfSample {
+        let mut cfg = workload_config(ProtectionLevel::Full);
+        cfg.fast_caches = caches;
+        let mut machine = Machine::with_config(cfg).expect("boot");
+        let kernel = machine.kernel_mut();
+        let tid = kernel.current_task().tid;
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let start = Instant::now();
+        for spec in SYSCALLS {
+            let out = kernel
+                .run_user(tid, "stub", reps, spec.nr, 3)
+                .expect("syscall mix runs");
+            instructions += out.instructions;
+            cycles += out.cycles;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        sample(caches, instructions, cycles, wall)
     }
 }
 

@@ -143,4 +143,26 @@ mod tests {
             assert!(out.fault.is_none(), "{level}");
         }
     }
+
+    #[test]
+    fn fast_caches_are_architecturally_invisible() {
+        // The whole point of the fast-path engine: booting and running with
+        // the caches disabled must produce bit-identical architectural
+        // results — same return values, same cycle counts, same instruction
+        // counts — for every protection level.
+        let run = |fast_caches: bool, level: ProtectionLevel| {
+            let mut cfg = KernelConfig::with_protection(level);
+            cfg.fast_caches = fast_caches;
+            let mut m = Machine::with_config(cfg).unwrap();
+            let mut log = Vec::new();
+            for nr in [172u64, 63, 64, 57] {
+                let out = m.kernel_mut().syscall(nr, 7).unwrap();
+                log.push((out.x0, out.cycles, out.instructions, out.fault));
+            }
+            log
+        };
+        for level in ProtectionLevel::ALL {
+            assert_eq!(run(true, level), run(false, level), "{level}");
+        }
+    }
 }

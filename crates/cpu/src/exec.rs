@@ -1,9 +1,9 @@
 //! The instruction executor.
 
-use crate::pac::{add_pac, auth_pac, strip_pac, KeyClass};
+use crate::pac::{strip_pac, KeyClass, PacUnit};
 use crate::state::CpuState;
 use camo_isa::{decode, AddrMode, CostModel, Insn, InsnKey, PacKey, PairMode, Reg, SysReg};
-use camo_mem::{El, MemFault, Memory, TableId, TranslationCtx};
+use camo_mem::{El, Frame, MemFault, Memory, TableId, TranslationCtx};
 use core::fmt;
 
 /// Sentinel link-register value used by [`Cpu::call`]: the executor stops
@@ -75,6 +75,48 @@ pub struct CpuStats {
     pub key_writes: u64,
     /// Exceptions taken (SVC, aborts, IRQs).
     pub exceptions: u64,
+    /// Software-TLB hits, mirrored from the memory system after each step.
+    ///
+    /// The TLB lives in [`Memory`] (it caches translations for *every*
+    /// requester, not just this core); the counters here are the memory
+    /// system's totals as of the end of the last [`Cpu::step`].
+    pub tlb_hits: u64,
+    /// Software-TLB misses, mirrored like [`CpuStats::tlb_hits`].
+    pub tlb_misses: u64,
+    /// Decoded-instruction-cache hits (this core's fetch pipeline).
+    pub icache_hits: u64,
+    /// Decoded-instruction-cache misses.
+    pub icache_misses: u64,
+}
+
+/// One decoded-instruction-cache entry: the decoded form of the word that
+/// was resident at physical address `pa` when its frame was at `version`.
+/// Any write into the frame bumps its version and kills the entry —
+/// self-modifying code decodes fresh on the very next fetch.
+#[derive(Debug, Clone, Copy)]
+struct IcacheEntry {
+    pa: u64,
+    version: u64,
+    insn: Insn,
+}
+
+/// Number of direct-mapped decoded-instruction-cache slots (power of two;
+/// indexed by word address, so 16 KiB of code fits conflict-free).
+const ICACHE_SIZE: usize = 4096;
+
+/// Direct-mapped slot for the instruction word at `pa`.
+fn icache_slot(pa: u64) -> usize {
+    (pa >> 2) as usize & (ICACHE_SIZE - 1)
+}
+
+/// Outcome of the fetch-and-decode front end.
+enum FetchResult {
+    /// A decoded instruction (from the cache or a fresh decode).
+    Insn(Insn),
+    /// The fetch faulted (translation, permission, alignment, backing).
+    Fault(MemFault),
+    /// The word at the PC does not decode.
+    Undefined(u32),
 }
 
 /// What a single [`Cpu::step`] did.
@@ -178,6 +220,11 @@ pub struct Cpu {
     pending_irq: bool,
     /// Top-byte-ignore for user-half pointers (Linux default).
     pub tbi_user: bool,
+    /// Direct-mapped decoded-instruction cache, keyed on physical address.
+    icache: Vec<Option<IcacheEntry>>,
+    icache_enabled: bool,
+    /// The PAC functional unit (warm QARMA schedules per key).
+    pac_unit: PacUnit,
 }
 
 impl Default for Cpu {
@@ -197,7 +244,29 @@ impl Cpu {
             stats: CpuStats::default(),
             pending_irq: false,
             tbi_user: true,
+            icache: vec![None; ICACHE_SIZE],
+            icache_enabled: true,
+            pac_unit: PacUnit::new(),
         }
+    }
+
+    /// Enables or disables this core's micro-architectural caches — the
+    /// decoded-instruction cache and the PAC unit's warm key schedules.
+    ///
+    /// Architectural behaviour (register values, faults, cycle counts) is
+    /// bit-identical either way; only wall-clock simulation speed changes.
+    /// Pair with [`Memory::set_caching`] for a full A/B.
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.icache_enabled = enabled;
+        if !enabled {
+            self.icache.fill(None);
+        }
+        self.pac_unit.set_caching(enabled);
+    }
+
+    /// Whether this core's caches are enabled.
+    pub fn caching(&self) -> bool {
+        self.icache_enabled
     }
 
     /// Replaces the cycle-cost model (ablation experiments).
@@ -315,6 +384,60 @@ impl Cpu {
     /// Returns [`CpuError`] when the simulation cannot continue: an
     /// undefined instruction, or a fault with no vector base installed.
     pub fn step(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
+        let result = self.step_inner(mem);
+        // Mirror the memory system's TLB counters (see CpuStats::tlb_hits).
+        self.stats.tlb_hits = mem.tlb_hits();
+        self.stats.tlb_misses = mem.tlb_misses();
+        result
+    }
+
+    /// Fetches and decodes the instruction at `pc`, through the decoded-
+    /// instruction cache when enabled.
+    ///
+    /// The permission walk (`fetch_loc`) runs on **every** step — a TLB hit
+    /// makes it cheap, but revoking execute rights (stage-1 `set_attr`,
+    /// stage-2 sealing) faults on the very next fetch even for a cached
+    /// instruction. The decoded entry is keyed on the physical address and
+    /// validated against the frame's write version, so any store into the
+    /// page — translated or direct-to-physical — forces a fresh decode.
+    fn fetch_decode(&mut self, mem: &Memory, ctx: &TranslationCtx, pc: u64) -> FetchResult {
+        let pa = match mem.fetch_loc(ctx, pc) {
+            Ok(pa) => pa,
+            Err(fault) => return FetchResult::Fault(fault),
+        };
+        if !self.icache_enabled {
+            let word = match mem.phys().read_u32(pa) {
+                Some(word) => word,
+                None => return FetchResult::Fault(MemFault::Unmapped { pa }),
+            };
+            return match decode(word) {
+                Some(insn) => FetchResult::Insn(insn),
+                None => FetchResult::Undefined(word),
+            };
+        }
+        let version = mem.phys().frame_version(Frame::containing(pa));
+        let slot = icache_slot(pa);
+        if let Some(entry) = self.icache[slot] {
+            if entry.pa == pa && entry.version == version {
+                self.stats.icache_hits += 1;
+                return FetchResult::Insn(entry.insn);
+            }
+        }
+        self.stats.icache_misses += 1;
+        let word = match mem.phys().read_u32(pa) {
+            Some(word) => word,
+            None => return FetchResult::Fault(MemFault::Unmapped { pa }),
+        };
+        match decode(word) {
+            Some(insn) => {
+                self.icache[slot] = Some(IcacheEntry { pa, version, insn });
+                FetchResult::Insn(insn)
+            }
+            None => FetchResult::Undefined(word),
+        }
+    }
+
+    fn step_inner(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
         if self.state.pc == CALL_SENTINEL {
             return Ok(Step::SentinelReturn);
         }
@@ -327,11 +450,11 @@ impl Cpu {
 
         let pc = self.state.pc;
         let ctx = self.translation_ctx();
-        let word = match mem.fetch(&ctx, pc) {
-            Ok(word) => word,
-            Err(fault) => return self.vectored_fault(fault, pc, true),
+        let insn = match self.fetch_decode(mem, &ctx, pc) {
+            FetchResult::Insn(insn) => insn,
+            FetchResult::Fault(fault) => return self.vectored_fault(fault, pc, true),
+            FetchResult::Undefined(word) => return Err(CpuError::UndefinedInsn { word, pc }),
         };
-        let insn = decode(word).ok_or(CpuError::UndefinedInsn { word, pc })?;
 
         // Feature gating (§5.5): without PAuth, hint-space forms are NOPs
         // and the 8.3-only encodings are UNDEFINED.
@@ -346,13 +469,18 @@ impl Cpu {
                     self.state.pc = pc + 4;
                     return Ok(Step::Executed);
                 }
-                _ => return Err(CpuError::UndefinedInsn { word, pc }),
+                _ => {
+                    return Err(CpuError::UndefinedInsn {
+                        word: camo_isa::encode(&insn),
+                        pc,
+                    })
+                }
             }
         }
 
         self.charge(&insn);
         self.stats.instructions += 1;
-        self.execute(mem, insn, pc)
+        self.execute(mem, insn, pc, &ctx)
     }
 
     fn key_for(&self, key: PacKey) -> camo_qarma::QarmaKey {
@@ -371,7 +499,8 @@ impl Cpu {
             return; // architecturally a NOP when the key is disabled
         }
         let value = self.state.read(rd);
-        let signed = add_pac(value, modifier, self.key_for(key), self.tbi_user);
+        let qkey = self.key_for(key);
+        let signed = self.pac_unit.add_pac(value, modifier, qkey, self.tbi_user);
         self.state.write(rd, signed);
         self.stats.pac_signs += 1;
     }
@@ -381,22 +510,21 @@ impl Cpu {
         if !self.state.key_enabled(key.to_pauth_key()) {
             return value;
         }
-        let out = match auth_pac(
-            value,
-            modifier,
-            self.key_for(key),
-            Self::class_of(key),
-            self.tbi_user,
-        ) {
-            Ok(stripped) => {
-                self.stats.pac_auth_ok += 1;
-                stripped
-            }
-            Err(corrupted) => {
-                self.stats.pac_auth_fail += 1;
-                corrupted
-            }
-        };
+        let qkey = self.key_for(key);
+        let out =
+            match self
+                .pac_unit
+                .auth_pac(value, modifier, qkey, Self::class_of(key), self.tbi_user)
+            {
+                Ok(stripped) => {
+                    self.stats.pac_auth_ok += 1;
+                    stripped
+                }
+                Err(corrupted) => {
+                    self.stats.pac_auth_fail += 1;
+                    corrupted
+                }
+            };
         self.state.write(rd, out);
         out
     }
@@ -433,9 +561,17 @@ impl Cpu {
         }
     }
 
-    fn execute(&mut self, mem: &mut Memory, insn: Insn, pc: u64) -> Result<Step, CpuError> {
+    /// Executes one decoded instruction. `ctx` is the translation context
+    /// the instruction was fetched under (nothing can change it between
+    /// fetch and execute within one step).
+    fn execute(
+        &mut self,
+        mem: &mut Memory,
+        insn: Insn,
+        pc: u64,
+        ctx: &TranslationCtx,
+    ) -> Result<Step, CpuError> {
         let mut next_pc = pc + 4;
-        let ctx = self.translation_ctx();
 
         macro_rules! mem_try {
             ($e:expr) => {
@@ -546,18 +682,18 @@ impl Cpu {
             }
             Insn::Ldr { rt, rn, mode } => {
                 let addr = self.addr_single(rn, mode);
-                let v = mem_try!(mem.read_u64(&ctx, addr));
+                let v = mem_try!(mem.read_u64(ctx, addr));
                 self.state.write(rt, v);
             }
             Insn::Str { rt, rn, mode } => {
                 let addr = self.addr_single(rn, mode);
                 let v = self.state.read(rt);
-                mem_try!(mem.write_u64(&ctx, addr, v));
+                mem_try!(mem.write_u64(ctx, addr, v));
             }
             Insn::Ldp { rt, rt2, rn, mode } => {
                 let addr = self.addr_pair(rn, mode);
-                let v1 = mem_try!(mem.read_u64(&ctx, addr));
-                let v2 = mem_try!(mem.read_u64(&ctx, addr + 8));
+                let v1 = mem_try!(mem.read_u64(ctx, addr));
+                let v2 = mem_try!(mem.read_u64(ctx, addr + 8));
                 self.state.write(rt, v1);
                 self.state.write(rt2, v2);
             }
@@ -565,8 +701,8 @@ impl Cpu {
                 let addr = self.addr_pair(rn, mode);
                 let v1 = self.state.read(rt);
                 let v2 = self.state.read(rt2);
-                mem_try!(mem.write_u64(&ctx, addr, v1));
-                mem_try!(mem.write_u64(&ctx, addr + 8, v2));
+                mem_try!(mem.write_u64(ctx, addr, v1));
+                mem_try!(mem.write_u64(ctx, addr + 8, v2));
             }
             Insn::B { offset } => next_pc = pc.wrapping_add(offset as i64 as u64),
             Insn::Bl { offset } => {
@@ -679,7 +815,9 @@ impl Cpu {
             }
             Insn::Pacga { rd, rn, rm } => {
                 let key = self.state.pauth_key(camo_isa::PauthKey::GA);
-                let mac = camo_qarma::compute_mac(self.state.read(rn), self.state.read(rm), key);
+                let mac = self
+                    .pac_unit
+                    .mac(self.state.read(rn), self.state.read(rm), key);
                 self.state.write(rd, u64::from(mac) << 32);
                 self.stats.pac_signs += 1;
             }

@@ -10,7 +10,8 @@
 
 use camo_mem::layout::truncate_mac;
 use camo_mem::PointerLayout;
-use camo_qarma::{compute_mac, QarmaKey};
+use camo_qarma::{compute_mac, Qarma, QarmaKey, Sigma, PAC_ROUNDS};
+use std::collections::HashMap;
 
 /// Which key class signed a pointer (affects the failure error code).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,171 @@ pub fn layout_for(ptr: u64, tbi_user: bool) -> PointerLayout {
 pub fn compute_pac(ptr: u64, modifier: u64, key: QarmaKey, layout: &PointerLayout) -> u32 {
     let stripped = layout.strip(ptr);
     truncate_mac(compute_mac(stripped, modifier, key), layout)
+}
+
+/// Capacity cap for the warm-schedule cache. Keys rotate per task (each
+/// task owns user keys), so the cache is cleared wholesale when it fills
+/// rather than growing without bound.
+const SCHEDULE_CACHE_CAPACITY: usize = 1024;
+
+/// Number of direct-mapped MAC-memo slots (power of two).
+const MAC_CACHE_SIZE: usize = 8192;
+
+/// One memoized MAC computation. `compute_mac` is a *pure* function of
+/// `(data, modifier, key)`, so a memo entry can never go stale — no
+/// invalidation protocol exists because none is needed; the entire input
+/// is the tag.
+#[derive(Debug, Clone, Copy)]
+struct MacSlot {
+    data: u64,
+    modifier: u64,
+    key: u128,
+    mac: u32,
+}
+
+impl MacSlot {
+    /// Direct-mapped slot for an input triple.
+    fn slot(data: u64, modifier: u64, key: u128) -> usize {
+        let mixed = (data ^ modifier.rotate_left(21) ^ (key as u64) ^ (key >> 64) as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 40) as usize & (MAC_CACHE_SIZE - 1)
+    }
+}
+
+/// The PAC functional unit: computes PACs with a **warm QARMA schedule**.
+///
+/// Real PAuth hardware keeps the QARMA key schedule resident in the PAC
+/// pipeline; only an `MSR` to a key register forces a re-derivation. This
+/// unit reproduces that: one [`Qarma`] instance (whose construction derives
+/// w¹, the per-round keys and the inverse S-box) is cached per key value,
+/// so `PAC*`/`AUT*` on a hot key skip schedule derivation entirely. The
+/// cache is keyed by the full 128-bit key value, so a key change — however
+/// it reaches the registers — simply selects (or builds) a different
+/// schedule; stale-schedule bugs are impossible by construction.
+///
+/// Results are bit-identical to the cold free functions ([`add_pac`],
+/// [`auth_pac`]): both paths run the same `Qarma::new` derivation.
+#[derive(Debug, Clone)]
+pub struct PacUnit {
+    warm: bool,
+    schedules: HashMap<u128, Qarma>,
+    /// Direct-mapped memo of whole MAC computations (hot call sites sign
+    /// and authenticate the same `(pointer, modifier)` pair every
+    /// iteration — the prologue/epilogue pattern Figures 2–4 hammer).
+    macs: Vec<Option<MacSlot>>,
+}
+
+impl Default for PacUnit {
+    fn default() -> Self {
+        PacUnit::new()
+    }
+}
+
+impl PacUnit {
+    /// Creates a warm PAC unit (schedule caching on).
+    pub fn new() -> Self {
+        PacUnit {
+            warm: true,
+            schedules: HashMap::new(),
+            macs: vec![None; MAC_CACHE_SIZE],
+        }
+    }
+
+    /// Enables or disables schedule caching (A/B benchmarking knob).
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.warm = enabled;
+        if !enabled {
+            self.schedules.clear();
+            self.macs.fill(None);
+        }
+    }
+
+    /// Whether schedule caching is enabled.
+    pub fn caching(&self) -> bool {
+        self.warm
+    }
+
+    /// Number of key schedules currently resident.
+    pub fn warm_schedules(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Computes the MAC of `data` under `modifier`, reusing the warm
+    /// schedule for `key` (and the memo of recent whole computations) when
+    /// available — the engine behind both pointer PACs and `PACGA` generic
+    /// MACs.
+    pub fn mac(&mut self, data: u64, modifier: u64, key: QarmaKey) -> u32 {
+        if !self.warm {
+            return compute_mac(data, modifier, key);
+        }
+        let k = key.to_u128();
+        let slot = MacSlot::slot(data, modifier, k);
+        if let Some(hit) = self.macs[slot] {
+            if hit.data == data && hit.modifier == modifier && hit.key == k {
+                return hit.mac;
+            }
+        }
+        // Evict only when a *new* key would overflow the cache; a resident
+        // hot key must never be a casualty of its own MAC-memo miss.
+        if self.schedules.len() >= SCHEDULE_CACHE_CAPACITY && !self.schedules.contains_key(&k) {
+            self.schedules.clear();
+        }
+        let mac = self
+            .schedules
+            .entry(k)
+            .or_insert_with(|| Qarma::new(key, Sigma::Sigma1, PAC_ROUNDS))
+            .mac(data, modifier);
+        self.macs[slot] = Some(MacSlot {
+            data,
+            modifier,
+            key: k,
+            mac,
+        });
+        mac
+    }
+
+    /// [`compute_pac`] with a warm schedule.
+    pub fn compute_pac(
+        &mut self,
+        ptr: u64,
+        modifier: u64,
+        key: QarmaKey,
+        layout: &PointerLayout,
+    ) -> u32 {
+        let stripped = layout.strip(ptr);
+        truncate_mac(self.mac(stripped, modifier, key), layout)
+    }
+
+    /// [`add_pac`] with a warm schedule.
+    pub fn add_pac(&mut self, ptr: u64, modifier: u64, key: QarmaKey, tbi_user: bool) -> u64 {
+        let layout = layout_for(ptr, tbi_user);
+        let pac = self.compute_pac(ptr, modifier, key, &layout);
+        layout.embed_pac(ptr, pac)
+    }
+
+    /// [`auth_pac`] with a warm schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corrupted (non-canonical) pointer when authentication
+    /// fails, exactly like the cold [`auth_pac`].
+    pub fn auth_pac(
+        &mut self,
+        ptr: u64,
+        modifier: u64,
+        key: QarmaKey,
+        class: KeyClass,
+        tbi_user: bool,
+    ) -> Result<u64, u64> {
+        let layout = layout_for(ptr, tbi_user);
+        let expected = self.compute_pac(ptr, modifier, key, &layout);
+        let stripped = layout.strip(ptr);
+        if layout.extract_pac(ptr) == expected {
+            Ok(stripped)
+        } else {
+            Err(stripped ^ (class.error_code() << 61))
+        }
+    }
 }
 
 /// `AddPAC`: signs `ptr`, replacing its extension bits with the PAC.
@@ -191,6 +357,71 @@ mod tests {
             assert_eq!(layout.strip(signed), KPTR);
             assert!(layout.extract_pac(signed) < (1 << 15));
         }
+    }
+
+    #[test]
+    fn warm_pac_unit_matches_cold_functions() {
+        let mut unit = PacUnit::new();
+        let other = QarmaKey::new(0x1357_9bdf, 0x2468_ace0);
+        for (key, ptr) in [(KEY, KPTR), (other, UPTR), (KEY, UPTR), (other, KPTR)] {
+            for modifier in 0..64u64 {
+                assert_eq!(
+                    unit.add_pac(ptr, modifier, key, true),
+                    add_pac(ptr, modifier, key, true)
+                );
+                let signed = add_pac(ptr, modifier, key, true);
+                for class in [KeyClass::Instruction, KeyClass::Data] {
+                    assert_eq!(
+                        unit.auth_pac(signed, modifier, key, class, true),
+                        auth_pac(signed, modifier, key, class, true)
+                    );
+                    assert_eq!(
+                        unit.auth_pac(signed, modifier ^ 1, key, class, true),
+                        auth_pac(signed, modifier ^ 1, key, class, true)
+                    );
+                }
+            }
+        }
+        assert_eq!(unit.warm_schedules(), 2, "one schedule per distinct key");
+        // A cold unit also matches (and stays empty).
+        unit.set_caching(false);
+        assert_eq!(
+            unit.add_pac(KPTR, 42, KEY, true),
+            add_pac(KPTR, 42, KEY, true)
+        );
+        assert_eq!(unit.warm_schedules(), 0);
+    }
+
+    #[test]
+    fn default_pac_unit_is_usable() {
+        // `Default` must match `new()`: a defaulted unit with caching
+        // re-enabled has to have its memo storage allocated.
+        let mut unit = PacUnit::default();
+        assert!(unit.caching());
+        unit.set_caching(false);
+        unit.set_caching(true);
+        assert_eq!(
+            unit.add_pac(KPTR, 42, KEY, true),
+            add_pac(KPTR, 42, KEY, true)
+        );
+    }
+
+    #[test]
+    fn pac_unit_key_change_reschedules() {
+        // Changing the key mid-stream must never serve the old schedule.
+        let mut unit = PacUnit::new();
+        let k1 = QarmaKey::new(1, 2);
+        let k2 = QarmaKey::new(3, 4);
+        let s1 = unit.add_pac(KPTR, 9, k1, true);
+        let s2 = unit.add_pac(KPTR, 9, k2, true);
+        assert_ne!(s1, s2);
+        assert_eq!(
+            unit.auth_pac(s2, 9, k2, KeyClass::Instruction, true),
+            Ok(KPTR)
+        );
+        assert!(unit
+            .auth_pac(s2, 9, k1, KeyClass::Instruction, true)
+            .is_err());
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use camo_isa::{PauthKey, Reg, SysReg};
 use camo_mem::El;
 use camo_qarma::QarmaKey;
-use std::collections::BTreeMap;
 
 /// Saved program-status word layout used by `SPSR_EL1` in this model:
 /// bit 0 = source EL (0 = EL0, 1 = EL1), bit 7 = IRQ mask (I).
@@ -25,15 +24,17 @@ pub struct CpuState {
     pub el: El,
     /// IRQ mask (PSTATE.I).
     pub irq_masked: bool,
-    sysregs: BTreeMap<SysReg, u64>,
+    /// Dense array-backed system-register file: `translation_ctx` reads
+    /// `TTBR0/1_EL1` on every step, so lookups must be one index away.
+    sysregs: [u64; SysReg::COUNT],
 }
 
 impl Default for CpuState {
     fn default() -> Self {
-        let mut sysregs = BTreeMap::new();
+        let mut sysregs = [0u64; SysReg::COUNT];
         // Reset state: PAuth enable bits set (the bootloader model assumes
         // firmware leaves them on; the kernel verifies nothing clears them).
-        sysregs.insert(SysReg::SctlrEl1, camo_isa::sysreg::sctlr::EN_ALL);
+        sysregs[SysReg::SctlrEl1.index()] = camo_isa::sysreg::sctlr::EN_ALL;
         CpuState {
             gprs: [0; 31],
             sp_el0: 0,
@@ -88,12 +89,12 @@ impl CpuState {
 
     /// Reads a system register (0 if never written).
     pub fn sysreg(&self, sr: SysReg) -> u64 {
-        self.sysregs.get(&sr).copied().unwrap_or(0)
+        self.sysregs[sr.index()]
     }
 
     /// Writes a system register.
     pub fn set_sysreg(&mut self, sr: SysReg, value: u64) {
-        self.sysregs.insert(sr, value);
+        self.sysregs[sr.index()] = value;
     }
 
     /// Assembles the 128-bit PAuth key currently programmed for `key`.

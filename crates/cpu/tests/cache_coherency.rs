@@ -1,0 +1,194 @@
+//! Cache-coherency properties of the fast-path execution engine.
+//!
+//! The software TLB and the decoded-instruction cache must be
+//! *architecturally invisible*: no access may ever succeed through a stale
+//! translation or a stale decoded instruction after a permission downgrade
+//! (`set_attr`), a hypervisor seal (`protect_stage2`), or a write into a
+//! fetched page — the windows a real attacker would race.
+
+use camo_cpu::{Cpu, CpuError, Step};
+use camo_isa::{encode, Insn, Reg, SysReg};
+use camo_mem::{Frame, MemFault, Memory, S1Attr, S2Attr, TableId, KERNEL_BASE};
+
+/// Loads `insns` at KERNEL_BASE (text) with a data page above, EL1 ready.
+fn machine(insns: &[Insn]) -> (Cpu, Memory, Frame) {
+    let mut mem = Memory::new();
+    let table = mem.new_table();
+    let text = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+    mem.map_new(table, KERNEL_BASE + 0x1000, S1Attr::kernel_data());
+    for (i, insn) in insns.iter().enumerate() {
+        mem.phys_mut()
+            .write_u32(text.base() + 4 * i as u64, encode(insn))
+            .unwrap();
+    }
+    let mut cpu = Cpu::default();
+    cpu.state.pc = KERNEL_BASE;
+    cpu.state.set_sysreg(SysReg::Ttbr0El1, table.raw());
+    cpu.state.set_sysreg(SysReg::Ttbr1El1, table.raw());
+    cpu.state.sp_el1 = KERNEL_BASE + 0x2000;
+    (cpu, mem, text)
+}
+
+fn table_of(cpu: &Cpu) -> TableId {
+    TableId::from_raw(cpu.state.sysreg(SysReg::Ttbr1El1))
+}
+
+#[test]
+fn self_modifying_code_decodes_fresh_on_next_fetch() {
+    let (mut cpu, mut mem, text) = machine(&[Insn::Movz {
+        rd: Reg::x(0),
+        imm16: 1,
+        shift: 0,
+    }]);
+    // First execution fills the decoded-instruction cache.
+    cpu.step(&mut mem).unwrap();
+    assert_eq!(cpu.state.gprs[0], 1);
+    assert_eq!(cpu.stats().icache_misses, 1);
+
+    // Overwrite the word *directly in physical memory* (the attacker's
+    // primitive — no MMU write permission involved), then re-execute.
+    mem.phys_mut()
+        .write_u32(
+            text.base(),
+            encode(&Insn::Movz {
+                rd: Reg::x(0),
+                imm16: 2,
+                shift: 0,
+            }),
+        )
+        .unwrap();
+    cpu.state.pc = KERNEL_BASE;
+    cpu.step(&mut mem).unwrap();
+    assert_eq!(cpu.state.gprs[0], 2, "stale decode would have written 1");
+    assert_eq!(cpu.stats().icache_misses, 2, "write forced a re-decode");
+}
+
+#[test]
+fn set_attr_exec_revocation_faults_next_fetch() {
+    let (mut cpu, mut mem, _) = machine(&[Insn::Nop, Insn::Nop]);
+    cpu.step(&mut mem).unwrap(); // warm TLB + icache
+                                 // Revoke execute on the text page; the very next fetch must fault even
+                                 // though the decoded instruction is still resident.
+    assert!(mem.set_attr(table_of(&cpu), KERNEL_BASE, S1Attr::kernel_rodata()));
+    let err = cpu.step(&mut mem).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CpuError::UnhandledFault {
+                fault: MemFault::Permission { .. },
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn stage2_seal_faults_next_fetch_despite_warm_caches() {
+    let (mut cpu, mut mem, text) = machine(&[Insn::Nop, Insn::Nop, Insn::Nop]);
+    cpu.step(&mut mem).unwrap(); // warm TLB + icache
+                                 // Hypervisor strips execute at stage 2 (e.g. sealing a revoked module).
+    mem.protect_stage2(
+        text,
+        S2Attr {
+            read: true,
+            write: true,
+            exec: false,
+        },
+    )
+    .unwrap();
+    let err = cpu.step(&mut mem).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CpuError::UnhandledFault {
+                fault: MemFault::Stage2 { .. },
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn hot_loop_hits_both_caches() {
+    // x0 = 200; loop: sub x0, x0, 1; str x1, [sp]; ldr x1, [sp]; cbnz x0, loop
+    let insns = [
+        Insn::Movz {
+            rd: Reg::x(0),
+            imm16: 200,
+            shift: 0,
+        },
+        Insn::SubImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 1,
+            shifted: false,
+        },
+        Insn::Str {
+            rt: Reg::x(1),
+            rn: Reg::Sp,
+            mode: camo_isa::AddrMode::Unsigned(0),
+        },
+        Insn::Ldr {
+            rt: Reg::x(1),
+            rn: Reg::Sp,
+            mode: camo_isa::AddrMode::Unsigned(0),
+        },
+        Insn::Cbnz {
+            rt: Reg::x(0),
+            offset: -12,
+        },
+    ];
+    let (mut cpu, mut mem, _) = machine(&insns);
+    cpu.state.sp_el1 = KERNEL_BASE + 0x1000 + 0x800;
+    loop {
+        cpu.step(&mut mem).unwrap();
+        if cpu.state.gprs[0] == 0 && cpu.state.pc > KERNEL_BASE + 16 {
+            break;
+        }
+    }
+    let stats = cpu.stats();
+    assert!(stats.instructions > 700, "loop actually ran");
+    let icache_rate = stats.icache_hits as f64 / (stats.icache_hits + stats.icache_misses) as f64;
+    assert!(
+        icache_rate > 0.99,
+        "5 distinct words, ~800 fetches: {icache_rate}"
+    );
+    let tlb_rate = stats.tlb_hits as f64 / (stats.tlb_hits + stats.tlb_misses) as f64;
+    assert!(tlb_rate > 0.99, "3 hot pages, ~1600 walks: {tlb_rate}");
+}
+
+#[test]
+fn caches_do_not_change_cycles_or_results() {
+    let insns = [
+        Insn::Movz {
+            rd: Reg::x(0),
+            imm16: 50,
+            shift: 0,
+        },
+        Insn::SubImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 1,
+            shifted: false,
+        },
+        Insn::Cbnz {
+            rt: Reg::x(0),
+            offset: -4,
+        },
+        Insn::Brk { imm: 1 },
+    ];
+    let run = |caching: bool| {
+        let (mut cpu, mut mem, _) = machine(&insns);
+        cpu.set_caching(caching);
+        mem.set_caching(caching);
+        loop {
+            if let Step::BrkTrap { .. } = cpu.step(&mut mem).unwrap() {
+                break;
+            }
+        }
+        (cpu.cycles(), cpu.stats().instructions, cpu.state.gprs[0])
+    };
+    assert_eq!(run(true), run(false), "caches must be invisible");
+}

@@ -409,6 +409,16 @@ pub enum Insn {
     },
 }
 
+// The CPU front end caches decoded instructions (one entry per hot
+// instruction word), so `Insn` must stay a small `Copy` value: a cache hit
+// is a plain memcpy of this many bytes. Growing a variant past 8 payload
+// bytes breaks this assertion rather than silently fattening every cached
+// entry.
+const _: () = assert!(core::mem::size_of::<Insn>() <= 16);
+
+const fn _insn_is_copy<T: Copy>() {}
+const _: () = _insn_is_copy::<Insn>();
+
 impl Insn {
     /// `BFI Xd, Xn, #lsb, #width` — bit-field insert (alias of `BFM`).
     ///

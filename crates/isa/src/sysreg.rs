@@ -88,6 +88,18 @@ impl SysReg {
         SysReg::ApgaKeyHiEl1,
     ];
 
+    /// Number of modeled system registers (the length of [`SysReg::ALL`]).
+    pub const COUNT: usize = SysReg::ALL.len();
+
+    /// Dense index of this register, for array-backed register files.
+    ///
+    /// The CPU reads `TTBR0/1_EL1` (and friends) on every step to build
+    /// its translation context, so system-register storage must be an
+    /// array index away, not a tree lookup.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// The `(op0, op1, CRn, CRm, op2)` encoding (ARM ARM, D17).
     pub fn fields(self) -> (u8, u8, u8, u8, u8) {
         match self {

@@ -36,6 +36,15 @@ pub struct KernelConfig {
     pub pauth_hw: bool,
     /// User program blocks `(name, alu, mem)` available to every process.
     pub user_blocks: Vec<(String, usize, usize)>,
+    /// Enables the simulator's fast-path caches: the software TLB in the
+    /// memory system, the CPU's decoded-instruction cache, and the PAC
+    /// unit's warm QARMA key schedules.
+    ///
+    /// Architecturally invisible — cycle counts, faults and attack
+    /// outcomes are bit-identical on or off; only wall-clock simulation
+    /// speed changes. Default on; turn off for cache A/B measurements
+    /// (`perfcheck` does).
+    pub fast_caches: bool,
 }
 
 impl Default for KernelConfig {
@@ -48,6 +57,7 @@ impl Default for KernelConfig {
             pac_panic_threshold: 16,
             pauth_hw: true,
             user_blocks: vec![("stub".to_string(), 2, 1)],
+            fast_caches: true,
         }
     }
 }
@@ -196,6 +206,7 @@ impl Kernel {
     pub fn boot(cfg: KernelConfig) -> Result<Kernel, KernelError> {
         let codegen_cfg = cfg.codegen();
         let mut mem = Memory::new();
+        mem.set_caching(cfg.fast_caches);
         let kernel_table = mem.new_table();
         let boot = Bootloader::new(cfg.seed);
         let kimage = KernelImage::build(codegen_cfg);
@@ -285,6 +296,7 @@ impl Kernel {
         let mut cpu = Cpu::new(HwFeatures {
             pauth: cfg.pauth_hw,
         });
+        cpu.set_caching(cfg.fast_caches);
         cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
         cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
         cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);

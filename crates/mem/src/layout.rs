@@ -132,29 +132,31 @@ impl PointerLayout {
     /// Surplus PAC bits are discarded, mirroring the architecture
     /// ("extraneous MAC bits are discarded", Appendix B).
     pub fn embed_pac(&self, ptr: u64, pac: u32) -> u64 {
-        let mask = self.pac_mask();
-        let mut out = ptr & !mask;
+        let full_mask = self.pac_mask();
+        let mut out = ptr & !full_mask;
         let mut pac = u64::from(pac);
-        // Scatter PAC bits into the mask positions, lowest first.
-        for bit in 0..64 {
-            if mask & (1u64 << bit) != 0 {
-                out |= (pac & 1) << bit;
-                pac >>= 1;
-            }
+        // Scatter PAC bits into the mask positions, lowest first, walking
+        // only the set bits of the mask (this sits on the PAC fast path).
+        let mut mask = full_mask;
+        while mask != 0 {
+            let bit = mask.trailing_zeros();
+            out |= (pac & 1) << bit;
+            pac >>= 1;
+            mask &= mask - 1;
         }
         out
     }
 
     /// Extracts the PAC field of `ptr`, gathered into the low bits.
     pub fn extract_pac(&self, ptr: u64) -> u32 {
-        let mask = self.pac_mask();
         let mut out: u64 = 0;
         let mut pos = 0;
-        for bit in 0..64 {
-            if mask & (1u64 << bit) != 0 {
-                out |= ((ptr >> bit) & 1) << pos;
-                pos += 1;
-            }
+        let mut mask = self.pac_mask();
+        while mask != 0 {
+            let bit = mask.trailing_zeros();
+            out |= ((ptr >> bit) & 1) << pos;
+            pos += 1;
+            mask &= mask - 1;
         }
         out as u32
     }

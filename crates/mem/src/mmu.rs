@@ -5,6 +5,7 @@ use crate::phys::{Frame, PhysMem};
 use crate::stage1::{S1Attr, Stage1Table};
 use crate::stage2::{S2Attr, Stage2Locked, Stage2Table};
 use core::fmt;
+use std::cell::{Cell, RefCell};
 
 /// Exception level of an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -140,23 +141,157 @@ impl fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
+/// Key of one software-TLB entry: everything that can change the outcome
+/// of a successful translation.
+///
+/// The stage-1 table is identified by the table actually consulted (the
+/// TTBR the VA's bit 55 selects), so two contexts sharing a kernel table
+/// share its TLB entries — exactly like a physical TLB tagged by ASID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TlbKey {
+    /// VA page index of the *effective* (tag-stripped) address.
+    page: u64,
+    /// Index of the stage-1 table consulted.
+    table: usize,
+    /// Exception level of the access (permissions differ per EL).
+    el: El,
+    /// Access type (permissions differ per access).
+    access: AccessType,
+}
+
+/// One software-TLB slot: the key it was filled for, the backing frame,
+/// and the [`Memory`] generation it was filled at. A slot whose generation
+/// no longer matches the memory system's is stale and must never be served
+/// — this is what makes permission downgrades (`set_attr`,
+/// `protect_stage2`) take effect on the very next access.
+#[derive(Debug, Clone, Copy)]
+struct TlbSlot {
+    key: TlbKey,
+    frame: Frame,
+    generation: u64,
+}
+
+/// Number of direct-mapped software-TLB slots (power of two).
+///
+/// Direct-mapped rather than associative: a conflict simply evicts, and
+/// correctness never depends on residency — only speed does.
+const TLB_SIZE: usize = 1024;
+
+impl TlbKey {
+    /// Direct-mapped slot index: spread page indices so that the (page,
+    /// table, el, access) combinations a hot loop touches land in distinct
+    /// slots. The table id lands in the low index bits so that two tables
+    /// mapping the same VA page (two processes across a context switch)
+    /// do not evict each other's entries.
+    fn slot(&self) -> usize {
+        let mixed = (self.page ^ (self.table as u64) << 3)
+            .wrapping_mul(8)
+            .wrapping_add((self.el as u64) * 4)
+            .wrapping_add(self.access as u64);
+        (mixed as usize) & (TLB_SIZE - 1)
+    }
+}
+
 /// The complete simulated memory system: physical frames, stage-1 tables,
 /// and the hypervisor's stage-2 overlay.
-#[derive(Debug, Default)]
+///
+/// # Performance architecture
+///
+/// Translation results are cached in a direct-mapped software TLB so hot
+/// loops do not re-walk the tables on every byte, and bulk accesses
+/// translate once per *page* instead of once per byte. The fast path is
+/// *architecturally invisible*: only successful translations are cached,
+/// every cacheable input is part of the key, and a global generation
+/// counter — bumped by every operation that can change a translation or
+/// permission ([`Memory::map`], [`Memory::set_attr`],
+/// [`Memory::protect_stage2`], [`Memory::map_new`]) — invalidates all
+/// entries at once. A stale entry can therefore never serve a downgraded
+/// permission.
+///
+/// [`Memory::set_caching`]`(false)` selects the seed-faithful slow path —
+/// no TLB *and* per-byte translation in the bulk accessors — which is the
+/// A/B baseline the `perfcheck` harness measures against. Architectural
+/// behaviour — every fault, every value, every permission decision — is
+/// bit-identical on either path.
+#[derive(Debug)]
 pub struct Memory {
     phys: PhysMem,
     tables: Vec<Stage1Table>,
     stage2: Stage2Table,
+    /// Generation counter for translation-affecting mutations.
+    generation: u64,
+    /// Software TLB (interior mutability: `translate` is `&self`).
+    tlb: RefCell<Vec<Option<TlbSlot>>>,
+    tlb_enabled: bool,
+    tlb_hits: Cell<u64>,
+    tlb_misses: Cell<u64>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
 }
 
 impl Memory {
-    /// Creates an empty memory system.
+    /// Creates an empty memory system (caching enabled).
     pub fn new() -> Self {
         Memory {
             phys: PhysMem::new(),
             tables: Vec::new(),
             stage2: Stage2Table::new(),
+            generation: 0,
+            tlb: RefCell::new(vec![None; TLB_SIZE]),
+            tlb_enabled: true,
+            tlb_hits: Cell::new(0),
+            tlb_misses: Cell::new(0),
         }
+    }
+
+    /// Enables or disables the fast path (A/B benchmarking knob): the
+    /// software TLB *and* the page-granular bulk accessors. Disabled, the
+    /// memory system walks the tables once per byte, faithfully
+    /// reproducing the seed implementation the `perfcheck` harness
+    /// baselines against.
+    ///
+    /// Architectural behaviour — every fault, every value, every
+    /// permission decision — is identical with caching on or off; only
+    /// wall-clock speed changes.
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.tlb_enabled = enabled;
+        if !enabled {
+            self.tlb.borrow_mut().fill(None);
+        }
+    }
+
+    /// Whether the software TLB is enabled.
+    pub fn caching(&self) -> bool {
+        self.tlb_enabled
+    }
+
+    /// Software-TLB hit count since construction.
+    pub fn tlb_hits(&self) -> u64 {
+        self.tlb_hits.get()
+    }
+
+    /// Software-TLB miss count since construction (counts only translations
+    /// attempted while caching is enabled).
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb_misses.get()
+    }
+
+    /// The current translation generation (bumped by every mutation that
+    /// can affect a translation result).
+    pub fn translation_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidates every TLB entry by advancing the generation.
+    ///
+    /// The generation check alone is what guarantees staleness can never
+    /// be served; slots are left in place and simply refill on next use.
+    fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     /// Allocates a new, empty stage-1 table.
@@ -177,11 +312,16 @@ impl Memory {
     /// Panics if `table` is stale or `va` is not page-aligned.
     pub fn map(&mut self, table: TableId, va: u64, frame: Frame, attr: S1Attr) {
         self.tables[table.0].map(va, frame, attr);
+        self.bump_generation();
     }
 
     /// Changes the stage-1 attributes of a mapped page.
     pub fn set_attr(&mut self, table: TableId, va: u64, attr: S1Attr) -> bool {
-        self.tables[table.0].set_attr(va, attr)
+        let changed = self.tables[table.0].set_attr(va, attr);
+        if changed {
+            self.bump_generation();
+        }
+        changed
     }
 
     /// Read access to a stage-1 table.
@@ -195,7 +335,9 @@ impl Memory {
     ///
     /// Fails with [`Stage2Locked`] after [`Memory::lock_stage2`].
     pub fn protect_stage2(&mut self, frame: Frame, attr: S2Attr) -> Result<(), Stage2Locked> {
-        self.stage2.protect(frame, attr)
+        self.stage2.protect(frame, attr)?;
+        self.bump_generation();
+        Ok(())
     }
 
     /// Locks the stage-2 table (hypervisor boot-finalisation).
@@ -258,14 +400,50 @@ impl Memory {
         access: AccessType,
     ) -> Result<u64, MemFault> {
         let eva = self.effective_va(ctx, va)?;
-        let table = if (eva >> 55) & 1 == 1 {
-            &self.tables[ctx.ttbr1.0]
+        let table_id = if (eva >> 55) & 1 == 1 {
+            ctx.ttbr1
         } else {
-            &self.tables[ctx.ttbr0.0]
+            ctx.ttbr0
         };
+        if self.tlb_enabled {
+            let key = TlbKey {
+                page: eva / PAGE_SIZE,
+                table: table_id.0,
+                el: ctx.el,
+                access,
+            };
+            let slot = key.slot();
+            if let Some(entry) = self.tlb.borrow()[slot] {
+                if entry.key == key && entry.generation == self.generation {
+                    self.tlb_hits.set(self.tlb_hits.get() + 1);
+                    return Ok(entry.frame.base() + eva % PAGE_SIZE);
+                }
+            }
+            self.tlb_misses.set(self.tlb_misses.get() + 1);
+            let pa = self.translate_slow(table_id, eva, access, ctx.el)?;
+            self.tlb.borrow_mut()[slot] = Some(TlbSlot {
+                key,
+                frame: Frame::containing(pa),
+                generation: self.generation,
+            });
+            Ok(pa)
+        } else {
+            self.translate_slow(table_id, eva, access, ctx.el)
+        }
+    }
+
+    /// The uncached two-stage walk over an already-canonicalised address.
+    fn translate_slow(
+        &self,
+        table_id: TableId,
+        eva: u64,
+        access: AccessType,
+        el: El,
+    ) -> Result<u64, MemFault> {
+        let table = &self.tables[table_id.0];
         let entry = table.lookup(eva).ok_or(MemFault::Translation { va: eva })?;
 
-        let s1_ok = match (ctx.el, access) {
+        let s1_ok = match (el, access) {
             // The VMSAv8 quirk: stage 1 cannot deny an EL1 read.
             (El::El1, AccessType::Read) => true,
             (El::El1, AccessType::Write) => entry.attr.el1_write,
@@ -278,7 +456,7 @@ impl Memory {
             return Err(MemFault::Permission {
                 va: eva,
                 access,
-                el: ctx.el,
+                el,
             });
         }
 
@@ -303,61 +481,135 @@ impl Memory {
         Ok(pa)
     }
 
-    /// Reads `buf.len()` bytes at `va` (may span pages).
+    /// Reads `buf.len()` bytes at `va` (may span pages), translating once
+    /// per touched page and slice-copying against physical memory.
+    ///
+    /// With caching disabled the seed-faithful per-byte walk runs instead;
+    /// results and faults are identical (every byte of a page shares one
+    /// translation result).
     pub fn read_bytes(
         &self,
         ctx: &TranslationCtx,
         va: u64,
         buf: &mut [u8],
     ) -> Result<(), MemFault> {
-        for (i, byte) in buf.iter_mut().enumerate() {
-            let addr = va.wrapping_add(i as u64);
+        if !self.tlb_enabled {
+            // Seed baseline: one full two-stage walk per byte.
+            for (i, byte) in buf.iter_mut().enumerate() {
+                let addr = va.wrapping_add(i as u64);
+                let pa = self.translate(ctx, addr, AccessType::Read)?;
+                *byte = self.phys.read_u8(pa).ok_or(MemFault::Unmapped { pa })?;
+            }
+            return Ok(());
+        }
+        let mut off = 0usize;
+        while off < buf.len() {
+            let addr = va.wrapping_add(off as u64);
             let pa = self.translate(ctx, addr, AccessType::Read)?;
-            *byte = self.phys.read_u8(pa).ok_or(MemFault::Unmapped { pa })?;
+            let n = ((PAGE_SIZE - addr % PAGE_SIZE) as usize).min(buf.len() - off);
+            self.phys
+                .read_bytes(pa, &mut buf[off..off + n])
+                .ok_or(MemFault::Unmapped { pa })?;
+            off += n;
         }
         Ok(())
     }
 
     /// Writes `bytes` at `va` (may span pages).
+    ///
+    /// A faulting write has **no partial effect**: one translation per
+    /// touched page is validated up front (not one per byte — within a page
+    /// every byte shares a translation result, so per-page validation is
+    /// exactly as strong), and only then are the page slices copied.
     pub fn write_bytes(
         &mut self,
         ctx: &TranslationCtx,
         va: u64,
         bytes: &[u8],
     ) -> Result<(), MemFault> {
-        // Validate all pages before mutating anything, so a faulting write
-        // has no partial effect.
-        for i in 0..bytes.len() {
-            self.translate(ctx, va.wrapping_add(i as u64), AccessType::Write)?;
+        if bytes.is_empty() {
+            return Ok(());
         }
-        for (i, &byte) in bytes.iter().enumerate() {
-            let addr = va.wrapping_add(i as u64);
+        if !self.tlb_enabled {
+            // Seed baseline: validate one walk per byte, then write one
+            // walk per byte. (Within a page every byte shares a
+            // translation result, so the page-granular fast path below is
+            // exactly as strong — this path exists as the perfcheck A/B
+            // reference and to prove that equivalence.)
+            for i in 0..bytes.len() {
+                self.translate(ctx, va.wrapping_add(i as u64), AccessType::Write)?;
+            }
+            for (i, &byte) in bytes.iter().enumerate() {
+                let addr = va.wrapping_add(i as u64);
+                let pa = self.translate(ctx, addr, AccessType::Write)?;
+                self.phys
+                    .write_u8(pa, byte)
+                    .ok_or(MemFault::Unmapped { pa })?;
+            }
+            return Ok(());
+        }
+        let first_page_span = (PAGE_SIZE - va % PAGE_SIZE) as usize;
+        if bytes.len() <= first_page_span {
+            // Fast path: the write stays within one page — a single
+            // translation is both the validation pass and the write pass.
+            let pa = self.translate(ctx, va, AccessType::Write)?;
+            return self
+                .phys
+                .write_bytes(pa, bytes)
+                .ok_or(MemFault::Unmapped { pa });
+        }
+        // Page-crossing write: validate one translation per touched page
+        // before mutating anything, so a faulting write has no partial
+        // effect; then copy per-page slices through the recorded PAs.
+        let mut chunks: Vec<(u64, usize, usize)> = Vec::new();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let addr = va.wrapping_add(off as u64);
             let pa = self.translate(ctx, addr, AccessType::Write)?;
+            let n = ((PAGE_SIZE - addr % PAGE_SIZE) as usize).min(bytes.len() - off);
+            chunks.push((pa, off, n));
+            off += n;
+        }
+        for (pa, off, n) in chunks {
             self.phys
-                .write_u8(pa, byte)
+                .write_bytes(pa, &bytes[off..off + n])
                 .ok_or(MemFault::Unmapped { pa })?;
         }
         Ok(())
     }
 
-    /// Reads a little-endian u64.
+    /// Reads a little-endian u64 (single translation when page-local).
     pub fn read_u64(&self, ctx: &TranslationCtx, va: u64) -> Result<u64, MemFault> {
+        if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 8 {
+            let pa = self.translate(ctx, va, AccessType::Read)?;
+            return self.phys.read_u64(pa).ok_or(MemFault::Unmapped { pa });
+        }
         let mut buf = [0u8; 8];
         self.read_bytes(ctx, va, &mut buf)?;
         Ok(u64::from_le_bytes(buf))
     }
 
-    /// Writes a little-endian u64.
+    /// Writes a little-endian u64 (single translation when page-local).
     pub fn write_u64(&mut self, ctx: &TranslationCtx, va: u64, value: u64) -> Result<(), MemFault> {
         self.write_bytes(ctx, va, &value.to_le_bytes())
     }
 
-    /// Fetches one instruction word (execute access, must be 4-aligned).
-    pub fn fetch(&self, ctx: &TranslationCtx, va: u64) -> Result<u32, MemFault> {
+    /// Translates an instruction fetch: execute access, must be 4-aligned.
+    ///
+    /// Returns the physical address of the instruction word. The CPU's
+    /// decoded-instruction cache keys on this address; the permission walk
+    /// (or TLB hit) still happens on *every* fetch, so revoking execute
+    /// rights faults on the very next step even for cached instructions.
+    pub fn fetch_loc(&self, ctx: &TranslationCtx, va: u64) -> Result<u64, MemFault> {
         if va % 4 != 0 {
             return Err(MemFault::FetchUnaligned { va });
         }
-        let pa = self.translate(ctx, va, AccessType::Execute)?;
+        self.translate(ctx, va, AccessType::Execute)
+    }
+
+    /// Fetches one instruction word (execute access, must be 4-aligned).
+    pub fn fetch(&self, ctx: &TranslationCtx, va: u64) -> Result<u32, MemFault> {
+        let pa = self.fetch_loc(ctx, va)?;
         self.phys.read_u32(pa).ok_or(MemFault::Unmapped { pa })
     }
 
@@ -541,5 +793,158 @@ mod tests {
         let before = mem.read_u64(&ctx, KERNEL_BASE + PAGE_SIZE - 8).unwrap();
         assert!(mem.write_u64(&mut ctx.clone(), straddle, u64::MAX).is_err());
         assert_eq!(mem.read_u64(&ctx, KERNEL_BASE + PAGE_SIZE - 8), Ok(before));
+    }
+
+    #[test]
+    fn page_crossing_write_with_faulting_middle_page_is_atomic() {
+        // Three-page write with the *middle* page unmapped: the per-page
+        // pre-validation must reject the whole write before byte one lands.
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        mem.map_new(table, KERNEL_BASE + 2 * PAGE_SIZE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        let start = KERNEL_BASE + PAGE_SIZE - 8;
+        let len = (8 + PAGE_SIZE + 8) as usize;
+        let payload = vec![0xABu8; len];
+        assert!(matches!(
+            mem.write_bytes(&mut ctx.clone(), start, &payload),
+            Err(MemFault::Translation { .. })
+        ));
+        // Neither the mapped head nor the mapped tail was touched.
+        assert_eq!(mem.read_u64(&ctx, start), Ok(0));
+        assert_eq!(mem.read_u64(&ctx, KERNEL_BASE + 2 * PAGE_SIZE), Ok(0));
+    }
+
+    #[test]
+    fn page_crossing_write_into_readonly_tail_is_atomic() {
+        // The second page is mapped but not writable: the write must fail
+        // with a permission fault and leave the writable head untouched.
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        mem.map_new(table, KERNEL_BASE + PAGE_SIZE, S1Attr::kernel_rodata());
+        let ctx = mem.kernel_ctx(table);
+        let straddle = KERNEL_BASE + PAGE_SIZE - 4;
+        assert!(matches!(
+            mem.write_u64(&mut ctx.clone(), straddle, u64::MAX),
+            Err(MemFault::Permission { .. })
+        ));
+        assert_eq!(mem.read_u64(&ctx, KERNEL_BASE + PAGE_SIZE - 8), Ok(0));
+    }
+
+    #[test]
+    fn page_crossing_accesses_roundtrip_through_translation() {
+        let (mut mem, table) = setup();
+        let f1 = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let f2 = mem.map_new(table, KERNEL_BASE + PAGE_SIZE, S1Attr::kernel_data());
+        assert_ne!(f1, f2);
+        let ctx = mem.kernel_ctx(table);
+        let straddle = KERNEL_BASE + PAGE_SIZE - 3;
+        let payload: Vec<u8> = (0..64u8).collect();
+        mem.write_bytes(&mut ctx.clone(), straddle, &payload)
+            .unwrap();
+        let mut back = vec![0u8; 64];
+        mem.read_bytes(&ctx, straddle, &mut back).unwrap();
+        assert_eq!(back, payload);
+        // And the page-boundary u64 fast/slow paths agree.
+        mem.write_u64(&mut ctx.clone(), straddle, 0x0102_0304_0506_0708)
+            .unwrap();
+        assert_eq!(mem.read_u64(&ctx, straddle), Ok(0x0102_0304_0506_0708));
+    }
+
+    #[test]
+    fn tlb_hits_on_repeated_access_and_counts() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        let miss0 = mem.tlb_misses();
+        mem.read_u64(&ctx, KERNEL_BASE).unwrap();
+        assert_eq!(mem.tlb_misses(), miss0 + 1, "first access walks");
+        let hits0 = mem.tlb_hits();
+        for i in 0..100 {
+            mem.read_u64(&ctx, KERNEL_BASE + i * 8).unwrap();
+        }
+        assert_eq!(mem.tlb_hits(), hits0 + 100, "same page, same generation");
+        assert_eq!(mem.tlb_misses(), miss0 + 1);
+    }
+
+    #[test]
+    fn set_attr_downgrade_invalidates_tlb_immediately() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        // Warm the write entry.
+        mem.write_u64(&mut ctx.clone(), KERNEL_BASE, 7).unwrap();
+        mem.write_u64(&mut ctx.clone(), KERNEL_BASE, 8).unwrap();
+        assert!(mem.tlb_hits() > 0);
+        // Downgrade to read-only: the very next write must fault.
+        assert!(mem.set_attr(table, KERNEL_BASE, S1Attr::kernel_rodata()));
+        assert!(matches!(
+            mem.write_u64(&mut ctx.clone(), KERNEL_BASE, 9),
+            Err(MemFault::Permission { .. })
+        ));
+        assert_eq!(mem.read_u64(&ctx, KERNEL_BASE), Ok(8), "write was blocked");
+    }
+
+    #[test]
+    fn protect_stage2_invalidates_tlb_immediately() {
+        let (mut mem, table) = setup();
+        let frame = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        let ctx = mem.kernel_ctx(table);
+        // Warm read + fetch entries.
+        assert!(mem.read_u64(&ctx, KERNEL_BASE).is_ok());
+        assert!(mem.read_u64(&ctx, KERNEL_BASE).is_ok());
+        // Hypervisor seals the page execute-only: reads fault on the very
+        // next access, fetches keep working.
+        mem.protect_stage2(frame, S2Attr::execute_only()).unwrap();
+        assert!(matches!(
+            mem.read_u64(&ctx, KERNEL_BASE),
+            Err(MemFault::Stage2 {
+                access: AccessType::Read,
+                ..
+            })
+        ));
+        assert!(mem.fetch(&ctx, KERNEL_BASE).is_ok());
+    }
+
+    #[test]
+    fn caching_off_is_architecturally_identical() {
+        let build = |caching: bool| {
+            let mut mem = Memory::new();
+            mem.set_caching(caching);
+            let table = mem.new_table();
+            mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+            let ctx = mem.kernel_ctx(table);
+            let mut log = Vec::new();
+            for i in 0..16u64 {
+                log.push(mem.write_u64(&mut ctx.clone(), KERNEL_BASE + i * 64, i));
+                log.push(mem.write_u64(&mut ctx.clone(), KERNEL_BASE + PAGE_SIZE, i));
+            }
+            for i in 0..16u64 {
+                log.push(mem.read_u64(&ctx, KERNEL_BASE + i * 64).map(|_| ()));
+            }
+            log
+        };
+        assert_eq!(build(true), build(false));
+        let mut mem = Memory::new();
+        mem.set_caching(false);
+        let table = mem.new_table();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        mem.read_u64(&ctx, KERNEL_BASE).unwrap();
+        assert_eq!(mem.tlb_hits() + mem.tlb_misses(), 0, "caches fully off");
+    }
+
+    #[test]
+    fn fetch_loc_returns_the_instruction_pa() {
+        let (mut mem, table) = setup();
+        let frame = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+        let ctx = mem.kernel_ctx(table);
+        assert_eq!(mem.fetch_loc(&ctx, KERNEL_BASE + 8), Ok(frame.base() + 8));
+        assert_eq!(
+            mem.fetch_loc(&ctx, KERNEL_BASE + 2),
+            Err(MemFault::FetchUnaligned {
+                va: KERNEL_BASE + 2
+            })
+        );
     }
 }

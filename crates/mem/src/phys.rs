@@ -1,7 +1,6 @@
 //! Sparse physical memory.
 
 use crate::layout::PAGE_SIZE;
-use std::collections::HashMap;
 
 /// A physical page frame number.
 ///
@@ -27,67 +26,139 @@ impl Frame {
     }
 }
 
+/// One backed frame: its bytes plus a monotonically increasing write
+/// version.
+///
+/// The version is bumped on **every** mutation, including direct
+/// [`PhysMem`] writes that bypass translation (the attacker's primitive and
+/// the loader's fast path). The CPU's decoded-instruction cache keys its
+/// entries on `(physical address, frame version)`, so no write — however it
+/// reaches the frame — can leave a stale decoded instruction behind.
+#[derive(Debug)]
+struct FrameData {
+    bytes: Box<[u8; PAGE_SIZE as usize]>,
+    version: u64,
+}
+
 /// Sparse byte-addressable physical memory, allocated in 4 KiB frames.
+///
+/// Frames are handed out with dense, sequential numbers, so the store is a
+/// plain `Vec` indexed by frame number — every access is an array index,
+/// which is what keeps the CPU's per-step `frame_version` check (and the
+/// slice fast paths under the page-granular MMU accessors) cheap.
 #[derive(Debug, Default)]
 pub struct PhysMem {
-    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
-    next_frame: u64,
+    /// Indexed by frame number; index 0 is never backed so that physical
+    /// address 0 stays invalid.
+    frames: Vec<Option<FrameData>>,
+    allocated: usize,
 }
 
 impl PhysMem {
     /// Creates empty physical memory.
     pub fn new() -> Self {
         PhysMem {
-            frames: HashMap::new(),
             // Leave frame 0 unused so that physical address 0 stays invalid.
-            next_frame: 1,
+            frames: vec![None],
+            allocated: 0,
         }
     }
 
     /// Allocates a fresh zeroed frame.
     pub fn alloc(&mut self) -> Frame {
-        let frame = Frame(self.next_frame);
-        self.next_frame += 1;
-        self.frames
-            .insert(frame.0, Box::new([0u8; PAGE_SIZE as usize]));
+        let frame = Frame(self.frames.len() as u64);
+        self.frames.push(Some(FrameData {
+            bytes: Box::new([0u8; PAGE_SIZE as usize]),
+            version: 0,
+        }));
+        self.allocated += 1;
         frame
+    }
+
+    fn frame(&self, number: u64) -> Option<&FrameData> {
+        self.frames.get(usize::try_from(number).ok()?)?.as_ref()
+    }
+
+    fn frame_mut(&mut self, number: u64) -> Option<&mut FrameData> {
+        self.frames.get_mut(usize::try_from(number).ok()?)?.as_mut()
     }
 
     /// Whether `frame` is backed by storage.
     pub fn is_allocated(&self, frame: Frame) -> bool {
-        self.frames.contains_key(&frame.0)
+        self.frame(frame.0).is_some()
     }
 
     /// Number of allocated frames.
     pub fn frame_count(&self) -> usize {
-        self.frames.len()
+        self.allocated
+    }
+
+    /// The write version of `frame`: bumped on every mutation of the
+    /// frame's bytes (0 for unallocated frames, which hold no bytes).
+    ///
+    /// Caches that snapshot frame contents (the CPU's decoded-instruction
+    /// cache) validate against this counter.
+    pub fn frame_version(&self, frame: Frame) -> u64 {
+        self.frame(frame.0).map_or(0, |f| f.version)
     }
 
     /// Reads one byte at physical address `pa`, if backed.
     pub fn read_u8(&self, pa: u64) -> Option<u8> {
-        let frame = self.frames.get(&(pa / PAGE_SIZE))?;
-        Some(frame[(pa % PAGE_SIZE) as usize])
+        let frame = self.frame(pa / PAGE_SIZE)?;
+        Some(frame.bytes[(pa % PAGE_SIZE) as usize])
     }
 
     /// Writes one byte at physical address `pa`, if backed.
     pub fn write_u8(&mut self, pa: u64, value: u8) -> Option<()> {
-        let frame = self.frames.get_mut(&(pa / PAGE_SIZE))?;
-        frame[(pa % PAGE_SIZE) as usize] = value;
+        let frame = self.frame_mut(pa / PAGE_SIZE)?;
+        frame.bytes[(pa % PAGE_SIZE) as usize] = value;
+        frame.version += 1;
         Some(())
     }
 
-    /// Reads `buf.len()` bytes starting at `pa` (may span frames).
+    /// Reads `buf.len()` bytes starting at `pa` into `buf`, slice-copying
+    /// one frame at a time (may span frames).
     pub fn read_bytes(&self, pa: u64, buf: &mut [u8]) -> Option<()> {
-        for (i, byte) in buf.iter_mut().enumerate() {
-            *byte = self.read_u8(pa + i as u64)?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let addr = pa + off as u64;
+            let in_frame = (PAGE_SIZE - addr % PAGE_SIZE) as usize;
+            let n = in_frame.min(buf.len() - off);
+            let frame = self.frame(addr / PAGE_SIZE)?;
+            let lo = (addr % PAGE_SIZE) as usize;
+            buf[off..off + n].copy_from_slice(&frame.bytes[lo..lo + n]);
+            off += n;
         }
         Some(())
     }
 
-    /// Writes `bytes` starting at `pa` (may span frames).
+    /// Writes `bytes` starting at `pa`, slice-copying one frame at a time
+    /// (may span frames).
+    ///
+    /// Fails (returning `None`) without writing anything if any touched
+    /// frame is unbacked.
     pub fn write_bytes(&mut self, pa: u64, bytes: &[u8]) -> Option<()> {
-        for (i, &byte) in bytes.iter().enumerate() {
-            self.write_u8(pa + i as u64, byte)?;
+        // Validate every touched frame first so a failing write stays
+        // all-or-nothing, matching the historic byte-loop behaviour of
+        // stopping before the first unbacked byte only at frame granularity.
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let addr = pa + off as u64;
+            if self.frame(addr / PAGE_SIZE).is_none() {
+                return None;
+            }
+            off += (PAGE_SIZE - addr % PAGE_SIZE) as usize;
+        }
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let addr = pa + off as u64;
+            let in_frame = (PAGE_SIZE - addr % PAGE_SIZE) as usize;
+            let n = in_frame.min(bytes.len() - off);
+            let frame = self.frame_mut(addr / PAGE_SIZE)?;
+            let lo = (addr % PAGE_SIZE) as usize;
+            frame.bytes[lo..lo + n].copy_from_slice(&bytes[off..off + n]);
+            frame.version += 1;
+            off += n;
         }
         Some(())
     }
@@ -171,5 +242,39 @@ mod tests {
         let f = Frame::containing(0x3_2100);
         assert_eq!(f.number(), 0x32);
         assert_eq!(f.base(), 0x3_2000);
+    }
+
+    #[test]
+    fn every_write_path_bumps_the_frame_version() {
+        let mut mem = PhysMem::new();
+        let f = mem.alloc();
+        assert_eq!(mem.frame_version(f), 0);
+        mem.write_u8(f.base(), 1).unwrap();
+        let v1 = mem.frame_version(f);
+        assert!(v1 > 0);
+        mem.write_u32(f.base() + 4, 2).unwrap();
+        let v2 = mem.frame_version(f);
+        assert!(v2 > v1);
+        mem.write_u64(f.base() + 8, 3).unwrap();
+        let v3 = mem.frame_version(f);
+        assert!(v3 > v2);
+        mem.write_bytes(f.base() + 16, &[1, 2, 3]).unwrap();
+        assert!(mem.frame_version(f) > v3);
+        // Reads leave the version untouched.
+        let v = mem.frame_version(f);
+        let mut buf = [0u8; 32];
+        mem.read_bytes(f.base(), &mut buf).unwrap();
+        assert_eq!(mem.frame_version(f), v);
+    }
+
+    #[test]
+    fn spanning_write_to_unbacked_tail_is_all_or_nothing() {
+        let mut mem = PhysMem::new();
+        let f = mem.alloc();
+        // No second frame: a straddling write must not touch the first.
+        let boundary = f.base() + PAGE_SIZE - 4;
+        assert_eq!(mem.write_u64(boundary, u64::MAX), None);
+        assert_eq!(mem.read_u32(boundary), Some(0), "no partial write");
+        assert_eq!(mem.frame_version(f), 0, "failed write bumps nothing");
     }
 }

@@ -126,6 +126,13 @@ impl QarmaKey {
 }
 
 /// A QARMA-64 cipher instance: key, S-box choice, and round count.
+///
+/// Construction derives the full **key schedule** once — the second
+/// whitening key w¹, the per-round core keys k⁰ ⊕ cᵢ (and their ALPHA
+/// variants for the backward half), and the inverse S-box. A warm `Qarma`
+/// therefore amortizes all key-dependent derivation across calls, which is
+/// what the CPU layer's PAC unit exploits by caching one instance per
+/// PAuth key instead of re-deriving the schedule on every sign/auth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Qarma {
     key: QarmaKey,
@@ -133,10 +140,17 @@ pub struct Qarma {
     rounds: usize,
     sbox: [u8; 16],
     sbox_inv: [u8; 16],
+    /// Precomputed second whitening key w¹ = (w⁰ ≫ 1) ⊕ (w⁰ ≫ 63).
+    w1: u64,
+    /// Precomputed forward round keys k⁰ ⊕ cᵢ.
+    fwd_keys: [u64; 8],
+    /// Precomputed backward round keys k⁰ ⊕ cᵢ ⊕ α.
+    bwd_keys: [u64; 8],
 }
 
 impl Qarma {
-    /// Creates a cipher with `rounds` forward (and backward) rounds.
+    /// Creates a cipher with `rounds` forward (and backward) rounds,
+    /// deriving the key schedule eagerly.
     ///
     /// # Panics
     ///
@@ -147,12 +161,21 @@ impl Qarma {
             rounds >= 1 && rounds <= C.len(),
             "QARMA-64 supports 1..=8 rounds, got {rounds}"
         );
+        let mut fwd_keys = [0u64; 8];
+        let mut bwd_keys = [0u64; 8];
+        for i in 0..C.len() {
+            fwd_keys[i] = key.k0 ^ C[i];
+            bwd_keys[i] = key.k0 ^ C[i] ^ ALPHA;
+        }
         Qarma {
             key,
             sigma,
             rounds,
             sbox: *sigma.table(),
             sbox_inv: sigma.inverse_table(),
+            w1: derive_w1(key.w0),
+            fwd_keys,
+            bwd_keys,
         }
     }
 
@@ -172,17 +195,19 @@ impl Qarma {
     }
 
     /// Encrypts one 64-bit block under the 64-bit tweak.
+    ///
+    /// Uses the round keys precomputed by [`Qarma::new`]; only the
+    /// tweak-dependent part of the schedule is derived per call.
     pub fn encrypt(&self, plaintext: u64, tweak: u64) -> u64 {
         let w0 = self.key.w0;
-        let w1 = derive_w1(w0);
-        let k0 = self.key.k0;
-        let k1 = k0;
+        let w1 = self.w1;
+        let k1 = self.key.k0;
 
         let mut state = plaintext ^ w0;
         let mut t = tweak;
 
         for i in 0..self.rounds {
-            state = self.forward(state, k0 ^ t ^ C[i], i != 0);
+            state = self.forward(state, self.fwd_keys[i] ^ t, i != 0);
             t = forward_update_tweak(t);
         }
 
@@ -192,10 +217,20 @@ impl Qarma {
 
         for i in (0..self.rounds).rev() {
             t = backward_update_tweak(t);
-            state = self.backward(state, k0 ^ t ^ C[i] ^ ALPHA, i != 0);
+            state = self.backward(state, self.bwd_keys[i] ^ t, i != 0);
         }
 
         state ^ w1
+    }
+
+    /// Computes the 32-bit truncated MAC of `data` under tweak `modifier`
+    /// on this (warm) cipher instance.
+    ///
+    /// Identical to [`crate::compute_mac`] but without re-deriving the key
+    /// schedule: the free function builds a fresh cipher per call, this
+    /// method reuses the one built at construction.
+    pub fn mac(&self, data: u64, modifier: u64) -> u32 {
+        (self.encrypt(data, modifier) >> 32) as u32
     }
 
     /// Decrypts one 64-bit block under the 64-bit tweak.
@@ -204,7 +239,7 @@ impl Qarma {
     /// so `decrypt(encrypt(p, t), t) == p` holds by construction.
     pub fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64 {
         let w0 = self.key.w0;
-        let w1 = derive_w1(w0);
+        let w1 = self.w1;
         let k0 = self.key.k0;
         let k1 = k0;
 
@@ -417,6 +452,24 @@ mod tests {
         assert!(r.is_err());
         let r = std::panic::catch_unwind(|| Qarma::new(QarmaKey::default(), Sigma::Sigma1, 9));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn warm_schedule_matches_cold_derivation() {
+        // The precomputed schedule must be architecturally invisible: a
+        // single warm instance reused across many (data, tweak) pairs must
+        // agree with a cipher constructed cold for each call.
+        let warm = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma1, 5);
+        for i in 0..64u64 {
+            let data = P.rotate_left(i as u32) ^ i;
+            let tweak = T.wrapping_mul(i | 1);
+            let cold = Qarma::new(QarmaKey::new(W0, K0), Sigma::Sigma1, 5);
+            assert_eq!(warm.encrypt(data, tweak), cold.encrypt(data, tweak));
+            assert_eq!(
+                warm.mac(data, tweak),
+                (cold.encrypt(data, tweak) >> 32) as u32
+            );
+        }
     }
 
     #[test]

@@ -49,8 +49,7 @@ pub use cipher::{Qarma, QarmaKey, Sigma, PAC_ROUNDS};
 /// assert_ne!(m1, m2, "modifier must affect the MAC");
 /// ```
 pub fn compute_mac(data: u64, modifier: u64, key: QarmaKey) -> u32 {
-    let cipher = Qarma::new(key, Sigma::Sigma1, PAC_ROUNDS);
-    (cipher.encrypt(data, modifier) >> 32) as u32
+    Qarma::new(key, Sigma::Sigma1, PAC_ROUNDS).mac(data, modifier)
 }
 
 #[cfg(test)]
