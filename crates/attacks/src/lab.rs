@@ -133,7 +133,31 @@ impl Lab {
         args: &[u64],
         tamper: &mut dyn FnMut(&mut Kernel, u64),
     ) -> Result<RunEnd, KernelError> {
+        let cpu = self.machine.kernel().current_cpu();
+        self.run_on(cpu, entry, sp, args, tamper)
+    }
+
+    /// [`Lab::run`] driven on a specific core of a multi-CPU machine —
+    /// the cross-core attack entry point. The victim executes on `cpu`
+    /// with that core's key registers and caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KernelError::PacPanic`] (the §5.4 halt) and CPU errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn run_on(
+        &mut self,
+        cpu: usize,
+        entry: u64,
+        sp: u64,
+        args: &[u64],
+        tamper: &mut dyn FnMut(&mut Kernel, u64),
+    ) -> Result<RunEnd, KernelError> {
         let kernel = self.machine.kernel_mut();
+        kernel.set_current_cpu(cpu);
         {
             let cpu = kernel.cpu_mut();
             cpu.state.el = El::El1;

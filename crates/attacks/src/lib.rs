@@ -11,7 +11,10 @@
 //! * [`brute`] — §5.4 brute-forcing of the 15-bit kernel PAC against the
 //!   panic threshold;
 //! * [`oracle`] — §6.2.2/§6.2.3 key-confidentiality probes: reading XOM,
-//!   loading key-reading modules, `MRS` from EL0.
+//!   loading key-reading modules, `MRS` from EL0;
+//! * [`smp`] — cross-core scenarios on a multi-core machine: brute force
+//!   from a sibling core against the cluster-global §5.4 counter, and
+//!   replay of a pointer signed on another core after task migration.
 //!
 //! [`security_matrix`] runs the full suite across protection levels and
 //! schemes and reports which attacks were blocked — the reproduction of
@@ -25,6 +28,7 @@ mod lab;
 pub mod oracle;
 pub mod pointer;
 pub mod rop;
+pub mod smp;
 
 pub use lab::{Lab, RunEnd, HOOK, MARK_ATTACK, MARK_GADGET, MARK_HARVEST, VICTIM_LOCALS};
 
@@ -85,6 +89,11 @@ pub fn security_matrix() -> Vec<AttackResult> {
     results.push(oracle::load_key_reading_module());
     results.push(oracle::load_sctlr_writing_module());
     results.push(oracle::mrs_keys_from_el0());
+    // Cross-core scenarios (2-CPU cluster).
+    results.push(smp::cross_core_brute_force(16));
+    for scheme in [CfiScheme::SpOnly, CfiScheme::Parts, CfiScheme::Camouflage] {
+        results.push(smp::cross_core_replay_after_migration(scheme));
+    }
     results
 }
 

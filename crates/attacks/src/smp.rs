@@ -1,0 +1,193 @@
+//! Cross-core attack scenarios: the §5.4/§6.2 arguments on a multi-core
+//! machine.
+//!
+//! Two properties make the single-core security story carry over to SMP,
+//! and both are *executed* here rather than argued:
+//!
+//! * the §5.4 failure counter is cluster-global, so a brute forcer cannot
+//!   dodge the panic threshold by guessing from a sibling core while a
+//!   victim workload runs elsewhere;
+//! * kernel PAuth keys are system-wide (every core runs the XOM setter at
+//!   boot) and user keys follow the task (`thread_struct` migration), so
+//!   replaying a signed pointer on a different core — before or after the
+//!   victim task migrates — changes nothing about which modifiers bind:
+//!   the scheme, not the core, decides detection.
+
+use crate::lab::{Lab, RunEnd, MARK_HARVEST};
+use crate::AttackResult;
+use camo_core::{CfiScheme, Machine};
+use camo_kernel::layout::work_struct;
+use camo_kernel::{KernelConfig, KernelError, KernelEvent};
+use camo_mem::PointerLayout;
+use camo_smp::Cluster;
+
+/// Brute-force from a sibling core: the attacker guesses kernel PACs via a
+/// forged work callback executed on core 1 while benign worker processes
+/// keep serving syscalls (each fresh worker becomes the current task its
+/// guess then kills). Expected: the cluster-global §5.4 counter halts the
+/// machine after exactly `threshold` failures — all observed on core 1,
+/// none of which the traffic on the other core can launder away.
+pub fn cross_core_brute_force(threshold: u32) -> AttackResult {
+    let mut cfg = KernelConfig::default();
+    cfg.pac_panic_threshold = threshold;
+    cfg.cpus = 2;
+    let mut cluster = Cluster::boot(cfg).expect("boot");
+    let kernel = cluster.kernel_mut();
+    let target = kernel.symbol("dev_read");
+    let layout = PointerLayout::kernel();
+
+    let mut attempts = 0u32;
+    let outcome = loop {
+        // Benign traffic: a fresh worker process serves a syscall on its
+        // home core (the scheduler spreads workers across the cluster).
+        let worker = kernel.spawn("worker").expect("spawn");
+        kernel
+            .run_user(worker, "stub", 1, 172, 0)
+            .expect("benign traffic");
+
+        // The guess, executed on core 1.
+        let work = kernel.init_work("dev_poll").expect("init_work");
+        let guess = layout.embed_pac(target, attempts);
+        let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+        kernel
+            .mem_mut()
+            .write_u64(&ctx, work + u64::from(work_struct::FUNC), guess)
+            .expect("work heap writable");
+        attempts += 1;
+        kernel.set_current_cpu(1);
+        match kernel.run_work(work) {
+            Ok(out) => {
+                if out.fault.is_none() {
+                    break Outcome::Guessed { attempts };
+                }
+            }
+            Err(KernelError::PacPanic { failures }) => break Outcome::Halted { failures },
+            Err(e) => panic!("unexpected kernel error: {e}"),
+        }
+        if attempts > threshold + 4 {
+            break Outcome::FailedOpen { attempts };
+        }
+    };
+
+    let observers: Vec<usize> = cluster
+        .kernel()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            KernelEvent::PacFailure { cpu, .. } => Some(*cpu),
+            _ => None,
+        })
+        .collect();
+    let (blocked, detail) = match outcome {
+        Outcome::Halted { failures } => (
+            failures == threshold && observers.iter().all(|&c| c == 1),
+            format!(
+                "halted after {failures} failures, all observed on core 1 \
+                 while traffic ran on the cluster (threshold {threshold})"
+            ),
+        ),
+        Outcome::Guessed { attempts } => (
+            false,
+            format!("PAC guessed in {attempts} attempts (unlucky boot)"),
+        ),
+        Outcome::FailedOpen { attempts } => (false, format!("no halt after {attempts} attempts")),
+    };
+    AttackResult {
+        attack: "smp-brute-force-sibling-core",
+        defence: format!("2-core, panic-threshold={threshold}"),
+        blocked,
+        expected_blocked: true,
+        detail,
+    }
+}
+
+#[derive(Debug)]
+enum Outcome {
+    Halted { failures: u32 },
+    Guessed { attempts: u32 },
+    FailedOpen { attempts: u32 },
+}
+
+/// Cross-core replay after migration: harvest a signed return address on
+/// core 0, migrate the victim task to core 1 (its `thread_struct` keys
+/// follow), and replay the pointer into a *different* function's frame at
+/// the same SP on core 1.
+///
+/// Kernel keys are system-wide, so crossing cores neither helps nor hurts
+/// the attacker: the SP-only modifier still validates the replay (the
+/// hijack succeeds on core 1 exactly as it would have on core 0), while
+/// Camouflage and PARTS bind the function identity and detect it on
+/// whichever core the authentication runs.
+pub fn cross_core_replay_after_migration(scheme: CfiScheme) -> AttackResult {
+    let mut cfg = KernelConfig::default();
+    cfg.cpus = 2;
+    cfg.scheme_override = Some(scheme);
+    let mut lab = Lab::new(Machine::with_config(cfg).expect("boot"));
+    let sp = lab.stack_for(0);
+
+    // Harvest on core 0: read the signed LR out of victim_a's frame.
+    let mut captured = 0u64;
+    let harvest_caller = lab.symbol("harvest_caller");
+    let end = lab
+        .run_on(0, harvest_caller, sp, &[], &mut |kernel, hook_sp| {
+            let slot = Lab::saved_lr_slot(hook_sp);
+            let ctx = kernel.cpu().translation_ctx();
+            captured = kernel.mem().read_u64(&ctx, slot).expect("stack readable");
+        })
+        .expect("harvest run");
+    assert_eq!(end, RunEnd::Marker(MARK_HARVEST), "harvest runs clean");
+
+    // Migrate the victim task (tid 0) to core 1; its user keys follow in
+    // thread_struct. The kernel keys authenticating the replayed LR are
+    // per-core register state installed from the same boot secret.
+    lab.machine_mut()
+        .kernel_mut()
+        .migrate_task(0, 1)
+        .expect("migrate");
+
+    // Replay on core 1, same SP, different function (victim_b's frame).
+    let attack_caller = lab.symbol("attack_caller");
+    let end = lab
+        .run_on(1, attack_caller, sp, &[], &mut |kernel, hook_sp| {
+            let slot = Lab::saved_lr_slot(hook_sp);
+            let ctx = kernel.cpu().translation_ctx();
+            kernel
+                .mem_mut()
+                .write_u64(&ctx, slot, captured)
+                .expect("stack writable");
+        })
+        .expect("attack run");
+    let hijacked = end == RunEnd::Marker(MARK_HARVEST);
+    AttackResult {
+        attack: "smp-replay-cross-core-migrated",
+        defence: format!("2-core, scheme={scheme}"),
+        blocked: !hijacked,
+        expected_blocked: scheme != CfiScheme::SpOnly,
+        detail: format!("{end:?} (authentication ran on core 1)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sibling_core_brute_force_is_halted_cluster_wide() {
+        let r = cross_core_brute_force(6);
+        assert!(r.blocked, "{}", r.detail);
+        assert!(r.matches_paper());
+        assert!(r.detail.contains("all observed on core 1"));
+    }
+
+    #[test]
+    fn cross_core_replay_outcomes_track_the_scheme_not_the_core() {
+        let weak = cross_core_replay_after_migration(CfiScheme::SpOnly);
+        assert!(!weak.blocked, "{}", weak.detail);
+        assert!(weak.matches_paper());
+        for scheme in [CfiScheme::Parts, CfiScheme::Camouflage] {
+            let strong = cross_core_replay_after_migration(scheme);
+            assert!(strong.blocked, "{scheme}: {}", strong.detail);
+            assert!(strong.matches_paper());
+        }
+    }
+}

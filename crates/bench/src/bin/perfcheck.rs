@@ -1,16 +1,31 @@
-//! Wall-clock regression check for the fast-path execution engine.
+//! Wall-clock regression checks for the simulator's throughput layers.
 //!
-//! Runs the Figure-2 call loop and the lmbench syscall mix with the
-//! simulator's caches (software TLB, decoded-instruction cache, warm QARMA
-//! schedules) on and off, prints a comparison table, and emits
-//! `BENCH_2.json` for CI to archive. Two properties are checked:
+//! Two modes, selected by `--smp`:
 //!
-//! 1. **Invisibility** (hard): simulated cycle and instruction counts must
-//!    be bit-identical with caches on or off. A mismatch exits non-zero.
-//! 2. **Speed** (reported): the cached hot loop should run ≥ 5× the
-//!    steps/sec of the uncached per-byte path.
+//! * **Default (fast-path A/B, `BENCH_2.json`)** — runs the Figure-2 call
+//!   loop and the lmbench syscall mix with the simulator's caches
+//!   (software TLB, decoded-instruction cache, warm QARMA schedules + MAC
+//!   memo) on and off. Two properties:
+//!   1. **Invisibility** (hard): simulated cycle and instruction counts
+//!      must be bit-identical with caches on or off. Mismatch exits
+//!      non-zero.
+//!   2. **Speed** (reported): the cached hot loop should run ≥ 5× the
+//!      uncached per-byte path.
+//!
+//! * **`--smp` (sharded scaling, `BENCH_3.json`)** — runs the lmbench mix
+//!   through `camo_smp::ShardedDriver` at increasing shard counts. Each
+//!   point is measured twice: parallel (wall scaling on *this* host,
+//!   bounded by its core count) and sequential (isolated per-shard
+//!   capacity, the pool's aggregate rate given one core per shard). One
+//!   hard property: both modes must produce bit-identical simulated
+//!   totals — sharding is architecturally invisible.
+//!
+//! `--seed N` pins the boot seed used by the syscall-mix machine and the
+//! shard partitioning; it is emitted into the JSON so A/B runs and shard
+//! partitions reproduce byte for byte. `--smoke` shrinks the `--smp` run
+//! for CI runners.
 
-use camo_bench::perf::{self, PerfSample};
+use camo_bench::perf::{self, PerfSample, ScalingPoint};
 use std::fmt::Write as _;
 
 /// Hot-loop iterations (the Figure-2 call loop is ~14 insns/iteration).
@@ -19,9 +34,17 @@ const HOT_LOOP_ITERS: u64 = 100_000;
 const SYSCALL_REPS: u64 = 40;
 /// The speedup the fast path is expected to deliver on the hot loop.
 const SPEEDUP_TARGET: f64 = 5.0;
+/// Capacity speedup expected at 8 shards vs 1 on the scaling curve.
+const SCALING_TARGET: f64 = 3.0;
 /// Repeats per measurement; the fastest is reported (shared CI hosts are
 /// noisy, and the minimum wall time is the least contaminated estimate).
 const REPEATS: usize = 3;
+/// Default boot seed (the kernel's default, pinned here so the emitted
+/// JSON is self-describing).
+const DEFAULT_SEED: u64 = 0xCAF0_0D5E;
+/// Syscalls across all shards per scaling point (full / `--smoke`).
+const SCALING_SYSCALLS: u64 = 24_000;
+const SMOKE_SYSCALLS: u64 = 2_000;
 
 /// Best-of-[`REPEATS`] wall time; simulated counters must agree exactly
 /// across repeats (they are deterministic).
@@ -61,12 +84,69 @@ impl Workload {
 
 fn sample_json(s: &PerfSample) -> String {
     format!(
-        "{{\"instructions\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
-        s.instructions, s.cycles, s.wall_secs, s.steps_per_sec
+        "{{\"instructions\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \
+         \"steps_per_sec\": {:.1}, \"pac_memo_hits\": {}, \"pac_memo_misses\": {}}}",
+        s.instructions, s.cycles, s.wall_secs, s.steps_per_sec, s.pac_memo_hits, s.pac_memo_misses
     )
 }
 
-fn main() {
+struct Args {
+    seed: u64,
+    smp: bool,
+    smoke: bool,
+    shards: Vec<usize>,
+    syscalls: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: DEFAULT_SEED,
+        smp: false,
+        smoke: false,
+        shards: vec![1, 2, 4, 8],
+        syscalls: None,
+    };
+    let mut shards_given = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().expect("--seed takes a value");
+                args.seed = parse_u64(&v);
+            }
+            "--smp" => args.smp = true,
+            "--smoke" => args.smoke = true,
+            "--shards" => {
+                let v = it.next().expect("--shards takes a comma-separated list");
+                args.shards = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("shard counts are integers"))
+                    .collect();
+                shards_given = true;
+            }
+            "--syscalls" => {
+                let v = it.next().expect("--syscalls takes a value");
+                args.syscalls = Some(parse_u64(&v));
+            }
+            other => panic!("unknown argument {other} (try --seed/--smp/--smoke/--shards)"),
+        }
+    }
+    // --smoke only shrinks the *default* curve; an explicit --shards wins.
+    if args.smoke && !shards_given {
+        args.shards = vec![1, 2];
+    }
+    args
+}
+
+fn parse_u64(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("hex seed")
+    } else {
+        s.parse().expect("decimal seed")
+    }
+}
+
+fn run_fastpath(seed: u64) -> i32 {
     let workloads = [
         Workload {
             name: "fig2_hot_loop",
@@ -77,25 +157,27 @@ fn main() {
         },
         Workload {
             name: "lmbench_syscall_mix",
-            uncached: best(|| perf::syscall_mix(SYSCALL_REPS, false)),
-            cached: best(|| perf::syscall_mix(SYSCALL_REPS, true)),
+            uncached: best(|| perf::syscall_mix(SYSCALL_REPS, false, seed)),
+            cached: best(|| perf::syscall_mix(SYSCALL_REPS, true, seed)),
         },
     ];
 
     let mut all_identical = true;
-    println!("perfcheck: simulator throughput, caches on vs off");
+    println!("perfcheck: simulator throughput, caches on vs off (seed {seed:#x})");
     println!(
-        "{:<22} {:>14} {:>14} {:>9}  cycles",
-        "workload", "cached st/s", "uncached st/s", "speedup"
+        "{:<22} {:>14} {:>14} {:>9} {:>12}  cycles",
+        "workload", "cached st/s", "uncached st/s", "speedup", "memo h/m"
     );
     for w in &workloads {
         all_identical &= w.cycles_identical();
         println!(
-            "{:<22} {:>14.0} {:>14.0} {:>8.2}x  {}",
+            "{:<22} {:>14.0} {:>14.0} {:>8.2}x {:>6}/{:<6} {}",
             w.name,
             w.cached.steps_per_sec,
             w.uncached.steps_per_sec,
             w.speedup(),
+            w.cached.pac_memo_hits,
+            w.cached.pac_memo_misses,
             if w.cycles_identical() {
                 "identical"
             } else {
@@ -105,7 +187,9 @@ fn main() {
     }
     let hot_speedup = workloads[0].speedup();
 
-    let mut json = String::from("{\n  \"bench\": \"perfcheck\",\n  \"workloads\": [\n");
+    let mut json = String::from("{\n  \"bench\": \"perfcheck\",\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    json.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
         let _ = write!(
             json,
@@ -127,7 +211,7 @@ fn main() {
 
     if !all_identical {
         eprintln!("FAIL: caches changed simulated cycle/instruction counts");
-        std::process::exit(1);
+        return 1;
     }
     if hot_speedup < SPEEDUP_TARGET {
         eprintln!(
@@ -135,4 +219,123 @@ fn main() {
              (non-gating; host-dependent)"
         );
     }
+    0
+}
+
+fn run_smp(args: &Args) -> i32 {
+    let total = args.syscalls.unwrap_or(if args.smoke {
+        SMOKE_SYSCALLS
+    } else {
+        SCALING_SYSCALLS
+    });
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "perfcheck --smp: lmbench-mix scaling, {total} syscalls/point, \
+         seed {:#x}, host cores {host_cores}",
+        args.seed
+    );
+    println!(
+        "{:>7} {:>12} {:>16} {:>16} {:>10}  totals",
+        "shards", "wall secs", "wall st/s", "capacity st/s", "cap. x"
+    );
+
+    let points: Vec<ScalingPoint> = args
+        .shards
+        .iter()
+        .map(|&n| perf::smp_scaling(n, total, args.seed))
+        .collect();
+    // Normalize against the smallest shard count actually measured (the
+    // 1-shard point on the default curve); a custom --shards list without
+    // a 1-shard entry still gets a honest baseline, recorded in the JSON.
+    let base = points
+        .iter()
+        .min_by_key(|p| p.shards)
+        .expect("at least one point");
+    let baseline_shards = base.shards;
+    let base_capacity = base.capacity_steps_per_sec.max(1e-9);
+    let base_wall = base.parallel_steps_per_sec.max(1e-9);
+    let mut all_identical = true;
+    for p in &points {
+        all_identical &= p.simulation_identical;
+        println!(
+            "{:>7} {:>12.3} {:>16.0} {:>16.0} {:>9.2}x  {}",
+            p.shards,
+            p.parallel_wall_secs,
+            p.parallel_steps_per_sec,
+            p.capacity_steps_per_sec,
+            p.capacity_steps_per_sec / base_capacity,
+            if p.simulation_identical {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    let top = points
+        .iter()
+        .max_by_key(|p| p.shards)
+        .expect("at least one point");
+    let capacity_speedup = top.capacity_steps_per_sec / base_capacity;
+    let wall_speedup = top.parallel_steps_per_sec / base_wall;
+
+    let mut json = String::from("{\n  \"bench\": \"smp_scaling\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"total_syscalls\": {total},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shards\": {}, \"syscalls\": {}, \"instructions\": {}, \"cycles\": {}, \
+             \"parallel_wall_secs\": {:.6}, \"parallel_steps_per_sec\": {:.1}, \
+             \"capacity_steps_per_sec\": {:.1}, \"simulation_identical\": {}}}{}\n",
+            p.shards,
+            p.syscalls,
+            p.instructions,
+            p.cycles,
+            p.parallel_wall_secs,
+            p.parallel_steps_per_sec,
+            p.capacity_steps_per_sec,
+            p.simulation_identical,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"scaling_target\": {SCALING_TARGET:.1},\n  \
+         \"baseline_shards\": {baseline_shards},\n  \
+         \"capacity_speedup_max_vs_baseline\": {capacity_speedup:.2},\n  \
+         \"wall_speedup_max_vs_baseline\": {wall_speedup:.2},\n  \
+         \"simulation_identical\": {all_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("wrote BENCH_3.json");
+
+    if !all_identical {
+        eprintln!("FAIL: parallel and sequential sharding disagreed on simulated totals");
+        return 1;
+    }
+    if capacity_speedup < SCALING_TARGET && points.len() > 1 {
+        eprintln!(
+            "note: capacity speedup {capacity_speedup:.2}x below the {SCALING_TARGET:.1}x target \
+             (non-gating; host-dependent)"
+        );
+    }
+    if wall_speedup < capacity_speedup / 2.0 {
+        eprintln!(
+            "note: wall speedup {wall_speedup:.2}x trails capacity {capacity_speedup:.2}x — \
+             this host has {host_cores} core(s); parallel wall scaling needs as many cores as shards"
+        );
+    }
+    0
+}
+
+fn main() {
+    let args = parse_args();
+    let code = if args.smp {
+        run_smp(&args)
+    } else {
+        run_fastpath(args.seed)
+    };
+    std::process::exit(code);
 }

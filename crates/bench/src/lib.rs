@@ -13,6 +13,7 @@ pub use camo_attacks as attacks;
 pub use camo_codegen as codegen;
 pub use camo_core as core;
 pub use camo_lmbench as lmbench;
+pub use camo_smp as smp;
 
 /// Figure 2: per-call overhead of the three modifier schemes.
 pub mod fig2 {
@@ -201,15 +202,27 @@ pub mod perf {
         pub wall_secs: f64,
         /// Simulated instructions per host second.
         pub steps_per_sec: f64,
+        /// PAC-unit MAC-memo hits (0 with caches off).
+        pub pac_memo_hits: u64,
+        /// PAC-unit MAC-memo misses (0 with caches off).
+        pub pac_memo_misses: u64,
     }
 
-    fn sample(caches: bool, instructions: u64, cycles: u64, wall_secs: f64) -> PerfSample {
+    fn sample(
+        caches: bool,
+        instructions: u64,
+        cycles: u64,
+        wall_secs: f64,
+        memo: (u64, u64),
+    ) -> PerfSample {
         PerfSample {
             caches,
             instructions,
             cycles,
             wall_secs,
             steps_per_sec: instructions as f64 / wall_secs.max(1e-9),
+            pac_memo_hits: memo.0,
+            pac_memo_misses: memo.1,
         }
     }
 
@@ -228,18 +241,27 @@ pub mod perf {
             .call(&mut mem, driver_va, &[iters], 64 * iters + 1024)
             .expect("benchmark loop runs");
         let wall = start.elapsed().as_secs_f64();
-        sample(caches, result.instructions, result.cycles, wall)
+        let stats = cpu.stats();
+        sample(
+            caches,
+            result.instructions,
+            result.cycles,
+            wall,
+            (stats.pac_memo_hits, stats.pac_memo_misses),
+        )
     }
 
     /// The lmbench syscall mix (every modeled syscall, `reps` rounds each)
-    /// on a fully protected machine with the caches on or off.
+    /// on a fully protected machine booted from `seed`, with the caches on
+    /// or off.
     ///
     /// # Panics
     ///
     /// Panics if boot or a syscall fails (a harness bug).
-    pub fn syscall_mix(reps: u64, caches: bool) -> PerfSample {
+    pub fn syscall_mix(reps: u64, caches: bool, seed: u64) -> PerfSample {
         let mut cfg = workload_config(ProtectionLevel::Full);
         cfg.fast_caches = caches;
+        cfg.seed = seed;
         let mut machine = Machine::with_config(cfg).expect("boot");
         let kernel = machine.kernel_mut();
         let tid = kernel.current_task().tid;
@@ -254,7 +276,68 @@ pub mod perf {
             cycles += out.cycles;
         }
         let wall = start.elapsed().as_secs_f64();
-        sample(caches, instructions, cycles, wall)
+        let stats = machine.kernel().cpu().stats();
+        sample(
+            caches,
+            instructions,
+            cycles,
+            wall,
+            (stats.pac_memo_hits, stats.pac_memo_misses),
+        )
+    }
+
+    /// One point of the sharded-scaling curve (`BENCH_3.json`).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct ScalingPoint {
+        /// Shard (machine) count.
+        pub shards: usize,
+        /// Syscalls served across all shards.
+        pub syscalls: u64,
+        /// Simulated instructions retired across all shards.
+        pub instructions: u64,
+        /// Simulated cycles across all shards.
+        pub cycles: u64,
+        /// Wall seconds of the parallel fan-out on this host.
+        pub parallel_wall_secs: f64,
+        /// Aggregate simulated steps per wall second the parallel run
+        /// delivered on this host (bounded by the host's core count).
+        pub parallel_steps_per_sec: f64,
+        /// Aggregate shard capacity: sum of isolated per-shard rates from
+        /// a sequential run — the pool's service rate given one unloaded
+        /// core per shard.
+        pub capacity_steps_per_sec: f64,
+        /// Whether the parallel and sequential runs produced bit-identical
+        /// simulated totals (they must; sharding mode is architecturally
+        /// invisible).
+        pub simulation_identical: bool,
+    }
+
+    /// Measures one shard count of the lmbench-mix scaling curve: the same
+    /// deterministic plan is run once on the thread pool (wall scaling on
+    /// this host) and once sequentially (isolated shard capacity), and the
+    /// simulated totals are cross-checked bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn smp_scaling(shards: usize, total_syscalls: u64, seed: u64) -> ScalingPoint {
+        use camo_smp::{ShardedDriver, TrafficPlan};
+        let plan = TrafficPlan::new(shards, total_syscalls, seed);
+        let par = ShardedDriver::drive(&plan).expect("parallel traffic runs");
+        let seq = ShardedDriver::drive_sequential(&plan).expect("sequential traffic runs");
+        ScalingPoint {
+            shards,
+            syscalls: par.syscalls,
+            instructions: par.instructions,
+            cycles: par.cycles,
+            parallel_wall_secs: par.wall_secs,
+            parallel_steps_per_sec: par.steps_per_sec(),
+            capacity_steps_per_sec: seq.capacity_steps_per_sec(),
+            simulation_identical: par.instructions == seq.instructions
+                && par.cycles == seq.cycles
+                && par.syscalls == seq.syscalls
+                && par.stats == seq.stats,
+        }
     }
 }
 

@@ -87,6 +87,49 @@ pub struct CpuStats {
     pub icache_hits: u64,
     /// Decoded-instruction-cache misses.
     pub icache_misses: u64,
+    /// PAC-unit MAC-memo hits (whole sign/auth computations served from
+    /// the memo instead of running QARMA).
+    pub pac_memo_hits: u64,
+    /// PAC-unit MAC-memo misses (QARMA actually ran).
+    pub pac_memo_misses: u64,
+    /// Inter-processor interrupts delivered to this core.
+    pub ipis: u64,
+}
+
+impl CpuStats {
+    /// Accumulates `other` into `self` — the cluster/shard aggregation
+    /// primitive. Totals (instructions, cache counters, PAC counters) add;
+    /// there is no per-field averaging, so merged stats read as "work done
+    /// by the whole set of cores".
+    pub fn merge(&mut self, other: &CpuStats) {
+        self.instructions += other.instructions;
+        self.pac_signs += other.pac_signs;
+        self.pac_auth_ok += other.pac_auth_ok;
+        self.pac_auth_fail += other.pac_auth_fail;
+        self.key_writes += other.key_writes;
+        self.exceptions += other.exceptions;
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.icache_hits += other.icache_hits;
+        self.icache_misses += other.icache_misses;
+        self.pac_memo_hits += other.pac_memo_hits;
+        self.pac_memo_misses += other.pac_memo_misses;
+        self.ipis += other.ipis;
+    }
+}
+
+/// The kinds of inter-processor interrupt the cluster protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpiKind {
+    /// The scheduler on another core changed this core's runqueue
+    /// (task migration, balancing): re-evaluate scheduling decisions.
+    Reschedule,
+    /// A translation or permission changed on another core: discard
+    /// cached translations. In this simulator the shared [`Memory`]
+    /// generation counter already makes stale entries unservable the
+    /// instant the mutation lands, so the IPI carries the *protocol*
+    /// (acknowledgement, accounting) rather than the correctness.
+    TlbShootdown,
 }
 
 /// One decoded-instruction-cache entry: the decoded form of the word that
@@ -225,6 +268,10 @@ pub struct Cpu {
     icache_enabled: bool,
     /// The PAC functional unit (warm QARMA schedules per key).
     pac_unit: PacUnit,
+    /// This core's index within its cluster (0 for a uniprocessor).
+    id: usize,
+    /// Pending inter-processor interrupts, delivered FIFO.
+    ipi_queue: std::collections::VecDeque<IpiKind>,
 }
 
 impl Default for Cpu {
@@ -247,7 +294,45 @@ impl Cpu {
             icache: vec![None; ICACHE_SIZE],
             icache_enabled: true,
             pac_unit: PacUnit::new(),
+            id: 0,
+            ipi_queue: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Creates core number `id` of a cluster (identical to [`Cpu::new`]
+    /// except for the reported identity; cycle behaviour does not depend
+    /// on the id).
+    pub fn with_id(features: HwFeatures, id: usize) -> Self {
+        let mut cpu = Cpu::new(features);
+        cpu.id = id;
+        cpu
+    }
+
+    /// This core's index within its cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Posts an inter-processor interrupt to this core. A non-empty IPI
+    /// queue asserts its own interrupt line (distinct from the device IRQ
+    /// line [`Cpu::raise_irq`] drives), so a running core observes the IPI
+    /// at the next unmasked step boundary exactly like a device interrupt.
+    pub fn post_ipi(&mut self, kind: IpiKind) {
+        self.ipi_queue.push_back(kind);
+        self.stats.ipis += 1;
+    }
+
+    /// Drains and returns the pending IPIs, oldest first (the host-side
+    /// half of the IPI handler). Acknowledges the IPI line by emptying the
+    /// queue; a device interrupt raised via [`Cpu::raise_irq`] stays
+    /// pending.
+    pub fn take_ipis(&mut self) -> Vec<IpiKind> {
+        self.ipi_queue.drain(..).collect()
+    }
+
+    /// Number of IPIs queued but not yet taken.
+    pub fn pending_ipis(&self) -> usize {
+        self.ipi_queue.len()
     }
 
     /// Enables or disables this core's micro-architectural caches — the
@@ -385,9 +470,12 @@ impl Cpu {
     /// undefined instruction, or a fault with no vector base installed.
     pub fn step(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
         let result = self.step_inner(mem);
-        // Mirror the memory system's TLB counters (see CpuStats::tlb_hits).
+        // Mirror the memory system's TLB counters (see CpuStats::tlb_hits)
+        // and the PAC unit's memo counters.
         self.stats.tlb_hits = mem.tlb_hits();
         self.stats.tlb_misses = mem.tlb_misses();
+        self.stats.pac_memo_hits = self.pac_unit.memo_hits();
+        self.stats.pac_memo_misses = self.pac_unit.memo_misses();
         result
     }
 
@@ -441,7 +529,10 @@ impl Cpu {
         if self.state.pc == CALL_SENTINEL {
             return Ok(Step::SentinelReturn);
         }
-        if self.pending_irq && !self.state.irq_masked {
+        if (self.pending_irq || !self.ipi_queue.is_empty()) && !self.state.irq_masked {
+            // Taking the exception clears the device line; the IPI line
+            // stays asserted until the handler drains the queue, but the
+            // vectored handler runs with IRQs masked, so there is no storm.
             self.pending_irq = false;
             let pc = self.state.pc;
             self.take_exception(0, 0, pc, None, true);
@@ -1232,6 +1323,103 @@ mod tests {
         assert_eq!(cpu.state.pc, KERNEL_BASE + 0x8000 + vector::IRQ_SAME_EL);
         // Masked again inside the handler.
         assert!(cpu.state.irq_masked);
+    }
+
+    #[test]
+    fn ipi_posts_queue_and_assert_the_ipi_line() {
+        let (mut cpu, mut mem) = machine(&[Insn::Nop, Insn::Nop]);
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        cpu.post_ipi(IpiKind::Reschedule);
+        cpu.post_ipi(IpiKind::TlbShootdown);
+        assert_eq!(cpu.pending_ipis(), 2);
+        assert_eq!(cpu.stats().ipis, 2);
+        // Host-side handling drains FIFO and acknowledges the IPI line.
+        assert_eq!(
+            cpu.take_ipis(),
+            vec![IpiKind::Reschedule, IpiKind::TlbShootdown]
+        );
+        assert_eq!(cpu.pending_ipis(), 0);
+        // With the IPI acknowledged, no spurious IRQ is taken.
+        cpu.state.irq_masked = false;
+        assert_eq!(cpu.step(&mut mem), Ok(Step::Executed));
+    }
+
+    #[test]
+    fn take_ipis_does_not_swallow_a_device_irq() {
+        // The device IRQ line and the IPI line are distinct: draining the
+        // IPI queue must not acknowledge an interrupt raised via
+        // raise_irq.
+        let (mut cpu, mut mem) = machine(&[Insn::Nop, Insn::Nop]);
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        cpu.raise_irq();
+        cpu.post_ipi(IpiKind::Reschedule);
+        assert_eq!(cpu.take_ipis(), vec![IpiKind::Reschedule]);
+        cpu.state.irq_masked = false;
+        assert_eq!(cpu.step(&mut mem), Ok(Step::IrqTaken), "device IRQ kept");
+    }
+
+    #[test]
+    fn unacknowledged_ipi_is_taken_as_an_irq() {
+        let (mut cpu, mut mem) = machine(&[Insn::Nop, Insn::Nop]);
+        cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+        cpu.state.irq_masked = false;
+        cpu.post_ipi(IpiKind::Reschedule);
+        assert_eq!(cpu.step(&mut mem), Ok(Step::IrqTaken));
+        assert_eq!(cpu.state.pc, KERNEL_BASE + 0x8000 + vector::IRQ_SAME_EL);
+        // The payload is still queued for the host-side handler.
+        assert_eq!(cpu.take_ipis(), vec![IpiKind::Reschedule]);
+    }
+
+    #[test]
+    fn cpu_ids_default_to_zero_and_follow_with_id() {
+        assert_eq!(Cpu::default().id(), 0);
+        assert_eq!(Cpu::with_id(HwFeatures::default(), 3).id(), 3);
+    }
+
+    #[test]
+    fn pac_memo_counters_are_mirrored_into_stats() {
+        // A loop that signs the same pointer with the same modifier twice:
+        // second sign hits the memo, and the stats see it after the step.
+        let (mut cpu, mut mem) = machine(&[
+            Insn::Pac {
+                key: PacKey::IB,
+                rd: Reg::x(0),
+                rn: Reg::x(1),
+            },
+            Insn::Pac {
+                key: PacKey::IB,
+                rd: Reg::x(2),
+                rn: Reg::x(1),
+            },
+        ]);
+        cpu.state
+            .set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(7, 9));
+        cpu.state.gprs[0] = KERNEL_BASE + 0x123;
+        cpu.state.gprs[2] = KERNEL_BASE + 0x123;
+        cpu.state.gprs[1] = 0x42;
+        run(&mut cpu, &mut mem, 2);
+        assert_eq!(cpu.stats().pac_memo_misses, 1);
+        assert_eq!(cpu.stats().pac_memo_hits, 1);
+    }
+
+    #[test]
+    fn stats_merge_adds_totals() {
+        let a = CpuStats {
+            instructions: 10,
+            pac_signs: 1,
+            ipis: 2,
+            ..CpuStats::default()
+        };
+        let mut b = CpuStats {
+            instructions: 5,
+            tlb_hits: 7,
+            ..CpuStats::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.instructions, 15);
+        assert_eq!(b.pac_signs, 1);
+        assert_eq!(b.tlb_hits, 7);
+        assert_eq!(b.ipis, 2);
     }
 
     #[test]

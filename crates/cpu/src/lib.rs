@@ -49,5 +49,7 @@ mod exec;
 pub mod pac;
 mod state;
 
-pub use exec::{ec, vector, CallResult, Cpu, CpuError, CpuStats, HwFeatures, Step, CALL_SENTINEL};
+pub use exec::{
+    ec, vector, CallResult, Cpu, CpuError, CpuStats, HwFeatures, IpiKind, Step, CALL_SENTINEL,
+};
 pub use state::CpuState;

@@ -101,6 +101,8 @@ pub struct PacUnit {
     /// and authenticate the same `(pointer, modifier)` pair every
     /// iteration — the prologue/epilogue pattern Figures 2–4 hammer).
     macs: Vec<Option<MacSlot>>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Default for PacUnit {
@@ -116,6 +118,8 @@ impl PacUnit {
             warm: true,
             schedules: HashMap::new(),
             macs: vec![None; MAC_CACHE_SIZE],
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -138,6 +142,16 @@ impl PacUnit {
         self.schedules.len()
     }
 
+    /// MAC-memo hits since construction (counted only while warm).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// MAC-memo misses since construction (counted only while warm).
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
+    }
+
     /// Computes the MAC of `data` under `modifier`, reusing the warm
     /// schedule for `key` (and the memo of recent whole computations) when
     /// available — the engine behind both pointer PACs and `PACGA` generic
@@ -150,9 +164,11 @@ impl PacUnit {
         let slot = MacSlot::slot(data, modifier, k);
         if let Some(hit) = self.macs[slot] {
             if hit.data == data && hit.modifier == modifier && hit.key == k {
+                self.memo_hits += 1;
                 return hit.mac;
             }
         }
+        self.memo_misses += 1;
         // Evict only when a *new* key would overflow the cache; a resident
         // hot key must never be a casualty of its own MAC-memo miss.
         if self.schedules.len() >= SCHEDULE_CACHE_CAPACITY && !self.schedules.contains_key(&k) {
@@ -404,6 +420,24 @@ mod tests {
             unit.add_pac(KPTR, 42, KEY, true),
             add_pac(KPTR, 42, KEY, true)
         );
+    }
+
+    #[test]
+    fn memo_counters_track_hits_and_misses() {
+        let mut unit = PacUnit::new();
+        assert_eq!((unit.memo_hits(), unit.memo_misses()), (0, 0));
+        unit.add_pac(KPTR, 42, KEY, true);
+        assert_eq!((unit.memo_hits(), unit.memo_misses()), (0, 1));
+        // Same (pointer, modifier, key): served from the memo.
+        unit.add_pac(KPTR, 42, KEY, true);
+        assert_eq!((unit.memo_hits(), unit.memo_misses()), (1, 1));
+        // A different modifier misses again.
+        unit.add_pac(KPTR, 43, KEY, true);
+        assert_eq!((unit.memo_hits(), unit.memo_misses()), (1, 2));
+        // Cold unit counts nothing.
+        unit.set_caching(false);
+        unit.add_pac(KPTR, 42, KEY, true);
+        assert_eq!((unit.memo_hits(), unit.memo_misses()), (1, 2));
     }
 
     #[test]

@@ -6,11 +6,12 @@ use crate::layout::{
     USER_STACK_TOP, USER_TEXT_BASE, VECTORS_VA,
 };
 use crate::objects::{FileKind, FileTable, KernelEvent, PacPolicy, Task, Tid};
+use crate::sched::Scheduler;
 use camo_analysis::verify_image;
 use camo_boot::Bootloader;
 use camo_codegen::{CodegenConfig, Image, Program, ProtectionLevel, StaticPointerTable};
 use camo_cpu::pac::looks_like_pac_failure;
-use camo_cpu::{Cpu, CpuError, HwFeatures, Step, CALL_SENTINEL};
+use camo_cpu::{Cpu, CpuError, HwFeatures, IpiKind, Step, CALL_SENTINEL};
 use camo_isa::{encode, Reg, SysReg};
 use camo_mem::{El, Frame, Memory, S1Attr, TableId, PAGE_SIZE};
 use camo_qarma::QarmaKey;
@@ -45,6 +46,14 @@ pub struct KernelConfig {
     /// speed changes. Default on; turn off for cache A/B measurements
     /// (`perfcheck` does).
     pub fast_caches: bool,
+    /// Number of simulated CPUs. The default (1) is the paper's
+    /// uniprocessor evaluation machine and is bit-identical to the
+    /// pre-SMP kernel; larger values boot a cluster: every core gets its
+    /// own sysreg file and PAuth key registers, runs the XOM key setter
+    /// at boot, and owns a runqueue. All cores share one physical memory,
+    /// stage-1/stage-2 configuration, and the cluster-wide translation
+    /// generation (the TLB-shootdown backbone).
+    pub cpus: usize,
 }
 
 impl Default for KernelConfig {
@@ -58,6 +67,7 @@ impl Default for KernelConfig {
             pauth_hw: true,
             user_blocks: vec![("stub".to_string(), 2, 1)],
             fast_caches: true,
+            cpus: 1,
         }
     }
 }
@@ -171,7 +181,13 @@ pub struct ModuleHandle {
 pub struct Kernel {
     cfg: KernelConfig,
     codegen_cfg: CodegenConfig,
-    cpu: Cpu,
+    /// The cluster's cores. Every core borrows the one shared [`Memory`]
+    /// below when it steps; per-core state (sysregs, PAuth key registers,
+    /// decoded-instruction cache, PAC unit) lives inside each [`Cpu`].
+    cpus: Vec<Cpu>,
+    /// Index of the core currently driving execution.
+    cur_cpu: usize,
+    sched: Scheduler,
     mem: Memory,
     boot: Bootloader,
     kimage: KernelImage,
@@ -293,19 +309,29 @@ impl Kernel {
             user_frames.push((USER_TEXT_BASE + page as u64 * PAGE_SIZE, frame));
         }
 
-        let mut cpu = Cpu::new(HwFeatures {
-            pauth: cfg.pauth_hw,
-        });
-        cpu.set_caching(cfg.fast_caches);
-        cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
-        cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
-        cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);
+        assert!(cfg.cpus > 0, "a machine has at least one CPU");
+        let mut cpus = Vec::with_capacity(cfg.cpus);
+        for id in 0..cfg.cpus {
+            let mut cpu = Cpu::with_id(
+                HwFeatures {
+                    pauth: cfg.pauth_hw,
+                },
+                id,
+            );
+            cpu.set_caching(cfg.fast_caches);
+            cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
+            cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
+            cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);
+            cpus.push(cpu);
+        }
 
         let mut kernel = Kernel {
             policy: PacPolicy::new(cfg.pac_panic_threshold),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x5eed_0000_0001),
             codegen_cfg,
-            cpu,
+            sched: Scheduler::new(cfg.cpus),
+            cpus,
+            cur_cpu: 0,
             mem,
             boot,
             kimage,
@@ -324,11 +350,18 @@ impl Kernel {
         };
 
         // Install the kernel keys by running the XOM setter — the §5.1
-        // boot-time key installation, executed instruction by instruction.
-        // This must precede any kernel-code signing (task SPs, f_ops).
+        // boot-time key installation, executed instruction by instruction,
+        // once per core: key registers are per-CPU state, so every core of
+        // the cluster executes the setter with its own register file (the
+        // secondary-boot path of §6.1.1). This must precede any
+        // kernel-code signing (task SPs, f_ops).
         if kernel.protected() {
-            let out = kernel.kexec(setter.va, &[])?;
-            debug_assert!(out.fault.is_none());
+            for cpu in 0..kernel.cpus.len() {
+                kernel.cur_cpu = cpu;
+                let out = kernel.kexec(setter.va, &[])?;
+                debug_assert!(out.fault.is_none());
+            }
+            kernel.cur_cpu = 0;
         }
 
         // Init task (tid 0): gives later kernel calls a stack.
@@ -375,20 +408,131 @@ impl Kernel {
         &mut self.mem
     }
 
-    /// The CPU.
+    /// The CPU currently driving execution.
     pub fn cpu(&self) -> &Cpu {
-        &self.cpu
+        &self.cpus[self.cur_cpu]
     }
 
-    /// Mutable CPU access (attack setup, inspection).
+    /// Mutable access to the current CPU (attack setup, inspection).
     pub fn cpu_mut(&mut self) -> &mut Cpu {
-        &mut self.cpu
+        &mut self.cpus[self.cur_cpu]
     }
 
-    /// Simultaneous mutable access to CPU and memory — what an external
-    /// driver needs to single-step the machine itself.
+    /// Simultaneous mutable access to the current CPU and memory — what an
+    /// external driver needs to single-step the machine itself.
     pub fn cpu_mem_mut(&mut self) -> (&mut Cpu, &mut Memory) {
-        (&mut self.cpu, &mut self.mem)
+        (&mut self.cpus[self.cur_cpu], &mut self.mem)
+    }
+
+    /// Number of CPUs in this machine.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Index of the CPU currently driving execution.
+    pub fn current_cpu(&self) -> usize {
+        self.cur_cpu
+    }
+
+    /// Selects the CPU that subsequent [`Kernel::kexec`]-style calls run
+    /// on (the cluster driver's "run this on core N" primitive).
+    /// [`Kernel::run_user`] overrides this with the task's home CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn set_current_cpu(&mut self, cpu: usize) {
+        assert!(cpu < self.cpus.len(), "no CPU {cpu}");
+        self.cur_cpu = cpu;
+    }
+
+    /// A specific core of the cluster.
+    pub fn cpu_at(&self, cpu: usize) -> &Cpu {
+        &self.cpus[cpu]
+    }
+
+    /// Mutable access to a specific core.
+    pub fn cpu_at_mut(&mut self, cpu: usize) -> &mut Cpu {
+        &mut self.cpus[cpu]
+    }
+
+    /// All cores, in id order.
+    pub fn cpus(&self) -> &[Cpu] {
+        &self.cpus
+    }
+
+    /// The per-CPU runqueues.
+    pub fn sched(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Posts an IPI from the current CPU to `to_cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_cpu` is out of range.
+    pub fn send_ipi(&mut self, to_cpu: usize, kind: IpiKind) {
+        self.cpus[to_cpu].post_ipi(kind);
+    }
+
+    /// Cluster-wide TLB shootdown initiated by the current CPU: performs
+    /// the broadcast invalidation on the shared memory system and posts a
+    /// [`IpiKind::TlbShootdown`] IPI to every *other* core (the initiator
+    /// invalidated locally by doing the flush).
+    pub fn tlb_shootdown(&mut self) {
+        self.mem.tlb_flush();
+        for cpu in 0..self.cpus.len() {
+            if cpu != self.cur_cpu {
+                self.cpus[cpu].post_ipi(IpiKind::TlbShootdown);
+            }
+        }
+    }
+
+    /// Migrates `tid` to `to_cpu`'s runqueue. The task's `thread_struct`
+    /// (and with it the per-thread PAuth key slots) lives in the shared
+    /// cluster memory, so the keys follow for free: the next entry to user
+    /// mode runs `restore_user_keys` *on the destination core*, loading
+    /// this task's keys into that core's key registers. Sends a reschedule
+    /// IPI to both cores involved.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadTask`] if `tid` is not a live task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_cpu` is out of range.
+    pub fn migrate_task(&mut self, tid: Tid, to_cpu: usize) -> Result<(), KernelError> {
+        assert!(to_cpu < self.cpus.len(), "no CPU {to_cpu}");
+        self.task_index(tid)?;
+        if let Some(from) = self.sched.migrate(tid, to_cpu) {
+            self.apply_move(tid, from, to_cpu);
+        }
+        Ok(())
+    }
+
+    /// Runs the load balancer: evens out runqueue lengths, updating task
+    /// homes and posting reschedule IPIs for every move. Returns the
+    /// number of tasks moved.
+    pub fn balance(&mut self) -> usize {
+        let moves = self.sched.balance();
+        for &(tid, from, to) in &moves {
+            self.apply_move(tid, from, to);
+        }
+        moves.len()
+    }
+
+    /// Bookkeeping for one runqueue move (the queues themselves were
+    /// already updated by the scheduler): re-home the task, log the event,
+    /// and post reschedule IPIs to both cores involved.
+    fn apply_move(&mut self, tid: Tid, from: usize, to: usize) {
+        if let Some(task) = self.tasks.iter_mut().find(|t| t.tid == tid) {
+            task.cpu = to;
+        }
+        self.events
+            .push(KernelEvent::TaskMigrated { tid, from, to });
+        self.cpus[from].post_ipi(IpiKind::Reschedule);
+        self.cpus[to].post_ipi(IpiKind::Reschedule);
     }
 
     /// Loaded modules.
@@ -488,12 +632,17 @@ impl Kernel {
             );
         }
 
+        // Place the new task on the least-loaded runqueue (always CPU 0
+        // on a uniprocessor, preserving the pre-SMP behaviour exactly).
+        let cpu = self.sched.place(tid);
         self.tasks.push(Task {
             tid,
             name: name.to_string(),
             user_table,
             alive: true,
             user_keys,
+            cpu,
+            pac_failures: 0,
         });
 
         // Seed the signed saved-SP via kernel code (fork does this with
@@ -577,8 +726,8 @@ impl Kernel {
     pub fn context_switch(&mut self, from: Tid, to: Tid) -> Result<ExecOutcome, KernelError> {
         let from_idx = self.task_index(from)?;
         let to_idx = self.task_index(to)?;
-        self.cpu.state.el = El::El1;
-        self.cpu.state.sp_el1 = layout::stack_top(from) - 512;
+        self.cpus[self.cur_cpu].state.el = El::El1;
+        self.cpus[self.cur_cpu].state.sp_el1 = layout::stack_top(from) - 512;
         let f = self.symbol("cpu_switch_to");
         let out = self.kexec(
             f,
@@ -658,30 +807,36 @@ impl Kernel {
     /// [`KernelError::Cpu`]/[`KernelError::Hung`] on simulation failure.
     pub fn kexec(&mut self, fn_va: u64, args: &[u64]) -> Result<ExecOutcome, KernelError> {
         assert!(args.len() <= 8, "at most eight register arguments");
-        self.cpu.state.el = El::El1;
-        if self.cpu.state.sp_el1 == 0 {
-            self.cpu.state.sp_el1 = layout::stack_top(self.current_tid()) - 512;
+        let cur = self.cur_cpu;
+        // Kernel entry on this core: acknowledge pending IPIs. Reschedule
+        // needs no action here (the caller already chose what to run) and
+        // TlbShootdown's invalidation happened when the initiator flushed
+        // the shared memory system — the ack is the protocol's other half.
+        let _ = self.cpus[cur].take_ipis();
+        self.cpus[cur].state.el = El::El1;
+        if self.cpus[cur].state.sp_el1 == 0 {
+            self.cpus[cur].state.sp_el1 = layout::stack_top(self.current_tid()) - 512;
         }
         let tpidr = self
             .tasks
             .get(self.current)
             .map(|t| t.struct_va())
             .unwrap_or(0);
-        self.cpu.state.set_sysreg(SysReg::TpidrEl1, tpidr);
+        self.cpus[cur].state.set_sysreg(SysReg::TpidrEl1, tpidr);
         for (i, &a) in args.iter().enumerate() {
-            self.cpu.state.gprs[i] = a;
+            self.cpus[cur].state.gprs[i] = a;
         }
-        self.cpu.state.write(Reg::LR, CALL_SENTINEL);
-        self.cpu.state.pc = fn_va;
-        let c0 = self.cpu.cycles();
-        let i0 = self.cpu.stats().instructions;
+        self.cpus[cur].state.write(Reg::LR, CALL_SENTINEL);
+        self.cpus[cur].state.pc = fn_va;
+        let c0 = self.cpus[cur].cycles();
+        let i0 = self.cpus[cur].stats().instructions;
         for _ in 0..KCALL_BUDGET {
-            match self.cpu.step(&mut self.mem)? {
+            match self.cpus[cur].step(&mut self.mem)? {
                 Step::SentinelReturn => {
                     return Ok(ExecOutcome {
-                        x0: self.cpu.state.gprs[0],
-                        cycles: self.cpu.cycles() - c0,
-                        instructions: self.cpu.stats().instructions - i0,
+                        x0: self.cpus[cur].state.gprs[0],
+                        cycles: self.cpus[cur].cycles() - c0,
+                        instructions: self.cpus[cur].stats().instructions - i0,
                         fault: None,
                         syscalls: 0,
                     })
@@ -689,9 +844,9 @@ impl Kernel {
                 Step::BrkTrap { imm } if imm == upcall::EL1_FAULT => {
                     let info = self.note_kernel_fault()?;
                     return Ok(ExecOutcome {
-                        x0: self.cpu.state.gprs[0],
-                        cycles: self.cpu.cycles() - c0,
-                        instructions: self.cpu.stats().instructions - i0,
+                        x0: self.cpus[cur].state.gprs[0],
+                        cycles: self.cpus[cur].cycles() - c0,
+                        instructions: self.cpus[cur].stats().instructions - i0,
                         fault: Some(info),
                         syscalls: 0,
                     });
@@ -718,14 +873,21 @@ impl Kernel {
     }
 
     /// Classifies and logs a kernel-mode fault; trips the §5.4 panic
-    /// policy on PAC-failure signatures.
+    /// policy on PAC-failure signatures. The policy counter is cluster
+    /// global: failures observed by *any* core accumulate toward the same
+    /// threshold (per-task counts are kept alongside for forensics).
     fn note_kernel_fault(&mut self) -> Result<FaultInfo, KernelError> {
-        let far = self.cpu.state.sysreg(SysReg::FarEl1);
-        let elr = self.cpu.state.sysreg(SysReg::ElrEl1);
+        let cpu = self.cur_cpu;
+        let far = self.cpus[cpu].state.sysreg(SysReg::FarEl1);
+        let elr = self.cpus[cpu].state.sysreg(SysReg::ElrEl1);
         let pac = looks_like_pac_failure(far, true);
         let tid = self.current_tid();
         if pac {
-            self.events.push(KernelEvent::PacFailure { far, elr, tid });
+            self.events
+                .push(KernelEvent::PacFailure { far, elr, tid, cpu });
+            if let Some(task) = self.tasks.iter_mut().find(|t| t.tid == tid) {
+                task.pac_failures += 1;
+            }
             if self.policy.record_failure() {
                 return Err(KernelError::PacPanic {
                     failures: self.policy.failures(),
@@ -736,14 +898,20 @@ impl Kernel {
         }
         // Default policy: the offending process is killed (§5.4).
         self.events.push(KernelEvent::TaskKilled { tid });
-        if let Some(task) = self.tasks.iter_mut().find(|t| t.tid == tid) {
-            task.alive = false;
-        }
+        self.kill_task(tid);
         Ok(FaultInfo {
             far,
             elr,
             pac_failure: pac,
         })
+    }
+
+    /// Marks `tid` dead and removes it from its runqueue.
+    fn kill_task(&mut self, tid: Tid) {
+        if let Some(task) = self.tasks.iter_mut().find(|t| t.tid == tid) {
+            task.alive = false;
+        }
+        self.sched.remove(tid);
     }
 
     /// Runs a user program: `iterations` × (user block + one syscall `nr`
@@ -759,39 +927,45 @@ impl Kernel {
     ) -> Result<ExecOutcome, KernelError> {
         let idx = self.task_index(tid)?;
         self.current = idx;
+        // Run on the task's home CPU — migration moves the home, and with
+        // it where the user keys get restored. Entering the kernel on this
+        // core acknowledges its pending IPIs (see kexec).
+        let cur = self.tasks[idx].cpu;
+        self.cur_cpu = cur;
+        let _ = self.cpus[cur].take_ipis();
         let task_va = self.tasks[idx].struct_va();
         let user_table = self.tasks[idx].user_table;
         let stack_top = self.tasks[idx].stack_top();
-        self.cpu
+        self.cpus[cur]
             .state
             .set_sysreg(SysReg::Ttbr0El1, user_table.raw());
-        self.cpu.state.set_sysreg(SysReg::TpidrEl1, task_va);
-        self.cpu.state.sp_el1 = stack_top;
+        self.cpus[cur].state.set_sysreg(SysReg::TpidrEl1, task_va);
+        self.cpus[cur].state.sp_el1 = stack_top;
 
         // exec(): provision the user keys by running the kernel's restore
-        // path (reads thread_struct, writes the key registers).
+        // path (reads thread_struct, writes this core's key registers).
         if self.protected() {
             let f = self.symbol("restore_user_keys");
             self.kexec(f, &[])?;
-            self.cpu.state.sp_el1 = stack_top;
+            self.cpus[cur].state.sp_el1 = stack_top;
         }
 
         let entry = self
             .user_image
             .symbol(&format!("user_main_{block}"))
             .unwrap_or_else(|| panic!("unknown user block {block}"));
-        self.cpu.state.el = El::El0;
-        self.cpu.state.sp_el0 = USER_STACK_TOP - 2 * PAGE_SIZE;
-        self.cpu.state.pc = entry;
-        self.cpu.state.gprs[0] = iterations;
-        self.cpu.state.gprs[1] = nr;
-        self.cpu.state.gprs[2] = arg0;
+        self.cpus[cur].state.el = El::El0;
+        self.cpus[cur].state.sp_el0 = USER_STACK_TOP - 2 * PAGE_SIZE;
+        self.cpus[cur].state.pc = entry;
+        self.cpus[cur].state.gprs[0] = iterations;
+        self.cpus[cur].state.gprs[1] = nr;
+        self.cpus[cur].state.gprs[2] = arg0;
 
-        let c0 = self.cpu.cycles();
-        let i0 = self.cpu.stats().instructions;
+        let c0 = self.cpus[cur].cycles();
+        let i0 = self.cpus[cur].stats().instructions;
         let mut syscalls = 0u64;
         for _ in 0..RUN_BUDGET {
-            match self.cpu.step(&mut self.mem)? {
+            match self.cpus[cur].step(&mut self.mem)? {
                 Step::BrkTrap { imm } => match imm {
                     x if x == upcall::SYSCALL => {
                         self.dispatch_syscall()?;
@@ -799,9 +973,9 @@ impl Kernel {
                     }
                     x if x == upcall::USER_DONE => {
                         return Ok(ExecOutcome {
-                            x0: self.cpu.state.gprs[0],
-                            cycles: self.cpu.cycles() - c0,
-                            instructions: self.cpu.stats().instructions - i0,
+                            x0: self.cpus[cur].state.gprs[0],
+                            cycles: self.cpus[cur].cycles() - c0,
+                            instructions: self.cpus[cur].stats().instructions - i0,
                             fault: None,
                             syscalls,
                         });
@@ -809,9 +983,9 @@ impl Kernel {
                     x if x == upcall::EL1_FAULT => {
                         let info = self.note_kernel_fault()?;
                         return Ok(ExecOutcome {
-                            x0: self.cpu.state.gprs[0],
-                            cycles: self.cpu.cycles() - c0,
-                            instructions: self.cpu.stats().instructions - i0,
+                            x0: self.cpus[cur].state.gprs[0],
+                            cycles: self.cpus[cur].cycles() - c0,
+                            instructions: self.cpus[cur].stats().instructions - i0,
                             fault: Some(info),
                             syscalls,
                         });
@@ -819,15 +993,13 @@ impl Kernel {
                     x if x == upcall::EL0_FAULT => {
                         let tid = self.current_tid();
                         self.events.push(KernelEvent::TaskKilled { tid });
-                        if let Some(t) = self.tasks.iter_mut().find(|t| t.tid == tid) {
-                            t.alive = false;
-                        }
-                        let far = self.cpu.state.sysreg(SysReg::FarEl1);
-                        let elr = self.cpu.state.sysreg(SysReg::ElrEl1);
+                        self.kill_task(tid);
+                        let far = self.cpus[cur].state.sysreg(SysReg::FarEl1);
+                        let elr = self.cpus[cur].state.sysreg(SysReg::ElrEl1);
                         return Ok(ExecOutcome {
-                            x0: self.cpu.state.gprs[0],
-                            cycles: self.cpu.cycles() - c0,
-                            instructions: self.cpu.stats().instructions - i0,
+                            x0: self.cpus[cur].state.gprs[0],
+                            cycles: self.cpus[cur].cycles() - c0,
+                            instructions: self.cpus[cur].stats().instructions - i0,
                             fault: Some(FaultInfo {
                                 far,
                                 elr,
@@ -837,7 +1009,7 @@ impl Kernel {
                         });
                     }
                     x if x == upcall::IRQ => {
-                        self.cpu.return_from_exception();
+                        self.cpus[cur].return_from_exception();
                     }
                     _ => {
                         return Err(KernelError::Cpu(CpuError::TimedOut { steps: 0 }));
@@ -859,8 +1031,9 @@ impl Kernel {
     /// host-side semantics, and redirect the PC into the syscall body with
     /// the return glue as LR.
     fn dispatch_syscall(&mut self) -> Result<(), KernelError> {
-        let sp = self.cpu.state.sp_el1;
-        let kctx = self.cpu.translation_ctx();
+        let cur = self.cur_cpu;
+        let sp = self.cpus[cur].state.sp_el1;
+        let kctx = self.cpus[cur].translation_ctx();
         let nr = self
             .mem
             .read_u64(&kctx, sp + u64::from(PT_X8))
@@ -872,9 +1045,9 @@ impl Kernel {
         let Some(spec) = syscall_by_nr(nr) else {
             // -ENOSYS; straight to the exit path.
             self.mem
-                .write_u64(&mut self.cpu.translation_ctx().clone(), sp, (-38i64) as u64)
+                .write_u64(&mut kctx.clone(), sp, (-38i64) as u64)
                 .expect("pt_regs mapped");
-            self.cpu.state.pc = self.symbol("ret_to_user");
+            self.cpus[cur].state.pc = self.symbol("ret_to_user");
             return Ok(());
         };
 
@@ -899,15 +1072,14 @@ impl Kernel {
             _ => ([default_file, a1, a2], 0),
         };
         self.mem
-            .write_u64(&mut self.cpu.translation_ctx().clone(), sp, ret)
+            .write_u64(&mut kctx.clone(), sp, ret)
             .expect("pt_regs mapped");
-        self.cpu.state.gprs[0] = body_args[0];
-        self.cpu.state.gprs[1] = body_args[1];
-        self.cpu.state.gprs[2] = body_args[2];
-        self.cpu
-            .state
-            .write(Reg::LR, self.symbol("syscall_ret_glue"));
-        self.cpu.state.pc = self.symbol(&format!("sys_{}", spec.name));
+        self.cpus[cur].state.gprs[0] = body_args[0];
+        self.cpus[cur].state.gprs[1] = body_args[1];
+        self.cpus[cur].state.gprs[2] = body_args[2];
+        let glue = self.symbol("syscall_ret_glue");
+        self.cpus[cur].state.write(Reg::LR, glue);
+        self.cpus[cur].state.pc = self.symbol(&format!("sys_{}", spec.name));
         Ok(())
     }
 

@@ -20,7 +20,13 @@
 //!   in place by kernel code at load time, after §4.1 verification.
 //! * **Brute-force mitigation** (§5.4): PAC-failure signatures are
 //!   counted, logged, kill the offending task, and panic the kernel at the
-//!   configured threshold.
+//!   configured threshold. The failure counter is cluster-global: on a
+//!   multi-core machine every core feeds the same threshold.
+//! * **SMP** ([`KernelConfig::cpus`]): N cores share one memory system;
+//!   each core has its own sysreg file and PAuth key registers, runs the
+//!   XOM key setter at boot, and owns a runqueue ([`sched`]). Task
+//!   migration carries the `thread_struct` key slots because they live in
+//!   shared simulated memory and are restored on the destination core.
 //!
 //! # Example
 //!
@@ -40,6 +46,7 @@ pub mod image;
 mod kernel;
 pub mod layout;
 mod objects;
+pub mod sched;
 
 pub use image::{build_user_program, syscall_by_nr, KernelImage, SyscallSpec, SYSCALLS};
 pub use kernel::{

@@ -25,6 +25,13 @@ pub struct Task {
     /// The per-thread user PAuth keys (also written into the simulated
     /// `thread_struct`): IB, IA, DB.
     pub user_keys: [QarmaKey; 3],
+    /// The CPU this task is currently queued on (its runqueue home;
+    /// updated by migration).
+    pub cpu: usize,
+    /// PAC authentication failures observed while this task was current —
+    /// per-task forensic accounting (§6.2.3). The §5.4 panic threshold is
+    /// tripped by the *cluster-wide* total, not this counter.
+    pub pac_failures: u32,
 }
 
 impl Task {
@@ -166,6 +173,9 @@ pub enum KernelEvent {
         elr: u64,
         /// Task that was running.
         tid: Tid,
+        /// CPU that observed the failure (all cores feed the same §5.4
+        /// panic threshold).
+        cpu: usize,
     },
     /// A kernel-mode fault that did not look like a PAC failure.
     KernelFault {
@@ -183,6 +193,15 @@ pub enum KernelEvent {
     ModuleRejected {
         /// Number of violations found.
         violations: usize,
+    },
+    /// A task moved to another CPU's runqueue (migration or balancing).
+    TaskMigrated {
+        /// The migrated task.
+        tid: Tid,
+        /// Source CPU.
+        from: usize,
+        /// Destination CPU.
+        to: usize,
     },
 }
 
@@ -226,6 +245,8 @@ mod tests {
             user_table: TableId::from_raw(0),
             alive: true,
             user_keys: [QarmaKey::default(); 3],
+            cpu: 0,
+            pac_failures: 0,
         };
         assert_eq!(task.struct_va(), layout::task_struct_va(2));
         assert_eq!(task.stack_top(), layout::stack_top(2));

@@ -1,0 +1,227 @@
+//! Per-CPU runqueues: task placement, migration, and balancing.
+//!
+//! The paper's design is inherently per-CPU — each core re-installs the
+//! kernel keys on entry and restores the *current task's* user keys on
+//! exit, and `thread_struct` key slots follow tasks wherever they are
+//! scheduled (§6.1.1). This module supplies the scheduling substrate that
+//! makes those statements testable on a simulated multi-core machine:
+//! which CPU a task is queued on, how it moves, and how load is balanced.
+//!
+//! The security-relevant half of migration — the key-slot invariant —
+//! needs no code here at all, by design: user keys live in the task's
+//! simulated `thread_struct` (shared cluster memory), and every entry to
+//! user mode runs `restore_user_keys` *on the CPU doing the entering*. A
+//! migrated task therefore gets its own keys on the destination core and
+//! the destination core's previous key state is overwritten, whichever
+//! cores are involved.
+
+use crate::objects::Tid;
+use std::collections::VecDeque;
+
+/// Per-CPU runqueues with deterministic placement and balancing.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    queues: Vec<VecDeque<Tid>>,
+    migrations: u64,
+}
+
+impl Scheduler {
+    /// Creates empty runqueues for `cpus` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus > 0, "a cluster has at least one CPU");
+        Scheduler {
+            queues: vec![VecDeque::new(); cpus],
+            migrations: 0,
+        }
+    }
+
+    /// Number of runqueues (CPUs).
+    pub fn cpu_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Places a new task on the least-loaded CPU (lowest index on ties —
+    /// fully deterministic) and returns the chosen CPU.
+    pub fn place(&mut self, tid: Tid) -> usize {
+        let cpu = (0..self.queues.len())
+            .min_by_key(|&i| self.queues[i].len())
+            .expect("at least one CPU");
+        self.queues[cpu].push_back(tid);
+        cpu
+    }
+
+    /// The runqueue of `cpu`.
+    pub fn queue(&self, cpu: usize) -> &VecDeque<Tid> {
+        &self.queues[cpu]
+    }
+
+    /// Queue length of `cpu`.
+    pub fn len(&self, cpu: usize) -> usize {
+        self.queues[cpu].len()
+    }
+
+    /// Whether every runqueue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Removes `tid` from whichever runqueue holds it (task exit),
+    /// returning the CPU it was queued on.
+    pub fn remove(&mut self, tid: Tid) -> Option<usize> {
+        for (cpu, q) in self.queues.iter_mut().enumerate() {
+            if let Some(pos) = q.iter().position(|&t| t == tid) {
+                q.remove(pos);
+                return Some(cpu);
+            }
+        }
+        None
+    }
+
+    /// Moves `tid` to `to_cpu`'s runqueue, returning the source CPU.
+    /// A no-op (returning `None`) if the task is already there or unknown.
+    pub fn migrate(&mut self, tid: Tid, to_cpu: usize) -> Option<usize> {
+        assert!(to_cpu < self.queues.len(), "no CPU {to_cpu}");
+        let from = self.find(tid)?;
+        if from == to_cpu {
+            return None;
+        }
+        self.remove(tid);
+        self.queues[to_cpu].push_back(tid);
+        self.migrations += 1;
+        Some(from)
+    }
+
+    /// The CPU whose runqueue holds `tid`.
+    pub fn find(&self, tid: Tid) -> Option<usize> {
+        self.queues.iter().position(|q| q.iter().any(|&t| t == tid))
+    }
+
+    /// Round-robin pick: rotates `cpu`'s queue and returns the new head.
+    pub fn pick_next(&mut self, cpu: usize) -> Option<Tid> {
+        let q = &mut self.queues[cpu];
+        if let Some(front) = q.pop_front() {
+            q.push_back(front);
+        }
+        q.front().copied()
+    }
+
+    /// Evens out queue lengths: repeatedly moves the tail of the longest
+    /// queue to the shortest until they differ by at most one. Returns the
+    /// moves performed as `(tid, from, to)`, in order — the caller turns
+    /// each into a reschedule IPI.
+    pub fn balance(&mut self) -> Vec<(Tid, usize, usize)> {
+        let mut moves = Vec::new();
+        loop {
+            let (mut longest, mut shortest) = (0, 0);
+            for i in 0..self.queues.len() {
+                if self.queues[i].len() > self.queues[longest].len() {
+                    longest = i;
+                }
+                if self.queues[i].len() < self.queues[shortest].len() {
+                    shortest = i;
+                }
+            }
+            if self.queues[longest].len() <= self.queues[shortest].len() + 1 {
+                return moves;
+            }
+            let tid = self.queues[longest].pop_back().expect("longest non-empty");
+            self.queues[shortest].push_back(tid);
+            self.migrations += 1;
+            moves.push((tid, longest, shortest));
+        }
+    }
+
+    /// Total migrations performed (explicit and balancing).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_least_loaded_lowest_index() {
+        let mut s = Scheduler::new(3);
+        assert_eq!(s.place(0), 0);
+        assert_eq!(s.place(1), 1);
+        assert_eq!(s.place(2), 2);
+        assert_eq!(s.place(3), 0, "ties break to the lowest index");
+        assert_eq!(s.len(0), 2);
+    }
+
+    #[test]
+    fn single_cpu_always_places_on_zero() {
+        let mut s = Scheduler::new(1);
+        for tid in 0..8 {
+            assert_eq!(s.place(tid), 0);
+        }
+        assert_eq!(s.len(0), 8);
+    }
+
+    #[test]
+    fn migrate_moves_between_queues_and_counts() {
+        let mut s = Scheduler::new(2);
+        s.place(0); // cpu 0
+        s.place(1); // cpu 1
+        assert_eq!(s.migrate(0, 1), Some(0));
+        assert_eq!(s.find(0), Some(1));
+        assert_eq!(s.len(0), 0);
+        assert_eq!(s.migrations(), 1);
+        // Already there: no-op.
+        assert_eq!(s.migrate(0, 1), None);
+        assert_eq!(s.migrations(), 1);
+    }
+
+    #[test]
+    fn balance_evens_out_skewed_queues() {
+        let mut s = Scheduler::new(4);
+        for tid in 0..8 {
+            s.place(tid);
+        }
+        // Skew everything onto CPU 0.
+        for tid in 0..8 {
+            s.migrate(tid, 0);
+        }
+        let moves = s.balance();
+        assert!(!moves.is_empty());
+        for cpu in 0..4 {
+            assert_eq!(s.len(cpu), 2, "balanced to 2 per CPU");
+        }
+        // Deterministic: same input, same moves.
+        let mut s2 = Scheduler::new(4);
+        for tid in 0..8 {
+            s2.place(tid);
+        }
+        for tid in 0..8 {
+            s2.migrate(tid, 0);
+        }
+        assert_eq!(s2.balance(), moves);
+    }
+
+    #[test]
+    fn pick_next_round_robins() {
+        let mut s = Scheduler::new(1);
+        s.place(10);
+        s.place(11);
+        s.place(12);
+        assert_eq!(s.pick_next(0), Some(11));
+        assert_eq!(s.pick_next(0), Some(12));
+        assert_eq!(s.pick_next(0), Some(10));
+        s.remove(11);
+        assert_eq!(s.pick_next(0), Some(12));
+    }
+
+    #[test]
+    fn remove_unknown_is_none() {
+        let mut s = Scheduler::new(2);
+        assert_eq!(s.remove(9), None);
+        assert_eq!(s.find(9), None);
+        assert!(s.is_empty());
+    }
+}

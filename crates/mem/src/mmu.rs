@@ -225,6 +225,10 @@ pub struct Memory {
     tlb_enabled: bool,
     tlb_hits: Cell<u64>,
     tlb_misses: Cell<u64>,
+    /// Explicit whole-TLB invalidations requested via [`Memory::tlb_flush`]
+    /// (the cluster shootdown protocol), as opposed to the implicit
+    /// invalidation every mutation performs.
+    shootdowns: u64,
 }
 
 impl Default for Memory {
@@ -245,6 +249,7 @@ impl Memory {
             tlb_enabled: true,
             tlb_hits: Cell::new(0),
             tlb_misses: Cell::new(0),
+            shootdowns: 0,
         }
     }
 
@@ -284,6 +289,25 @@ impl Memory {
     /// can affect a translation result).
     pub fn translation_generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Explicitly invalidates every TLB entry — the `TLBI`-broadcast half
+    /// of a cluster TLB shootdown.
+    ///
+    /// One `Memory` serves every core of a cluster, so its generation
+    /// counter is *per-cluster* by construction: a permission downgrade
+    /// performed through core 0 is unservable from any core's next access
+    /// even without this call. `tlb_flush` exists for the protocol level —
+    /// host-side kernel code that wants an explicit barrier (and a
+    /// counter) to pair with its shootdown IPIs.
+    pub fn tlb_flush(&mut self) {
+        self.bump_generation();
+        self.shootdowns += 1;
+    }
+
+    /// Number of explicit [`Memory::tlb_flush`] shootdowns performed.
+    pub fn tlb_shootdowns(&self) -> u64 {
+        self.shootdowns
     }
 
     /// Invalidates every TLB entry by advancing the generation.
@@ -932,6 +956,23 @@ mod tests {
         let ctx = mem.kernel_ctx(table);
         mem.read_u64(&ctx, KERNEL_BASE).unwrap();
         assert_eq!(mem.tlb_hits() + mem.tlb_misses(), 0, "caches fully off");
+    }
+
+    #[test]
+    fn tlb_flush_invalidates_and_counts() {
+        let (mut mem, table) = setup();
+        mem.map_new(table, KERNEL_BASE, S1Attr::kernel_data());
+        let ctx = mem.kernel_ctx(table);
+        mem.read_u64(&ctx, KERNEL_BASE).unwrap();
+        let misses = mem.tlb_misses();
+        let gen = mem.translation_generation();
+        assert_eq!(mem.tlb_shootdowns(), 0);
+        mem.tlb_flush();
+        assert_eq!(mem.tlb_shootdowns(), 1);
+        assert!(mem.translation_generation() > gen);
+        // The previously warm entry must re-walk.
+        mem.read_u64(&ctx, KERNEL_BASE).unwrap();
+        assert_eq!(mem.tlb_misses(), misses + 1);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The in-machine SMP layer: N cores around one kernel and one memory.
+
+use camo_core::ProtectionLevel;
+use camo_cpu::{CpuStats, IpiKind};
+use camo_kernel::{ExecOutcome, Kernel, KernelConfig, KernelError, Tid};
+
+/// A booted multi-core Camouflage machine.
+///
+/// The cluster *is* the explicit owner of everything shared: the one
+/// [`camo_mem::Memory`] (physical frames, stage-1 tables, the hypervisor's
+/// stage-2 overlay, and the cluster-wide translation generation) lives in
+/// the wrapped [`Kernel`], and each core borrows it for exactly one
+/// instruction at a time. Per-core state — sysregs including the PAuth key
+/// registers, the decoded-instruction cache, the PAC unit — lives in each
+/// [`camo_cpu::Cpu`]. Determinism follows from the serialized borrow: a
+/// cluster run is a single interleaving, reproducible bit for bit.
+#[derive(Debug)]
+pub struct Cluster {
+    kernel: Kernel,
+}
+
+/// Per-cluster execution counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Per-core counters, in CPU id order.
+    pub per_cpu: Vec<CpuStats>,
+    /// All cores merged. The TLB fields are taken from the *shared*
+    /// memory system rather than summed: each core mirrors the shared
+    /// totals, so summing the mirrors would multiply-count them.
+    pub merged: CpuStats,
+    /// Total cycles across all cores.
+    pub cycles: u64,
+    /// Explicit TLB shootdowns broadcast on the shared memory system.
+    pub tlb_shootdowns: u64,
+}
+
+impl Cluster {
+    /// Boots a cluster from an explicit configuration (`cfg.cpus` cores).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn boot(cfg: KernelConfig) -> Result<Cluster, KernelError> {
+        Ok(Cluster {
+            kernel: Kernel::boot(cfg)?,
+        })
+    }
+
+    /// Boots a fully protected cluster with `cpus` cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn protected(cpus: usize) -> Result<Cluster, KernelError> {
+        let mut cfg = KernelConfig::default();
+        cfg.cpus = cpus;
+        Cluster::boot(cfg)
+    }
+
+    /// Boots an unprotected baseline cluster with `cpus` cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`KernelError`] raised during boot.
+    pub fn baseline(cpus: usize) -> Result<Cluster, KernelError> {
+        let mut cfg = KernelConfig::with_protection(ProtectionLevel::None);
+        cfg.cpus = cpus;
+        Cluster::boot(cfg)
+    }
+
+    /// Number of cores.
+    pub fn cpu_count(&self) -> usize {
+        self.kernel.cpu_count()
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Consumes the cluster, returning the kernel.
+    pub fn into_kernel(self) -> Kernel {
+        self.kernel
+    }
+
+    /// Spawns a task; the scheduler places it on the least-loaded core.
+    /// Returns `(tid, cpu)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    pub fn spawn(&mut self, name: &str) -> Result<(Tid, usize), KernelError> {
+        let tid = self.kernel.spawn(name)?;
+        let cpu = self
+            .kernel
+            .tasks()
+            .find(|t| t.tid == tid)
+            .map(|t| t.cpu)
+            .expect("just spawned");
+        Ok((tid, cpu))
+    }
+
+    /// Runs `iterations` × (user block + one syscall `nr`) of task `tid`
+    /// on its home core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors, including the §5.4 PAC panic.
+    pub fn run_task(
+        &mut self,
+        tid: Tid,
+        iterations: u64,
+        nr: u64,
+        arg0: u64,
+    ) -> Result<ExecOutcome, KernelError> {
+        self.kernel.run_user(tid, "stub", iterations, nr, arg0)
+    }
+
+    /// Posts an IPI to `cpu`.
+    pub fn send_ipi(&mut self, cpu: usize, kind: IpiKind) {
+        self.kernel.send_ipi(cpu, kind);
+    }
+
+    /// Broadcasts a TLB shootdown from the current core.
+    pub fn tlb_shootdown(&mut self) {
+        self.kernel.tlb_shootdown();
+    }
+
+    /// Merged and per-core execution counters.
+    pub fn stats(&self) -> ClusterStats {
+        let per_cpu: Vec<CpuStats> = self.kernel.cpus().iter().map(|c| c.stats()).collect();
+        let mut merged = CpuStats::default();
+        for s in &per_cpu {
+            merged.merge(s);
+        }
+        // The TLB lives in the shared memory system; every core's stats
+        // mirror the shared totals, so the merged view must read them once
+        // from the source instead of summing mirrors.
+        merged.tlb_hits = self.kernel.mem().tlb_hits();
+        merged.tlb_misses = self.kernel.mem().tlb_misses();
+        ClusterStats {
+            merged,
+            cycles: self.kernel.cpus().iter().map(|c| c.cycles()).sum(),
+            tlb_shootdowns: self.kernel.mem().tlb_shootdowns(),
+            per_cpu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_boots_with_n_cpus_and_per_cpu_keys() {
+        let cluster = Cluster::protected(4).unwrap();
+        assert_eq!(cluster.cpu_count(), 4);
+        // Every core ran the XOM setter at boot: its own key registers
+        // hold the kernel keys, written by MSRs on that core.
+        for cpu in cluster.kernel().cpus() {
+            let ib = cpu.state.pauth_key(camo_isa::PauthKey::IB);
+            assert_ne!(ib, camo_qarma::QarmaKey::new(0, 0), "cpu {}", cpu.id());
+            assert!(cpu.stats().key_writes >= 6, "cpu {}", cpu.id());
+        }
+        // All cores agree on the kernel keys (one boot, one key set).
+        let ib0 = cluster
+            .kernel()
+            .cpu_at(0)
+            .state
+            .pauth_key(camo_isa::PauthKey::IB);
+        for cpu in 1..4 {
+            assert_eq!(
+                cluster
+                    .kernel()
+                    .cpu_at(cpu)
+                    .state
+                    .pauth_key(camo_isa::PauthKey::IB),
+                ib0
+            );
+        }
+    }
+
+    #[test]
+    fn spawned_tasks_spread_across_cores() {
+        let mut cluster = Cluster::protected(2).unwrap();
+        // init (tid 0) landed on CPU 0; the next spawns alternate.
+        let (_, cpu_a) = cluster.spawn("a").unwrap();
+        let (_, cpu_b) = cluster.spawn("b").unwrap();
+        assert_eq!(cpu_a, 1, "least-loaded placement");
+        assert_eq!(cpu_b, 0);
+    }
+
+    #[test]
+    fn tasks_run_on_their_home_core() {
+        let mut cluster = Cluster::protected(2).unwrap();
+        let (tid, cpu) = cluster.spawn("worker").unwrap();
+        assert_eq!(cpu, 1);
+        let i0 = cluster.kernel().cpu_at(1).stats().instructions;
+        let out = cluster.run_task(tid, 1, 172, 0).unwrap();
+        assert!(out.fault.is_none());
+        assert_eq!(out.x0, u64::from(tid));
+        assert!(cluster.kernel().cpu_at(1).stats().instructions > i0);
+    }
+
+    #[test]
+    fn shootdown_reaches_every_other_core() {
+        let mut cluster = Cluster::protected(3).unwrap();
+        cluster.kernel_mut().set_current_cpu(1);
+        cluster.tlb_shootdown();
+        let stats = cluster.stats();
+        assert_eq!(stats.tlb_shootdowns, 1);
+        assert_eq!(cluster.kernel().cpu_at(0).pending_ipis(), 1);
+        assert_eq!(cluster.kernel().cpu_at(1).pending_ipis(), 0, "initiator");
+        assert_eq!(cluster.kernel().cpu_at(2).pending_ipis(), 1);
+    }
+
+    #[test]
+    fn merged_stats_do_not_double_count_the_shared_tlb() {
+        let mut cluster = Cluster::protected(2).unwrap();
+        let (tid, _) = cluster.spawn("w").unwrap();
+        cluster.run_task(tid, 4, 172, 0).unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.merged.tlb_hits, cluster.kernel().mem().tlb_hits());
+        assert!(stats.merged.tlb_hits > 0);
+        assert_eq!(stats.per_cpu.len(), 2);
+        assert_eq!(
+            stats.merged.instructions,
+            stats.per_cpu.iter().map(|s| s.instructions).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Cluster-level cache coherency: random interleavings of translation
+//! mutations (`map` / `set_attr` / `protect_stage2`) and accesses across
+//! two CPUs must never let a stale TLB entry serve a downgraded
+//! permission. This extends the single-core `cache_coherency` suite in
+//! `camo_cpu` to the shared-memory cluster: both cores pull translations
+//! through the one software TLB, and a mutation performed "on" either core
+//! must be visible to the other core's very next access.
+
+use camo_cpu::{Cpu, CpuError, Step};
+use camo_isa::{encode, AddrMode, Insn, Reg, SysReg};
+use camo_mem::{MemFault, Memory, S1Attr, S2Attr, TableId, KERNEL_BASE, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// Number of data pages the random ops play over.
+const PAGES: usize = 4;
+/// VA of data page `p`.
+fn page_va(p: usize) -> u64 {
+    KERNEL_BASE + 0x10_0000 + (p as u64) * PAGE_SIZE
+}
+/// VA of the shared code page (one LDR and one STR, used by both cores).
+const CODE_VA: u64 = KERNEL_BASE;
+const LDR_VA: u64 = CODE_VA;
+const STR_VA: u64 = CODE_VA + 4;
+
+/// The model's view of one page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PageState {
+    Unmapped,
+    /// Mapped kernel_data: EL1 read+write.
+    Writable,
+    /// Mapped kernel_rodata: EL1 read-only (stage-1 write denied).
+    ReadOnly,
+    /// Stage-2 sealed execute-only: reads and writes both fault.
+    Sealed,
+}
+
+/// One interleaving step, derived deterministically from a seed.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Map(usize),
+    Downgrade(usize),
+    Upgrade(usize),
+    Seal(usize),
+    Read(usize, usize),  // (cpu, page)
+    Write(usize, usize), // (cpu, page)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn ops_from_seed(seed: u64, len: usize) -> Vec<Op> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            let r = splitmix(&mut s);
+            let page = (r >> 8) as usize % PAGES;
+            let cpu = (r >> 16) as usize % 2;
+            match r % 6 {
+                0 => Op::Map(page),
+                1 => Op::Downgrade(page),
+                2 => Op::Upgrade(page),
+                3 => Op::Seal(page),
+                4 => Op::Read(cpu, page),
+                _ => Op::Write(cpu, page),
+            }
+        })
+        .collect()
+}
+
+/// Two cores sharing one memory system, with a common code page holding
+/// `LDR x0, [x1]` and `STR x0, [x1]` so accesses run through the real
+/// fetch + execute pipeline (TLB and icache engaged).
+fn cluster() -> (Vec<Cpu>, Memory, TableId) {
+    let mut mem = Memory::new();
+    let table = mem.new_table();
+    let code = mem.map_new(table, CODE_VA, S1Attr::kernel_text());
+    mem.phys_mut()
+        .write_u32(
+            code.base(),
+            encode(&Insn::Ldr {
+                rt: Reg::x(0),
+                rn: Reg::x(1),
+                mode: AddrMode::Unsigned(0),
+            }),
+        )
+        .unwrap();
+    mem.phys_mut()
+        .write_u32(
+            code.base() + 4,
+            encode(&Insn::Str {
+                rt: Reg::x(0),
+                rn: Reg::x(1),
+                mode: AddrMode::Unsigned(0),
+            }),
+        )
+        .unwrap();
+    let cpus = (0..2)
+        .map(|id| {
+            let mut cpu = Cpu::with_id(Default::default(), id);
+            cpu.state.set_sysreg(SysReg::Ttbr0El1, table.raw());
+            cpu.state.set_sysreg(SysReg::Ttbr1El1, table.raw());
+            cpu
+        })
+        .collect();
+    (cpus, mem, table)
+}
+
+/// Executes one memory-access instruction on `cpu` against `va`,
+/// classifying the outcome. No vector base is installed, so a fault
+/// surfaces as `CpuError::UnhandledFault` carrying the exact `MemFault`.
+fn access(cpu: &mut Cpu, mem: &mut Memory, insn_va: u64, va: u64) -> Result<(), MemFault> {
+    cpu.state.pc = insn_va;
+    cpu.state.gprs[1] = va;
+    match cpu.step(mem) {
+        Ok(Step::Executed) => Ok(()),
+        Err(CpuError::UnhandledFault { fault, .. }) => Err(fault),
+        other => panic!("unexpected step outcome: {other:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn no_stale_tlb_entry_ever_serves_a_downgraded_permission(
+        seed in any::<u64>(),
+        len in 8usize..64,
+    ) {
+        let (mut cpus, mut mem, table) = cluster();
+        let mut model = [PageState::Unmapped; PAGES];
+        let mut frames = [None; PAGES];
+
+        for op in ops_from_seed(seed, len) {
+            match op {
+                Op::Map(p) => {
+                    if model[p] == PageState::Unmapped {
+                        frames[p] = Some(mem.map_new(table, page_va(p), S1Attr::kernel_data()));
+                        model[p] = PageState::Writable;
+                    }
+                }
+                Op::Downgrade(p) => {
+                    if matches!(model[p], PageState::Writable) {
+                        mem.set_attr(table, page_va(p), S1Attr::kernel_rodata());
+                        model[p] = PageState::ReadOnly;
+                    }
+                }
+                Op::Upgrade(p) => {
+                    if matches!(model[p], PageState::ReadOnly) {
+                        mem.set_attr(table, page_va(p), S1Attr::kernel_data());
+                        model[p] = PageState::Writable;
+                    }
+                }
+                Op::Seal(p) => {
+                    if matches!(model[p], PageState::Writable | PageState::ReadOnly) {
+                        mem.protect_stage2(frames[p].unwrap(), S2Attr::execute_only())
+                            .expect("stage 2 unlocked");
+                        model[p] = PageState::Sealed;
+                    }
+                }
+                Op::Read(cpu, p) => {
+                    let got = access(&mut cpus[cpu], &mut mem, LDR_VA, page_va(p));
+                    match model[p] {
+                        PageState::Unmapped => prop_assert!(
+                            matches!(got, Err(MemFault::Translation { .. })),
+                            "cpu {cpu} read of unmapped page {p}: {got:?}"
+                        ),
+                        // The VMSA quirk: EL1 reads cannot be denied by
+                        // stage 1, so read-only pages still read fine.
+                        PageState::Writable | PageState::ReadOnly => prop_assert!(
+                            got.is_ok(),
+                            "cpu {cpu} read of mapped page {p}: {got:?}"
+                        ),
+                        PageState::Sealed => prop_assert!(
+                            matches!(got, Err(MemFault::Stage2 { .. })),
+                            "cpu {cpu} read of sealed page {p} must stage-2 fault: {got:?}"
+                        ),
+                    }
+                }
+                Op::Write(cpu, p) => {
+                    let got = access(&mut cpus[cpu], &mut mem, STR_VA, page_va(p));
+                    match model[p] {
+                        PageState::Unmapped => prop_assert!(
+                            matches!(got, Err(MemFault::Translation { .. })),
+                            "cpu {cpu} write of unmapped page {p}: {got:?}"
+                        ),
+                        PageState::Writable => prop_assert!(
+                            got.is_ok(),
+                            "cpu {cpu} write of writable page {p}: {got:?}"
+                        ),
+                        PageState::ReadOnly => prop_assert!(
+                            matches!(got, Err(MemFault::Permission { .. })),
+                            "cpu {cpu} write of read-only page {p} must fault \
+                             (stale TLB would have allowed it): {got:?}"
+                        ),
+                        PageState::Sealed => prop_assert!(
+                            got.is_err(),
+                            "cpu {cpu} write of sealed page {p} must fault: {got:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_cores_see_a_downgrade_immediately_after_warming(
+        warm_cpu in 0usize..2,
+        other_cpu in 0usize..2,
+    ) {
+        // The directed version of the property: warm the TLB through one
+        // core, downgrade, and check the *other* core (and the warmer)
+        // both fault on their next write.
+        let (mut cpus, mut mem, table) = cluster();
+        mem.map_new(table, page_va(0), S1Attr::kernel_data());
+        prop_assert!(access(&mut cpus[warm_cpu], &mut mem, STR_VA, page_va(0)).is_ok());
+        prop_assert!(access(&mut cpus[other_cpu], &mut mem, STR_VA, page_va(0)).is_ok());
+        mem.set_attr(table, page_va(0), S1Attr::kernel_rodata());
+        for cpu in [other_cpu, warm_cpu] {
+            let got = access(&mut cpus[cpu], &mut mem, STR_VA, page_va(0));
+            prop_assert!(
+                matches!(got, Err(MemFault::Permission { .. })),
+                "cpu {cpu}: {got:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Acceptance property: a 1-CPU [`Cluster`] is bit-identical to the
+//! existing [`Machine`] — same cycles, same faults, same attack outcomes —
+//! with the fast-path caches on and off.
+
+use camo_core::{Machine, ProtectionLevel};
+use camo_kernel::{layout, Kernel, KernelConfig};
+use camo_smp::Cluster;
+
+/// Drives `kernel` through a representative workload and returns every
+/// architecturally visible observation.
+fn drive(kernel: &mut Kernel) -> Vec<(u64, u64, u64, bool)> {
+    let mut log = Vec::new();
+    // A syscall mix.
+    for nr in [172u64, 63, 64, 57, 79, 72] {
+        let out = kernel.syscall(nr, 3).expect("benign syscall");
+        log.push((out.x0, out.cycles, out.instructions, out.fault.is_some()));
+    }
+    // Context switches between freshly spawned tasks.
+    let a = kernel.spawn("a").expect("spawn");
+    let b = kernel.spawn("b").expect("spawn");
+    let out = kernel.context_switch(a, b).expect("switch");
+    log.push((out.x0, out.cycles, out.instructions, out.fault.is_some()));
+    let out = kernel.context_switch(b, a).expect("switch back");
+    log.push((out.x0, out.cycles, out.instructions, out.fault.is_some()));
+    // An attack: forged work callback must fault identically.
+    let work = kernel.init_work("dev_poll").expect("init_work");
+    let target = kernel.symbol("dev_read");
+    let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+    kernel
+        .mem_mut()
+        .write_u64(&ctx, work + u64::from(layout::work_struct::FUNC), target)
+        .expect("work heap writable");
+    let out = kernel.run_work(work).expect("below threshold");
+    log.push((out.x0, out.cycles, out.instructions, out.fault.is_some()));
+    log.push((
+        u64::from(kernel.pac_failures()),
+        kernel.cpu().cycles(),
+        kernel.cpu().stats().instructions,
+        false,
+    ));
+    log
+}
+
+#[test]
+fn one_cpu_cluster_is_bit_identical_to_machine() {
+    for fast_caches in [true, false] {
+        for level in ProtectionLevel::ALL {
+            let mut cfg = KernelConfig::with_protection(level);
+            cfg.fast_caches = fast_caches;
+            cfg.cpus = 1;
+
+            let mut machine = Machine::with_config(cfg.clone()).expect("machine boots");
+            let mut cluster = Cluster::boot(cfg).expect("cluster boots");
+            assert_eq!(cluster.cpu_count(), 1);
+
+            let machine_log = drive(machine.kernel_mut());
+            let cluster_log = drive(cluster.kernel_mut());
+            assert_eq!(
+                machine_log, cluster_log,
+                "caches={fast_caches} level={level}: cluster must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn machine_is_simply_the_one_cpu_configuration() {
+    // Machine and Cluster share the Kernel; the default config boots one
+    // CPU, and a Machine built from a >1 CPU config is a cluster too.
+    let m = Machine::protected().expect("boot");
+    assert_eq!(m.kernel().cpu_count(), 1);
+    let mut cfg = KernelConfig::default();
+    cfg.cpus = 2;
+    let m = Machine::with_config(cfg).expect("boot");
+    assert_eq!(m.kernel().cpu_count(), 2);
+}

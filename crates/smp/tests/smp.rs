@@ -1,0 +1,191 @@
+//! SMP behaviour: key-slot migration, cluster-wide panic threshold, IPIs.
+
+use camo_isa::PauthKey;
+use camo_kernel::{layout, KernelConfig, KernelError, KernelEvent};
+use camo_smp::Cluster;
+
+#[test]
+fn migrated_task_keys_follow_to_the_destination_core() {
+    let mut cluster = Cluster::protected(2).expect("boot");
+    let (a, cpu_a) = cluster.spawn("a").expect("spawn");
+    assert_eq!(cpu_a, 1);
+
+    // Running task A leaves A's user keys in core 1's key registers
+    // (restore_user_keys ran there; the user program finished at EL0).
+    let a_keys = cluster
+        .kernel()
+        .tasks()
+        .find(|t| t.tid == a)
+        .unwrap()
+        .user_keys;
+    cluster.run_task(a, 1, 172, 0).expect("run on core 1");
+    assert_eq!(
+        cluster.kernel().cpu_at(1).state.pauth_key(PauthKey::IB),
+        a_keys[0],
+        "core 1 holds A's IB user key"
+    );
+
+    // Migrate A to core 0: the thread_struct keys live in shared memory,
+    // so the next entry restores them on core 0.
+    cluster.kernel_mut().migrate_task(a, 0).expect("migrate");
+    assert!(matches!(
+        cluster.kernel().events().last(),
+        Some(KernelEvent::TaskMigrated { from: 1, to: 0, .. })
+    ));
+    let out = cluster.run_task(a, 1, 172, 0).expect("run on core 0");
+    assert!(out.fault.is_none(), "migration must not break the task");
+    assert_eq!(
+        cluster.kernel().cpu_at(0).state.pauth_key(PauthKey::IB),
+        a_keys[0],
+        "core 0 now holds A's IB user key"
+    );
+    // And the reschedule IPIs reached both cores.
+    assert!(cluster.kernel().cpu_at(0).stats().ipis >= 1);
+    assert!(cluster.kernel().cpu_at(1).stats().ipis >= 1);
+}
+
+#[test]
+fn each_core_runs_its_own_tasks_keys() {
+    let mut cluster = Cluster::protected(2).expect("boot");
+    let (a, _) = cluster.spawn("a").expect("spawn"); // core 1
+    let (b, _) = cluster.spawn("b").expect("spawn"); // core 0
+    let keys_of = |cluster: &Cluster, tid| {
+        cluster
+            .kernel()
+            .tasks()
+            .find(|t| t.tid == tid)
+            .unwrap()
+            .user_keys
+    };
+    let a_keys = keys_of(&cluster, a);
+    let b_keys = keys_of(&cluster, b);
+    assert_ne!(a_keys, b_keys, "per-thread keys are distinct");
+    cluster.run_task(a, 1, 172, 0).expect("a on core 1");
+    cluster.run_task(b, 1, 172, 0).expect("b on core 0");
+    assert_eq!(
+        cluster.kernel().cpu_at(1).state.pauth_key(PauthKey::IB),
+        a_keys[0]
+    );
+    assert_eq!(
+        cluster.kernel().cpu_at(0).state.pauth_key(PauthKey::IB),
+        b_keys[0]
+    );
+}
+
+#[test]
+fn pac_panic_threshold_is_cluster_wide() {
+    // Failures observed alternately on core 0 and core 1 feed one counter:
+    // the §5.4 panic trips at the total, no matter which core observed
+    // which failure.
+    let mut cfg = KernelConfig::default();
+    cfg.cpus = 2;
+    cfg.pac_panic_threshold = 4;
+    let mut cluster = Cluster::boot(cfg).expect("boot");
+    let kernel = cluster.kernel_mut();
+    let target = kernel.symbol("dev_read");
+
+    let mut panicked_at = None;
+    for attempt in 0..4u32 {
+        let work = kernel.init_work("dev_poll").expect("init_work");
+        let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+        let slot = work + u64::from(layout::work_struct::FUNC);
+        kernel.mem_mut().write_u64(&ctx, slot, target).unwrap();
+        // Alternate the observing core.
+        kernel.set_current_cpu(usize::try_from(attempt % 2).unwrap());
+        match kernel.run_work(work) {
+            Ok(out) => assert!(out.fault.expect("forgery must fault").pac_failure),
+            Err(KernelError::PacPanic { failures }) => {
+                panicked_at = Some((attempt, failures));
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert_eq!(panicked_at, Some((3, 4)), "panic at the cluster-wide total");
+
+    // Both cores observed failures, and the events record which.
+    let observers: Vec<usize> = cluster
+        .kernel()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            KernelEvent::PacFailure { cpu, .. } => Some(*cpu),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(observers, vec![0, 1, 0, 1]);
+}
+
+#[test]
+fn per_task_pac_accounting_tracks_the_observed_task() {
+    let mut cfg = KernelConfig::default();
+    cfg.pac_panic_threshold = 16;
+    cfg.cpus = 2;
+    let mut cluster = Cluster::boot(cfg).expect("boot");
+    let kernel = cluster.kernel_mut();
+    let target = kernel.symbol("dev_read");
+    for _ in 0..2 {
+        let work = kernel.init_work("dev_poll").expect("init_work");
+        let ctx = kernel.mem().kernel_ctx(kernel.kernel_table());
+        let slot = work + u64::from(layout::work_struct::FUNC);
+        kernel.mem_mut().write_u64(&ctx, slot, target).unwrap();
+        let out = kernel.run_work(work).expect("below threshold");
+        assert!(out.fault.unwrap().pac_failure);
+    }
+    let init = kernel.tasks().find(|t| t.tid == 0).unwrap();
+    assert_eq!(init.pac_failures, 2, "per-task forensic counter");
+    assert_eq!(kernel.pac_failures(), 2, "global counter agrees");
+}
+
+#[test]
+fn balance_spreads_a_loaded_cluster() {
+    let mut cluster = Cluster::protected(4).expect("boot");
+    let kernel = cluster.kernel_mut();
+    let mut tids = Vec::new();
+    for i in 0..7 {
+        tids.push(kernel.spawn(&format!("t{i}")).expect("spawn"));
+    }
+    // Pile everything onto core 3.
+    for &tid in &tids {
+        kernel.migrate_task(tid, 3).expect("migrate");
+    }
+    let moved = kernel.balance();
+    assert!(moved > 0);
+    let max = (0..4).map(|c| kernel.sched().len(c)).max().unwrap();
+    let min = (0..4).map(|c| kernel.sched().len(c)).min().unwrap();
+    assert!(max - min <= 1, "balanced: max {max} min {min}");
+    // Every task still runs where its runqueue says it lives.
+    for &tid in &tids {
+        let home = kernel.tasks().find(|t| t.tid == tid).unwrap().cpu;
+        assert_eq!(kernel.sched().find(tid), Some(home));
+        let out = kernel.run_user(tid, "stub", 1, 172, 0).expect("runs");
+        assert!(out.fault.is_none());
+    }
+}
+
+#[test]
+fn shootdown_generation_is_visible_cluster_wide() {
+    use camo_mem::{AccessType, S1Attr};
+    let mut cluster = Cluster::protected(2).expect("boot");
+    let kernel = cluster.kernel_mut();
+    let table = kernel.kernel_table();
+    let va = camo_mem::KERNEL_BASE + 0x7000_0000;
+    kernel.mem_mut().map_new(table, va, S1Attr::kernel_data());
+    // Warm a write translation through core 0's context.
+    kernel.set_current_cpu(0);
+    let ctx0 = kernel.cpu().translation_ctx();
+    kernel.mem_mut().write_u64(&ctx0, va, 1).expect("writable");
+    // Core 1 downgrades the page and broadcasts the shootdown.
+    kernel.set_current_cpu(1);
+    assert!(kernel
+        .mem_mut()
+        .set_attr(table, va, S1Attr::kernel_rodata()));
+    kernel.tlb_shootdown();
+    // Core 0's very next write must fault: no stale TLB entry survives.
+    kernel.set_current_cpu(0);
+    assert!(kernel
+        .mem()
+        .translate(&ctx0, va, AccessType::Write)
+        .is_err());
+    assert_eq!(cluster.kernel().cpu_at(0).pending_ipis(), 1);
+}

@@ -17,3 +17,4 @@ pub use camo_kernel as kernel;
 pub use camo_lmbench as lmbench;
 pub use camo_mem as mem;
 pub use camo_qarma as qarma;
+pub use camo_smp as smp;
