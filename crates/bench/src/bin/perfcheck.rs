@@ -1,6 +1,6 @@
 //! Wall-clock regression checks for the simulator's throughput layers.
 //!
-//! Two modes, selected by `--smp`:
+//! Three modes, selected by `--smp` / `--fleet`:
 //!
 //! * **Default (fast-path A/B, `BENCH_2.json`)** — runs the Figure-2 call
 //!   loop and the lmbench syscall mix with the simulator's caches
@@ -20,11 +20,22 @@
 //!   hard property: both modes must produce bit-identical simulated
 //!   totals — sharding is architecturally invisible.
 //!
+//! * **`--fleet` (multi-tenant fleet, `BENCH_4.json`)** — serves the
+//!   standard tenant mix (lmbench traffic, a fork/exec churn storm,
+//!   module load/unload churn, and a context-switch-heavy tenant) through
+//!   `camo_smp::FleetDriver`, measured in both execution modes. Reports
+//!   per-workload throughput and p50/p90/p99 simulated-cycle latency
+//!   percentiles, and gates (hard) on the parallel and sequential runs
+//!   agreeing bit for bit on every simulated quantity — including each
+//!   tenant's latency histogram.
+//!
 //! `--seed N` pins the boot seed used by the syscall-mix machine and the
-//! shard partitioning; it is emitted into the JSON so A/B runs and shard
-//! partitions reproduce byte for byte. `--smoke` shrinks the `--smp` run
-//! for CI runners.
+//! shard/tenant partitioning; it is emitted into the JSON so A/B runs and
+//! shard partitions reproduce byte for byte. `--smoke` shrinks the
+//! `--smp` and `--fleet` runs for CI runners. The emitted `BENCH_*.json`
+//! schemas are documented in `BENCHMARKS.md`.
 
+use camo_bench::fleet;
 use camo_bench::perf::{self, PerfSample, ScalingPoint};
 use std::fmt::Write as _;
 
@@ -93,8 +104,10 @@ fn sample_json(s: &PerfSample) -> String {
 struct Args {
     seed: u64,
     smp: bool,
+    fleet: bool,
     smoke: bool,
     shards: Vec<usize>,
+    shards_given: bool,
     syscalls: Option<u64>,
 }
 
@@ -102,8 +115,10 @@ fn parse_args() -> Args {
     let mut args = Args {
         seed: DEFAULT_SEED,
         smp: false,
+        fleet: false,
         smoke: false,
         shards: vec![1, 2, 4, 8],
+        shards_given: false,
         syscalls: None,
     };
     let mut shards_given = false;
@@ -115,6 +130,7 @@ fn parse_args() -> Args {
                 args.seed = parse_u64(&v);
             }
             "--smp" => args.smp = true,
+            "--fleet" => args.fleet = true,
             "--smoke" => args.smoke = true,
             "--shards" => {
                 let v = it.next().expect("--shards takes a comma-separated list");
@@ -128,13 +144,14 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--syscalls takes a value");
                 args.syscalls = Some(parse_u64(&v));
             }
-            other => panic!("unknown argument {other} (try --seed/--smp/--smoke/--shards)"),
+            other => panic!("unknown argument {other} (try --seed/--smp/--fleet/--smoke/--shards)"),
         }
     }
     // --smoke only shrinks the *default* curve; an explicit --shards wins.
     if args.smoke && !shards_given {
         args.shards = vec![1, 2];
     }
+    args.shards_given = shards_given;
     args
 }
 
@@ -330,9 +347,129 @@ fn run_smp(args: &Args) -> i32 {
     0
 }
 
+/// Cores per fleet shard machine (2: migration and cross-core key
+/// restores are part of the tenant mix).
+const FLEET_CPUS: usize = 2;
+/// Fleet shard counts (full / `--smoke`).
+const FLEET_SHARDS: usize = 4;
+const FLEET_SMOKE_SHARDS: usize = 2;
+
+fn hist_json(h: &camo_bench::workloads::LatencyHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"min\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count(),
+        h.min(),
+        h.mean(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max()
+    )
+}
+
+fn run_fleet(args: &Args) -> i32 {
+    // The fleet runs one shard count, not a curve: an explicit --shards
+    // uses its first value, otherwise the defaults apply.
+    let shards = if args.shards_given {
+        args.shards[0]
+    } else if args.smoke {
+        FLEET_SMOKE_SHARDS
+    } else {
+        FLEET_SHARDS
+    };
+    let tenants = fleet::standard_tenants(args.smoke);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "perfcheck --fleet: {} tenants x {shards} shards x {FLEET_CPUS} cores, seed {:#x}, host cores {host_cores}",
+        tenants.len(),
+        args.seed
+    );
+
+    let m = fleet::measure(shards, FLEET_CPUS, args.seed, tenants);
+    let par = &m.parallel;
+    let seq = &m.sequential;
+
+    println!(
+        "{:<12} {:<18} {:>7} {:>9} {:>12} {:>9} {:>9} {:>9}",
+        "tenant", "workload", "ops", "syscalls", "cycles", "p50", "p90", "p99"
+    );
+    for t in &par.tenants {
+        println!(
+            "{:<12} {:<18} {:>7} {:>9} {:>12} {:>9} {:>9} {:>9}",
+            t.name,
+            t.workload,
+            t.totals.ops,
+            t.totals.syscalls,
+            t.totals.cycles,
+            t.totals.latency.p50(),
+            t.totals.latency.p90(),
+            t.totals.latency.p99()
+        );
+    }
+    println!(
+        "totals: {} syscalls, {} instructions, {} cycles | wall {:.3}s parallel / {:.3}s sequential | {}",
+        par.syscalls,
+        par.instructions,
+        par.cycles,
+        par.wall_secs,
+        seq.wall_secs,
+        if m.identical { "identical" } else { "MISMATCH" }
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"fleet\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cpus_per_shard\": {FLEET_CPUS},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str("  \"tenants\": [\n");
+    for (i, t) in par.tenants.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \"syscalls\": {}, \
+             \"instructions\": {}, \"cycles\": {}, \"ops_per_wall_sec\": {:.1}, \
+             \"steps_per_sec\": {:.1}, \"latency_cycles\": {}}}{}\n",
+            t.name,
+            t.workload,
+            t.totals.ops,
+            t.totals.syscalls,
+            t.totals.instructions,
+            t.totals.cycles,
+            t.totals.ops as f64 / par.wall_secs.max(1e-9),
+            t.totals.instructions as f64 / par.wall_secs.max(1e-9),
+            hist_json(&t.totals.latency),
+            if i + 1 < par.tenants.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"totals\": {{\"syscalls\": {}, \"instructions\": {}, \"cycles\": {}, \
+         \"parallel_wall_secs\": {:.6}, \"sequential_wall_secs\": {:.6}, \
+         \"parallel_steps_per_sec\": {:.1}, \"capacity_steps_per_sec\": {:.1}}},\n  \
+         \"simulation_identical\": {}\n}}\n",
+        par.syscalls,
+        par.instructions,
+        par.cycles,
+        par.wall_secs,
+        seq.wall_secs,
+        par.steps_per_sec(),
+        seq.capacity_steps_per_sec(),
+        m.identical
+    );
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    println!("wrote BENCH_4.json");
+
+    if !m.identical {
+        eprintln!("FAIL: parallel and sequential fleet runs disagreed on simulated state");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args = parse_args();
-    let code = if args.smp {
+    let code = if args.fleet {
+        run_fleet(&args)
+    } else if args.smp {
         run_smp(&args)
     } else {
         run_fastpath(args.seed)

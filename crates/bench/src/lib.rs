@@ -14,6 +14,7 @@ pub use camo_codegen as codegen;
 pub use camo_core as core;
 pub use camo_lmbench as lmbench;
 pub use camo_smp as smp;
+pub use camo_workloads as workloads;
 
 /// Figure 2: per-call overhead of the three modifier schemes.
 pub mod fig2 {
@@ -321,10 +322,12 @@ pub mod perf {
     ///
     /// Panics if a shard fails (benign traffic must not fault).
     pub fn smp_scaling(shards: usize, total_syscalls: u64, seed: u64) -> ScalingPoint {
-        use camo_smp::{ShardedDriver, TrafficPlan};
-        let plan = TrafficPlan::new(shards, total_syscalls, seed);
-        let par = ShardedDriver::drive(&plan).expect("parallel traffic runs");
-        let seq = ShardedDriver::drive_sequential(&plan).expect("sequential traffic runs");
+        use camo_smp::{FleetDriver, TrafficPlan};
+        // The PR-3 traffic plan, served by the fleet engine as a single
+        // lmbench tenant (the deprecated ShardedDriver's exact semantics).
+        let plan = TrafficPlan::new(shards, total_syscalls, seed).to_fleet();
+        let par = FleetDriver::drive(&plan).expect("parallel traffic runs");
+        let seq = FleetDriver::drive_sequential(&plan).expect("sequential traffic runs");
         ScalingPoint {
             shards,
             syscalls: par.syscalls,
@@ -333,10 +336,77 @@ pub mod perf {
             parallel_wall_secs: par.wall_secs,
             parallel_steps_per_sec: par.steps_per_sec(),
             capacity_steps_per_sec: seq.capacity_steps_per_sec(),
-            simulation_identical: par.instructions == seq.instructions
-                && par.cycles == seq.cycles
-                && par.syscalls == seq.syscalls
-                && par.stats == seq.stats,
+            simulation_identical: par.simulation_identical(&seq),
+        }
+    }
+}
+
+/// The multi-tenant fleet benchmark (`perfcheck --fleet`, `BENCH_4.json`).
+///
+/// One standard tenant mix — lmbench traffic, a fork/exec churn storm,
+/// module load/unload churn, and a context-switch-heavy tenant — served
+/// across shards by [`camo_smp::FleetDriver`], measured in both execution
+/// modes and cross-checked bit for bit. The documented contract for every
+/// emitted field lives in `BENCHMARKS.md`.
+pub mod fleet {
+    use camo_smp::{FleetDriver, FleetPlan, FleetReport};
+    use camo_workloads::TenantSpec;
+
+    /// The standard four-tenant mix (`--smoke` shrinks it to two tenants
+    /// for CI runners: the lmbench baseline plus the switch-heavy mix).
+    pub fn standard_tenants(smoke: bool) -> Vec<TenantSpec> {
+        if smoke {
+            vec![
+                TenantSpec::lmbench("web", 1_600),
+                TenantSpec::tenant_mix("batch", 120),
+            ]
+        } else {
+            vec![
+                TenantSpec::lmbench("web", 8_000),
+                TenantSpec::process_churn("build-farm", 240),
+                TenantSpec::module_churn("driver-ci", 160),
+                TenantSpec::tenant_mix("batch", 400),
+            ]
+        }
+    }
+
+    /// One fleet measurement: the same plan in both execution modes.
+    #[derive(Debug)]
+    pub struct FleetMeasurement {
+        /// The plan that was run.
+        pub plan: FleetPlan,
+        /// The thread-pool run (wall scaling on this host).
+        pub parallel: FleetReport,
+        /// The back-to-back run (isolated per-shard capacity).
+        pub sequential: FleetReport,
+        /// Whether both modes agreed bit for bit on every simulated
+        /// quantity — totals, per-tenant stats, latency histograms.
+        pub identical: bool,
+    }
+
+    /// Runs `tenants` across `shards` machines of `cpus_per_shard` cores,
+    /// both parallel and sequential, and cross-checks the simulated
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn measure(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+    ) -> FleetMeasurement {
+        let mut plan = FleetPlan::new(shards, seed, tenants);
+        plan.cpus_per_shard = cpus_per_shard;
+        let parallel = FleetDriver::drive(&plan).expect("parallel fleet runs");
+        let sequential = FleetDriver::drive_sequential(&plan).expect("sequential fleet runs");
+        let identical = parallel.simulation_identical(&sequential);
+        FleetMeasurement {
+            plan,
+            parallel,
+            sequential,
+            identical,
         }
     }
 }
@@ -365,6 +435,27 @@ mod tests {
         assert!(none < sp, "{none} < {sp}");
         assert!(sp < camo, "{sp} < {camo}");
         assert!(camo < parts, "{camo} < {parts}");
+    }
+
+    #[test]
+    fn fleet_measurement_is_simulation_identical() {
+        use camo_workloads::TenantSpec;
+        let m = fleet::measure(
+            2,
+            2,
+            0xBE4C4,
+            vec![
+                TenantSpec::lmbench("web", 64),
+                TenantSpec::tenant_mix("batch", 8),
+            ],
+        );
+        assert!(m.identical, "fleet execution mode leaked into simulation");
+        assert_eq!(m.parallel.syscalls, m.sequential.syscalls);
+        assert!(m
+            .parallel
+            .tenants
+            .iter()
+            .all(|t| t.totals.latency.p99() > 0));
     }
 
     #[test]

@@ -97,6 +97,32 @@ pub struct CpuStats {
 }
 
 impl CpuStats {
+    /// The counter deltas accumulated since `baseline` was captured —
+    /// the per-operation attribution primitive: snapshot merged stats,
+    /// run an operation, and `delta_since` the snapshot to get exactly
+    /// the work that operation performed. Every field is a monotonic
+    /// counter, so the subtraction is saturating only as a guard against
+    /// mismatched snapshots.
+    pub fn delta_since(&self, baseline: &CpuStats) -> CpuStats {
+        CpuStats {
+            instructions: self.instructions.saturating_sub(baseline.instructions),
+            pac_signs: self.pac_signs.saturating_sub(baseline.pac_signs),
+            pac_auth_ok: self.pac_auth_ok.saturating_sub(baseline.pac_auth_ok),
+            pac_auth_fail: self.pac_auth_fail.saturating_sub(baseline.pac_auth_fail),
+            key_writes: self.key_writes.saturating_sub(baseline.key_writes),
+            exceptions: self.exceptions.saturating_sub(baseline.exceptions),
+            tlb_hits: self.tlb_hits.saturating_sub(baseline.tlb_hits),
+            tlb_misses: self.tlb_misses.saturating_sub(baseline.tlb_misses),
+            icache_hits: self.icache_hits.saturating_sub(baseline.icache_hits),
+            icache_misses: self.icache_misses.saturating_sub(baseline.icache_misses),
+            pac_memo_hits: self.pac_memo_hits.saturating_sub(baseline.pac_memo_hits),
+            pac_memo_misses: self
+                .pac_memo_misses
+                .saturating_sub(baseline.pac_memo_misses),
+            ipis: self.ipis.saturating_sub(baseline.ipis),
+        }
+    }
+
     /// Accumulates `other` into `self` — the cluster/shard aggregation
     /// primitive. Totals (instructions, cache counters, PAC counters) add;
     /// there is no per-field averaging, so merged stats read as "work done

@@ -204,6 +204,14 @@ pub struct Kernel {
     next_file_slot: u64,
     next_work_slot: u64,
     next_tid: Tid,
+    /// Tids released by [`Kernel::exit_task`], reused LIFO by `spawn` so a
+    /// fork/exit churn workload cannot exhaust the fixed stack/task-struct
+    /// VA regions.
+    free_tids: Vec<Tid>,
+    /// Monotonic module-slot allocator (slots freed by
+    /// [`Kernel::unload_module`] are preferred, LIFO).
+    next_module_slot: u64,
+    free_module_slots: Vec<u64>,
 }
 
 /// Pages backing each of the file and work heaps.
@@ -346,6 +354,9 @@ impl Kernel {
             next_file_slot: 0,
             next_work_slot: 0,
             next_tid: 0,
+            free_tids: Vec::new(),
+            next_module_slot: 0,
+            free_module_slots: Vec::new(),
             cfg,
         };
 
@@ -575,23 +586,37 @@ impl Kernel {
     /// Creates a task: kernel stack, `task_struct`, fresh per-thread user
     /// keys (the §2.2 `exec()` behaviour), a user address space with the
     /// shared program text, and a pre-opened `/dev/zero` file at fd ≥ 3.
+    ///
+    /// Tids released by [`Kernel::exit_task`] are reused (LIFO, like PID
+    /// recycling): a recycled tid's kernel stack and `task_struct` pages
+    /// are already mapped and every live field is re-initialised below, so
+    /// a fork/exit storm runs in bounded address space.
     pub fn spawn(&mut self, name: &str) -> Result<Tid, KernelError> {
-        let tid = self.next_tid;
-        self.next_tid += 1;
+        let tid = match self.free_tids.pop() {
+            Some(tid) => tid,
+            None => {
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                tid
+            }
+        };
 
-        // Kernel stack (16 KiB at a 64 KiB stride, §4.2).
+        // Kernel stack (16 KiB at a 64 KiB stride, §4.2). Recycled tids
+        // already have these pages mapped; fresh tids get new frames.
         let stack_base = layout::stack_top(tid) - layout::STACK_SIZE;
         for page in 0..(layout::STACK_SIZE / PAGE_SIZE) {
-            self.mem.map_new(
-                self.kernel_table,
-                stack_base + page * PAGE_SIZE,
-                S1Attr::kernel_data(),
-            );
+            let va = stack_base + page * PAGE_SIZE;
+            if self.mem.table(self.kernel_table).lookup(va).is_none() {
+                self.mem
+                    .map_new(self.kernel_table, va, S1Attr::kernel_data());
+            }
         }
         // task_struct page.
         let ts_va = layout::task_struct_va(tid);
-        self.mem
-            .map_new(self.kernel_table, ts_va, S1Attr::kernel_data());
+        if self.mem.table(self.kernel_table).lookup(ts_va).is_none() {
+            self.mem
+                .map_new(self.kernel_table, ts_va, S1Attr::kernel_data());
+        }
         let kctx = self.mem.kernel_ctx(self.kernel_table);
         self.mem
             .write_u64(&kctx, ts_va + u64::from(task_struct::TID), u64::from(tid))
@@ -742,17 +767,62 @@ impl Kernel {
         Ok(out)
     }
 
+    /// Context-switches a task out of existence: `exit()`. The task's
+    /// entry is removed, its runqueue slot freed, and its tid pushed onto
+    /// the free pool for reuse by a later [`Kernel::spawn`] (PID
+    /// recycling) — which is what keeps a fork/exit churn workload inside
+    /// the fixed stack and `task_struct` VA regions. The kernel stack and
+    /// `task_struct` pages stay mapped for the recycled tid; the user
+    /// address-space table is abandoned (tables are never freed in this
+    /// simulator).
+    ///
+    /// Unlike the §5.4 kill path ([`KernelEvent::TaskKilled`]), a graceful
+    /// exit leaves no dead entry behind for forensics — there is nothing
+    /// to examine.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadTask`] for init (tid 0), a dead task, or an
+    /// unknown tid.
+    pub fn exit_task(&mut self, tid: Tid) -> Result<(), KernelError> {
+        if tid == 0 {
+            return Err(KernelError::BadTask(tid)); // init never exits
+        }
+        let idx = self.task_index(tid)?;
+        self.sched.remove(tid);
+        self.tasks.remove(idx);
+        match self.current.cmp(&idx) {
+            core::cmp::Ordering::Greater => self.current -= 1,
+            core::cmp::Ordering::Equal => self.current = 0, // fall back to init
+            core::cmp::Ordering::Less => {}
+        }
+        self.free_tids.push(tid);
+        self.events.push(KernelEvent::TaskExited { tid });
+        Ok(())
+    }
+
     /// Loads a kernel module: §4.1 static verification first, then map,
-    /// then §4.6 in-kernel signing of its static pointer table.
+    /// then §4.6 in-kernel signing of its static pointer table. Load slots
+    /// freed by [`Kernel::unload_module`] are reused (LIFO) before fresh
+    /// address space is consumed.
     pub fn load_module(
         &mut self,
         program: Program,
         statics: &StaticPointerTable,
     ) -> Result<ModuleHandle, KernelError> {
-        let base = layout::MODULES_BASE + self.modules.len() as u64 * 0x2_0000;
+        let slot = match self.free_module_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.next_module_slot;
+                self.next_module_slot += 1;
+                slot
+            }
+        };
+        let base = layout::MODULES_BASE + slot * layout::MODULE_STRIDE;
         let image = program.link(base);
         let violations = verify_image(&image.to_words());
         if !violations.is_empty() {
+            self.free_module_slots.push(slot); // nothing was mapped
             self.events.push(KernelEvent::ModuleRejected {
                 violations: violations.len(),
             });
@@ -761,6 +831,7 @@ impl Kernel {
             });
         }
         let bytes = image.to_bytes();
+        let pages = bytes.chunks(PAGE_SIZE as usize).len();
         for (page, chunk) in bytes.chunks(PAGE_SIZE as usize).enumerate() {
             let frame = self.mem.map_new(
                 self.kernel_table,
@@ -773,6 +844,8 @@ impl Kernel {
                 .expect("fresh frame backed");
         }
         // Sign the module's statically-initialised pointers in kernel code.
+        // On failure the mapping is rolled back and the slot returned, so
+        // a hostile statics table cannot leak module address space.
         if self.protected() && self.codegen_cfg.protect_pointers {
             for entry in statics.entries() {
                 let sym = match entry.key {
@@ -780,14 +853,21 @@ impl Kernel {
                     _ => "sign_slot_db",
                 };
                 let f = self.symbol(sym);
-                self.kexec(
+                if let Err(e) = self.kexec(
                     f,
                     &[
                         entry.object_base(),
                         entry.location,
                         u64::from(entry.type_const),
                     ],
-                )?;
+                ) {
+                    for page in 0..pages {
+                        self.mem
+                            .unmap(self.kernel_table, base + page as u64 * PAGE_SIZE);
+                    }
+                    self.free_module_slots.push(slot);
+                    return Err(e);
+                }
             }
         }
         let handle = ModuleHandle {
@@ -796,6 +876,38 @@ impl Kernel {
         };
         self.modules.push(handle.clone());
         Ok(handle)
+    }
+
+    /// Unloads a module: unmaps every page of its text from the kernel
+    /// table (the TLB-generation bump makes any cached translation of the
+    /// module unservable from the next fetch on any core — the shootdown
+    /// half of `delete_module`) and returns its load slot to the free pool
+    /// for reuse by the next [`Kernel::load_module`]. Physical frames are
+    /// not recycled, matching the simulator-wide frame discipline.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadTask`] is never returned; an unknown `base_va`
+    /// yields [`KernelError::ModuleRejected`] with one pseudo-violation so
+    /// callers get a descriptive error without a new variant.
+    pub fn unload_module(&mut self, base_va: u64) -> Result<(), KernelError> {
+        let Some(idx) = self.modules.iter().position(|m| m.base_va == base_va) else {
+            return Err(KernelError::ModuleRejected {
+                violations: vec![format!("no module loaded at {base_va:#x}")],
+            });
+        };
+        let handle = self.modules.remove(idx);
+        let pages = handle.image.to_bytes().len().div_ceil(PAGE_SIZE as usize);
+        for page in 0..pages {
+            let unmapped = self
+                .mem
+                .unmap(self.kernel_table, base_va + page as u64 * PAGE_SIZE);
+            debug_assert!(unmapped, "module pages were mapped at load");
+        }
+        self.free_module_slots
+            .push((base_va - layout::MODULES_BASE) / layout::MODULE_STRIDE);
+        self.events.push(KernelEvent::ModuleUnloaded { base_va });
+        Ok(())
     }
 
     /// Executes a kernel function at EL1 with the current task's stack,
@@ -1289,5 +1401,112 @@ mod tests {
         let out = k.kexec(entry, &[41]).expect("module code runs");
         assert_eq!(out.x0, 42);
         assert!(out.fault.is_none());
+    }
+
+    #[test]
+    fn exited_tids_are_recycled() {
+        let mut k = booted(ProtectionLevel::Full);
+        let a = k.spawn("a").unwrap();
+        assert!(k.run_user(a, "stub", 1, 172, 0).unwrap().fault.is_none());
+        k.exit_task(a).expect("graceful exit");
+        assert!(
+            k.tasks().all(|t| t.tid != a),
+            "exited task leaves no entry behind"
+        );
+        assert!(matches!(
+            k.run_user(a, "stub", 1, 172, 0),
+            Err(KernelError::BadTask(_))
+        ));
+        // The next fork reuses the tid (bounded stack/task-struct VA), and
+        // the recycled task is fully functional with fresh user keys.
+        let b = k.spawn("b").unwrap();
+        assert_eq!(b, a, "tid recycled LIFO");
+        let out = k.run_user(b, "stub", 2, 63, 3).unwrap();
+        assert!(out.fault.is_none());
+        assert_eq!(out.syscalls, 2);
+    }
+
+    #[test]
+    fn exit_task_refuses_init_and_the_dead() {
+        let mut k = booted(ProtectionLevel::Full);
+        assert!(matches!(k.exit_task(0), Err(KernelError::BadTask(0))));
+        let a = k.spawn("a").unwrap();
+        k.exit_task(a).unwrap();
+        assert!(matches!(k.exit_task(a), Err(KernelError::BadTask(_))));
+    }
+
+    #[test]
+    fn fork_exit_storm_stays_in_bounded_va() {
+        // 200 spawn/exit cycles would blow through the 64-entry stack
+        // stride region without tid recycling.
+        let mut k = booted(ProtectionLevel::Full);
+        for round in 0..200 {
+            let tid = k.spawn(&format!("churn-{round}")).unwrap();
+            assert!(tid < 4, "recycling keeps the tid space dense, got {tid}");
+            let out = k.run_user(tid, "stub", 1, 172, 0).unwrap();
+            assert_eq!(out.x0, u64::from(tid), "getpid sees the recycled tid");
+            k.exit_task(tid).unwrap();
+        }
+    }
+
+    fn tiny_module(k: &Kernel, name: &str) -> Program {
+        let cfg = k.codegen_config();
+        let mut p = Program::new(cfg);
+        let mut f = camo_codegen::FunctionBuilder::new(name, cfg).locals(32);
+        f.ins(camo_isa::Insn::AddImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 2,
+            shifted: false,
+        });
+        p.push(f.build());
+        p
+    }
+
+    #[test]
+    fn unloaded_module_slot_is_reused_and_unmapped() {
+        let mut k = booted(ProtectionLevel::Full);
+        let p = tiny_module(&k, "gen0_init");
+        let first = k.load_module(p, &StaticPointerTable::new()).unwrap();
+        k.unload_module(first.base_va).expect("unload");
+        assert!(k.modules().is_empty());
+        assert!(
+            k.mem()
+                .table(k.kernel_table())
+                .lookup(first.base_va)
+                .is_none(),
+            "module text must be unmapped after unload"
+        );
+        assert!(matches!(
+            k.events().last(),
+            Some(KernelEvent::ModuleUnloaded { .. })
+        ));
+        // The slot comes back: the next load lands at the same base.
+        let p = tiny_module(&k, "gen1_init");
+        let second = k.load_module(p, &StaticPointerTable::new()).unwrap();
+        assert_eq!(second.base_va, first.base_va, "slot recycled");
+        let entry = second.image.symbol("gen1_init").unwrap();
+        assert_eq!(k.kexec(entry, &[40]).unwrap().x0, 42);
+    }
+
+    #[test]
+    fn unload_of_unknown_base_is_an_error() {
+        let mut k = booted(ProtectionLevel::Full);
+        assert!(k.unload_module(layout::MODULES_BASE).is_err());
+    }
+
+    #[test]
+    fn module_churn_stays_in_bounded_va() {
+        let mut k = booted(ProtectionLevel::Full);
+        let mut last = None;
+        for round in 0..32 {
+            let p = tiny_module(&k, &format!("churn{round}_init"));
+            let h = k.load_module(p, &StaticPointerTable::new()).unwrap();
+            if let Some(prev) = last {
+                assert_eq!(h.base_va, prev, "load/unload churn reuses one slot");
+            }
+            last = Some(h.base_va);
+            k.unload_module(h.base_va).unwrap();
+        }
     }
 }

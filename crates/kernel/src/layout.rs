@@ -24,6 +24,10 @@ pub const KDATA_BASE: u64 = KERNEL_BASE + 0x40_0000;
 pub const STACKS_BASE: u64 = KERNEL_BASE + 0x80_0000;
 /// Loadable module text area.
 pub const MODULES_BASE: u64 = KERNEL_BASE + 0x100_0000;
+/// Stride between module load slots (128 KiB — also the maximum module
+/// image size). `load_module` allocates slots at
+/// `MODULES_BASE + slot * MODULE_STRIDE`; `unload_module` inverts it.
+pub const MODULE_STRIDE: u64 = 0x2_0000;
 
 /// Task stack size (16 KiB, §4.2).
 pub const STACK_SIZE: u64 = 4 * PAGE_SIZE;

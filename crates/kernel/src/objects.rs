@@ -203,6 +203,18 @@ pub enum KernelEvent {
         /// Destination CPU.
         to: usize,
     },
+    /// A task exited gracefully (`exit()`, as opposed to being killed);
+    /// its tid returns to the free pool for reuse by a later `fork`.
+    TaskExited {
+        /// The exiting task.
+        tid: Tid,
+    },
+    /// A module was unloaded: its text unmapped (with the TLB-generation
+    /// bump acting as the shootdown) and its load slot freed for reuse.
+    ModuleUnloaded {
+        /// The unloaded module's base VA.
+        base_va: u64,
+    },
 }
 
 #[cfg(test)]

@@ -339,6 +339,22 @@ impl Memory {
         self.bump_generation();
     }
 
+    /// Removes the stage-1 mapping of `va`'s page from `table`, returning
+    /// whether a mapping existed. The generation bump makes any cached
+    /// translation of the page unservable from the very next access on any
+    /// core — the module-unload path relies on this to guarantee that
+    /// unloaded kernel text can never be fetched again.
+    ///
+    /// The backing frame is *not* freed (physical frames are never
+    /// recycled in this simulator); only the translation disappears.
+    pub fn unmap(&mut self, table: TableId, va: u64) -> bool {
+        let removed = self.tables[table.0].unmap(va).is_some();
+        if removed {
+            self.bump_generation();
+        }
+        removed
+    }
+
     /// Changes the stage-1 attributes of a mapped page.
     pub fn set_attr(&mut self, table: TableId, va: u64, attr: S1Attr) -> bool {
         let changed = self.tables[table.0].set_attr(va, attr);

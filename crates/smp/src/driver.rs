@@ -1,35 +1,41 @@
-//! The host-parallel sharding layer: many machines, many host threads.
+//! The host-parallel fleet layer: many machines, many host threads, many
+//! tenants.
 //!
 //! A single simulated machine is inherently serial — determinism comes
 //! from one interleaving of one instruction stream. Throughput therefore
 //! scales by running *independent* machines in parallel: each shard boots
 //! its own machine (or cluster) from a seed derived deterministically from
-//! the plan seed, serves its deterministic slice of the syscall workload,
-//! and the driver merges the per-shard counters. Nothing is shared between
-//! shards, so the scaling is embarrassingly parallel and the merged
-//! simulated totals are identical for every shard count.
+//! the plan seed, serves its deterministic slice of every tenant's
+//! workload, and the driver merges the per-shard counters in shard order.
+//! Nothing is shared between shards, so the scaling is embarrassingly
+//! parallel and the merged simulated totals — including every tenant's
+//! latency histogram — are identical for every execution mode.
+//!
+//! [`FleetDriver`] is the general engine: an arbitrary mix of
+//! [`camo_workloads::Workload`] tenants with per-tenant quotas, round-robin
+//! interleaved on every shard, with per-tenant
+//! [`camo_cpu::CpuStats`]/cycle attribution and simulated-cycle latency
+//! percentiles. [`ShardedDriver`] survives as a thin deprecated alias that
+//! runs the single-tenant lmbench mix with the PR-3 `TrafficPlan`
+//! semantics.
 
 use crate::cluster::Cluster;
 use camo_core::ProtectionLevel;
 use camo_cpu::CpuStats;
-use camo_kernel::{KernelConfig, KernelError, Tid, SYSCALLS};
+use camo_kernel::{KernelConfig, KernelError};
+use camo_workloads::{tenant_seed, Quota, TenantRun, TenantSpec, TenantTotals};
 use std::time::Instant;
-
-/// Syscalls issued per `run_user` call (one user-mode entry/exit per
-/// syscall regardless; batching only amortizes host-side call overhead).
-const BATCH: u64 = 16;
 
 /// Derives the boot seed of shard `index` from the plan seed
 /// (splitmix64 — deterministic, well-spread, stable across runs).
 pub fn shard_seed(base: u64, index: usize) -> u64 {
-    let mut z = base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    camo_workloads::derive_seed(base, index as u64)
 }
 
 /// A sharded traffic workload: the lmbench syscall mix, partitioned.
+///
+/// The PR-3 plan shape, kept for the [`ShardedDriver`] compatibility
+/// alias; new code should build a [`FleetPlan`] directly.
 #[derive(Debug, Clone)]
 pub struct TrafficPlan {
     /// Number of independent machines (host threads).
@@ -62,9 +68,19 @@ impl TrafficPlan {
 
     /// The syscall quota of shard `index`.
     pub fn quota(&self, index: usize) -> u64 {
-        let base = self.total_syscalls / self.shards as u64;
-        let extra = self.total_syscalls % self.shards as u64;
-        base + u64::from((index as u64) < extra)
+        Quota::Syscalls(self.total_syscalls).share(self.shards, index)
+    }
+
+    /// The equivalent single-tenant [`FleetPlan`].
+    pub fn to_fleet(&self) -> FleetPlan {
+        FleetPlan {
+            shards: self.shards,
+            cpus_per_shard: self.cpus_per_shard,
+            seed: self.seed,
+            protection: self.protection,
+            fast_caches: self.fast_caches,
+            tenants: vec![TenantSpec::lmbench("lmbench", self.total_syscalls)],
+        }
     }
 }
 
@@ -84,9 +100,9 @@ pub struct ShardReport {
     /// Merged counters of the shard's cores.
     pub stats: CpuStats,
     /// This shard's own boot + serve duration, measured in whichever
-    /// thread ran it. Under [`ShardedDriver::drive`] this includes host
-    /// contention; under [`ShardedDriver::drive_sequential`] the shard ran
-    /// alone, so `instructions / wall_secs` is its isolated capacity.
+    /// thread ran it. Under a parallel drive this includes host
+    /// contention; under a sequential drive the shard ran alone, so
+    /// `instructions / wall_secs` is its isolated capacity.
     pub wall_secs: f64,
 }
 
@@ -116,11 +132,10 @@ impl TrafficReport {
     }
 
     /// Aggregate shard capacity: the sum of each shard's own
-    /// `instructions / wall_secs` rate. Measured from a
-    /// [`ShardedDriver::drive_sequential`] run (shards timed in
-    /// isolation), this is the pool's aggregate service rate given one
-    /// unloaded core per shard; on a host with at least that many idle
-    /// cores the parallel wall rate converges to it.
+    /// `instructions / wall_secs` rate. Measured from a sequential run
+    /// (shards timed in isolation), this is the pool's aggregate service
+    /// rate given one unloaded core per shard; on a host with at least
+    /// that many idle cores the parallel wall rate converges to it.
     pub fn capacity_steps_per_sec(&self) -> f64 {
         self.shards
             .iter()
@@ -129,15 +144,150 @@ impl TrafficReport {
     }
 }
 
-/// Runs [`TrafficPlan`]s across a pool of host threads, one per shard.
-#[derive(Debug)]
-pub struct ShardedDriver;
+/// A multi-tenant fleet: an arbitrary workload mix across shards.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// Number of independent machines (host threads).
+    pub shards: usize,
+    /// Cores per shard machine.
+    pub cpus_per_shard: usize,
+    /// Base seed; shard `i` boots with [`shard_seed`]`(seed, i)` and
+    /// tenant `t` on shard `i` draws ops from
+    /// [`tenant_seed`]`(seed, i, t)`.
+    pub seed: u64,
+    /// Protection level of every shard machine.
+    pub protection: ProtectionLevel,
+    /// Fast-path caches on every shard machine.
+    pub fast_caches: bool,
+    /// The tenants, served round-robin on every shard; each tenant's
+    /// quota is split across shards like [`TrafficPlan`] syscalls.
+    pub tenants: Vec<TenantSpec>,
+}
 
-impl ShardedDriver {
+impl FleetPlan {
+    /// A fully protected single-core-shard plan with caches on.
+    pub fn new(shards: usize, seed: u64, tenants: Vec<TenantSpec>) -> FleetPlan {
+        FleetPlan {
+            shards,
+            cpus_per_shard: 1,
+            seed,
+            protection: ProtectionLevel::Full,
+            fast_caches: true,
+            tenants,
+        }
+    }
+}
+
+/// One tenant's merged service (per shard, or fleet-wide after merging).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name (from the [`TenantSpec`]).
+    pub name: String,
+    /// The workload implementation's name.
+    pub workload: String,
+    /// The tenant's accumulated service: ops, syscalls,
+    /// instructions/cycles, full [`camo_cpu::CpuStats`] deltas, and the
+    /// per-op simulated-cycle [`camo_workloads::LatencyHistogram`]
+    /// (p50/p90/p99 via its `percentile`).
+    pub totals: TenantTotals,
+}
+
+impl TenantReport {
+    fn merge(&mut self, other: &TenantReport) {
+        debug_assert_eq!(self.name, other.name);
+        self.totals.merge(&other.totals);
+    }
+}
+
+/// What one shard of a fleet did.
+#[derive(Debug, Clone)]
+pub struct FleetShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The seed its machine booted with.
+    pub seed: u64,
+    /// Per-tenant service, in plan tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Syscalls served across all tenants.
+    pub syscalls: u64,
+    /// Simulated instructions across all tenants.
+    pub instructions: u64,
+    /// Simulated cycles across all tenants.
+    pub cycles: u64,
+    /// All tenants' counters merged.
+    pub stats: CpuStats,
+    /// This shard's own boot + serve duration (see
+    /// [`ShardReport::wall_secs`] for the parallel/sequential reading).
+    pub wall_secs: f64,
+}
+
+/// The merged outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<FleetShardReport>,
+    /// Per-tenant service merged across shards, in plan tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Total syscalls served.
+    pub syscalls: u64,
+    /// Total simulated instructions.
+    pub instructions: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Every core of every shard merged.
+    pub stats: CpuStats,
+    /// Host wall-clock seconds for the whole fan-out.
+    pub wall_secs: f64,
+}
+
+impl FleetReport {
+    /// Aggregate simulated instructions per host wall second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Aggregate shard capacity (sum of isolated per-shard rates; see
+    /// [`TrafficReport::capacity_steps_per_sec`]).
+    pub fn capacity_steps_per_sec(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.instructions as f64 / s.wall_secs.max(1e-9))
+            .sum()
+    }
+
+    /// Whether two runs of the same plan produced bit-identical simulated
+    /// totals — the fleet-level invariant `perfcheck --fleet` gates on.
+    /// Wall-clock fields are excluded; everything simulated (per-tenant
+    /// counters, histograms, merged stats) must agree exactly.
+    pub fn simulation_identical(&self, other: &FleetReport) -> bool {
+        self.syscalls == other.syscalls
+            && self.instructions == other.instructions
+            && self.cycles == other.cycles
+            && self.stats == other.stats
+            && self.tenants == other.tenants
+            && self.shards.len() == other.shards.len()
+            && self.shards.iter().zip(&other.shards).all(|(a, b)| {
+                a.shard == b.shard
+                    && a.seed == b.seed
+                    && a.syscalls == b.syscalls
+                    && a.instructions == b.instructions
+                    && a.cycles == b.cycles
+                    && a.stats == b.stats
+                    && a.tenants == b.tenants
+            })
+    }
+}
+
+/// Runs [`FleetPlan`]s across a pool of host threads, one per shard.
+#[derive(Debug)]
+pub struct FleetDriver;
+
+impl FleetDriver {
     /// Executes `plan`: boots every shard machine, serves each shard's
-    /// quota of the lmbench syscall mix, and merges the results. Shards
-    /// run on their own host threads; reports are merged in shard order,
-    /// so everything except `wall_secs` is deterministic in the plan.
+    /// share of every tenant's quota (tenants round-robin within the
+    /// shard), and merges the results in shard order. Shards run on their
+    /// own host threads; everything except `wall_secs` is deterministic
+    /// in the plan.
     ///
     /// # Errors
     ///
@@ -145,12 +295,12 @@ impl ShardedDriver {
     ///
     /// # Panics
     ///
-    /// Panics if the plan has zero shards or zero CPUs per shard.
-    pub fn drive(plan: &TrafficPlan) -> Result<TrafficReport, KernelError> {
-        assert!(plan.shards > 0, "at least one shard");
-        assert!(plan.cpus_per_shard > 0, "at least one CPU per shard");
+    /// Panics if the plan has zero shards, zero CPUs per shard, or no
+    /// tenants.
+    pub fn drive(plan: &FleetPlan) -> Result<FleetReport, KernelError> {
+        Self::check(plan);
         let start = Instant::now();
-        let mut results: Vec<Option<Result<ShardReport, KernelError>>> =
+        let mut results: Vec<Option<Result<FleetShardReport, KernelError>>> =
             (0..plan.shards).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -170,18 +320,21 @@ impl ShardedDriver {
 
     /// Executes `plan` with every shard run back to back on the calling
     /// thread. The simulated totals are bit-identical to
-    /// [`ShardedDriver::drive`] (shards share nothing, so the execution
+    /// [`FleetDriver::drive`] (shards share nothing, so the execution
     /// mode is invisible to the simulation); only the wall-clock profile
     /// differs. Each shard's `wall_secs` is its isolated runtime, so
-    /// [`TrafficReport::capacity_steps_per_sec`] from this mode measures
+    /// [`FleetReport::capacity_steps_per_sec`] from this mode measures
     /// true per-shard capacity free of host contention.
     ///
     /// # Errors
     ///
     /// Propagates the first shard failure.
-    pub fn drive_sequential(plan: &TrafficPlan) -> Result<TrafficReport, KernelError> {
-        assert!(plan.shards > 0, "at least one shard");
-        assert!(plan.cpus_per_shard > 0, "at least one CPU per shard");
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`FleetDriver::drive`].
+    pub fn drive_sequential(plan: &FleetPlan) -> Result<FleetReport, KernelError> {
+        Self::check(plan);
         let start = Instant::now();
         let mut shards = Vec::with_capacity(plan.shards);
         for shard in 0..plan.shards {
@@ -190,17 +343,30 @@ impl ShardedDriver {
         Ok(Self::merge(shards, start.elapsed().as_secs_f64()))
     }
 
-    fn merge(shards: Vec<ShardReport>, wall_secs: f64) -> TrafficReport {
+    fn check(plan: &FleetPlan) {
+        assert!(plan.shards > 0, "at least one shard");
+        assert!(plan.cpus_per_shard > 0, "at least one CPU per shard");
+        assert!(!plan.tenants.is_empty(), "at least one tenant");
+    }
+
+    fn merge(shards: Vec<FleetShardReport>, wall_secs: f64) -> FleetReport {
         let mut stats = CpuStats::default();
         let (mut syscalls, mut instructions, mut cycles) = (0, 0, 0);
+        let mut tenants: Vec<TenantReport> = shards[0].tenants.clone();
+        for report in &shards[1..] {
+            for (merged, tenant) in tenants.iter_mut().zip(&report.tenants) {
+                merged.merge(tenant);
+            }
+        }
         for report in &shards {
             stats.merge(&report.stats);
             syscalls += report.syscalls;
             instructions += report.instructions;
             cycles += report.cycles;
         }
-        TrafficReport {
+        FleetReport {
             shards,
+            tenants,
             syscalls,
             instructions,
             cycles,
@@ -209,55 +375,172 @@ impl ShardedDriver {
         }
     }
 
-    /// One shard: boot, spawn one task per core, serve the quota by
-    /// cycling the syscall mix round-robin across the tasks.
-    fn run_shard(plan: &TrafficPlan, shard: usize) -> Result<ShardReport, KernelError> {
+    /// One shard: boot a machine whose user image carries every tenant's
+    /// blocks, set each tenant up with its own tasks and op stream, then
+    /// serve quotas round-robin — one op per live tenant per turn, so
+    /// tenants contend for the machine the way co-located services do.
+    fn run_shard(plan: &FleetPlan, shard: usize) -> Result<FleetShardReport, KernelError> {
         let start = Instant::now();
-        let seed = shard_seed(plan.seed, shard);
+        let boot_seed = shard_seed(plan.seed, shard);
+
+        // Workload instances first: their user blocks must be compiled
+        // into the machine's user image at boot.
+        let workloads: Vec<_> = plan.tenants.iter().map(TenantSpec::build).collect();
         let mut cfg = KernelConfig::with_protection(plan.protection);
         cfg.cpus = plan.cpus_per_shard;
-        cfg.seed = seed;
+        cfg.seed = boot_seed;
         cfg.fast_caches = plan.fast_caches;
+        for workload in &workloads {
+            for (name, alu, mem) in workload.user_blocks() {
+                match cfg.user_blocks.iter().find(|(n, _, _)| *n == name) {
+                    // Identical redeclarations are fine (two tenants of
+                    // the same mix); conflicting sizes under one name
+                    // would silently misattribute work, so fail loudly.
+                    Some((_, a, m)) => assert_eq!(
+                        (*a, *m),
+                        (alu, mem),
+                        "user block {name:?} declared twice with different sizes"
+                    ),
+                    None => cfg.user_blocks.push((name, alu, mem)),
+                }
+            }
+        }
         let mut cluster = Cluster::boot(cfg)?;
+        let kernel = cluster.kernel_mut();
 
-        // init (tid 0) lives on CPU 0; give every other core a task so the
-        // whole cluster serves traffic.
-        let mut tids: Vec<Tid> = vec![0];
-        for cpu in 1..plan.cpus_per_shard {
-            let (tid, home) = cluster.spawn(&format!("traffic-{cpu}"))?;
-            debug_assert_eq!(home, cpu);
-            tids.push(tid);
+        let mut runs = Vec::with_capacity(plan.tenants.len());
+        let mut remaining = Vec::with_capacity(plan.tenants.len());
+        for (idx, (spec, workload)) in plan.tenants.iter().zip(workloads).enumerate() {
+            runs.push(TenantRun::new(
+                spec.name.clone(),
+                workload,
+                kernel,
+                tenant_seed(plan.seed, shard, idx),
+            )?);
+            remaining.push(spec.quota.share(plan.shards, shard));
         }
 
-        let mut remaining = plan.quota(shard);
-        let (mut served, mut instructions) = (0u64, 0u64);
-        let mut turn = 0usize;
-        while remaining > 0 {
-            let spec = &SYSCALLS[turn % SYSCALLS.len()];
-            let tid = tids[turn % tids.len()];
-            let batch = BATCH.min(remaining);
-            let out = cluster.run_task(tid, batch, spec.nr, 3)?;
-            debug_assert!(out.fault.is_none(), "benign traffic must not fault");
-            served += out.syscalls;
-            instructions += out.instructions;
-            remaining -= batch;
-            turn += 1;
+        loop {
+            let mut progressed = false;
+            for (idx, run) in runs.iter_mut().enumerate() {
+                if remaining[idx] == 0 {
+                    continue;
+                }
+                progressed = true;
+                let clamp = match plan.tenants[idx].quota {
+                    Quota::Syscalls(_) => Some(remaining[idx]),
+                    Quota::Ops(_) => None,
+                };
+                let report = run.step(kernel, clamp)?;
+                remaining[idx] -= match plan.tenants[idx].quota {
+                    Quota::Ops(_) => 1,
+                    Quota::Syscalls(_) => report.syscalls.max(1).min(remaining[idx]),
+                };
+            }
+            if !progressed {
+                break;
+            }
         }
 
-        let stats = cluster.stats();
-        Ok(ShardReport {
+        let mut stats = CpuStats::default();
+        let (mut syscalls, mut instructions, mut cycles) = (0, 0, 0);
+        let tenants: Vec<TenantReport> = runs
+            .into_iter()
+            .map(|run| {
+                let workload = run.workload_name().to_string();
+                let name = run.name().to_string();
+                let totals = run.into_totals();
+                stats.merge(&totals.stats);
+                syscalls += totals.syscalls;
+                instructions += totals.instructions;
+                cycles += totals.cycles;
+                TenantReport {
+                    name,
+                    workload,
+                    totals,
+                }
+            })
+            .collect();
+
+        Ok(FleetShardReport {
             shard,
-            seed,
-            syscalls: served,
+            seed: boot_seed,
+            tenants,
+            syscalls,
             instructions,
-            cycles: stats.cycles,
-            stats: stats.merged,
+            cycles,
+            stats,
             wall_secs: start.elapsed().as_secs_f64(),
         })
     }
 }
 
+/// Runs [`TrafficPlan`]s across a pool of host threads, one per shard.
+///
+/// Since PR 4 this is a thin compatibility alias: every drive builds the
+/// equivalent single-tenant lmbench [`FleetPlan`] and runs it through
+/// [`FleetDriver`], then flattens the per-tenant reports back into the
+/// PR-3 [`TrafficReport`] shape.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FleetDriver with a FleetPlan (TrafficPlan::to_fleet gives the lmbench equivalent)"
+)]
+#[derive(Debug)]
+pub struct ShardedDriver;
+
+#[allow(deprecated)]
+impl ShardedDriver {
+    /// Executes `plan` on the thread pool. See [`FleetDriver::drive`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure (by shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has zero shards or zero CPUs per shard.
+    pub fn drive(plan: &TrafficPlan) -> Result<TrafficReport, KernelError> {
+        Ok(Self::flatten(FleetDriver::drive(&plan.to_fleet())?))
+    }
+
+    /// Executes `plan` back to back on the calling thread. See
+    /// [`FleetDriver::drive_sequential`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn drive_sequential(plan: &TrafficPlan) -> Result<TrafficReport, KernelError> {
+        Ok(Self::flatten(FleetDriver::drive_sequential(
+            &plan.to_fleet(),
+        )?))
+    }
+
+    fn flatten(report: FleetReport) -> TrafficReport {
+        TrafficReport {
+            syscalls: report.syscalls,
+            instructions: report.instructions,
+            cycles: report.cycles,
+            stats: report.stats,
+            wall_secs: report.wall_secs,
+            shards: report
+                .shards
+                .into_iter()
+                .map(|s| ShardReport {
+                    shard: s.shard,
+                    seed: s.seed,
+                    syscalls: s.syscalls,
+                    instructions: s.instructions,
+                    cycles: s.cycles,
+                    stats: s.stats,
+                    wall_secs: s.wall_secs,
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

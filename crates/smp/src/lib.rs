@@ -13,12 +13,15 @@
 //!   per-CPU runqueues with migration and balancing, and IPIs for
 //!   reschedule/TLB-shootdown. A 1-CPU cluster is bit-identical to
 //!   [`camo_core::Machine`].
-//! * **Host-parallel sharding** — [`ShardedDriver`]: M independent
-//!   machines (each optionally a cluster) on host threads, a syscall
-//!   workload partitioned deterministically by seed, and merged
-//!   [`camo_cpu::CpuStats`]/cycle totals. This is where wall-clock
-//!   throughput scales; within one machine the cores interleave
-//!   deterministically on a single host thread.
+//! * **Host-parallel fleet** — [`FleetDriver`]: M independent machines
+//!   (each optionally a cluster) on host threads serving an arbitrary mix
+//!   of [`camo_workloads::Workload`] tenants, every quota partitioned
+//!   deterministically by seed, with per-tenant
+//!   [`camo_cpu::CpuStats`]/cycle attribution and simulated-cycle latency
+//!   percentiles. This is where wall-clock throughput scales; within one
+//!   machine the cores interleave deterministically on a single host
+//!   thread. The PR-3 `ShardedDriver` survives as a thin deprecated alias
+//!   running the single-tenant lmbench mix.
 //!
 //! # Example
 //!
@@ -40,4 +43,9 @@ mod cluster;
 mod driver;
 
 pub use cluster::{Cluster, ClusterStats};
-pub use driver::{shard_seed, ShardReport, ShardedDriver, TrafficPlan, TrafficReport};
+#[allow(deprecated)]
+pub use driver::ShardedDriver;
+pub use driver::{
+    shard_seed, FleetDriver, FleetPlan, FleetReport, FleetShardReport, ShardReport, TenantReport,
+    TrafficPlan, TrafficReport,
+};

@@ -1,0 +1,159 @@
+//! Acceptance properties of the multi-tenant fleet driver: a mixed-tenant
+//! plan's parallel and sequential runs are bit-identical in *everything*
+//! simulated — totals, per-tenant counters, and latency histograms — and
+//! tenant accounting is exact.
+
+use camo_smp::{FleetDriver, FleetPlan};
+use camo_workloads::TenantSpec;
+
+fn mixed_plan(shards: usize, cpus: usize, seed: u64) -> FleetPlan {
+    let mut plan = FleetPlan::new(
+        shards,
+        seed,
+        vec![
+            TenantSpec::lmbench("web", 96),
+            TenantSpec::process_churn("build-farm", 8),
+            TenantSpec::module_churn("driver-ci", 6),
+            TenantSpec::tenant_mix("batch", 10),
+        ],
+    );
+    plan.cpus_per_shard = cpus;
+    plan
+}
+
+#[test]
+fn parallel_and_sequential_fleets_are_bit_identical() {
+    let plan = mixed_plan(3, 2, 0xF1EE7);
+    let par = FleetDriver::drive(&plan).expect("parallel fleet runs");
+    let seq = FleetDriver::drive_sequential(&plan).expect("sequential fleet runs");
+    assert!(
+        par.simulation_identical(&seq),
+        "execution mode leaked into the simulation"
+    );
+    // Spot-check that the identity covers the interesting structure, not
+    // just the top-line sums.
+    for (p, s) in par.tenants.iter().zip(&seq.tenants) {
+        assert_eq!(
+            p.totals.latency, s.totals.latency,
+            "tenant {} histogram",
+            p.name
+        );
+        assert_eq!(p.totals.stats, s.totals.stats, "tenant {} stats", p.name);
+        assert_eq!(
+            (
+                p.totals.latency.p50(),
+                p.totals.latency.p90(),
+                p.totals.latency.p99()
+            ),
+            (
+                s.totals.latency.p50(),
+                s.totals.latency.p90(),
+                s.totals.latency.p99()
+            ),
+            "tenant {} percentiles",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn fleet_runs_are_deterministic_in_the_plan() {
+    let plan = mixed_plan(2, 1, 77);
+    let a = FleetDriver::drive(&plan).expect("fleet runs");
+    let b = FleetDriver::drive(&plan).expect("fleet runs again");
+    assert!(a.simulation_identical(&b));
+    let other = FleetDriver::drive(&mixed_plan(2, 1, 78)).expect("other seed runs");
+    assert_ne!(
+        a.cycles, other.cycles,
+        "a different seed must reshuffle the op streams"
+    );
+}
+
+#[test]
+fn tenant_accounting_is_exact() {
+    let plan = mixed_plan(2, 2, 31);
+    let report = FleetDriver::drive_sequential(&plan).expect("fleet runs");
+
+    // Quotas are honored exactly.
+    let by_name: std::collections::HashMap<_, _> = report
+        .tenants
+        .iter()
+        .map(|t| (t.name.as_str(), t))
+        .collect();
+    assert_eq!(
+        by_name["web"].totals.syscalls, 96,
+        "syscall quota hit exactly"
+    );
+    assert_eq!(by_name["build-farm"].totals.ops, 8);
+    assert_eq!(by_name["driver-ci"].totals.ops, 6);
+    assert_eq!(by_name["batch"].totals.ops, 10);
+
+    // Tenant sums equal fleet totals (no work is unattributed or
+    // double-counted).
+    assert_eq!(
+        report.tenants.iter().map(|t| t.totals.cycles).sum::<u64>(),
+        report.cycles
+    );
+    assert_eq!(
+        report
+            .tenants
+            .iter()
+            .map(|t| t.totals.instructions)
+            .sum::<u64>(),
+        report.instructions
+    );
+    assert_eq!(
+        report
+            .tenants
+            .iter()
+            .map(|t| t.totals.syscalls)
+            .sum::<u64>(),
+        report.syscalls
+    );
+
+    // Every tenant has a real latency distribution.
+    for t in &report.tenants {
+        assert_eq!(
+            t.totals.latency.count(),
+            t.totals.ops,
+            "{}: one sample per op",
+            t.name
+        );
+        assert!(t.totals.latency.p50() > 0, "{}", t.name);
+        assert!(
+            t.totals.latency.p50() <= t.totals.latency.p90(),
+            "{}",
+            t.name
+        );
+        assert!(
+            t.totals.latency.p90() <= t.totals.latency.p99(),
+            "{}",
+            t.name
+        );
+    }
+
+    // The workload names made it through.
+    assert_eq!(by_name["web"].workload, "lmbench-mix");
+    assert_eq!(by_name["build-farm"].workload, "fork-exec-churn");
+    assert_eq!(by_name["driver-ci"].workload, "module-churn");
+    assert_eq!(by_name["batch"].workload, "tenant-switch-mix");
+}
+
+#[test]
+#[allow(deprecated)]
+fn sharded_driver_alias_matches_a_single_tenant_fleet() {
+    use camo_smp::{ShardedDriver, TrafficPlan};
+    let traffic = TrafficPlan::new(2, 64, 2024);
+    let legacy = ShardedDriver::drive_sequential(&traffic).expect("alias runs");
+    let fleet = FleetDriver::drive_sequential(&traffic.to_fleet()).expect("fleet runs");
+    assert_eq!(legacy.syscalls, fleet.syscalls);
+    assert_eq!(legacy.instructions, fleet.instructions);
+    assert_eq!(legacy.cycles, fleet.cycles);
+    assert_eq!(legacy.stats, fleet.stats);
+    for (l, f) in legacy.shards.iter().zip(&fleet.shards) {
+        assert_eq!(
+            (l.shard, l.seed, l.syscalls, l.cycles),
+            (f.shard, f.seed, f.syscalls, f.cycles)
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! The op executor: applies a tenant's [`Op`] stream to one machine and
+//! attributes every simulated cycle to the tenant.
+
+use crate::hist::LatencyHistogram;
+use crate::workload::{Op, Workload};
+use camo_codegen::{FunctionBuilder, Program, StaticPointerTable};
+use camo_cpu::CpuStats;
+use camo_isa::{Insn, Reg};
+use camo_kernel::{Kernel, KernelError, Tid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What one executed [`Op`] did, in simulated quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpReport {
+    /// Syscalls served by the op.
+    pub syscalls: u64,
+    /// Simulated instructions the op retired (whole-machine delta — it
+    /// includes kernel-internal calls like `task_init_sp` or module
+    /// signing the op triggered).
+    pub instructions: u64,
+    /// Simulated cycles the op consumed (whole-machine delta).
+    pub cycles: u64,
+}
+
+/// A tenant's accumulated service on one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantTotals {
+    /// Ops executed.
+    pub ops: u64,
+    /// Syscalls served.
+    pub syscalls: u64,
+    /// Simulated instructions attributed to this tenant.
+    pub instructions: u64,
+    /// Simulated cycles attributed to this tenant.
+    pub cycles: u64,
+    /// Full per-tenant counter deltas (PAC ops, key writes, cache hits,
+    /// IPIs, …) — the sum of every op's [`CpuStats::delta_since`].
+    pub stats: CpuStats,
+    /// Per-op simulated-cycle latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantTotals {
+    fn new() -> TenantTotals {
+        TenantTotals {
+            ops: 0,
+            syscalls: 0,
+            instructions: 0,
+            cycles: 0,
+            stats: CpuStats::default(),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Accumulates another tenant total (the cross-shard merge).
+    pub fn merge(&mut self, other: &TenantTotals) {
+        self.ops += other.ops;
+        self.syscalls += other.syscalls;
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.stats.merge(&other.stats);
+        self.latency.merge(&other.latency);
+    }
+}
+
+impl Default for TenantTotals {
+    fn default() -> Self {
+        TenantTotals::new()
+    }
+}
+
+/// Merged counters of every core, with the TLB fields read once from the
+/// shared memory system (each core mirrors the shared totals; summing the
+/// mirrors would multiply-count them — same rule as `ClusterStats`).
+fn merged_stats(kernel: &Kernel) -> CpuStats {
+    let mut merged = CpuStats::default();
+    for cpu in kernel.cpus() {
+        merged.merge(&cpu.stats());
+    }
+    merged.tlb_hits = kernel.mem().tlb_hits();
+    merged.tlb_misses = kernel.mem().tlb_misses();
+    merged
+}
+
+fn total_cycles(kernel: &Kernel) -> u64 {
+    kernel.cpus().iter().map(|c| c.cycles()).sum()
+}
+
+/// One tenant executing on one machine: its long-lived tasks, its
+/// deterministic RNG, and its accumulated totals.
+///
+/// The executor is the only component that touches the kernel; workloads
+/// stay pure op generators. Latency is attributed by snapshotting the
+/// machine-wide cycle and [`CpuStats`] totals around each op, so *every*
+/// simulated cycle an op causes — including kernel-internal signing calls
+/// — lands in the tenant's histogram.
+#[derive(Debug)]
+pub struct TenantRun {
+    name: String,
+    workload: Box<dyn Workload + Send>,
+    rng: StdRng,
+    tids: Vec<Tid>,
+    turn: u64,
+    totals: TenantTotals,
+}
+
+impl std::fmt::Debug for dyn Workload + Send {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name())
+    }
+}
+
+impl TenantRun {
+    /// Sets a tenant up on `kernel`: spawns its long-lived tasks (named
+    /// `"<name>-<i>"`, placed by the scheduler) and seeds its RNG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    pub fn new(
+        name: impl Into<String>,
+        workload: Box<dyn Workload + Send>,
+        kernel: &mut Kernel,
+        seed: u64,
+    ) -> Result<TenantRun, KernelError> {
+        let name = name.into();
+        let tasks = workload.task_count(kernel.cpu_count()).max(1);
+        let mut tids = Vec::with_capacity(tasks);
+        for i in 0..tasks {
+            tids.push(kernel.spawn(&format!("{name}-{i}"))?);
+        }
+        Ok(TenantRun {
+            name,
+            workload,
+            rng: StdRng::seed_from_u64(seed),
+            tids,
+            turn: 0,
+            totals: TenantTotals::new(),
+        })
+    }
+
+    /// Tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped workload's name.
+    pub fn workload_name(&self) -> &str {
+        self.workload.name()
+    }
+
+    /// Accumulated totals so far.
+    pub fn totals(&self) -> &TenantTotals {
+        &self.totals
+    }
+
+    /// Consumes the run, returning its totals.
+    pub fn into_totals(self) -> TenantTotals {
+        self.totals
+    }
+
+    /// The tenant's current task (round-robin over its task pool).
+    fn task(&self) -> Tid {
+        self.tids[self.turn as usize % self.tids.len()]
+    }
+
+    /// Executes the workload's next op. `syscall_clamp` caps the batch of
+    /// an [`Op::Syscall`] (how a syscall-denominated quota is hit
+    /// exactly); other ops ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors — including the §5.4 PAC panic, which a
+    /// benign workload must never trigger.
+    pub fn step(
+        &mut self,
+        kernel: &mut Kernel,
+        syscall_clamp: Option<u64>,
+    ) -> Result<OpReport, KernelError> {
+        let op = self.workload.next_op(&mut self.rng);
+        let cycles0 = total_cycles(kernel);
+        let stats0 = merged_stats(kernel);
+        let syscalls = self.apply(kernel, op, syscall_clamp)?;
+        let delta = merged_stats(kernel).delta_since(&stats0);
+        let cycles = total_cycles(kernel) - cycles0;
+        self.turn += 1;
+        self.totals.ops += 1;
+        self.totals.syscalls += syscalls;
+        self.totals.instructions += delta.instructions;
+        self.totals.cycles += cycles;
+        self.totals.stats.merge(&delta);
+        self.totals.latency.record(cycles);
+        Ok(OpReport {
+            syscalls,
+            instructions: delta.instructions,
+            cycles,
+        })
+    }
+
+    /// Applies one op, returning the syscalls it served.
+    fn apply(
+        &mut self,
+        kernel: &mut Kernel,
+        op: Op,
+        syscall_clamp: Option<u64>,
+    ) -> Result<u64, KernelError> {
+        match op {
+            Op::Syscall { nr, arg0, batch } => {
+                let batch = syscall_clamp.map_or(batch, |cap| batch.min(cap)).max(1);
+                let out = kernel.run_user(self.task(), "stub", batch, nr, arg0)?;
+                debug_assert!(out.fault.is_none(), "benign traffic must not fault");
+                Ok(out.syscalls)
+            }
+            Op::UserRun {
+                block,
+                iterations,
+                nr,
+                arg0,
+            } => {
+                let out = kernel.run_user(self.task(), &block, iterations.max(1), nr, arg0)?;
+                debug_assert!(out.fault.is_none(), "benign traffic must not fault");
+                Ok(out.syscalls)
+            }
+            Op::ProcessChurn { burst } => {
+                let child = kernel.spawn(&format!("{}-child", self.name))?;
+                let out = kernel.run_user(child, "stub", burst.max(1), 172, 0)?;
+                debug_assert!(out.fault.is_none(), "benign traffic must not fault");
+                kernel.exit_task(child)?;
+                Ok(out.syscalls)
+            }
+            Op::ContextSwitch => {
+                if self.tids.len() < 2 {
+                    return self.apply(
+                        kernel,
+                        Op::Syscall {
+                            nr: 172,
+                            arg0: 0,
+                            batch: 1,
+                        },
+                        None,
+                    );
+                }
+                let n = self.tids.len();
+                let from = self.tids[self.turn as usize % n];
+                let to = self.tids[(self.turn as usize + 1) % n];
+                let out = kernel.context_switch(from, to)?;
+                debug_assert!(out.fault.is_none(), "benign switch must authenticate");
+                Ok(0)
+            }
+            Op::Migrate => {
+                if kernel.cpu_count() < 2 {
+                    return self.apply(
+                        kernel,
+                        Op::Syscall {
+                            nr: 172,
+                            arg0: 0,
+                            batch: 1,
+                        },
+                        None,
+                    );
+                }
+                let tid = self.task();
+                let home = kernel
+                    .tasks()
+                    .find(|t| t.tid == tid)
+                    .map(|t| t.cpu)
+                    .unwrap_or(0);
+                kernel.migrate_task(tid, (home + 1) % kernel.cpu_count())?;
+                // Enter user mode once so the destination core performs
+                // the §6.1.1 key restore for real.
+                let out = kernel.run_user(tid, "stub", 1, 172, 0)?;
+                debug_assert!(out.fault.is_none(), "post-migration entry must succeed");
+                Ok(out.syscalls)
+            }
+            Op::ModuleChurn { funcs } => {
+                let cfg = kernel.codegen_config();
+                let mut program = Program::new(cfg);
+                let funcs = usize::from(funcs.max(1));
+                let mut entry = FunctionBuilder::new("churn_entry", cfg).locals(32);
+                entry.ins(Insn::AddImm {
+                    rd: Reg::x(0),
+                    rn: Reg::x(0),
+                    imm12: 1,
+                    shifted: false,
+                });
+                for i in 1..funcs {
+                    entry.call(format!("churn_f{i}"));
+                }
+                program.push(entry.build());
+                for i in 1..funcs {
+                    let mut f = FunctionBuilder::new(format!("churn_f{i}"), cfg).locals(16);
+                    f.ins(Insn::AddImm {
+                        rd: Reg::x(0),
+                        rn: Reg::x(0),
+                        imm12: 1,
+                        shifted: false,
+                    });
+                    program.push(f.build());
+                }
+                let handle = kernel.load_module(program, &StaticPointerTable::new())?;
+                let entry_va = handle.image.symbol("churn_entry").expect("just built");
+                let out = kernel.kexec(entry_va, &[self.turn])?;
+                debug_assert!(out.fault.is_none(), "clean module must run");
+                // x0 flows through the call chain: +1 in the entry, +1 in
+                // each helper it calls.
+                debug_assert_eq!(out.x0, self.turn + funcs as u64);
+                kernel.unload_module(handle.base_va)?;
+                Ok(0)
+            }
+            Op::Work { func } => {
+                let work = kernel.init_work(func)?;
+                let out = kernel.run_work(work)?;
+                debug_assert!(out.fault.is_none(), "signed callback must authenticate");
+                Ok(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::{LmbenchMix, ModuleChurn, ProcessChurn, TenantSwitchMix};
+    use camo_kernel::KernelConfig;
+
+    fn booted(cpus: usize, blocks: &[(String, usize, usize)]) -> Kernel {
+        let mut cfg = KernelConfig::default();
+        cfg.cpus = cpus;
+        cfg.user_blocks.extend(blocks.iter().cloned());
+        Kernel::boot(cfg).expect("boot")
+    }
+
+    fn drive(workload: Box<dyn Workload + Send>, cpus: usize, ops: u64, seed: u64) -> TenantTotals {
+        let blocks = workload.user_blocks();
+        let mut kernel = booted(cpus, &blocks);
+        let mut run = TenantRun::new("t", workload, &mut kernel, seed).expect("setup");
+        for _ in 0..ops {
+            run.step(&mut kernel, None).expect("benign op");
+        }
+        run.into_totals()
+    }
+
+    #[test]
+    fn every_mix_runs_cleanly_and_attributes_work() {
+        let mixes: Vec<(Box<dyn Workload + Send>, usize)> = vec![
+            (Box::new(LmbenchMix::new()), 1),
+            (Box::new(ProcessChurn::new()), 1),
+            (Box::new(ModuleChurn::new()), 1),
+            (Box::new(TenantSwitchMix::new()), 2),
+        ];
+        for (workload, cpus) in mixes {
+            let name = workload.name().to_string();
+            let totals = drive(workload, cpus, 12, 7);
+            assert_eq!(totals.ops, 12, "{name}");
+            assert_eq!(totals.latency.count(), 12, "{name}");
+            assert!(totals.cycles > 0, "{name}");
+            assert!(totals.instructions > 0, "{name}");
+            assert!(totals.latency.p50() > 0, "{name}");
+            assert!(totals.latency.p99() >= totals.latency.p50(), "{name}");
+        }
+    }
+
+    #[test]
+    fn executor_is_deterministic_per_seed() {
+        let a = drive(Box::new(TenantSwitchMix::new()), 2, 20, 99);
+        let b = drive(Box::new(TenantSwitchMix::new()), 2, 20, 99);
+        assert_eq!(a, b, "same seed, same machine, same totals — bit for bit");
+        let c = drive(Box::new(TenantSwitchMix::new()), 2, 20, 100);
+        assert_ne!(a.cycles, c.cycles, "different seed must reshuffle the mix");
+    }
+
+    #[test]
+    fn syscall_clamp_caps_the_batch() {
+        let mut kernel = booted(1, &[]);
+        let mut run =
+            TenantRun::new("t", Box::new(LmbenchMix::new()), &mut kernel, 1).expect("setup");
+        let report = run.step(&mut kernel, Some(3)).expect("clamped op");
+        assert_eq!(report.syscalls, 3, "batch of 16 clamped to the quota");
+    }
+
+    #[test]
+    fn context_switch_exercises_signed_sp() {
+        let workload = Box::new(TenantSwitchMix::new());
+        let blocks = workload.user_blocks();
+        let mut kernel = booted(1, &blocks);
+        let mut run = TenantRun::new("t", workload, &mut kernel, 5).expect("setup");
+        for _ in 0..20 {
+            run.step(&mut kernel, None).expect("benign op");
+        }
+        // The mix is switch-heavy: the signed-SP path authenticated.
+        assert!(
+            run.totals().stats.pac_auth_ok > 0,
+            "cpu_switch_to authenticated saved SPs"
+        );
+    }
+
+    #[test]
+    fn module_churn_loads_and_unloads_for_real() {
+        let mut kernel = booted(1, &[]);
+        let mut run =
+            TenantRun::new("t", Box::new(ModuleChurn::new()), &mut kernel, 2).expect("setup");
+        for _ in 0..8 {
+            run.step(&mut kernel, None).expect("benign op");
+        }
+        assert!(kernel.modules().is_empty(), "every load was unloaded");
+        assert!(kernel
+            .events()
+            .iter()
+            .any(|e| matches!(e, camo_kernel::KernelEvent::ModuleUnloaded { .. })));
+    }
+}

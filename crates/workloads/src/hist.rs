@@ -1,0 +1,242 @@
+//! Deterministic log-bucketed latency histograms over simulated cycles.
+
+/// Exact linear buckets below this value (one bucket per cycle count).
+const LINEAR: u64 = 16;
+/// Sub-buckets per power-of-two major bucket above the linear region.
+const SUB: usize = 16;
+/// Total bucket count: 16 linear + 60 majors × 16 sub-buckets (covers
+/// the full `u64` range).
+const BUCKETS: usize = LINEAR as usize + 60 * SUB;
+
+/// An HDR-style histogram of simulated-cycle latencies.
+///
+/// Values below 16 cycles get exact buckets; above that, each
+/// power-of-two range is split into 16 sub-buckets, bounding the relative
+/// quantization error of any reported percentile at 1/16 (≈ 6 %).
+/// Everything is integer counters, so recording, merging, and percentile
+/// extraction are bit-deterministic: two shards' histograms merged in
+/// shard order equal the histogram of the sequential run — the property
+/// the fleet driver's parallel ≡ sequential invariant extends to
+/// latencies.
+///
+/// Percentiles are reported as the *upper bound* of the bucket containing
+/// the requested rank (pessimistic), clamped to the observed maximum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < LINEAR {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64; // ≥ 4
+        let major = (msb - 3) as usize; // 1..=60
+        let sub = ((value >> (msb - 4)) & 0xF) as usize;
+        LINEAR as usize + (major - 1) * SUB + sub
+    }
+
+    /// Inclusive upper bound of bucket `idx` — what percentiles report.
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < LINEAR as usize {
+            return idx as u64;
+        }
+        let major = (idx - LINEAR as usize) / SUB + 1;
+        let sub = ((idx - LINEAR as usize) % SUB) as u64;
+        let msb = major as u64 + 3;
+        let width = 1u64 << (msb - 4);
+        (1u64 << msb) + sub * width + width - 1
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every observation of `other` into `self`. Merging is
+    /// commutative and associative, so any merge order yields the same
+    /// histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (upper bucket bound,
+    /// clamped to the observed maximum), or 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median simulated-cycle latency.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile latency.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 on an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(1.0 / 16.0), 0);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.percentile(1.0), 15);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 1_000, 10_000, 123_456, 9_999_999] {
+            h.record(v);
+            let p = h.percentile(1.0);
+            assert!(p >= v, "upper bound is pessimistic: {p} < {v}");
+            assert!(
+                p as f64 <= v as f64 * (1.0 + 1.0 / 16.0),
+                "relative error > 1/16: {p} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotonic() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 3u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            h.record(x % 100_000);
+        }
+        let mut last = 0;
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "percentile({q}) regressed");
+            last = p;
+        }
+        assert!(h.p99() <= h.max());
+        assert!(h.p50() >= h.min());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..500u64 {
+            let v = v * 37 % 10_000;
+            all.record(v);
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all, "merge must be lossless and order-free");
+        let mut other_order = b;
+        other_order.merge(&a);
+        assert_eq!(other_order, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(
+            (h.count(), h.min(), h.max(), h.p50(), h.p99()),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(h.mean(), 0.0);
+    }
+}

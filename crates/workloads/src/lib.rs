@@ -1,0 +1,80 @@
+//! Pluggable multi-tenant workloads for the Camouflage traffic layers.
+//!
+//! The paper evaluates through one lens — lmbench micro-benchmarks on a
+//! single machine (§7) — and the PR-3 sharded driver hardcoded that same
+//! mix. This crate makes the *workload* a first-class, pluggable axis the
+//! way PARTS-style kernel-CFI evaluations mix syscall-heavy and
+//! compute-heavy phases:
+//!
+//! * [`Workload`] — the trait: a deterministic-per-seed stream of [`Op`]s.
+//!   Implementations never touch the kernel directly; they emit a
+//!   vocabulary of operations and the executor applies them, so a workload
+//!   is a pure, replayable generator.
+//! * [`TenantRun`] — the executor: owns a tenant's tasks on one machine,
+//!   applies each [`Op`] to a [`camo_kernel::Kernel`], and attributes the
+//!   *exact* simulated work (cycles, instructions, full
+//!   [`camo_cpu::CpuStats`] deltas) to the tenant, feeding a
+//!   [`LatencyHistogram`] of per-op simulated cycles.
+//! * Four built-in mixes — [`LmbenchMix`] (the paper's Figure-3 syscall
+//!   set, extracted from the PR-3 driver), [`ProcessChurn`] (a fork/exec
+//!   storm over the kernel's PID-recycling paths), [`ModuleChurn`]
+//!   (load/verify/sign/run/unload through the §4.1/§4.6 pipeline), and
+//!   [`TenantSwitchMix`] (context-switch and migration heavy, the §5
+//!   key-switch paths).
+//!
+//! Everything is deterministic in the seed: the same `(seed, shard,
+//! tenant)` triple replays the same op stream, which is what lets the
+//! fleet driver in `camo_smp` assert that parallel and sequential
+//! execution produce bit-identical simulated totals.
+//!
+//! # Writing a workload
+//!
+//! ```
+//! use camo_workloads::{Op, Workload};
+//! use rand::{rngs::StdRng, Rng};
+//!
+//! /// Hammers `getpid`, occasionally yielding the core.
+//! struct PidStorm;
+//!
+//! impl Workload for PidStorm {
+//!     fn name(&self) -> &str {
+//!         "pid-storm"
+//!     }
+//!     fn next_op(&mut self, rng: &mut StdRng) -> Op {
+//!         if rng.gen_bool(0.1) {
+//!             Op::ContextSwitch
+//!         } else {
+//!             Op::Syscall { nr: 172, arg0: 0, batch: 8 }
+//!         }
+//!     }
+//!     fn task_count(&self, _cpus: usize) -> usize {
+//!         2 // ContextSwitch needs a pair
+//!     }
+//! }
+//!
+//! // Drive it by hand on a freshly booted machine.
+//! use camo_kernel::{Kernel, KernelConfig};
+//! use camo_workloads::TenantRun;
+//!
+//! let mut kernel = Kernel::boot(KernelConfig::default())?;
+//! let mut run = TenantRun::new("demo", Box::new(PidStorm), &mut kernel, 42)?;
+//! for _ in 0..4 {
+//!     run.step(&mut kernel, None)?;
+//! }
+//! assert_eq!(run.totals().ops, 4);
+//! assert!(run.totals().latency.p50() > 0);
+//! # Ok::<(), camo_kernel::KernelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod hist;
+mod mixes;
+mod workload;
+
+pub use exec::{OpReport, TenantRun, TenantTotals};
+pub use hist::LatencyHistogram;
+pub use mixes::{LmbenchMix, ModuleChurn, ProcessChurn, TenantSwitchMix, LMBENCH_BATCH};
+pub use workload::{derive_seed, tenant_seed, Op, Quota, TenantSpec, Workload, WorkloadFactory};

@@ -8,7 +8,7 @@
 //! ```
 
 use camouflage::kernel::{KernelConfig, KernelError, KernelEvent};
-use camouflage::smp::{Cluster, ShardedDriver, TrafficPlan};
+use camouflage::smp::{Cluster, FleetDriver, TrafficPlan};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── In-machine SMP ──────────────────────────────────────────────────
@@ -83,12 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "shards", "syscalls", "wall st/s", "capacity st/s"
     );
     for shards in [1, 2, 4] {
-        let plan = TrafficPlan::new(shards, 4_000, 0xCAF0_0D5E);
-        let par = ShardedDriver::drive(&plan)?;
-        let seq = ShardedDriver::drive_sequential(&plan)?;
-        assert_eq!(
-            (par.instructions, par.cycles),
-            (seq.instructions, seq.cycles),
+        // The PR-3 traffic plan, served by the fleet engine as a single
+        // lmbench tenant.
+        let plan = TrafficPlan::new(shards, 4_000, 0xCAF0_0D5E).to_fleet();
+        let par = FleetDriver::drive(&plan)?;
+        let seq = FleetDriver::drive_sequential(&plan)?;
+        assert!(
+            par.simulation_identical(&seq),
             "sharding mode is architecturally invisible"
         );
         println!(

@@ -2,9 +2,13 @@
 //! reproduced on a simulated AArch64/PAuth substrate.
 //!
 //! This facade re-exports the whole workspace. See the [`camo_core`]
-//! documentation for the top-level `Machine` API, and `DESIGN.md` /
-//! `EXPERIMENTS.md` in the repository root for the system inventory and the
-//! per-experiment reproduction index.
+//! documentation for the top-level `Machine` API. The crate-level
+//! documentation below is the repository `README.md` verbatim, so its
+//! code snippets compile and run as doctests of this crate.
+//!
+#![doc = include_str!("../README.md")]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use camo_analysis as analysis;
 pub use camo_attacks as attacks;
@@ -18,3 +22,4 @@ pub use camo_lmbench as lmbench;
 pub use camo_mem as mem;
 pub use camo_qarma as qarma;
 pub use camo_smp as smp;
+pub use camo_workloads as workloads;
