@@ -1,0 +1,38 @@
+//! Step-loop vs block-loop wall time on the Figure-2 hot loop.
+//!
+//! The Criterion timings measure simulator throughput only — the
+//! simulated cycle counts are bit-identical by the block engine's
+//! contract (asserted at startup below, and gated by
+//! `perfcheck --blocks`).
+
+use camo_bench::blocks;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const ITERS: u64 = 5_000;
+
+fn bench(c: &mut Criterion) {
+    let off = blocks::hot_loop(ITERS, false);
+    let on = blocks::hot_loop(ITERS, true);
+    assert_eq!(
+        (on.sample.cycles, on.sample.instructions),
+        (off.sample.cycles, off.sample.instructions),
+        "block engine must not change simulated counts"
+    );
+    println!(
+        "fig2 hot loop: {} simulated insns; block cache {} hits / {} misses",
+        on.sample.instructions, on.block_hits, on.block_misses
+    );
+
+    let mut group = c.benchmark_group("block_engine");
+    group.bench_function("step_loop", |b| {
+        b.iter(|| black_box(blocks::hot_loop(ITERS, false)))
+    });
+    group.bench_function("block_loop", |b| {
+        b.iter(|| black_box(blocks::hot_loop(ITERS, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

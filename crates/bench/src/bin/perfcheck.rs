@@ -1,6 +1,6 @@
 //! Wall-clock regression checks for the simulator's throughput layers.
 //!
-//! Three modes, selected by `--smp` / `--fleet`:
+//! Four modes, selected by `--smp` / `--fleet` / `--blocks`:
 //!
 //! * **Default (fast-path A/B, `BENCH_2.json`)** — runs the Figure-2 call
 //!   loop and the lmbench syscall mix with the simulator's caches
@@ -29,11 +29,24 @@
 //!   agreeing bit for bit on every simulated quantity — including each
 //!   tenant's latency histogram.
 //!
+//! * **`--blocks` (block-engine A/B, `BENCH_5.json`)** — runs the
+//!   Figure-2 call loop and the standard fleet tenant mix with the
+//!   basic-block translation engine on and off (fast-path caches on in
+//!   both arms). Three hard properties, any failure exits non-zero:
+//!   1. **Invisibility**: simulated cycle and instruction counts are
+//!      bit-identical with the engine on or off, on both workloads.
+//!   2. **Architectural identity**: the fleet's per-tenant counters
+//!      (`CpuStats::arch_eq`) and latency histograms agree across the
+//!      engine toggle.
+//!   3. **Mode identity**: within each arm, parallel and sequential fleet
+//!      runs agree bit for bit (the `--fleet` gate, at both points).
+//!   The ≥2× speedup target is reported (non-gating; host-dependent).
+//!
 //! `--seed N` pins the boot seed used by the syscall-mix machine and the
 //! shard/tenant partitioning; it is emitted into the JSON so A/B runs and
 //! shard partitions reproduce byte for byte. `--smoke` shrinks the
-//! `--smp` and `--fleet` runs for CI runners. The emitted `BENCH_*.json`
-//! schemas are documented in `BENCHMARKS.md`.
+//! `--smp`, `--fleet` and `--blocks` runs for CI runners. The emitted
+//! `BENCH_*.json` schemas are documented in `BENCHMARKS.md`.
 
 use camo_bench::fleet;
 use camo_bench::perf::{self, PerfSample, ScalingPoint};
@@ -57,23 +70,39 @@ const DEFAULT_SEED: u64 = 0xCAF0_0D5E;
 const SCALING_SYSCALLS: u64 = 24_000;
 const SMOKE_SYSCALLS: u64 = 2_000;
 
-/// Best-of-[`REPEATS`] wall time; simulated counters must agree exactly
-/// across repeats (they are deterministic).
-fn best(run: impl Fn() -> PerfSample) -> PerfSample {
+/// Best-of-`n` wall time: keeps the sample with the highest `rate`, and
+/// asserts the deterministic `fingerprint` (simulated counters) agrees
+/// across every repeat.
+fn best_of<T>(
+    n: usize,
+    run: impl Fn() -> T,
+    rate: impl Fn(&T) -> f64,
+    fingerprint: impl Fn(&T) -> (u64, u64),
+) -> T {
     let first = run();
-    (1..REPEATS).fold(first, |acc, _| {
+    (1..n).fold(first, |acc, _| {
         let s = run();
         assert_eq!(
-            (s.instructions, s.cycles),
-            (acc.instructions, acc.cycles),
+            fingerprint(&s),
+            fingerprint(&acc),
             "simulation must be deterministic across repeats"
         );
-        if s.steps_per_sec > acc.steps_per_sec {
+        if rate(&s) > rate(&acc) {
             s
         } else {
             acc
         }
     })
+}
+
+/// Best-of-[`REPEATS`] for the BENCH_2 samples.
+fn best(run: impl Fn() -> PerfSample) -> PerfSample {
+    best_of(
+        REPEATS,
+        run,
+        |s| s.steps_per_sec,
+        |s| (s.instructions, s.cycles),
+    )
 }
 
 struct Workload {
@@ -105,6 +134,7 @@ struct Args {
     seed: u64,
     smp: bool,
     fleet: bool,
+    blocks: bool,
     smoke: bool,
     shards: Vec<usize>,
     shards_given: bool,
@@ -116,6 +146,7 @@ fn parse_args() -> Args {
         seed: DEFAULT_SEED,
         smp: false,
         fleet: false,
+        blocks: false,
         smoke: false,
         shards: vec![1, 2, 4, 8],
         shards_given: false,
@@ -131,6 +162,7 @@ fn parse_args() -> Args {
             }
             "--smp" => args.smp = true,
             "--fleet" => args.fleet = true,
+            "--blocks" => args.blocks = true,
             "--smoke" => args.smoke = true,
             "--shards" => {
                 let v = it.next().expect("--shards takes a comma-separated list");
@@ -144,7 +176,9 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--syscalls takes a value");
                 args.syscalls = Some(parse_u64(&v));
             }
-            other => panic!("unknown argument {other} (try --seed/--smp/--fleet/--smoke/--shards)"),
+            other => panic!(
+                "unknown argument {other} (try --seed/--smp/--fleet/--blocks/--smoke/--shards)"
+            ),
         }
     }
     // --smoke only shrinks the *default* curve; an explicit --shards wins.
@@ -294,6 +328,23 @@ fn run_smp(args: &Args) -> i32 {
         .expect("at least one point");
     let capacity_speedup = top.capacity_steps_per_sec / base_capacity;
     let wall_speedup = top.parallel_steps_per_sec / base_wall;
+    // Wall scaling is bounded by the host's core count: with fewer cores
+    // than shards, the parallel shards time-slice and the wall speedup
+    // can legitimately sit at (or below) 1x while capacity scales — make
+    // the blind spot explicit instead of letting the number mislead.
+    let wall_note = if host_cores < top.shards {
+        Some(format!(
+            "wall speedup measured on {host_cores} host core(s) for {} shards; \
+             parallel shards time-sliced, so this number understates scaling — \
+             use capacity_steps_per_sec for the pool's service rate",
+            top.shards
+        ))
+    } else {
+        None
+    };
+    if let Some(note) = &wall_note {
+        eprintln!("disclaimer: {note}");
+    }
 
     let mut json = String::from("{\n  \"bench\": \"smp_scaling\",\n");
     let _ = writeln!(json, "  \"seed\": {},", args.seed);
@@ -322,9 +373,12 @@ fn run_smp(args: &Args) -> i32 {
         "  ],\n  \"scaling_target\": {SCALING_TARGET:.1},\n  \
          \"baseline_shards\": {baseline_shards},\n  \
          \"capacity_speedup_max_vs_baseline\": {capacity_speedup:.2},\n  \
-         \"wall_speedup_max_vs_baseline\": {wall_speedup:.2},\n  \
-         \"simulation_identical\": {all_identical}\n}}\n"
+         \"wall_speedup_max_vs_baseline\": {wall_speedup:.2},\n"
     );
+    if let Some(note) = &wall_note {
+        let _ = writeln!(json, "  \"wall_speedup_note\": \"{note}\",");
+    }
+    let _ = write!(json, "  \"simulation_identical\": {all_identical}\n}}\n");
     std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
     println!("wrote BENCH_3.json");
 
@@ -465,9 +519,234 @@ fn run_fleet(args: &Args) -> i32 {
     0
 }
 
+/// The speedup the block engine is expected to deliver over the cached
+/// step loop (hot loop and fleet mix alike).
+const BLOCK_SPEEDUP_TARGET: f64 = 2.0;
+/// Hot-loop iterations for the `--blocks` A/B (full / `--smoke`).
+const BLOCK_HOT_ITERS: u64 = 100_000;
+const BLOCK_SMOKE_HOT_ITERS: u64 = 20_000;
+
+/// Repeats for the `--blocks` hot loop (more than [`REPEATS`]: the A/B
+/// sits near its gate value, so the minimum-wall estimate needs more
+/// draws on a noisy shared host).
+const BLOCK_REPEATS: usize = 5;
+
+/// Best-of-[`BLOCK_REPEATS`] for the BENCH_5 hot-loop samples.
+fn best_block(
+    run: impl Fn() -> camo_bench::blocks::BlockSample,
+) -> camo_bench::blocks::BlockSample {
+    best_of(
+        BLOCK_REPEATS,
+        run,
+        |s| s.sample.steps_per_sec,
+        |s| (s.sample.instructions, s.sample.cycles),
+    )
+}
+
+fn block_sample_json(s: &camo_bench::blocks::BlockSample) -> String {
+    format!(
+        "{{\"instructions\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \
+         \"steps_per_sec\": {:.1}, \"block_hits\": {}, \"block_misses\": {}, \
+         \"block_invalidations\": {}}}",
+        s.sample.instructions,
+        s.sample.cycles,
+        s.sample.wall_secs,
+        s.sample.steps_per_sec,
+        s.block_hits,
+        s.block_misses,
+        s.block_invalidations
+    )
+}
+
+fn run_blocks(args: &Args) -> i32 {
+    use camo_bench::blocks;
+
+    let hot_iters = if args.smoke {
+        BLOCK_SMOKE_HOT_ITERS
+    } else {
+        BLOCK_HOT_ITERS
+    };
+    let shards = if args.shards_given {
+        args.shards[0]
+    } else if args.smoke {
+        FLEET_SMOKE_SHARDS
+    } else {
+        FLEET_SHARDS
+    };
+    let tenants = fleet::standard_tenants(args.smoke);
+    println!(
+        "perfcheck --blocks: block engine on vs off (caches on), seed {:#x}, \
+         {} tenants x {shards} shards x {FLEET_CPUS} cores",
+        args.seed,
+        tenants.len()
+    );
+
+    // Hot loop: engine off first so the on-arm cannot benefit from a
+    // warmer host.
+    let hot_off = best_block(|| blocks::hot_loop(hot_iters, false));
+    let hot_on = best_block(|| blocks::hot_loop(hot_iters, true));
+    let hot_identical = (hot_on.sample.cycles, hot_on.sample.instructions)
+        == (hot_off.sample.cycles, hot_off.sample.instructions);
+    let hot_speedup = hot_on.sample.steps_per_sec / hot_off.sample.steps_per_sec.max(1e-9);
+
+    // Fleet mix: each arm is itself a parallel/sequential cross-check.
+    // Best-of-REPEATS like every other workload (the simulated totals are
+    // deterministic and asserted so below; only wall time varies).
+    let ab = (1..REPEATS).fold(
+        blocks::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone()),
+        |acc, _| {
+            let next = blocks::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone());
+            assert_eq!(
+                (next.on.parallel.cycles, next.off.parallel.cycles),
+                (acc.on.parallel.cycles, acc.off.parallel.cycles),
+                "simulation must be deterministic across repeats"
+            );
+            blocks::FleetAb {
+                on: if next.on.sequential.capacity_steps_per_sec()
+                    > acc.on.sequential.capacity_steps_per_sec()
+                {
+                    next.on
+                } else {
+                    acc.on
+                },
+                off: if next.off.sequential.capacity_steps_per_sec()
+                    > acc.off.sequential.capacity_steps_per_sec()
+                {
+                    next.off
+                } else {
+                    acc.off
+                },
+            }
+        },
+    );
+    let fleet_identical = (ab.on.parallel.cycles, ab.on.parallel.instructions)
+        == (ab.off.parallel.cycles, ab.off.parallel.instructions);
+    let arch_identical = ab.arch_identical();
+    let mode_identical = ab.on.identical && ab.off.identical;
+    let fleet_speedup = ab.speedup();
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}  cycles",
+        "workload", "blocks st/s", "step st/s", "speedup"
+    );
+    for (name, on, off, speedup, identical) in [
+        (
+            "fig2_hot_loop",
+            hot_on.sample.steps_per_sec,
+            hot_off.sample.steps_per_sec,
+            hot_speedup,
+            hot_identical,
+        ),
+        (
+            "fleet_mix",
+            ab.on.sequential.capacity_steps_per_sec(),
+            ab.off.sequential.capacity_steps_per_sec(),
+            fleet_speedup,
+            fleet_identical,
+        ),
+    ] {
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>8.2}x  {}",
+            name,
+            on,
+            off,
+            speedup,
+            if identical { "identical" } else { "MISMATCH" }
+        );
+    }
+    let on_stats = &ab.on.parallel.stats;
+    println!(
+        "fleet block cache: {} hits / {} misses / {} invalidations | arch {} | modes {}",
+        on_stats.block_hits,
+        on_stats.block_misses,
+        on_stats.block_invalidations,
+        if arch_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if mode_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let cycles_identical = hot_identical && fleet_identical;
+    let simulation_identical = arch_identical && mode_identical;
+
+    let mut json = String::from("{\n  \"bench\": \"block_engine\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cpus_per_shard\": {FLEET_CPUS},");
+    let _ = writeln!(json, "  \"hot_loop_iters\": {hot_iters},");
+    json.push_str("  \"workloads\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fig2_hot_loop\", \"blocks_on\": {}, \"blocks_off\": {}, \
+         \"speedup\": {hot_speedup:.2}, \"cycles_identical\": {hot_identical}}},",
+        block_sample_json(&hot_on),
+        block_sample_json(&hot_off),
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fleet_mix\", \
+         \"blocks_on\": {{\"instructions\": {}, \"cycles\": {}, \"syscalls\": {}, \
+         \"capacity_steps_per_sec\": {:.1}, \"block_hits\": {}, \"block_misses\": {}, \
+         \"block_invalidations\": {}}}, \
+         \"blocks_off\": {{\"instructions\": {}, \"cycles\": {}, \"syscalls\": {}, \
+         \"capacity_steps_per_sec\": {:.1}}}, \
+         \"speedup\": {fleet_speedup:.2}, \"cycles_identical\": {fleet_identical}, \
+         \"arch_identical\": {arch_identical}, \
+         \"parallel_sequential_identical\": {mode_identical}}}",
+        ab.on.parallel.instructions,
+        ab.on.parallel.cycles,
+        ab.on.parallel.syscalls,
+        ab.on.sequential.capacity_steps_per_sec(),
+        on_stats.block_hits,
+        on_stats.block_misses,
+        on_stats.block_invalidations,
+        ab.off.parallel.instructions,
+        ab.off.parallel.cycles,
+        ab.off.parallel.syscalls,
+        ab.off.sequential.capacity_steps_per_sec(),
+    );
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_target\": {BLOCK_SPEEDUP_TARGET:.1},\n  \
+         \"hot_loop_speedup\": {hot_speedup:.2},\n  \
+         \"fleet_speedup\": {fleet_speedup:.2},\n  \
+         \"cycles_identical\": {cycles_identical},\n  \
+         \"simulation_identical\": {simulation_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("wrote BENCH_5.json");
+
+    if !cycles_identical {
+        eprintln!("FAIL: the block engine changed simulated cycle/instruction counts");
+        return 1;
+    }
+    if !simulation_identical {
+        eprintln!(
+            "FAIL: the block engine changed architectural per-tenant state, or \
+             parallel and sequential fleet runs disagreed within an arm"
+        );
+        return 1;
+    }
+    if hot_speedup < BLOCK_SPEEDUP_TARGET || fleet_speedup < BLOCK_SPEEDUP_TARGET {
+        eprintln!(
+            "note: block-engine speedup {hot_speedup:.2}x hot loop / {fleet_speedup:.2}x fleet, \
+             target {BLOCK_SPEEDUP_TARGET:.1}x (non-gating; host-dependent)"
+        );
+    }
+    0
+}
+
 fn main() {
     let args = parse_args();
-    let code = if args.fleet {
+    let code = if args.blocks {
+        run_blocks(&args)
+    } else if args.fleet {
         run_fleet(&args)
     } else if args.smp {
         run_smp(&args)

@@ -227,14 +227,18 @@ pub mod perf {
         }
     }
 
-    /// The Figure-2 call loop (Camouflage scheme) run for `iters`
-    /// iterations with the caches on or off.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation fails (a harness bug).
-    pub fn hot_loop(iters: u64, caches: bool) -> PerfSample {
+    /// The one Figure-2 wall-clock harness behind both A/Bs: builds the
+    /// call loop, applies the cache and block-engine knobs, runs, and
+    /// samples. `recorded` is the value stored in [`PerfSample::caches`]
+    /// (the toggled axis of whichever A/B is calling).
+    pub(crate) fn fig2_sample(
+        iters: u64,
+        caches: bool,
+        blocks: bool,
+        recorded: bool,
+    ) -> (PerfSample, camo_cpu::CpuStats) {
         let (mut cpu, mut mem, driver_va) = fig2::build_call_loop(CfiScheme::Camouflage);
+        cpu.set_block_engine(blocks);
         cpu.set_caching(caches);
         mem.set_caching(caches);
         let start = Instant::now();
@@ -243,13 +247,29 @@ pub mod perf {
             .expect("benchmark loop runs");
         let wall = start.elapsed().as_secs_f64();
         let stats = cpu.stats();
-        sample(
-            caches,
-            result.instructions,
-            result.cycles,
-            wall,
-            (stats.pac_memo_hits, stats.pac_memo_misses),
+        (
+            sample(
+                recorded,
+                result.instructions,
+                result.cycles,
+                wall,
+                (stats.pac_memo_hits, stats.pac_memo_misses),
+            ),
+            stats,
         )
+    }
+
+    /// The Figure-2 call loop (Camouflage scheme) run for `iters`
+    /// iterations with the caches on or off.
+    ///
+    /// BENCH_2 isolates the PR-2 cache A/B: the block engine is pinned
+    /// off in both arms (its own A/B is `perfcheck --blocks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (a harness bug).
+    pub fn hot_loop(iters: u64, caches: bool) -> PerfSample {
+        fig2_sample(iters, caches, false, caches).0
     }
 
     /// The lmbench syscall mix (every modeled syscall, `reps` rounds each)
@@ -262,6 +282,8 @@ pub mod perf {
     pub fn syscall_mix(reps: u64, caches: bool, seed: u64) -> PerfSample {
         let mut cfg = workload_config(ProtectionLevel::Full);
         cfg.fast_caches = caches;
+        // Same pinning as `hot_loop`: BENCH_2 measures the caches alone.
+        cfg.block_engine = false;
         cfg.seed = seed;
         let mut machine = Machine::with_config(cfg).expect("boot");
         let kernel = machine.kernel_mut();
@@ -397,8 +419,25 @@ pub mod fleet {
         seed: u64,
         tenants: Vec<TenantSpec>,
     ) -> FleetMeasurement {
+        measure_with_blocks(shards, cpus_per_shard, seed, tenants, true)
+    }
+
+    /// [`measure`] with an explicit block-engine setting — the
+    /// `perfcheck --blocks` fleet A/B runs it once per arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn measure_with_blocks(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+        block_engine: bool,
+    ) -> FleetMeasurement {
         let mut plan = FleetPlan::new(shards, seed, tenants);
         plan.cpus_per_shard = cpus_per_shard;
+        plan.block_engine = block_engine;
         let parallel = FleetDriver::drive(&plan).expect("parallel fleet runs");
         let sequential = FleetDriver::drive_sequential(&plan).expect("sequential fleet runs");
         let identical = parallel.simulation_identical(&sequential);
@@ -408,6 +447,118 @@ pub mod fleet {
             sequential,
             identical,
         }
+    }
+}
+
+/// The block-translation-engine A/B (`perfcheck --blocks`, `BENCH_5.json`).
+///
+/// Same quantities as [`perf`] — host wall time per simulated step — but
+/// the toggled axis is the basic-block translation engine rather than the
+/// PR-2 caches. Both arms run with the fast-path caches **on**: the block
+/// engine's job is to beat the already-cached step loop, not the per-byte
+/// seed path.
+pub mod blocks {
+    use super::fleet::{measure_with_blocks, FleetMeasurement};
+    use super::perf::PerfSample;
+    use camo_smp::FleetReport;
+    use camo_workloads::TenantSpec;
+
+    /// One wall-clock measurement with the block engine on or off, plus
+    /// the engine's own cache counters.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct BlockSample {
+        /// The throughput sample (`caches` records the *block engine*
+        /// setting here; the fast-path caches are always on).
+        pub sample: PerfSample,
+        /// Block-cache hits (0 with the engine off).
+        pub block_hits: u64,
+        /// Block-cache misses (0 with the engine off).
+        pub block_misses: u64,
+        /// Block invalidations (0 with the engine off).
+        pub block_invalidations: u64,
+    }
+
+    /// The Figure-2 call loop (Camouflage scheme), fast-path caches on,
+    /// block engine toggled — the same harness as [`super::perf::hot_loop`],
+    /// toggling the other knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (a harness bug).
+    pub fn hot_loop(iters: u64, blocks: bool) -> BlockSample {
+        let (sample, stats) = super::perf::fig2_sample(iters, true, blocks, blocks);
+        BlockSample {
+            sample,
+            block_hits: stats.block_hits,
+            block_misses: stats.block_misses,
+            block_invalidations: stats.block_invalidations,
+        }
+    }
+
+    /// The fleet mix measured with the engine on and off (each arm runs
+    /// parallel *and* sequential, so the existing
+    /// `simulation_identical` gate applies per arm).
+    #[derive(Debug)]
+    pub struct FleetAb {
+        /// Engine-on measurement.
+        pub on: FleetMeasurement,
+        /// Engine-off measurement.
+        pub off: FleetMeasurement,
+    }
+
+    impl FleetAb {
+        /// Whether the engine-on and engine-off fleets agreed on every
+        /// architectural quantity: totals, per-tenant counters
+        /// ([`camo_cpu::CpuStats::arch_eq`] for the stats), and the
+        /// per-tenant simulated-cycle latency histograms.
+        pub fn arch_identical(&self) -> bool {
+            arch_identical(&self.on.parallel, &self.off.parallel)
+        }
+
+        /// Engine-on capacity over engine-off capacity (isolated-shard
+        /// rates from the sequential runs — host-contention free).
+        pub fn speedup(&self) -> f64 {
+            self.on.sequential.capacity_steps_per_sec()
+                / self.off.sequential.capacity_steps_per_sec().max(1e-9)
+        }
+    }
+
+    /// Whether two fleet reports are architecturally identical —
+    /// everything the simulation defines except the cache-observability
+    /// counters (which legitimately differ across engines).
+    pub fn arch_identical(a: &FleetReport, b: &FleetReport) -> bool {
+        a.syscalls == b.syscalls
+            && a.instructions == b.instructions
+            && a.cycles == b.cycles
+            && a.stats.arch_eq(&b.stats)
+            && a.tenants.len() == b.tenants.len()
+            && a.tenants.iter().zip(&b.tenants).all(|(x, y)| {
+                x.name == y.name
+                    && x.totals.ops == y.totals.ops
+                    && x.totals.syscalls == y.totals.syscalls
+                    && x.totals.instructions == y.totals.instructions
+                    && x.totals.cycles == y.totals.cycles
+                    && x.totals.stats.arch_eq(&y.totals.stats)
+                    && x.totals.latency == y.totals.latency
+            })
+    }
+
+    /// Runs the fleet mix once per engine arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn fleet_ab(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+    ) -> FleetAb {
+        // Engine off first, so the on-arm cannot benefit from a warmer
+        // host (same ordering rationale as the BENCH_2 harness).
+        let off = measure_with_blocks(shards, cpus_per_shard, seed, tenants.clone(), false);
+        let on = measure_with_blocks(shards, cpus_per_shard, seed, tenants, true);
+        FleetAb { on, off }
     }
 }
 

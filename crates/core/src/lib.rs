@@ -165,4 +165,38 @@ mod tests {
             assert_eq!(run(true, level), run(false, level), "{level}");
         }
     }
+
+    #[test]
+    fn block_engine_is_architecturally_invisible() {
+        // Same contract as the fast caches, on the other knob: booting
+        // with the block translation engine off must produce bit-identical
+        // architectural results — return values, cycles, instructions,
+        // faults — and identical architectural counters, for every
+        // protection level.
+        let run = |block_engine: bool, level: ProtectionLevel| {
+            let mut cfg = KernelConfig::with_protection(level);
+            cfg.block_engine = block_engine;
+            let mut m = Machine::with_config(cfg).unwrap();
+            let mut log = Vec::new();
+            for nr in [172u64, 63, 64, 57] {
+                let out = m.kernel_mut().syscall(nr, 7).unwrap();
+                log.push((out.x0, out.cycles, out.instructions, out.fault));
+            }
+            (log, m.kernel().cpu().stats())
+        };
+        for level in ProtectionLevel::ALL {
+            let (log_on, stats_on) = run(true, level);
+            let (log_off, stats_off) = run(false, level);
+            assert_eq!(log_on, log_off, "{level}");
+            assert!(
+                stats_on.arch_eq(&stats_off),
+                "{level}: architectural counters diverged: {stats_on:?} vs {stats_off:?}"
+            );
+            assert!(
+                stats_on.block_hits > 0,
+                "{level}: the engine actually served blocks"
+            );
+            assert_eq!(stats_off.block_hits, 0, "{level}: engine off is off");
+        }
+    }
 }

@@ -1,9 +1,10 @@
 //! The instruction executor.
 
+use crate::block::{self, BlockEntry};
 use crate::pac::{strip_pac, KeyClass, PacUnit};
 use crate::state::CpuState;
 use camo_isa::{decode, AddrMode, CostModel, Insn, InsnKey, PacKey, PairMode, Reg, SysReg};
-use camo_mem::{El, Frame, MemFault, Memory, TableId, TranslationCtx};
+use camo_mem::{El, Frame, MemFault, Memory, TableId, TranslationCtx, PAGE_SIZE};
 use core::fmt;
 
 /// Sentinel link-register value used by [`Cpu::call`]: the executor stops
@@ -94,6 +95,17 @@ pub struct CpuStats {
     pub pac_memo_misses: u64,
     /// Inter-processor interrupts delivered to this core.
     pub ipis: u64,
+    /// Block-translation-engine cache hits (whole decoded blocks served
+    /// without re-decoding). Zero when the engine is disabled or the core
+    /// is driven through [`Cpu::step`].
+    pub block_hits: u64,
+    /// Block-translation-engine cache misses (blocks decoded fresh).
+    pub block_misses: u64,
+    /// Cached blocks discarded because a freshness stamp no longer held —
+    /// the translation generation moved (map/unmap/`set_attr`/stage-2
+    /// change) or the code frame's write version moved (self-modifying or
+    /// attacker-written code).
+    pub block_invalidations: u64,
 }
 
 impl CpuStats {
@@ -120,6 +132,11 @@ impl CpuStats {
                 .pac_memo_misses
                 .saturating_sub(baseline.pac_memo_misses),
             ipis: self.ipis.saturating_sub(baseline.ipis),
+            block_hits: self.block_hits.saturating_sub(baseline.block_hits),
+            block_misses: self.block_misses.saturating_sub(baseline.block_misses),
+            block_invalidations: self
+                .block_invalidations
+                .saturating_sub(baseline.block_invalidations),
         }
     }
 
@@ -141,6 +158,40 @@ impl CpuStats {
         self.pac_memo_hits += other.pac_memo_hits;
         self.pac_memo_misses += other.pac_memo_misses;
         self.ipis += other.ipis;
+        self.block_hits += other.block_hits;
+        self.block_misses += other.block_misses;
+        self.block_invalidations += other.block_invalidations;
+    }
+
+    /// Whether the *architectural* counters of two runs agree — retired
+    /// instructions, PAC sign/auth outcomes, key writes, exceptions, and
+    /// IPIs. This is the identity the block engine (and the fast-path
+    /// caches before it) must preserve across an A/B toggle.
+    ///
+    /// The simulator-observability counters — TLB, decoded-instruction
+    /// cache, PAC memo, and block-cache hit/miss/invalidation counts —
+    /// are *excluded*: they describe how the simulator reached the
+    /// architectural result, and legitimately differ between engines
+    /// (e.g. a cached block performs one permission walk where the step
+    /// path performs one per instruction).
+    pub fn arch_eq(&self, other: &CpuStats) -> bool {
+        (
+            self.instructions,
+            self.pac_signs,
+            self.pac_auth_ok,
+            self.pac_auth_fail,
+            self.key_writes,
+            self.exceptions,
+            self.ipis,
+        ) == (
+            other.instructions,
+            other.pac_signs,
+            other.pac_auth_ok,
+            other.pac_auth_fail,
+            other.key_writes,
+            other.exceptions,
+            other.ipis,
+        )
     }
 }
 
@@ -292,6 +343,11 @@ pub struct Cpu {
     /// Direct-mapped decoded-instruction cache, keyed on physical address.
     icache: Vec<Option<IcacheEntry>>,
     icache_enabled: bool,
+    /// Direct-mapped translated-block cache, keyed on the physical address
+    /// of the block's first instruction (see [`crate::block`]). Boxed so a
+    /// probe moves a pointer, not the entry.
+    block_cache: Vec<Option<Box<BlockEntry>>>,
+    block_engine: bool,
     /// The PAC functional unit (warm QARMA schedules per key).
     pac_unit: PacUnit,
     /// This core's index within its cluster (0 for a uniprocessor).
@@ -319,6 +375,8 @@ impl Cpu {
             tbi_user: true,
             icache: vec![None; ICACHE_SIZE],
             icache_enabled: true,
+            block_cache: vec![None; block::BLOCK_CACHE_SIZE],
+            block_engine: true,
             pac_unit: PacUnit::new(),
             id: 0,
             ipi_queue: std::collections::VecDeque::new(),
@@ -361,6 +419,16 @@ impl Cpu {
         self.ipi_queue.len()
     }
 
+    /// Acknowledges every pending IPI without returning the payloads —
+    /// the allocation-free form of [`Cpu::take_ipis`] for kernel entry
+    /// paths that only need the IPI line dropped (the reschedule decision
+    /// was already made by the caller and the shootdown invalidation
+    /// happened at the initiator). Like [`Cpu::take_ipis`], a device
+    /// interrupt raised via [`Cpu::raise_irq`] stays pending.
+    pub fn ack_ipis(&mut self) {
+        self.ipi_queue.clear();
+    }
+
     /// Enables or disables this core's micro-architectural caches — the
     /// decoded-instruction cache and the PAC unit's warm key schedules.
     ///
@@ -380,9 +448,34 @@ impl Cpu {
         self.icache_enabled
     }
 
-    /// Replaces the cycle-cost model (ablation experiments).
+    /// Enables or disables the basic-block translation engine (the
+    /// [`Cpu::run_block`] fast path; see [`crate::block`]).
+    ///
+    /// Architectural behaviour — register values, faults, cycle counts,
+    /// every [`CpuStats`] counter [`CpuStats::arch_eq`] covers — is
+    /// bit-identical either way; only wall-clock simulation speed and the
+    /// cache-observability counters change. Orthogonal to
+    /// [`Cpu::set_caching`]: the engine keys off the memory system's
+    /// generation counter and frame write versions, which are maintained
+    /// whether or not the software TLB is on.
+    pub fn set_block_engine(&mut self, enabled: bool) {
+        self.block_engine = enabled;
+        if !enabled {
+            self.block_cache.fill(None);
+        }
+    }
+
+    /// Whether the block translation engine is enabled.
+    pub fn block_engine(&self) -> bool {
+        self.block_engine
+    }
+
+    /// Replaces the cycle-cost model (ablation experiments). Clears the
+    /// block cache: cached blocks carry cycle totals precomputed under
+    /// the model they were decoded with.
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+        self.block_cache.fill(None);
     }
 
     /// The cost model in effect.
@@ -505,6 +598,232 @@ impl Cpu {
         result
     }
 
+    /// Executes one translated basic block (or, with the engine disabled,
+    /// exactly one [`Cpu::step`]).
+    ///
+    /// Returns the [`Step`] outcome of the *last* instruction the call
+    /// retired, which is what run loops dispatch on: a fully straight-line
+    /// block reports [`Step::Executed`]; a block ending in `RET` to the
+    /// call sentinel reports [`Step::SentinelReturn`] on the *next* call,
+    /// exactly like the step path. Architectural state, cycle counts and
+    /// every [`CpuStats::arch_eq`] counter evolve bit-identically to
+    /// driving the core with [`Cpu::step`]; only wall-clock speed and the
+    /// cache-observability counters differ. See [`crate::block`] for the
+    /// block shape and invalidation rules.
+    ///
+    /// # Errors
+    ///
+    /// Exactly like [`Cpu::step`]: an undefined instruction, or a fault
+    /// with no vector base installed.
+    pub fn run_block(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
+        if !self.block_engine {
+            return self.step(mem);
+        }
+        let result = self.run_block_inner(mem);
+        // One mirror per block instead of one per instruction — part of
+        // the batched-stats contract.
+        self.stats.tlb_hits = mem.tlb_hits();
+        self.stats.tlb_misses = mem.tlb_misses();
+        self.stats.pac_memo_hits = self.pac_unit.memo_hits();
+        self.stats.pac_memo_misses = self.pac_unit.memo_misses();
+        result
+    }
+
+    fn run_block_inner(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
+        if let Some(step) = self.boundary_check() {
+            return Ok(step);
+        }
+        // The translation context cannot change inside this call: the
+        // instructions that move it (MSR to a TTBR, ERET, exception entry)
+        // either fall back to the step path or end the call.
+        let ctx = self.translation_ctx();
+        let mut pc = self.state.pc;
+        // The hoisted permission walk: one execute-access translation at
+        // block entry covers every instruction of every block executed on
+        // this page this call, and runs on every call, so revoking execute
+        // rights still faults on the very next block entry.
+        let mut pa = match mem.fetch_loc(&ctx, pc) {
+            Ok(pa) => pa,
+            Err(fault) => return self.vectored_fault(fault, pc, true),
+        };
+        let generation = mem.translation_generation();
+
+        // Cycle / retired-instruction accumulators, folded into the
+        // architectural counters exactly once per call (every exit path
+        // below flushes them first).
+        let mut acc_cycles = 0u64;
+        let mut acc_insns = 0u64;
+        let mut outcome = Ok(Step::Executed);
+
+        // Same-page chaining: after a block's terminator lands on the same
+        // VA page, the entry walk still covers the new target, so the next
+        // block starts without another walk. MAX_CHAIN bounds the blocks
+        // per call so a spin loop cannot starve the caller's run budget.
+        //
+        // The (frame, write version) pair is tracked across the chain: it
+        // is re-read only when the chain changes frames or an executed
+        // store may have moved it, so a hot loop spinning inside one page
+        // validates its frame version once per call, not once per block.
+        let mut frame = Frame::containing(pa);
+        let mut version = mem.phys().frame_version(frame);
+        'chain: for _ in 0..block::MAX_CHAIN {
+            if Frame::containing(pa) != frame {
+                frame = Frame::containing(pa);
+                version = mem.phys().frame_version(frame);
+            }
+            let slot = block::block_slot(pa);
+
+            // Probe, taking the entry out of the slot so the executor can
+            // borrow the CPU mutably; it is put back before moving on.
+            let entry = match self.block_cache[slot].take() {
+                Some(mut e) if e.pa == pa && e.version == version => {
+                    if e.generation != generation {
+                        // The translation configuration moved since decode
+                        // (map/unmap/set_attr/stage-2 change somewhere in
+                        // the system) but this block's bytes did not. The
+                        // entry walk above just revalidated the current
+                        // PC→PA mapping and its execute permission under
+                        // the *new* configuration, so the block is sound:
+                        // re-stamp it instead of re-decoding. Without this,
+                        // a module-churn or fork-storm tenant (one
+                        // generation bump per op) would flush every block
+                        // in the machine on every op.
+                        e.generation = generation;
+                    }
+                    self.stats.block_hits += 1;
+                    e
+                }
+                stale => {
+                    if matches!(&stale, Some(e) if e.pa == pa) {
+                        // Same block, changed bytes (self-modifying code,
+                        // module reload into the frame, direct-to-physical
+                        // attacker write): discard and re-decode.
+                        self.stats.block_invalidations += 1;
+                    }
+                    self.stats.block_misses += 1;
+                    block::decode_block(
+                        mem.phys(),
+                        pa,
+                        generation,
+                        version,
+                        self.features.pauth,
+                        &self.cost,
+                    )
+                }
+            };
+
+            if entry.body.is_empty() && entry.terminator.is_none() {
+                // The instruction at the entry needs one-step treatment.
+                // Flush the accumulators first: the step semantics may
+                // read the live cycle counter (`MRS CNTVCT_EL0`).
+                let fallback = entry.fallback;
+                self.block_cache[slot] = Some(entry);
+                self.cycles += acc_cycles;
+                self.stats.instructions += acc_insns;
+                return match fallback {
+                    // Cached decode: the entry walk already validated the
+                    // fetch, so execute directly (SVC/BRK/ERET/MSR/MRS,
+                    // pre-v8.3 PAuth forms).
+                    Some(insn) => self.exec_decoded(mem, insn, pc, &ctx),
+                    // Undecodable word: the step path raises the
+                    // architectural error with the raw word.
+                    None => self.fetch_exec(mem, pc),
+                };
+            }
+
+            let body_len = entry.body.len();
+            let mut executed = body_len;
+            let mut store_abort = false;
+            let mut abort: Option<Result<Step, CpuError>> = None;
+            for (i, insn) in entry.body.iter().enumerate() {
+                let insn_pc = self.state.pc;
+                match self.execute(mem, *insn, insn_pc, &ctx) {
+                    Ok(Step::Executed) => {
+                        if block::is_store(insn) {
+                            let now = mem.phys().frame_version(frame);
+                            if now != version {
+                                // The store landed in the block's own code
+                                // frame: the remaining decoded instructions
+                                // may be stale. Stop the block here; the
+                                // chain re-probes at the next PC with the
+                                // fresh version, re-decoding the modified
+                                // bytes exactly like the step path's next
+                                // fetch.
+                                version = now;
+                                executed = i + 1;
+                                store_abort = true;
+                                break;
+                            }
+                        }
+                    }
+                    other => {
+                        // A data abort vectored (or was unhandled): the
+                        // call ends with the step outcome of the faulting
+                        // instruction (which the step path charges too).
+                        executed = i + 1;
+                        abort = Some(other);
+                        break;
+                    }
+                }
+            }
+            if executed == body_len && !store_abort && abort.is_none() {
+                // The common case: the whole block retired. Charge the
+                // precomputed total (body + terminator) in one addition.
+                if let Some(term) = entry.terminator {
+                    let insn_pc = self.state.pc;
+                    match self.execute(mem, term, insn_pc, &ctx) {
+                        Ok(Step::Executed) => {}
+                        other => abort = Some(other),
+                    }
+                    acc_insns += 1;
+                }
+                acc_cycles += entry.cycles;
+                acc_insns += body_len as u64;
+            } else {
+                // Rare partial execution: charge exactly the prefix the
+                // step path would have charged.
+                acc_cycles += entry.body[..executed]
+                    .iter()
+                    .map(|i| self.cost.cycles(i))
+                    .sum::<u64>();
+                acc_insns += executed as u64;
+            }
+            self.block_cache[slot] = Some(entry);
+            if let Some(out) = abort {
+                outcome = out;
+                break 'chain;
+            }
+
+            // Chain on. A same-page target is still covered by the walk
+            // that opened this page; a cross-page target takes a fresh
+            // permission walk right here (the step path walks per
+            // *instruction*, so a walk per page crossing preserves every
+            // fault and revocation point). Unaligned targets and the call
+            // sentinel end the call; the next call raises the fault or
+            // reports the return.
+            let next = self.state.pc;
+            if next % 4 != 0 || next == CALL_SENTINEL {
+                break;
+            }
+            if next ^ pc < PAGE_SIZE {
+                pa = (pa & !(PAGE_SIZE - 1)) + next % PAGE_SIZE;
+            } else {
+                match mem.fetch_loc(&ctx, next) {
+                    Ok(npa) => pa = npa,
+                    Err(fault) => {
+                        self.cycles += acc_cycles;
+                        self.stats.instructions += acc_insns;
+                        return self.vectored_fault(fault, next, true);
+                    }
+                }
+            }
+            pc = next;
+        }
+        self.cycles += acc_cycles;
+        self.stats.instructions += acc_insns;
+        outcome
+    }
+
     /// Fetches and decodes the instruction at `pc`, through the decoded-
     /// instruction cache when enabled.
     ///
@@ -551,9 +870,12 @@ impl Cpu {
         }
     }
 
-    fn step_inner(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
+    /// The step-boundary preamble shared by [`Cpu::step`] and
+    /// [`Cpu::run_block`]: the sentinel check and the interrupt sample.
+    /// Returns `Some` when the boundary itself produced the step outcome.
+    fn boundary_check(&mut self) -> Option<Step> {
         if self.state.pc == CALL_SENTINEL {
-            return Ok(Step::SentinelReturn);
+            return Some(Step::SentinelReturn);
         }
         if (self.pending_irq || !self.ipi_queue.is_empty()) && !self.state.irq_masked {
             // Taking the exception clears the device line; the IPI line
@@ -562,17 +884,46 @@ impl Cpu {
             self.pending_irq = false;
             let pc = self.state.pc;
             self.take_exception(0, 0, pc, None, true);
-            return Ok(Step::IrqTaken);
+            return Some(Step::IrqTaken);
         }
+        None
+    }
 
+    fn step_inner(&mut self, mem: &mut Memory) -> Result<Step, CpuError> {
+        if let Some(step) = self.boundary_check() {
+            return Ok(step);
+        }
         let pc = self.state.pc;
+        self.fetch_exec(mem, pc)
+    }
+
+    /// The per-instruction path after the boundary checks: fetch, decode,
+    /// feature-gate, charge, execute. Used by [`Cpu::step`] for every
+    /// instruction and by [`Cpu::run_block`] for the instructions a block
+    /// cannot contain (`SVC`, `BRK`, `ERET`, `MSR`/`MRS`, undefined
+    /// words, pre-v8.3 PAuth forms).
+    fn fetch_exec(&mut self, mem: &mut Memory, pc: u64) -> Result<Step, CpuError> {
         let ctx = self.translation_ctx();
         let insn = match self.fetch_decode(mem, &ctx, pc) {
             FetchResult::Insn(insn) => insn,
             FetchResult::Fault(fault) => return self.vectored_fault(fault, pc, true),
             FetchResult::Undefined(word) => return Err(CpuError::UndefinedInsn { word, pc }),
         };
+        self.exec_decoded(mem, insn, pc, &ctx)
+    }
 
+    /// Single-instruction step semantics for an already-decoded `insn` at
+    /// `pc`: the §5.5 feature gate, the cycle charge, and the execute.
+    /// Shared by the step path (after its fetch) and the block engine's
+    /// cached-fallback path (which already validated the fetch at block
+    /// entry).
+    fn exec_decoded(
+        &mut self,
+        mem: &mut Memory,
+        insn: Insn,
+        pc: u64,
+        ctx: &TranslationCtx,
+    ) -> Result<Step, CpuError> {
         // Feature gating (§5.5): without PAuth, hint-space forms are NOPs
         // and the 8.3-only encodings are UNDEFINED.
         if !self.features.pauth && insn.is_pauth() {
@@ -597,7 +948,7 @@ impl Cpu {
 
         self.charge(&insn);
         self.stats.instructions += 1;
-        self.execute(mem, insn, pc, &ctx)
+        self.execute(mem, insn, pc, ctx)
     }
 
     fn key_for(&self, key: PacKey) -> camo_qarma::QarmaKey {
@@ -961,6 +1312,11 @@ impl Cpu {
     /// Calls a function at `fn_va` with up to eight `args`, running until it
     /// returns (LR sentinel reached).
     ///
+    /// Drives the core through [`Cpu::run_block`], so an enabled block
+    /// engine (the default) accelerates the call; `max_steps` bounds
+    /// engine invocations, so it remains an upper bound on retired
+    /// instructions only with the engine disabled.
+    ///
     /// # Errors
     ///
     /// Propagates [`CpuError`]; returns [`CpuError::TimedOut`] after
@@ -981,7 +1337,7 @@ impl Cpu {
         let start_cycles = self.cycles;
         let start_insns = self.stats.instructions;
         for _ in 0..max_steps {
-            match self.step(mem)? {
+            match self.run_block(mem)? {
                 Step::SentinelReturn => {
                     return Ok(CallResult {
                         x0: self.state.gprs[0],

@@ -32,6 +32,7 @@ impl KeyClass {
 }
 
 /// The layout governing a pointer, chosen by its half of the address space.
+#[inline]
 pub fn layout_for(ptr: u64, tbi_user: bool) -> PointerLayout {
     if (ptr >> 55) & 1 == 1 {
         PointerLayout::kernel()
@@ -156,6 +157,7 @@ impl PacUnit {
     /// schedule for `key` (and the memo of recent whole computations) when
     /// available — the engine behind both pointer PACs and `PACGA` generic
     /// MACs.
+    #[inline]
     pub fn mac(&mut self, data: u64, modifier: u64, key: QarmaKey) -> u32 {
         if !self.warm {
             return compute_mac(data, modifier, key);
@@ -189,6 +191,7 @@ impl PacUnit {
     }
 
     /// [`compute_pac`] with a warm schedule.
+    #[inline]
     pub fn compute_pac(
         &mut self,
         ptr: u64,
@@ -201,6 +204,7 @@ impl PacUnit {
     }
 
     /// [`add_pac`] with a warm schedule.
+    #[inline]
     pub fn add_pac(&mut self, ptr: u64, modifier: u64, key: QarmaKey, tbi_user: bool) -> u64 {
         let layout = layout_for(ptr, tbi_user);
         let pac = self.compute_pac(ptr, modifier, key, &layout);
@@ -213,6 +217,7 @@ impl PacUnit {
     ///
     /// Returns the corrupted (non-canonical) pointer when authentication
     /// fails, exactly like the cold [`auth_pac`].
+    #[inline]
     pub fn auth_pac(
         &mut self,
         ptr: u64,

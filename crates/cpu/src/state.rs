@@ -54,6 +54,7 @@ impl CpuState {
     }
 
     /// Reads a register operand (`xzr` reads 0, `sp` reads the banked SP).
+    #[inline]
     pub fn read(&self, reg: Reg) -> u64 {
         match reg {
             Reg::X(n) => self.gprs[usize::from(n)],
@@ -63,6 +64,7 @@ impl CpuState {
     }
 
     /// Writes a register operand (`xzr` discards, `sp` sets the banked SP).
+    #[inline]
     pub fn write(&mut self, reg: Reg, value: u64) {
         match reg {
             Reg::X(n) => self.gprs[usize::from(n)] = value,
@@ -88,6 +90,7 @@ impl CpuState {
     }
 
     /// Reads a system register (0 if never written).
+    #[inline]
     pub fn sysreg(&self, sr: SysReg) -> u64 {
         self.sysregs[sr.index()]
     }

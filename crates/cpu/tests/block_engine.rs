@@ -1,0 +1,399 @@
+//! Block-translation-engine contract tests: bit-identity with the step
+//! path, counter behaviour, and the invalidation edges (self-modifying
+//! code, generation bumps, stage-2 downgrades).
+
+use camo_cpu::{Cpu, CpuStats, Step};
+use camo_isa::{encode, AddrMode, Insn, PacKey, Reg, SysReg};
+use camo_mem::{El, Frame, MemFault, Memory, S1Attr, S2Attr, TableId, KERNEL_BASE, PAGE_SIZE};
+
+/// Loads `insns` at KERNEL_BASE (text), with a data page above and a
+/// writable+executable page at +2 pages for self-modifying tests.
+fn machine(insns: &[Insn]) -> (Cpu, Memory) {
+    let mut mem = Memory::new();
+    let table = mem.new_table();
+    let text = mem.map_new(table, KERNEL_BASE, S1Attr::kernel_text());
+    mem.map_new(table, KERNEL_BASE + PAGE_SIZE, S1Attr::kernel_data());
+    // Writable AND executable (self-modifying-code playground).
+    mem.map_new(
+        table,
+        KERNEL_BASE + 2 * PAGE_SIZE,
+        S1Attr {
+            el0_read: false,
+            el0_write: false,
+            el0_exec: false,
+            el1_write: true,
+            el1_exec: true,
+        },
+    );
+    for (i, insn) in insns.iter().enumerate() {
+        mem.phys_mut()
+            .write_u32(text.base() + 4 * i as u64, encode(insn))
+            .unwrap();
+    }
+    let mut cpu = Cpu::default();
+    cpu.state.pc = KERNEL_BASE;
+    cpu.state
+        .set_sysreg(SysReg::Ttbr0El1, TableId::from_raw(table.raw()).raw());
+    cpu.state.set_sysreg(SysReg::Ttbr1El1, table.raw());
+    cpu.state
+        .set_pauth_key(camo_isa::PauthKey::IB, camo_qarma::QarmaKey::new(7, 9));
+    cpu.state.sp_el1 = KERNEL_BASE + 2 * PAGE_SIZE - 64;
+    (cpu, mem)
+}
+
+/// A little program exercising every block shape: ALU runs, a loop, a
+/// call/return pair, loads and stores, PAC sign/auth, and MSR/MRS.
+fn mixed_program() -> Vec<Insn> {
+    vec![
+        // x0 = loop counter, x1 = accumulator, x19 = data page base.
+        Insn::Movz {
+            rd: Reg::x(0),
+            imm16: 50,
+            shift: 0,
+        },
+        Insn::Movz {
+            rd: Reg::x(1),
+            imm16: 0,
+            shift: 0,
+        },
+        Insn::Adr {
+            rd: Reg::x(19),
+            offset: PAGE_SIZE as i32 - 2 * 4,
+        },
+        // loop (index 3):
+        Insn::AddImm {
+            rd: Reg::x(1),
+            rn: Reg::x(1),
+            imm12: 3,
+            shifted: false,
+        },
+        Insn::Str {
+            rt: Reg::x(1),
+            rn: Reg::x(19),
+            mode: AddrMode::Unsigned(16),
+        },
+        Insn::Ldr {
+            rt: Reg::x(2),
+            rn: Reg::x(19),
+            mode: AddrMode::Unsigned(16),
+        },
+        Insn::Pac {
+            key: PacKey::IB,
+            rd: Reg::x(2),
+            rn: Reg::x(0),
+        },
+        Insn::Aut {
+            key: PacKey::IB,
+            rd: Reg::x(2),
+            rn: Reg::x(0),
+        },
+        Insn::Mrs {
+            rt: Reg::x(3),
+            sr: SysReg::TpidrEl1,
+        },
+        Insn::Msr {
+            sr: SysReg::TpidrEl1,
+            rt: Reg::x(1),
+        },
+        Insn::SubImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 1,
+            shifted: false,
+        },
+        Insn::Cbnz {
+            rt: Reg::x(0),
+            offset: -4 * 8,
+        },
+        Insn::Brk { imm: 0x42 },
+    ]
+}
+
+/// Drives `cpu` with `step` or `run_block` until a `BrkTrap` surfaces,
+/// returning the count of engine invocations.
+fn drive(cpu: &mut Cpu, mem: &mut Memory, blocks: bool) -> usize {
+    for calls in 1..100_000 {
+        let step = if blocks {
+            cpu.run_block(mem).expect("benign program")
+        } else {
+            cpu.step(mem).expect("benign program")
+        };
+        if let Step::BrkTrap { imm } = step {
+            assert_eq!(imm, 0x42);
+            return calls;
+        }
+    }
+    panic!("program never reached its BRK");
+}
+
+/// The architectural subset of two runs must agree; the engine's own
+/// counters are allowed (and expected) to differ.
+fn assert_arch_identical(a: (&Cpu, &Memory), b: (&Cpu, &Memory)) {
+    assert_eq!(a.0.state.gprs, b.0.state.gprs, "register files diverged");
+    assert_eq!(a.0.state.pc, b.0.state.pc);
+    assert_eq!(a.0.cycles(), b.0.cycles(), "cycle counts diverged");
+    assert!(
+        a.0.stats().arch_eq(&b.0.stats()),
+        "architectural counters diverged: {:?} vs {:?}",
+        a.0.stats(),
+        b.0.stats()
+    );
+}
+
+#[test]
+fn run_block_is_bit_identical_to_step() {
+    let program = mixed_program();
+    let (mut cpu_s, mut mem_s) = machine(&program);
+    let (mut cpu_b, mut mem_b) = machine(&program);
+    let step_calls = drive(&mut cpu_s, &mut mem_s, false);
+    let block_calls = drive(&mut cpu_b, &mut mem_b, true);
+    assert_arch_identical((&cpu_b, &mem_b), (&cpu_s, &mem_s));
+    assert!(
+        block_calls < step_calls / 3,
+        "blocks must retire many instructions per call ({block_calls} vs {step_calls})"
+    );
+}
+
+#[test]
+fn engine_on_populates_block_counters() {
+    let (mut cpu, mut mem) = machine(&mixed_program());
+    drive(&mut cpu, &mut mem, true);
+    let stats = cpu.stats();
+    assert!(stats.block_misses > 0, "first visits decode");
+    assert!(stats.block_hits > 0, "loop iterations hit the cache");
+    assert!(
+        stats.block_hits > stats.block_misses,
+        "a 50-iteration loop is hit-dominated: {stats:?}"
+    );
+}
+
+#[test]
+fn engine_off_leaves_block_counters_zero_and_matches_step() {
+    let (mut cpu, mut mem) = machine(&mixed_program());
+    cpu.set_block_engine(false);
+    assert!(!cpu.block_engine());
+    drive(&mut cpu, &mut mem, true); // run_block falls back to step
+    let stats = cpu.stats();
+    assert_eq!(
+        (
+            stats.block_hits,
+            stats.block_misses,
+            stats.block_invalidations
+        ),
+        (0, 0, 0)
+    );
+    // And the architectural outcome still matches a plain step drive.
+    let (mut cpu_s, mut mem_s) = machine(&mixed_program());
+    drive(&mut cpu_s, &mut mem_s, false);
+    assert_arch_identical((&cpu, &mem), (&cpu_s, &mem_s));
+}
+
+#[test]
+fn stats_merge_and_delta_cover_block_counters() {
+    let a = CpuStats {
+        block_hits: 5,
+        block_misses: 2,
+        block_invalidations: 1,
+        ..CpuStats::default()
+    };
+    let mut b = a;
+    b.merge(&a);
+    assert_eq!(
+        (b.block_hits, b.block_misses, b.block_invalidations),
+        (10, 4, 2)
+    );
+    let d = b.delta_since(&a);
+    assert_eq!(
+        (d.block_hits, d.block_misses, d.block_invalidations),
+        (5, 2, 1)
+    );
+    // arch_eq ignores the engine counters...
+    assert!(a.arch_eq(&b));
+    // ...but not the architectural ones.
+    let c = CpuStats {
+        pac_signs: 1,
+        ..CpuStats::default()
+    };
+    assert!(!a.arch_eq(&c));
+}
+
+/// Self-modifying code *within* one straight-line run: the store at the
+/// head of the run overwrites an instruction later in the same block.
+/// The engine must abort the cached block after the store and re-decode,
+/// retiring exactly what the step path retires.
+#[test]
+fn self_modifying_store_across_a_block_boundary_re_decodes() {
+    let smc_page = KERNEL_BASE + 2 * PAGE_SIZE;
+    // The SMC page program, patched by itself:
+    //   0: ldr x2, [x19]       ; x19 -> encode(add x1, x1, #7)
+    //   1: str x2, [x20]       ; x20 -> PA-of-insn-3 (same page!)
+    //   2: add x1, x1, #1
+    //   3: add x1, x1, #100    ; <- overwritten by insn 1 with add #7
+    //   4: brk #0x42
+    let patched = [
+        Insn::Ldr {
+            rt: Reg::x(2),
+            rn: Reg::x(19),
+            mode: AddrMode::Unsigned(0),
+        },
+        Insn::Str {
+            rt: Reg::x(2),
+            rn: Reg::x(20),
+            mode: AddrMode::Unsigned(0),
+        },
+        Insn::AddImm {
+            rd: Reg::x(1),
+            rn: Reg::x(1),
+            imm12: 1,
+            shifted: false,
+        },
+        Insn::AddImm {
+            rd: Reg::x(1),
+            rn: Reg::x(1),
+            imm12: 100,
+            shifted: false,
+        },
+        Insn::Brk { imm: 0x42 },
+    ];
+    let run = |blocks: bool| {
+        let (mut cpu, mut mem) = machine(&[]);
+        cpu.set_block_engine(blocks);
+        let ctx = cpu.translation_ctx();
+        let pa = mem
+            .translate(&ctx, smc_page, camo_mem::AccessType::Execute)
+            .unwrap();
+        for (i, insn) in patched.iter().enumerate() {
+            mem.phys_mut()
+                .write_u32(pa + 4 * i as u64, encode(insn))
+                .unwrap();
+        }
+        // Stash the replacement doubleword in the data page, point x20 at
+        // the target instruction through the writable mapping. The 8-byte
+        // store covers insns 3 and 4, so the patch carries both the new
+        // add and the BRK that follows it.
+        let data = KERNEL_BASE + PAGE_SIZE;
+        let word = u64::from(encode(&Insn::AddImm {
+            rd: Reg::x(1),
+            rn: Reg::x(1),
+            imm12: 7,
+            shifted: false,
+        })) | u64::from(encode(&Insn::Brk { imm: 0x42 })) << 32;
+        mem.write_u64(&ctx.clone(), data, word).unwrap();
+        cpu.state.gprs[19] = data;
+        cpu.state.gprs[20] = smc_page + 4 * 3;
+        cpu.state.pc = smc_page;
+        drive(&mut cpu, &mut mem, blocks);
+        (cpu.state.gprs[1], cpu.cycles(), cpu.stats())
+    };
+    // Warm pass decodes the original bytes; the store must kill them.
+    let (x1_blocks, cycles_blocks, stats_blocks) = run(true);
+    let (x1_step, cycles_step, stats_step) = run(false);
+    assert_eq!(x1_blocks, 8, "patched add #7 executed, not the stale #100");
+    assert_eq!(x1_blocks, x1_step);
+    assert_eq!(cycles_blocks, cycles_step);
+    assert!(stats_blocks.arch_eq(&stats_step));
+}
+
+/// Rewriting an already-cached block's bytes between executions must be
+/// observed via the frame write version (counted as an invalidation).
+#[test]
+fn rewriting_cached_code_invalidates_the_block() {
+    let loop_body = [
+        Insn::AddImm {
+            rd: Reg::x(1),
+            rn: Reg::x(1),
+            imm12: 5,
+            shifted: false,
+        },
+        Insn::Brk { imm: 0x42 },
+    ];
+    let (mut cpu, mut mem) = machine(&loop_body);
+    // Cache the block.
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(cpu.state.gprs[1], 5);
+    // Rewrite the add through a direct-to-physical attacker write.
+    let ctx = cpu.translation_ctx();
+    let pa = mem
+        .translate(&ctx, KERNEL_BASE, camo_mem::AccessType::Execute)
+        .unwrap();
+    mem.phys_mut()
+        .write_u32(
+            pa,
+            encode(&Insn::AddImm {
+                rd: Reg::x(1),
+                rn: Reg::x(1),
+                imm12: 9,
+                shifted: false,
+            }),
+        )
+        .unwrap();
+    cpu.state.pc = KERNEL_BASE;
+    let inval_before = cpu.stats().block_invalidations;
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(cpu.state.gprs[1], 14, "new bytes executed");
+    assert!(
+        cpu.stats().block_invalidations > inval_before,
+        "stale block was discarded, not silently reused"
+    );
+}
+
+/// A stage-2 execute revocation must fault on the very next block entry,
+/// even though the block (and its page translation) is warm.
+#[test]
+fn stage2_downgrade_faults_the_next_block_execution() {
+    let loop_body = [
+        Insn::AddImm {
+            rd: Reg::x(1),
+            rn: Reg::x(1),
+            imm12: 1,
+            shifted: false,
+        },
+        Insn::Brk { imm: 0x42 },
+    ];
+    let (mut cpu, mut mem) = machine(&loop_body);
+    cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+    drive(&mut cpu, &mut mem, true);
+    assert!(cpu.stats().block_misses > 0, "block is cached and warm");
+    // Hypervisor revokes execute on the text frame.
+    let ctx = cpu.translation_ctx();
+    let pa = mem
+        .translate(&ctx, KERNEL_BASE, camo_mem::AccessType::Read)
+        .unwrap();
+    mem.protect_stage2(
+        Frame::containing(pa),
+        S2Attr {
+            read: true,
+            write: false,
+            exec: false,
+        },
+    )
+    .unwrap();
+    cpu.state.pc = KERNEL_BASE;
+    let step = cpu.run_block(&mut mem).expect("vectored, not fatal");
+    assert!(
+        matches!(
+            step,
+            Step::FaultTaken {
+                fault: MemFault::Stage2 { .. }
+            }
+        ),
+        "hoisted entry walk must observe the downgrade, got {step:?}"
+    );
+    assert_eq!(cpu.state.el, El::El1, "vectored to EL1");
+}
+
+/// `ack_ipis` drops the IPI line without allocating, and — like
+/// `take_ipis` — must not swallow a device IRQ.
+#[test]
+fn ack_ipis_clears_the_queue_but_keeps_device_irqs() {
+    let (mut cpu, mut mem) = machine(&[Insn::Nop, Insn::Nop]);
+    cpu.state.set_sysreg(SysReg::VbarEl1, KERNEL_BASE + 0x8000);
+    cpu.raise_irq();
+    cpu.post_ipi(camo_cpu::IpiKind::Reschedule);
+    cpu.post_ipi(camo_cpu::IpiKind::TlbShootdown);
+    assert_eq!(cpu.pending_ipis(), 2);
+    cpu.ack_ipis();
+    assert_eq!(cpu.pending_ipis(), 0);
+    cpu.state.irq_masked = false;
+    assert_eq!(cpu.step(&mut mem), Ok(Step::IrqTaken), "device IRQ kept");
+}

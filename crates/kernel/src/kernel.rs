@@ -46,6 +46,21 @@ pub struct KernelConfig {
     /// speed changes. Default on; turn off for cache A/B measurements
     /// (`perfcheck` does).
     pub fast_caches: bool,
+    /// Enables the basic-block translation engine: the kernel's run loops
+    /// drive every core through [`camo_cpu::Cpu::run_block`], executing
+    /// cached straight-line blocks with the fetch permission walk hoisted
+    /// to block entry and per-block stats batching.
+    ///
+    /// Architecturally invisible like [`KernelConfig::fast_caches`] —
+    /// cycles, instructions, faults, attack verdicts and every
+    /// [`camo_cpu::CpuStats::arch_eq`] counter are bit-identical on or
+    /// off; only wall-clock speed and the cache-observability counters
+    /// change. (The one boundary: the run loops' hang-detection budgets
+    /// are checked between engine invocations, so a program within one
+    /// block-call of the [`KernelError::Hung`] backstop may overshoot it
+    /// slightly with the engine on — see `KCALL_BUDGET`.) Default on;
+    /// `perfcheck --blocks` measures the A/B.
+    pub block_engine: bool,
     /// Number of simulated CPUs. The default (1) is the paper's
     /// uniprocessor evaluation machine and is bit-identical to the
     /// pre-SMP kernel; larger values boot a cluster: every core gets its
@@ -67,6 +82,7 @@ impl Default for KernelConfig {
             pauth_hw: true,
             user_blocks: vec![("stub".to_string(), 2, 1)],
             fast_caches: true,
+            block_engine: true,
             cpus: 1,
         }
     }
@@ -167,6 +183,23 @@ pub struct ExecOutcome {
     pub syscalls: u64,
 }
 
+/// Hot-path symbol VAs, resolved once at boot.
+///
+/// The syscall dispatch upcall runs per simulated syscall; resolving its
+/// targets through the image's name map (a `HashMap` keyed by `String`,
+/// plus a `format!` per lookup) costs more host time than the simulated
+/// work of a short syscall, so the run loop uses these instead.
+#[derive(Debug, Clone)]
+struct HotSymbols {
+    ret_to_user: u64,
+    syscall_ret_glue: u64,
+    restore_user_keys: u64,
+    /// `(nr, sys_<name> VA)` for every modeled syscall, in table order.
+    sys_bodies: Vec<(u64, u64)>,
+    /// `(block name, user_main_<name> VA)` for every user block.
+    user_entries: Vec<(String, u64)>,
+}
+
 /// A loaded kernel module.
 #[derive(Debug, Clone)]
 pub struct ModuleHandle {
@@ -192,7 +225,6 @@ pub struct Kernel {
     boot: Bootloader,
     kimage: KernelImage,
     kernel_table: TableId,
-    user_image: Image,
     user_frames: Vec<(u64, Frame)>,
     tasks: Vec<Task>,
     current: usize,
@@ -212,14 +244,24 @@ pub struct Kernel {
     /// [`Kernel::unload_module`] are preferred, LIFO).
     next_module_slot: u64,
     free_module_slots: Vec<u64>,
+    hot: HotSymbols,
 }
 
 /// Pages backing each of the file and work heaps.
 const HEAP_PAGES: u64 = 8;
 
-/// Step budget for a single kernel-internal call.
+/// Retired-instruction budget for a single kernel-internal call.
+///
+/// A hang-detection backstop, denominated in *instructions* so the block
+/// engine does not change when it trips: the run loops check it between
+/// engine invocations, so with the engine on a run may overshoot by at
+/// most one call's worth of instructions (`MAX_CHAIN * MAX_BLOCK_INSNS`)
+/// before the check fires. A program living that close to the backstop
+/// is outside the simulator's contract — benign workloads sit orders of
+/// magnitude below it.
 const KCALL_BUDGET: u64 = 1_000_000;
-/// Step budget for a user program run.
+/// Retired-instruction budget for a user program run (same backstop
+/// semantics as [`KCALL_BUDGET`]).
 const RUN_BUDGET: u64 = 200_000_000;
 
 impl Kernel {
@@ -317,6 +359,27 @@ impl Kernel {
             user_frames.push((USER_TEXT_BASE + page as u64 * PAGE_SIZE, frame));
         }
 
+        // Resolve the run loop's hot symbols once (see [`HotSymbols`]).
+        let hot = HotSymbols {
+            ret_to_user: kimage.symbol("ret_to_user"),
+            syscall_ret_glue: kimage.symbol("syscall_ret_glue"),
+            restore_user_keys: kimage.symbol("restore_user_keys"),
+            sys_bodies: crate::image::SYSCALLS
+                .iter()
+                .map(|spec| (spec.nr, kimage.symbol(&format!("sys_{}", spec.name))))
+                .collect(),
+            user_entries: cfg
+                .user_blocks
+                .iter()
+                .map(|(name, _, _)| {
+                    let entry = user_image
+                        .symbol(&format!("user_main_{name}"))
+                        .expect("every user block gets an entry");
+                    (name.clone(), entry)
+                })
+                .collect(),
+        };
+
         assert!(cfg.cpus > 0, "a machine has at least one CPU");
         let mut cpus = Vec::with_capacity(cfg.cpus);
         for id in 0..cfg.cpus {
@@ -327,6 +390,7 @@ impl Kernel {
                 id,
             );
             cpu.set_caching(cfg.fast_caches);
+            cpu.set_block_engine(cfg.block_engine);
             cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
             cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
             cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);
@@ -344,7 +408,6 @@ impl Kernel {
             boot,
             kimage,
             kernel_table,
-            user_image,
             user_frames,
             tasks: Vec::new(),
             current: 0,
@@ -357,6 +420,7 @@ impl Kernel {
             free_tids: Vec::new(),
             next_module_slot: 0,
             free_module_slots: Vec::new(),
+            hot,
             cfg,
         };
 
@@ -559,6 +623,19 @@ impl Kernel {
     /// Logged events.
     pub fn events(&self) -> &[KernelEvent] {
         &self.events
+    }
+
+    /// Moves every logged event into `into` (which is cleared first) and
+    /// leaves the kernel's own buffer empty *with its capacity retained*.
+    ///
+    /// This is the take-and-clear sampling primitive for per-op drivers:
+    /// one caller-owned buffer and the kernel's internal one are reused
+    /// across ops, so polling events after every tiny operation (the
+    /// module-churn tenant logs several per op) allocates only until both
+    /// buffers reach steady-state capacity, then never again.
+    pub fn take_events(&mut self, into: &mut Vec<KernelEvent>) {
+        into.clear();
+        into.append(&mut self.events);
     }
 
     /// PAC failures recorded so far.
@@ -923,8 +1000,9 @@ impl Kernel {
         // Kernel entry on this core: acknowledge pending IPIs. Reschedule
         // needs no action here (the caller already chose what to run) and
         // TlbShootdown's invalidation happened when the initiator flushed
-        // the shared memory system — the ack is the protocol's other half.
-        let _ = self.cpus[cur].take_ipis();
+        // the shared memory system — the ack is the protocol's other half
+        // (and allocation-free: kexec runs per tiny op under the fleet).
+        self.cpus[cur].ack_ipis();
         self.cpus[cur].state.el = El::El1;
         if self.cpus[cur].state.sp_el1 == 0 {
             self.cpus[cur].state.sp_el1 = layout::stack_top(self.current_tid()) - 512;
@@ -942,8 +1020,14 @@ impl Kernel {
         self.cpus[cur].state.pc = fn_va;
         let c0 = self.cpus[cur].cycles();
         let i0 = self.cpus[cur].stats().instructions;
+        // Hang backstop: budget denominated in retired instructions (so
+        // the block engine cannot change when it trips), with the call
+        // count as a secondary bound against non-advancing steps.
         for _ in 0..KCALL_BUDGET {
-            match self.cpus[cur].step(&mut self.mem)? {
+            if self.cpus[cur].stats().instructions - i0 >= KCALL_BUDGET {
+                break;
+            }
+            match self.cpus[cur].run_block(&mut self.mem)? {
                 Step::SentinelReturn => {
                     return Ok(ExecOutcome {
                         x0: self.cpus[cur].state.gprs[0],
@@ -1044,7 +1128,7 @@ impl Kernel {
         // core acknowledges its pending IPIs (see kexec).
         let cur = self.tasks[idx].cpu;
         self.cur_cpu = cur;
-        let _ = self.cpus[cur].take_ipis();
+        self.cpus[cur].ack_ipis();
         let task_va = self.tasks[idx].struct_va();
         let user_table = self.tasks[idx].user_table;
         let stack_top = self.tasks[idx].stack_top();
@@ -1057,14 +1141,17 @@ impl Kernel {
         // exec(): provision the user keys by running the kernel's restore
         // path (reads thread_struct, writes this core's key registers).
         if self.protected() {
-            let f = self.symbol("restore_user_keys");
+            let f = self.hot.restore_user_keys;
             self.kexec(f, &[])?;
             self.cpus[cur].state.sp_el1 = stack_top;
         }
 
         let entry = self
-            .user_image
-            .symbol(&format!("user_main_{block}"))
+            .hot
+            .user_entries
+            .iter()
+            .find(|(name, _)| name == block)
+            .map(|&(_, va)| va)
             .unwrap_or_else(|| panic!("unknown user block {block}"));
         self.cpus[cur].state.el = El::El0;
         self.cpus[cur].state.sp_el0 = USER_STACK_TOP - 2 * PAGE_SIZE;
@@ -1076,8 +1163,13 @@ impl Kernel {
         let c0 = self.cpus[cur].cycles();
         let i0 = self.cpus[cur].stats().instructions;
         let mut syscalls = 0u64;
+        // Same hang-backstop shape as kexec: instruction-denominated
+        // budget, call count as the secondary bound.
         for _ in 0..RUN_BUDGET {
-            match self.cpus[cur].step(&mut self.mem)? {
+            if self.cpus[cur].stats().instructions - i0 >= RUN_BUDGET {
+                break;
+            }
+            match self.cpus[cur].run_block(&mut self.mem)? {
                 Step::BrkTrap { imm } => match imm {
                     x if x == upcall::SYSCALL => {
                         self.dispatch_syscall()?;
@@ -1159,7 +1251,7 @@ impl Kernel {
             self.mem
                 .write_u64(&mut kctx.clone(), sp, (-38i64) as u64)
                 .expect("pt_regs mapped");
-            self.cpus[cur].state.pc = self.symbol("ret_to_user");
+            self.cpus[cur].state.pc = self.hot.ret_to_user;
             return Ok(());
         };
 
@@ -1189,9 +1281,16 @@ impl Kernel {
         self.cpus[cur].state.gprs[0] = body_args[0];
         self.cpus[cur].state.gprs[1] = body_args[1];
         self.cpus[cur].state.gprs[2] = body_args[2];
-        let glue = self.symbol("syscall_ret_glue");
-        self.cpus[cur].state.write(Reg::LR, glue);
-        self.cpus[cur].state.pc = self.symbol(&format!("sys_{}", spec.name));
+        self.cpus[cur]
+            .state
+            .write(Reg::LR, self.hot.syscall_ret_glue);
+        self.cpus[cur].state.pc = self
+            .hot
+            .sys_bodies
+            .iter()
+            .find(|&&(n, _)| n == nr)
+            .map(|&(_, va)| va)
+            .expect("spec came from the same table");
         Ok(())
     }
 
@@ -1487,6 +1586,69 @@ mod tests {
         assert_eq!(second.base_va, first.base_va, "slot recycled");
         let entry = second.image.symbol("gen1_init").unwrap();
         assert_eq!(k.kexec(entry, &[40]).unwrap().x0, 42);
+    }
+
+    #[test]
+    fn unload_module_kills_cached_blocks_mid_run() {
+        // The block engine is on by default: running a module's entry
+        // caches its translated blocks. Unloading must make those blocks
+        // unreachable — the next fetch of the old VA faults — and a fresh
+        // module at the recycled base must execute its *own* code, never
+        // the stale translation.
+        let mut k = booted(ProtectionLevel::Full);
+        assert!(k.config().block_engine);
+        let p = tiny_module(&k, "gen0_init"); // +2 per call
+        let first = k.load_module(p, &StaticPointerTable::new()).unwrap();
+        let entry = first.image.symbol("gen0_init").unwrap();
+        for round in 0..4 {
+            assert_eq!(k.kexec(entry, &[round]).unwrap().x0, round + 2);
+        }
+        k.unload_module(first.base_va).expect("unload");
+        // The cached block must not resurrect unloaded text: fetching the
+        // old entry VA now takes a translation fault into the kernel.
+        let out = k.kexec(entry, &[0]).expect("vectored, not fatal");
+        let fault = out.fault.expect("unloaded text must not execute");
+        assert!(!fault.pac_failure, "plain translation fault, not PAC");
+        // A different module recycles the slot at the same base VA; its
+        // entry runs *its* code (+1), not the stale +2 translation.
+        let cfg = k.codegen_config();
+        let mut p = Program::new(cfg);
+        let mut f = camo_codegen::FunctionBuilder::new("gen1_init", cfg).locals(32);
+        f.ins(camo_isa::Insn::AddImm {
+            rd: Reg::x(0),
+            rn: Reg::x(0),
+            imm12: 1,
+            shifted: false,
+        });
+        p.push(f.build());
+        let second = k.load_module(p, &StaticPointerTable::new()).unwrap();
+        assert_eq!(second.base_va, first.base_va, "slot recycled");
+        let entry2 = second.image.symbol("gen1_init").unwrap();
+        assert_eq!(k.kexec(entry2, &[10]).unwrap().x0, 11);
+    }
+
+    #[test]
+    fn take_events_reuses_buffers_across_ops() {
+        let mut k = booted(ProtectionLevel::Full);
+        let mut buf = Vec::new();
+        k.take_events(&mut buf);
+        let boot_events = buf.len();
+        let tid = k.spawn("w").unwrap();
+        k.exit_task(tid).unwrap();
+        k.take_events(&mut buf);
+        assert!(
+            buf.iter()
+                .any(|e| matches!(e, KernelEvent::TaskExited { .. })),
+            "events since the last take are delivered"
+        );
+        assert!(k.events().is_empty(), "kernel buffer drained");
+        let cap = buf.capacity();
+        // A second take-and-clear round reuses both allocations.
+        let tid = k.spawn("w2").unwrap();
+        k.exit_task(tid).unwrap();
+        k.take_events(&mut buf);
+        assert!(buf.capacity() >= 1 && buf.capacity() <= cap.max(4));
+        assert_eq!(buf.len(), 1, "only the new events, not {boot_events}");
     }
 
     #[test]

@@ -117,6 +117,7 @@ impl PointerLayout {
     }
 
     /// The canonical pointer for `va`: PAC field replaced by sign extension.
+    #[inline]
     pub fn strip(&self, ptr: u64) -> u64 {
         let select = (ptr >> 55) & 1;
         if select == 1 {
@@ -131,6 +132,7 @@ impl PointerLayout {
     ///
     /// Surplus PAC bits are discarded, mirroring the architecture
     /// ("extraneous MAC bits are discarded", Appendix B).
+    #[inline]
     pub fn embed_pac(&self, ptr: u64, pac: u32) -> u64 {
         let full_mask = self.pac_mask();
         let mut out = ptr & !full_mask;
@@ -148,6 +150,7 @@ impl PointerLayout {
     }
 
     /// Extracts the PAC field of `ptr`, gathered into the low bits.
+    #[inline]
     pub fn extract_pac(&self, ptr: u64) -> u32 {
         let mut out: u64 = 0;
         let mut pos = 0;
@@ -189,6 +192,7 @@ impl PointerLayout {
 }
 
 /// Truncates a MAC to the PAC width of `layout` (low bits kept).
+#[inline]
 pub fn truncate_mac(mac: u32, layout: &PointerLayout) -> u32 {
     let bits = layout.pac_bits();
     if bits >= 32 {

@@ -5,7 +5,7 @@ use crate::phys::{Frame, PhysMem};
 use crate::stage1::{S1Attr, Stage1Table};
 use crate::stage2::{S2Attr, Stage2Locked, Stage2Table};
 use core::fmt;
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 
 /// Exception level of an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -141,34 +141,56 @@ impl fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
-/// Key of one software-TLB entry: everything that can change the outcome
-/// of a successful translation.
-///
-/// The stage-1 table is identified by the table actually consulted (the
-/// TTBR the VA's bit 55 selects), so two contexts sharing a kernel table
-/// share its TLB entries — exactly like a physical TLB tagged by ASID.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TlbKey {
-    /// VA page index of the *effective* (tag-stripped) address.
-    page: u64,
-    /// Index of the stage-1 table consulted.
-    table: usize,
-    /// Exception level of the access (permissions differ per EL).
-    el: El,
-    /// Access type (permissions differ per access).
-    access: AccessType,
-}
-
-/// One software-TLB slot: the key it was filled for, the backing frame,
-/// and the [`Memory`] generation it was filled at. A slot whose generation
+/// One software-TLB slot, sized and laid out for the hit path: a packed
+/// tag (effective-VA page, EL, access type), the stage-1 table consulted,
+/// the fill-time generation, and the frame base. A slot whose generation
 /// no longer matches the memory system's is stale and must never be served
 /// — this is what makes permission downgrades (`set_attr`,
 /// `protect_stage2`) take effect on the very next access.
+///
+/// The table is identified by the table actually consulted (the TTBR the
+/// VA's bit 55 selects), so two contexts sharing a kernel table share its
+/// TLB entries — exactly like a physical TLB tagged by ASID.
+///
+/// An empty slot is encoded as `generation == u64::MAX` (the counter
+/// starts at zero and increments, so no live fill can carry it).
 #[derive(Debug, Clone, Copy)]
 struct TlbSlot {
-    key: TlbKey,
-    frame: Frame,
+    /// `page << 4 | el << 2 | access` of the effective (tag-stripped) VA.
+    ///
+    /// Matching the full page-bit pattern of a *cached* (hence canonical)
+    /// address proves the probed address canonical too, which is what
+    /// lets the hit path skip the canonical-form classification.
+    tag: u64,
+    /// Index of the stage-1 table consulted.
+    table: u64,
+    /// Fill-time generation ([`u64::MAX`] = empty slot).
     generation: u64,
+    /// Base PA of the backing frame.
+    frame_base: u64,
+}
+
+impl TlbSlot {
+    const EMPTY: TlbSlot = TlbSlot {
+        tag: 0,
+        table: 0,
+        generation: u64::MAX,
+        frame_base: 0,
+    };
+
+    fn tag(page: u64, el: El, access: AccessType) -> u64 {
+        page << 4 | (el as u64) << 2 | access as u64
+    }
+
+    /// Direct-mapped slot index: spread page indices so that the (page,
+    /// table, el, access) combinations a hot loop touches land in distinct
+    /// slots, and mix the table id so that two tables mapping the same VA
+    /// page (two processes across a context switch) do not evict each
+    /// other's entries.
+    fn slot(tag: u64, table: u64) -> usize {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        ((tag ^ table.rotate_left(23)).wrapping_mul(GOLDEN) >> 49) as usize & (TLB_SIZE - 1)
+    }
 }
 
 /// Number of direct-mapped software-TLB slots (power of two).
@@ -176,21 +198,6 @@ struct TlbSlot {
 /// Direct-mapped rather than associative: a conflict simply evicts, and
 /// correctness never depends on residency — only speed does.
 const TLB_SIZE: usize = 1024;
-
-impl TlbKey {
-    /// Direct-mapped slot index: spread page indices so that the (page,
-    /// table, el, access) combinations a hot loop touches land in distinct
-    /// slots. The table id lands in the low index bits so that two tables
-    /// mapping the same VA page (two processes across a context switch)
-    /// do not evict each other's entries.
-    fn slot(&self) -> usize {
-        let mixed = (self.page ^ (self.table as u64) << 3)
-            .wrapping_mul(8)
-            .wrapping_add((self.el as u64) * 4)
-            .wrapping_add(self.access as u64);
-        (mixed as usize) & (TLB_SIZE - 1)
-    }
-}
 
 /// The complete simulated memory system: physical frames, stage-1 tables,
 /// and the hypervisor's stage-2 overlay.
@@ -220,8 +227,9 @@ pub struct Memory {
     stage2: Stage2Table,
     /// Generation counter for translation-affecting mutations.
     generation: u64,
-    /// Software TLB (interior mutability: `translate` is `&self`).
-    tlb: RefCell<Vec<Option<TlbSlot>>>,
+    /// Software TLB (`Cell` interior mutability: `translate` is `&self`,
+    /// and the hit path must not pay `RefCell`'s borrow bookkeeping).
+    tlb: Vec<Cell<TlbSlot>>,
     tlb_enabled: bool,
     tlb_hits: Cell<u64>,
     tlb_misses: Cell<u64>,
@@ -245,7 +253,7 @@ impl Memory {
             tables: Vec::new(),
             stage2: Stage2Table::new(),
             generation: 0,
-            tlb: RefCell::new(vec![None; TLB_SIZE]),
+            tlb: vec![Cell::new(TlbSlot::EMPTY); TLB_SIZE],
             tlb_enabled: true,
             tlb_hits: Cell::new(0),
             tlb_misses: Cell::new(0),
@@ -265,7 +273,7 @@ impl Memory {
     pub fn set_caching(&mut self, enabled: bool) {
         self.tlb_enabled = enabled;
         if !enabled {
-            self.tlb.borrow_mut().fill(None);
+            self.tlb.fill(Cell::new(TlbSlot::EMPTY));
         }
     }
 
@@ -433,41 +441,50 @@ impl Memory {
     /// Returns the architectural fault the access would raise, in priority
     /// order: canonical check, stage-1 walk, stage-1 permissions, stage-2
     /// permissions, physical backing.
+    #[inline]
     pub fn translate(
         &self,
         ctx: &TranslationCtx,
         va: u64,
         access: AccessType,
     ) -> Result<u64, MemFault> {
-        let eva = self.effective_va(ctx, va)?;
-        let table_id = if (eva >> 55) & 1 == 1 {
+        // Strip ignored user tag bits first; the full canonical-form
+        // classification is deferred to the miss path, because a hit —
+        // whose tag matches every page bit of a previously *successful*
+        // (hence canonical) translation — proves the address canonical.
+        let stripped = if (va >> 55) & 1 == 0 && ctx.tbi_user {
+            va & 0x00FF_FFFF_FFFF_FFFF
+        } else {
+            va
+        };
+        let table_id = if (stripped >> 55) & 1 == 1 {
             ctx.ttbr1
         } else {
             ctx.ttbr0
         };
         if self.tlb_enabled {
-            let key = TlbKey {
-                page: eva / PAGE_SIZE,
-                table: table_id.0,
-                el: ctx.el,
-                access,
-            };
-            let slot = key.slot();
-            if let Some(entry) = self.tlb.borrow()[slot] {
-                if entry.key == key && entry.generation == self.generation {
-                    self.tlb_hits.set(self.tlb_hits.get() + 1);
-                    return Ok(entry.frame.base() + eva % PAGE_SIZE);
-                }
+            let tag = TlbSlot::tag(stripped / PAGE_SIZE, ctx.el, access);
+            let slot = TlbSlot::slot(tag, table_id.0 as u64);
+            let entry = self.tlb[slot].get();
+            if entry.tag == tag
+                && entry.table == table_id.0 as u64
+                && entry.generation == self.generation
+            {
+                self.tlb_hits.set(self.tlb_hits.get() + 1);
+                return Ok(entry.frame_base + stripped % PAGE_SIZE);
             }
             self.tlb_misses.set(self.tlb_misses.get() + 1);
+            let eva = self.effective_va(ctx, va)?;
             let pa = self.translate_slow(table_id, eva, access, ctx.el)?;
-            self.tlb.borrow_mut()[slot] = Some(TlbSlot {
-                key,
-                frame: Frame::containing(pa),
+            self.tlb[slot].set(TlbSlot {
+                tag,
+                table: table_id.0 as u64,
                 generation: self.generation,
+                frame_base: Frame::containing(pa).base(),
             });
             Ok(pa)
         } else {
+            let eva = self.effective_va(ctx, va)?;
             self.translate_slow(table_id, eva, access, ctx.el)
         }
     }
@@ -619,6 +636,7 @@ impl Memory {
     }
 
     /// Reads a little-endian u64 (single translation when page-local).
+    #[inline]
     pub fn read_u64(&self, ctx: &TranslationCtx, va: u64) -> Result<u64, MemFault> {
         if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 8 {
             let pa = self.translate(ctx, va, AccessType::Read)?;
@@ -630,7 +648,17 @@ impl Memory {
     }
 
     /// Writes a little-endian u64 (single translation when page-local).
+    #[inline]
     pub fn write_u64(&mut self, ctx: &TranslationCtx, va: u64, value: u64) -> Result<(), MemFault> {
+        if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 8 {
+            // Page-local fast path, mirroring `read_u64`: one translation
+            // is both the validation pass and the write pass.
+            let pa = self.translate(ctx, va, AccessType::Write)?;
+            return self
+                .phys
+                .write_u64(pa, value)
+                .ok_or(MemFault::Unmapped { pa });
+        }
         self.write_bytes(ctx, va, &value.to_le_bytes())
     }
 
@@ -640,6 +668,7 @@ impl Memory {
     /// decoded-instruction cache keys on this address; the permission walk
     /// (or TLB hit) still happens on *every* fetch, so revoking execute
     /// rights faults on the very next step even for cached instructions.
+    #[inline]
     pub fn fetch_loc(&self, ctx: &TranslationCtx, va: u64) -> Result<u64, MemFault> {
         if va % 4 != 0 {
             return Err(MemFault::FetchUnaligned { va });

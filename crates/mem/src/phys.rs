@@ -75,6 +75,7 @@ impl PhysMem {
         frame
     }
 
+    #[inline]
     fn frame(&self, number: u64) -> Option<&FrameData> {
         self.frames.get(usize::try_from(number).ok()?)?.as_ref()
     }
@@ -98,6 +99,7 @@ impl PhysMem {
     ///
     /// Caches that snapshot frame contents (the CPU's decoded-instruction
     /// cache) validate against this counter.
+    #[inline]
     pub fn frame_version(&self, frame: Frame) -> u64 {
         self.frame(frame.0).map_or(0, |f| f.version)
     }
@@ -164,19 +166,44 @@ impl PhysMem {
     }
 
     /// Reads a little-endian u64 at `pa`.
+    #[inline]
     pub fn read_u64(&self, pa: u64) -> Option<u64> {
+        let off = (pa % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            // Frame-local fast path: one index, one 8-byte load.
+            let frame = self.frame(pa / PAGE_SIZE)?;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&frame.bytes[off..off + 8]);
+            return Some(u64::from_le_bytes(buf));
+        }
         let mut buf = [0u8; 8];
         self.read_bytes(pa, &mut buf)?;
         Some(u64::from_le_bytes(buf))
     }
 
     /// Writes a little-endian u64 at `pa`.
+    #[inline]
     pub fn write_u64(&mut self, pa: u64, value: u64) -> Option<()> {
+        let off = (pa % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            let frame = self.frame_mut(pa / PAGE_SIZE)?;
+            frame.bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            frame.version += 1;
+            return Some(());
+        }
         self.write_bytes(pa, &value.to_le_bytes())
     }
 
     /// Reads a little-endian u32 at `pa`.
+    #[inline]
     pub fn read_u32(&self, pa: u64) -> Option<u32> {
+        let off = (pa % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            let frame = self.frame(pa / PAGE_SIZE)?;
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&frame.bytes[off..off + 4]);
+            return Some(u32::from_le_bytes(buf));
+        }
         let mut buf = [0u8; 4];
         self.read_bytes(pa, &mut buf)?;
         Some(u32::from_le_bytes(buf))

@@ -120,6 +120,7 @@ impl QarmaKey {
     }
 
     /// Packs the key into a 128-bit value, low half = `w0`, high half = `k0`.
+    #[inline]
     pub fn to_u128(self) -> u128 {
         u128::from(self.w0) | (u128::from(self.k0) << 64)
     }

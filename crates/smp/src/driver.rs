@@ -51,6 +51,8 @@ pub struct TrafficPlan {
     pub protection: ProtectionLevel,
     /// Fast-path caches on every shard machine.
     pub fast_caches: bool,
+    /// Block translation engine on every shard machine.
+    pub block_engine: bool,
 }
 
 impl TrafficPlan {
@@ -63,6 +65,7 @@ impl TrafficPlan {
             seed,
             protection: ProtectionLevel::Full,
             fast_caches: true,
+            block_engine: true,
         }
     }
 
@@ -79,6 +82,7 @@ impl TrafficPlan {
             seed: self.seed,
             protection: self.protection,
             fast_caches: self.fast_caches,
+            block_engine: self.block_engine,
             tenants: vec![TenantSpec::lmbench("lmbench", self.total_syscalls)],
         }
     }
@@ -159,6 +163,10 @@ pub struct FleetPlan {
     pub protection: ProtectionLevel,
     /// Fast-path caches on every shard machine.
     pub fast_caches: bool,
+    /// Block translation engine on every shard machine
+    /// ([`camo_kernel::KernelConfig::block_engine`]). Architecturally
+    /// invisible; `perfcheck --blocks` measures the fleet-level A/B.
+    pub block_engine: bool,
     /// The tenants, served round-robin on every shard; each tenant's
     /// quota is split across shards like [`TrafficPlan`] syscalls.
     pub tenants: Vec<TenantSpec>,
@@ -173,6 +181,7 @@ impl FleetPlan {
             seed,
             protection: ProtectionLevel::Full,
             fast_caches: true,
+            block_engine: true,
             tenants,
         }
     }
@@ -390,6 +399,7 @@ impl FleetDriver {
         cfg.cpus = plan.cpus_per_shard;
         cfg.seed = boot_seed;
         cfg.fast_caches = plan.fast_caches;
+        cfg.block_engine = plan.block_engine;
         for workload in &workloads {
             for (name, alu, mem) in workload.user_blocks() {
                 match cfg.user_blocks.iter().find(|(n, _, _)| *n == name) {

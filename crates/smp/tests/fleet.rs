@@ -157,3 +157,59 @@ fn sharded_driver_alias_matches_a_single_tenant_fleet() {
         );
     }
 }
+
+#[test]
+fn block_engine_is_architecturally_invisible_to_the_fleet() {
+    // The `perfcheck --blocks` contract, asserted at test scale: the same
+    // plan with the block engine on and off must agree on every
+    // architectural quantity — totals, per-tenant counters, and the
+    // per-tenant simulated-cycle latency histograms — while the engine
+    // counters prove the on-arm actually translated blocks.
+    let tenants = vec![
+        TenantSpec::lmbench("web", 96),
+        TenantSpec::module_churn("driver-ci", 6),
+        TenantSpec::tenant_mix("batch", 12),
+    ];
+    let mut plan = FleetPlan::new(2, 0xB10C5, tenants);
+    plan.cpus_per_shard = 2;
+    plan.block_engine = true;
+    let on = FleetDriver::drive_sequential(&plan).expect("engine-on fleet runs");
+    plan.block_engine = false;
+    let off = FleetDriver::drive_sequential(&plan).expect("engine-off fleet runs");
+
+    assert_eq!(on.syscalls, off.syscalls);
+    assert_eq!(on.instructions, off.instructions);
+    assert_eq!(on.cycles, off.cycles);
+    assert!(
+        on.stats.arch_eq(&off.stats),
+        "architectural counters diverged: {:?} vs {:?}",
+        on.stats,
+        off.stats
+    );
+    for (a, b) in on.tenants.iter().zip(&off.tenants) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.totals.ops, b.totals.ops, "{}", a.name);
+        assert_eq!(a.totals.syscalls, b.totals.syscalls, "{}", a.name);
+        assert_eq!(a.totals.instructions, b.totals.instructions, "{}", a.name);
+        assert_eq!(a.totals.cycles, b.totals.cycles, "{}", a.name);
+        assert!(a.totals.stats.arch_eq(&b.totals.stats), "{}", a.name);
+        assert_eq!(a.totals.latency, b.totals.latency, "{}", a.name);
+    }
+    assert!(on.stats.block_hits > 0, "the engine served cached blocks");
+    // Every tenant's ops ran through the engine. Hits are not guaranteed
+    // per tenant — module churn maps fresh frames per load, so its blocks
+    // decode anew each op — but engine activity is.
+    assert!(
+        on.tenants
+            .iter()
+            .all(|t| t.totals.stats.block_hits + t.totals.stats.block_misses > 0),
+        "every tenant's ops ran through the engine"
+    );
+    assert_eq!(off.stats.block_hits, 0, "the off arm really stepped");
+
+    // And within the on arm, parallel and sequential still agree bit for
+    // bit (the BENCH_4 invariant survives the new engine).
+    plan.block_engine = true;
+    let par = FleetDriver::drive(&plan).expect("parallel engine-on fleet runs");
+    assert!(par.simulation_identical(&on));
+}
