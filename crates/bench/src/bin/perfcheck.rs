@@ -1,6 +1,6 @@
 //! Wall-clock regression checks for the simulator's throughput layers.
 //!
-//! Four modes, selected by `--smp` / `--fleet` / `--blocks`:
+//! Five modes, selected by `--smp` / `--fleet` / `--blocks` / `--fuzz`:
 //!
 //! * **Default (fast-path A/B, `BENCH_2.json`)** — runs the Figure-2 call
 //!   loop and the lmbench syscall mix with the simulator's caches
@@ -41,6 +41,22 @@
 //!   3. **Mode identity**: within each arm, parallel and sequential fleet
 //!      runs agree bit for bit (the `--fleet` gate, at both points).
 //!   The ≥2× speedup target is reported (non-gating; host-dependent).
+//!
+//! * **`--fuzz` (adversarial traffic plane, `BENCH_6.json`)** — serves
+//!   seeded fuzz tenants mounting the six `HostileOp` attacks alongside
+//!   benign tenants on the same fleet, once per block-engine arm. Hard
+//!   gates, any failure exits non-zero:
+//!   1. **Attribution**: every hostile op produced exactly its declared
+//!      expected outcome (right PAC-failure key class, right task) and
+//!      nothing else.
+//!   2. **Blast radius**: zero §5.4 failure-policy events in benign op
+//!      windows, and every benign tenant's simulated totals bit-identical
+//!      to an isolated-baseline run of that tenant alone.
+//!   3. **Engine invariance**: both arms architecturally identical,
+//!      hostile ledgers included; parallel and sequential runs agree
+//!      within each arm.
+//!   The §5.4 false-positive rate and time-to-kill distribution are
+//!   reported in the JSON.
 //!
 //! `--seed N` pins the boot seed used by the syscall-mix machine and the
 //! shard/tenant partitioning; it is emitted into the JSON so A/B runs and
@@ -135,6 +151,7 @@ struct Args {
     smp: bool,
     fleet: bool,
     blocks: bool,
+    fuzz: bool,
     smoke: bool,
     shards: Vec<usize>,
     shards_given: bool,
@@ -147,6 +164,7 @@ fn parse_args() -> Args {
         smp: false,
         fleet: false,
         blocks: false,
+        fuzz: false,
         smoke: false,
         shards: vec![1, 2, 4, 8],
         shards_given: false,
@@ -163,6 +181,7 @@ fn parse_args() -> Args {
             "--smp" => args.smp = true,
             "--fleet" => args.fleet = true,
             "--blocks" => args.blocks = true,
+            "--fuzz" => args.fuzz = true,
             "--smoke" => args.smoke = true,
             "--shards" => {
                 let v = it.next().expect("--shards takes a comma-separated list");
@@ -177,7 +196,7 @@ fn parse_args() -> Args {
                 args.syscalls = Some(parse_u64(&v));
             }
             other => panic!(
-                "unknown argument {other} (try --seed/--smp/--fleet/--blocks/--smoke/--shards)"
+                "unknown argument {other} (try --seed/--smp/--fleet/--blocks/--fuzz/--smoke/--shards)"
             ),
         }
     }
@@ -742,9 +761,180 @@ fn run_blocks(args: &Args) -> i32 {
     0
 }
 
+fn run_fuzz(args: &Args) -> i32 {
+    use camo_bench::fuzz;
+
+    let shards = if args.shards_given {
+        args.shards[0]
+    } else if args.smoke {
+        FLEET_SMOKE_SHARDS
+    } else {
+        FLEET_SHARDS
+    };
+    println!(
+        "perfcheck --fuzz: adversarial traffic plane, seed {:#x}, \
+         {shards} shards x {FLEET_CPUS} cores, block engine on and off",
+        args.seed
+    );
+
+    let ab = fuzz::measure(shards, FLEET_CPUS, args.seed, args.smoke);
+
+    println!(
+        "{:<11} {:>8} {:>7} {:>10} {:>7} {:>9} {:>10} {:>10}",
+        "arm", "hostile", "matched", "benign", "fp", "fp rate", "kill p50", "kill p99"
+    );
+    for (label, arm) in [("blocks_off", &ab.off), ("blocks_on", &ab.on)] {
+        let ledger = arm.ledger();
+        println!(
+            "{:<11} {:>8} {:>7} {:>10} {:>7} {:>9.4} {:>10} {:>10}",
+            label,
+            ledger.attempted,
+            ledger.matched,
+            ledger.benign_ops,
+            ledger.benign_pac_events,
+            ledger.false_positive_rate(),
+            ledger.time_to_kill.p50(),
+            ledger.time_to_kill.p99()
+        );
+    }
+    println!("{:<22} {:>9} {:>8}", "hostile op", "attempted", "matched");
+    for (name, attempted, matched) in ab.on.per_op() {
+        println!("{name:<22} {attempted:>9} {matched:>8}");
+    }
+    for check in ab.on.isolation.iter().chain(&ab.off.isolation) {
+        println!(
+            "benign tenant {:<8} vs isolated baseline: {}",
+            check.name,
+            if check.identical {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    let arms_identical = ab.arch_identical();
+    println!(
+        "arms: {}",
+        if arms_identical {
+            "identical (hostile ledgers included)"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"fuzz\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cpus_per_shard\": {FLEET_CPUS},");
+    json.push_str("  \"arms\": [\n");
+    let arms = [("blocks_off", &ab.off), ("blocks_on", &ab.on)];
+    for (i, (label, arm)) in arms.iter().enumerate() {
+        let ledger = arm.ledger();
+        let _ = writeln!(json, "    {{\"name\": \"{label}\",");
+        let _ = writeln!(
+            json,
+            "     \"hostile\": {{\"attempted\": {}, \"matched\": {}, \"benign_ops\": {}, \
+             \"benign_pac_events\": {}, \"false_positive_rate\": {:.6}, \
+             \"time_to_kill_cycles\": {}}},",
+            ledger.attempted,
+            ledger.matched,
+            ledger.benign_ops,
+            ledger.benign_pac_events,
+            ledger.false_positive_rate(),
+            hist_json(&ledger.time_to_kill)
+        );
+        json.push_str("     \"ops\": [");
+        let per_op = arm.per_op();
+        for (j, (name, attempted, matched)) in per_op.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"op\": \"{name}\", \"attempted\": {attempted}, \"matched\": {matched}}}{}",
+                if j + 1 < per_op.len() { ", " } else { "" }
+            );
+        }
+        json.push_str("],\n     \"tenants\": [");
+        let tenants = &arm.mixed.parallel.tenants;
+        for (j, t) in tenants.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"name\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \"cycles\": {}, \
+                 \"hostile_attempted\": {}, \"benign_pac_events\": {}}}{}",
+                t.name,
+                t.workload,
+                t.totals.ops,
+                t.totals.cycles,
+                t.totals.hostile.attempted,
+                t.totals.hostile.benign_pac_events,
+                if j + 1 < tenants.len() { ", " } else { "" }
+            );
+        }
+        json.push_str("],\n     \"isolation\": [");
+        for (j, c) in arm.isolation.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"name\": \"{}\", \"identical\": {}}}{}",
+                c.name,
+                c.identical,
+                if j + 1 < arm.isolation.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "],\n     \"gates\": {{\"all_hostile_matched\": {}, \"zero_false_positives\": {}, \
+             \"benign_isolated\": {}, \"parallel_sequential_identical\": {}}}}}{}",
+            arm.all_hostile_matched(),
+            arm.zero_false_positives(),
+            arm.benign_isolated(),
+            arm.mixed.identical,
+            if i + 1 < arms.len() { "," } else { "" }
+        );
+    }
+    let pass = ab.passes();
+    let _ = write!(
+        json,
+        "  ],\n  \"arms_arch_identical\": {arms_identical},\n  \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("wrote BENCH_6.json");
+
+    let mut code = 0;
+    for (label, arm) in arms {
+        if !arm.all_hostile_matched() {
+            eprintln!("FAIL({label}): a hostile op missed its declared expected outcome");
+            code = 1;
+        }
+        if !arm.zero_false_positives() {
+            eprintln!("FAIL({label}): failure-policy events fired in benign op windows");
+            code = 1;
+        }
+        if !arm.benign_isolated() {
+            eprintln!(
+                "FAIL({label}): a benign tenant's simulated totals deviated from its \
+                 isolated baseline under attack load"
+            );
+            code = 1;
+        }
+        if !arm.mixed.identical {
+            eprintln!("FAIL({label}): parallel and sequential fleet runs disagreed");
+            code = 1;
+        }
+    }
+    if !arms_identical {
+        eprintln!("FAIL: the block engine changed the adversarial plan's architectural state");
+        code = 1;
+    }
+    code
+}
+
 fn main() {
     let args = parse_args();
-    let code = if args.blocks {
+    let code = if args.fuzz {
+        run_fuzz(&args)
+    } else if args.blocks {
         run_blocks(&args)
     } else if args.fleet {
         run_fleet(&args)

@@ -562,6 +562,267 @@ pub mod blocks {
     }
 }
 
+/// The adversarial traffic plane (`perfcheck --fuzz`, `BENCH_6.json`).
+///
+/// Seeded fuzz tenants mount the [`camo_workloads::HostileOp`] attacks —
+/// forged and replayed signed stack pointers, forged `f_ops`/work-callback
+/// pointers, module-signing violations, direct physical writes to
+/// translated code — *under load*, interleaved with benign tenants on the
+/// same machines. Three property families are gated:
+///
+/// 1. **Attribution**: every hostile op produced exactly its declared
+///    expected outcome (the right [`camo_cpu::pac::KeyClass`] failure on
+///    the right sacrificial task, a module rejection, or coherent tamper
+///    visibility) and nothing else.
+/// 2. **Blast radius**: no benign tenant saw a §5.4 failure-policy event
+///    in any of its op windows (false-positive rate 0), and each benign
+///    tenant's simulated totals — ops, syscalls, instructions, cycles,
+///    latency histogram, architectural counters — are bit-identical to an
+///    isolated-baseline run of the same tenant alone on an identically
+///    seeded fleet.
+/// 3. **Engine invariance**: the whole adversarial plan produces
+///    architecturally identical results with the block translation engine
+///    on and off, including the per-op hostile ledgers.
+///
+/// The §5.4 measurements the paper motivates — false-positive rate and
+/// time-to-kill (simulated cycles from attack trigger to task kill) — are
+/// reported alongside the gates.
+pub mod fuzz {
+    use super::blocks::arch_identical;
+    use super::fleet::FleetMeasurement;
+    use camo_smp::{FleetDriver, FleetPlan, FleetReport, TenantReport};
+    use camo_workloads::{HostileOp, HostileTotals, TenantSpec};
+
+    /// The benign side of the adversarial plan. Placed *first* in the
+    /// plan so these tenants' long-lived tasks are spawned (and
+    /// scheduler-placed) before any fuzz tenant exists — the precondition
+    /// for the isolated-baseline identity gate.
+    pub fn benign_tenants(smoke: bool) -> Vec<TenantSpec> {
+        if smoke {
+            vec![
+                TenantSpec::lmbench("web", 800),
+                TenantSpec::tenant_mix("batch", 60),
+            ]
+        } else {
+            vec![
+                TenantSpec::lmbench("web", 4_000),
+                TenantSpec::tenant_mix("batch", 240),
+            ]
+        }
+    }
+
+    /// The fuzz tenants, always appended *after* the benign tenants.
+    pub fn fuzz_tenants(smoke: bool) -> Vec<TenantSpec> {
+        let ops = if smoke { 60 } else { 320 };
+        vec![
+            TenantSpec::fuzz("fuzz-0", ops),
+            TenantSpec::fuzz("fuzz-1", ops),
+        ]
+    }
+
+    /// Builds and runs one adversarial plan (both execution modes). The
+    /// §5.4 panic threshold is lifted: the gate, not the panic, judges
+    /// every attack — a fuzz campaign necessarily exceeds any sane
+    /// production threshold.
+    fn run_plan(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+        block_engine: bool,
+    ) -> FleetMeasurement {
+        let mut plan = FleetPlan::new(shards, seed, tenants);
+        plan.cpus_per_shard = cpus_per_shard;
+        plan.block_engine = block_engine;
+        plan.pac_panic_threshold = Some(u32::MAX);
+        let parallel = FleetDriver::drive(&plan).expect("parallel adversarial fleet runs");
+        let sequential =
+            FleetDriver::drive_sequential(&plan).expect("sequential adversarial fleet runs");
+        let identical = parallel.simulation_identical(&sequential);
+        FleetMeasurement {
+            plan,
+            parallel,
+            sequential,
+            identical,
+        }
+    }
+
+    /// One benign tenant's isolation verdict: does its service in the
+    /// adversarial plan match, bit for bit, its service alone on an
+    /// identically seeded fleet?
+    #[derive(Debug)]
+    pub struct IsolationCheck {
+        /// Tenant name.
+        pub name: String,
+        /// Architectural identity of the mixed-run and isolated-run
+        /// tenant reports.
+        pub identical: bool,
+    }
+
+    /// Arch-level tenant-report identity: every simulated quantity except
+    /// the cache-observability counters (same exclusion rule as
+    /// [`super::blocks::arch_identical`]).
+    fn tenant_arch_identical(a: &TenantReport, b: &TenantReport) -> bool {
+        a.name == b.name
+            && a.totals.ops == b.totals.ops
+            && a.totals.syscalls == b.totals.syscalls
+            && a.totals.instructions == b.totals.instructions
+            && a.totals.cycles == b.totals.cycles
+            && a.totals.stats.arch_eq(&b.totals.stats)
+            && a.totals.latency == b.totals.latency
+            && a.totals.hostile == b.totals.hostile
+    }
+
+    /// One engine arm: the adversarial plan plus the per-benign-tenant
+    /// isolated baselines.
+    #[derive(Debug)]
+    pub struct FuzzArm {
+        /// The mixed (benign + fuzz) plan, both execution modes.
+        pub mixed: FleetMeasurement,
+        /// Isolation verdict per benign tenant.
+        pub isolation: Vec<IsolationCheck>,
+    }
+
+    impl FuzzArm {
+        /// The merged adversarial ledger of every fuzz tenant.
+        pub fn ledger(&self) -> HostileTotals {
+            let mut total = HostileTotals::default();
+            for t in &self.mixed.parallel.tenants {
+                total.merge(&t.totals.hostile);
+            }
+            total
+        }
+
+        /// Gate 1: every hostile op matched its declaration (and at least
+        /// one was mounted).
+        pub fn all_hostile_matched(&self) -> bool {
+            let ledger = self.ledger();
+            ledger.attempted > 0 && ledger.matched == ledger.attempted
+        }
+
+        /// Gate 2a: zero §5.4 failure-policy events in benign windows,
+        /// across every tenant (fuzz tenants' benign windows included).
+        pub fn zero_false_positives(&self) -> bool {
+            self.ledger().benign_pac_events == 0
+        }
+
+        /// Gate 2b: every benign tenant bit-identical to its isolated
+        /// baseline.
+        pub fn benign_isolated(&self) -> bool {
+            !self.isolation.is_empty() && self.isolation.iter().all(|c| c.identical)
+        }
+
+        /// Per-op attribution table in [`HostileOp::ALL`] order:
+        /// `(name, attempted, matched)`.
+        pub fn per_op(&self) -> Vec<(&'static str, u64, u64)> {
+            let ledger = self.ledger();
+            HostileOp::ALL
+                .iter()
+                .map(|op| {
+                    let recs = ledger.records.iter().filter(|r| r.op == *op);
+                    let attempted = recs.clone().count() as u64;
+                    let matched = recs.filter(|r| r.matched).count() as u64;
+                    (op.name(), attempted, matched)
+                })
+                .collect()
+        }
+    }
+
+    /// Runs one arm: the mixed adversarial plan, then each benign tenant
+    /// alone on an identically seeded fleet, comparing the tenant's
+    /// report architecturally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (the executor propagates only
+    /// infrastructure errors; attack outcomes are recorded, not thrown).
+    pub fn measure_arm(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        smoke: bool,
+        block_engine: bool,
+    ) -> FuzzArm {
+        let benign = benign_tenants(smoke);
+        let mut tenants = benign.clone();
+        tenants.extend(fuzz_tenants(smoke));
+        let mixed = run_plan(shards, cpus_per_shard, seed, tenants, block_engine);
+        let isolation = benign
+            .into_iter()
+            .map(|spec| {
+                let name = spec.name.clone();
+                let alone = run_plan(shards, cpus_per_shard, seed, vec![spec], block_engine);
+                let in_mixed = mixed
+                    .parallel
+                    .tenants
+                    .iter()
+                    .find(|t| t.name == name)
+                    .expect("benign tenant served in the mixed plan");
+                let in_isolation = alone
+                    .parallel
+                    .tenants
+                    .iter()
+                    .find(|t| t.name == name)
+                    .expect("benign tenant served in isolation");
+                IsolationCheck {
+                    identical: alone.identical && tenant_arch_identical(in_mixed, in_isolation),
+                    name,
+                }
+            })
+            .collect();
+        FuzzArm { mixed, isolation }
+    }
+
+    /// The full BENCH_6 measurement: both block-engine arms.
+    #[derive(Debug)]
+    pub struct FuzzAb {
+        /// Block engine on.
+        pub on: FuzzArm,
+        /// Block engine off.
+        pub off: FuzzArm,
+    }
+
+    impl FuzzAb {
+        /// Gate 3: the two arms agree on every architectural quantity,
+        /// including the per-op hostile ledgers.
+        pub fn arch_identical(&self) -> bool {
+            arms_arch_identical(&self.on.mixed.parallel, &self.off.mixed.parallel)
+        }
+
+        /// All gates at once — the `perfcheck --fuzz` exit criterion.
+        pub fn passes(&self) -> bool {
+            [&self.on, &self.off].iter().all(|arm| {
+                arm.mixed.identical
+                    && arm.all_hostile_matched()
+                    && arm.zero_false_positives()
+                    && arm.benign_isolated()
+            }) && self.arch_identical()
+        }
+    }
+
+    /// Cross-arm identity: [`arch_identical`] plus per-tenant hostile
+    /// ledgers (records, time-to-kill, counts) — the block engine must
+    /// not change a single attack outcome.
+    pub fn arms_arch_identical(a: &FleetReport, b: &FleetReport) -> bool {
+        arch_identical(a, b)
+            && a.tenants
+                .iter()
+                .zip(&b.tenants)
+                .all(|(x, y)| x.totals.hostile == y.totals.hostile)
+    }
+
+    /// Runs both arms (engine off first, mirroring the other A/Bs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails.
+    pub fn measure(shards: usize, cpus_per_shard: usize, seed: u64, smoke: bool) -> FuzzAb {
+        let off = measure_arm(shards, cpus_per_shard, seed, smoke, false);
+        let on = measure_arm(shards, cpus_per_shard, seed, smoke, true);
+        FuzzAb { on, off }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +868,26 @@ mod tests {
             .tenants
             .iter()
             .all(|t| t.totals.latency.p99() > 0));
+    }
+
+    #[test]
+    fn fuzz_gate_is_clean_on_a_small_fleet() {
+        let ab = fuzz::measure(2, 2, 0xF022, true);
+        assert!(ab.passes(), "the smoke adversarial plan must gate clean");
+        let ledger = ab.on.ledger();
+        assert!(ledger.attempted > 0, "fuzz tenants mounted attacks");
+        assert_eq!(ledger.matched, ledger.attempted);
+        assert_eq!(ledger.benign_pac_events, 0);
+        assert_eq!(ledger.false_positive_rate(), 0.0);
+        assert!(
+            ledger.time_to_kill.count() > 0 && ledger.time_to_kill.p50() > 0,
+            "killing attacks fed the time-to-kill distribution"
+        );
+        // The per-op table accounts for every record, and both arms tell
+        // the same story.
+        let per_op: u64 = ab.on.per_op().iter().map(|(_, a, _)| a).sum();
+        assert_eq!(per_op, ledger.attempted);
+        assert_eq!(ab.on.ledger(), ab.off.ledger());
     }
 
     #[test]

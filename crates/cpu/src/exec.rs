@@ -72,6 +72,13 @@ pub struct CpuStats {
     pub pac_auth_ok: u64,
     /// Failed authentications (corrupted pointer produced).
     pub pac_auth_fail: u64,
+    /// Failed authentications under an instruction key (IA/IB) — the
+    /// forward/backward code-pointer edges. Always sums with
+    /// [`CpuStats::pac_auth_fail_data`] to [`CpuStats::pac_auth_fail`].
+    pub pac_auth_fail_instr: u64,
+    /// Failed authentications under a data key (DA/DB) — signed data
+    /// fields such as `file.f_ops` or the saved kernel SP.
+    pub pac_auth_fail_data: u64,
     /// Writes to PAuth key system registers.
     pub key_writes: u64,
     /// Exceptions taken (SVC, aborts, IRQs).
@@ -121,6 +128,12 @@ impl CpuStats {
             pac_signs: self.pac_signs.saturating_sub(baseline.pac_signs),
             pac_auth_ok: self.pac_auth_ok.saturating_sub(baseline.pac_auth_ok),
             pac_auth_fail: self.pac_auth_fail.saturating_sub(baseline.pac_auth_fail),
+            pac_auth_fail_instr: self
+                .pac_auth_fail_instr
+                .saturating_sub(baseline.pac_auth_fail_instr),
+            pac_auth_fail_data: self
+                .pac_auth_fail_data
+                .saturating_sub(baseline.pac_auth_fail_data),
             key_writes: self.key_writes.saturating_sub(baseline.key_writes),
             exceptions: self.exceptions.saturating_sub(baseline.exceptions),
             tlb_hits: self.tlb_hits.saturating_sub(baseline.tlb_hits),
@@ -149,6 +162,8 @@ impl CpuStats {
         self.pac_signs += other.pac_signs;
         self.pac_auth_ok += other.pac_auth_ok;
         self.pac_auth_fail += other.pac_auth_fail;
+        self.pac_auth_fail_instr += other.pac_auth_fail_instr;
+        self.pac_auth_fail_data += other.pac_auth_fail_data;
         self.key_writes += other.key_writes;
         self.exceptions += other.exceptions;
         self.tlb_hits += other.tlb_hits;
@@ -180,6 +195,8 @@ impl CpuStats {
             self.pac_signs,
             self.pac_auth_ok,
             self.pac_auth_fail,
+            self.pac_auth_fail_instr,
+            self.pac_auth_fail_data,
             self.key_writes,
             self.exceptions,
             self.ipis,
@@ -188,6 +205,8 @@ impl CpuStats {
             other.pac_signs,
             other.pac_auth_ok,
             other.pac_auth_fail,
+            other.pac_auth_fail_instr,
+            other.pac_auth_fail_data,
             other.key_writes,
             other.exceptions,
             other.ipis,
@@ -990,6 +1009,10 @@ impl Cpu {
                 }
                 Err(corrupted) => {
                     self.stats.pac_auth_fail += 1;
+                    match Self::class_of(key) {
+                        KeyClass::Instruction => self.stats.pac_auth_fail_instr += 1,
+                        KeyClass::Data => self.stats.pac_auth_fail_data += 1,
+                    }
                     corrupted
                 }
             };

@@ -31,6 +31,20 @@ impl KeyClass {
     }
 }
 
+/// Bit position of the two-bit error code for `layout`.
+///
+/// Bits 62:61 normally; with TBI the top byte is ignored by translation,
+/// so the code moves into the top of the PAC field (bits 54:53) where it
+/// still guarantees a non-canonical address (ARMv8.3 `AuthPAC` pseudocode).
+#[inline]
+fn error_code_shift(layout: &PointerLayout) -> u64 {
+    if layout.tbi {
+        53
+    } else {
+        61
+    }
+}
+
 /// The layout governing a pointer, chosen by its half of the address space.
 #[inline]
 pub fn layout_for(ptr: u64, tbi_user: bool) -> PointerLayout {
@@ -232,7 +246,7 @@ impl PacUnit {
         if layout.extract_pac(ptr) == expected {
             Ok(stripped)
         } else {
-            Err(stripped ^ (class.error_code() << 61))
+            Err(stripped ^ (class.error_code() << error_code_shift(&layout)))
         }
     }
 }
@@ -262,7 +276,7 @@ pub fn auth_pac(
     if layout.extract_pac(ptr) == expected {
         Ok(stripped)
     } else {
-        Err(stripped ^ (class.error_code() << 61))
+        Err(stripped ^ (class.error_code() << error_code_shift(&layout)))
     }
 }
 
@@ -278,13 +292,27 @@ pub fn strip_pac(ptr: u64, tbi_user: bool) -> u64 {
 /// pointers: the address is non-canonical *and* removing the error code
 /// from bits 62:61 yields a canonical address.
 pub fn looks_like_pac_failure(va: u64, tbi_user: bool) -> bool {
+    classify_pac_failure(va, tbi_user).is_some()
+}
+
+/// Which key class produced the failure signature carried by `va`, or
+/// `None` when `va` is not a PAC-failure address at all.
+///
+/// The error codes `0b01` and `0b10` differ in both of bits 62:61, so for
+/// any non-canonical address at most one class's code can restore
+/// canonicity — the classification is unambiguous. This is what lets the
+/// fault handler attribute a failure to the instruction keys (forged code
+/// pointer, §4.4/§5.2 backward edge) versus the data keys (forged data
+/// pointer, §4.2 signed fields) from the faulting address alone.
+pub fn classify_pac_failure(va: u64, tbi_user: bool) -> Option<KeyClass> {
     let layout = layout_for(va, tbi_user);
     if layout.is_canonical(va) {
-        return false;
+        return None;
     }
+    let shift = error_code_shift(&layout);
     [KeyClass::Instruction, KeyClass::Data]
         .into_iter()
-        .any(|class| layout.is_canonical(va ^ (class.error_code() << 61)))
+        .find(|class| layout.is_canonical(va ^ (class.error_code() << shift)))
 }
 
 #[cfg(test)]
@@ -365,6 +393,23 @@ mod tests {
         assert!(!looks_like_pac_failure(KPTR, true));
         assert!(!looks_like_pac_failure(UPTR, true));
         assert!(!looks_like_pac_failure(0, true));
+        assert_eq!(classify_pac_failure(KPTR, true), None);
+    }
+
+    #[test]
+    fn failure_classification_recovers_the_key_class() {
+        let signed = add_pac(KPTR, 1, KEY, true);
+        for (class, offset) in [(KeyClass::Instruction, 0), (KeyClass::Data, 40)] {
+            let corrupted = auth_pac(signed, 2, KEY, class, true).unwrap_err();
+            // The faulting address may carry a small field offset (a load
+            // through the corrupted base); classification must survive it.
+            let far = corrupted.wrapping_add(offset);
+            assert_eq!(classify_pac_failure(far, true), Some(class), "{class:?}");
+        }
+        // User-half corrupted pointers classify too.
+        let signed = add_pac(UPTR, 1, KEY, true);
+        let corrupted = auth_pac(signed, 2, KEY, KeyClass::Data, true).unwrap_err();
+        assert_eq!(classify_pac_failure(corrupted, true), Some(KeyClass::Data));
     }
 
     #[test]

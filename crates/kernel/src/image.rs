@@ -448,6 +448,15 @@ fn build_cpu_switch_to(cfg: CodegenConfig) -> Function {
         });
     }
     b.ins(Insn::mov_sp(Reg::Sp, Reg::x(9)));
+    // Touch the incoming stack through the just-installed SP: if the
+    // authentication above failed, SP now carries the error code in its
+    // extension bits and this load faults *inside* the switch — the
+    // forged saved SP is detected on use, not left to lie dormant.
+    b.ins(Insn::Ldr {
+        rt: Reg::x(10),
+        rn: Reg::Sp,
+        mode: AddrMode::Unsigned(0),
+    });
     for i in 0..5u8 {
         b.ins(Insn::Ldp {
             rt: Reg::x(19 + 2 * i),

@@ -10,7 +10,7 @@ use crate::sched::Scheduler;
 use camo_analysis::verify_image;
 use camo_boot::Bootloader;
 use camo_codegen::{CodegenConfig, Image, Program, ProtectionLevel, StaticPointerTable};
-use camo_cpu::pac::looks_like_pac_failure;
+use camo_cpu::pac::{classify_pac_failure, looks_like_pac_failure};
 use camo_cpu::{Cpu, CpuError, HwFeatures, IpiKind, Step, CALL_SENTINEL};
 use camo_isa::{encode, Reg, SysReg};
 use camo_mem::{El, Frame, Memory, S1Attr, TableId, PAGE_SIZE};
@@ -791,6 +791,19 @@ impl Kernel {
         self.files.get(fd)
     }
 
+    /// Allocates a signed `struct file` *and* installs it in the file
+    /// table, returning `(fd, file_va)` — the `open()` composite of
+    /// [`Kernel::alloc_file`] plus fd bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signing failures from [`Kernel::alloc_file`].
+    pub fn open_file(&mut self, kind: FileKind) -> Result<(u64, u64), KernelError> {
+        let va = self.alloc_file(kind)?;
+        let fd = self.files.insert(va);
+        Ok((fd, va))
+    }
+
     /// Allocates a `work_struct` and initialises its protected callback
     /// (`INIT_WORK`): raw store, then in-kernel signing (§4.6).
     pub fn init_work(&mut self, func_sym: &str) -> Result<u64, KernelError> {
@@ -875,6 +888,35 @@ impl Kernel {
         }
         self.free_tids.push(tid);
         self.events.push(KernelEvent::TaskExited { tid });
+        Ok(())
+    }
+
+    /// Reaps a task the §5.4 policy killed: removes the dead entry left
+    /// behind for forensics and recycles its tid exactly like a graceful
+    /// exit. An adversarial workload that provokes kills at a steady rate
+    /// needs this to stay inside the fixed stack/`task_struct` VA strides.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadTask`] for init (tid 0), a task that is still
+    /// alive (use [`Kernel::exit_task`]), or an unknown tid.
+    pub fn reap_task(&mut self, tid: Tid) -> Result<(), KernelError> {
+        if tid == 0 {
+            return Err(KernelError::BadTask(tid));
+        }
+        let idx = self
+            .tasks
+            .iter()
+            .position(|t| t.tid == tid && !t.alive)
+            .ok_or(KernelError::BadTask(tid))?;
+        self.tasks.remove(idx);
+        match self.current.cmp(&idx) {
+            core::cmp::Ordering::Greater => self.current -= 1,
+            core::cmp::Ordering::Equal => self.current = 0, // fall back to init
+            core::cmp::Ordering::Less => {}
+        }
+        self.free_tids.push(tid);
+        self.events.push(KernelEvent::TaskReaped { tid });
         Ok(())
     }
 
@@ -1004,6 +1046,26 @@ impl Kernel {
         // (and allocation-free: kexec runs per tiny op under the fleet).
         self.cpus[cur].ack_ipis();
         self.cpus[cur].state.el = El::El1;
+        // Kernel context runs under the kernel keys: every real entry to
+        // EL1 passes through an exception vector whose prologue executes
+        // the XOM key setter (§6.1.1) before any kernel code can sign or
+        // authenticate. `kexec` models a call *from* kernel context, so the
+        // setter already ran on the way in — install the keys host-side and
+        // charge nothing; the entry path that is simulated end-to-end
+        // (`el0_sync_entry`) still executes the setter and pays for it.
+        if self.protected() {
+            for key in [
+                camo_isa::PauthKey::IA,
+                camo_isa::PauthKey::IB,
+                camo_isa::PauthKey::DA,
+                camo_isa::PauthKey::DB,
+                camo_isa::PauthKey::GA,
+            ] {
+                self.cpus[cur]
+                    .state
+                    .set_pauth_key(key, self.boot.keys().key(key));
+            }
+        }
         if self.cpus[cur].state.sp_el1 == 0 {
             self.cpus[cur].state.sp_el1 = layout::stack_top(self.current_tid()) - 512;
         }
@@ -1076,11 +1138,16 @@ impl Kernel {
         let cpu = self.cur_cpu;
         let far = self.cpus[cpu].state.sysreg(SysReg::FarEl1);
         let elr = self.cpus[cpu].state.sysreg(SysReg::ElrEl1);
-        let pac = looks_like_pac_failure(far, true);
+        let class = classify_pac_failure(far, true);
         let tid = self.current_tid();
-        if pac {
-            self.events
-                .push(KernelEvent::PacFailure { far, elr, tid, cpu });
+        if let Some(kind) = class {
+            self.events.push(KernelEvent::PacFailure {
+                far,
+                elr,
+                tid,
+                cpu,
+                kind,
+            });
             if let Some(task) = self.tasks.iter_mut().find(|t| t.tid == tid) {
                 task.pac_failures += 1;
             }
@@ -1095,10 +1162,15 @@ impl Kernel {
         // Default policy: the offending process is killed (§5.4).
         self.events.push(KernelEvent::TaskKilled { tid });
         self.kill_task(tid);
+        // The faulting kernel context is never resumed (its task is dead),
+        // so the core abandons its EL1 stack — which may hold a poisoned
+        // SP if the fault was a failed SP authentication in
+        // `cpu_switch_to` — and re-derives it on the next kernel entry.
+        self.cpus[cpu].state.sp_el1 = 0;
         Ok(FaultInfo {
             far,
             elr,
-            pac_failure: pac,
+            pac_failure: class.is_some(),
         })
     }
 
@@ -1546,6 +1618,111 @@ mod tests {
             assert_eq!(out.x0, u64::from(tid), "getpid sees the recycled tid");
             k.exit_task(tid).unwrap();
         }
+    }
+
+    #[test]
+    fn kill_reap_storm_recycles_tids_without_aliasing_live_keys() {
+        // An adversarial churn: every round spawns two tasks, one dies
+        // under the §5.4 policy (forged saved SP caught on the switch
+        // path) and is reaped, the other exits gracefully. Sixty rounds
+        // would burn 120 fresh tids — and blow past the 64-entry stack
+        // stride region — without recycling through both the exit and the
+        // reap paths; and a recycled tid must never resurrect a live
+        // task's PAC keys.
+        let mut cfg = KernelConfig::default();
+        cfg.pac_panic_threshold = u32::MAX; // the storm dwarfs any sane threshold
+        let mut k = Kernel::boot(cfg).expect("boot");
+        let anchor = k.spawn("anchor").unwrap();
+        let anchor_keys = k
+            .tasks()
+            .find(|t| t.tid == anchor)
+            .map(|t| t.user_keys)
+            .unwrap();
+        let mut drained = Vec::new();
+        k.take_events(&mut drained);
+        for round in 0..60 {
+            let victim = k.spawn(&format!("victim-{round}")).unwrap();
+            let target = k.spawn(&format!("target-{round}")).unwrap();
+            // Dense tid space: init + anchor + two churn slots.
+            assert!(
+                victim < 4 && target < 4,
+                "round {round}: recycling failed, got tids {victim}/{target}"
+            );
+            // Both VA strides derive from the tid and stay inside the
+            // fixed regions.
+            for tid in [victim, target] {
+                let top = layout::stack_top(tid);
+                assert!(
+                    (layout::STACKS_BASE
+                        ..layout::STACKS_BASE + 4 * layout::STACK_STRIDE + layout::STACK_SIZE)
+                        .contains(&top),
+                    "round {round}: stack stride escaped the region"
+                );
+            }
+            // Fresh keys per spawn: no live task pair shares a user key.
+            let live: Vec<_> = k
+                .tasks()
+                .filter(|t| t.alive && t.tid != 0)
+                .map(|t| (t.tid, t.user_keys))
+                .collect();
+            for (i, (ta, ka)) in live.iter().enumerate() {
+                for (tb, kb) in &live[i + 1..] {
+                    assert!(
+                        ka.iter().zip(kb.iter()).all(|(a, b)| a != b),
+                        "round {round}: tasks {ta} and {tb} alias a user PAC key"
+                    );
+                }
+            }
+            // Forge the target's saved SP; the switch path authenticates
+            // it and the §5.4 policy kills the current (victim) task.
+            let kctx = k.mem().kernel_ctx(k.kernel_table());
+            let slot = layout::task_struct_va(target) + u64::from(task_struct::SAVED_SP);
+            k.mem_mut()
+                .write_u64(&kctx, slot, layout::stack_top(target) - 512)
+                .unwrap();
+            let entry = k.run_user(victim, "stub", 1, 172, 0).unwrap();
+            assert!(entry.fault.is_none(), "round {round}: benign entry faulted");
+            let switch = k.context_switch(victim, target).unwrap();
+            assert!(
+                switch.fault.is_some_and(|f| f.pac_failure),
+                "round {round}: forged SP escaped authentication"
+            );
+            // The kill leaves a dead entry for forensics; reap recycles it.
+            assert!(
+                k.tasks().any(|t| t.tid == victim && !t.alive),
+                "round {round}: killed task gone before reap"
+            );
+            k.reap_task(victim).unwrap();
+            k.exit_task(target).unwrap();
+            k.take_events(&mut drained);
+            assert_eq!(
+                drained
+                    .drain(..)
+                    .map(|e| match e {
+                        KernelEvent::PacFailure { tid, .. } => ("pac", tid),
+                        KernelEvent::TaskKilled { tid } => ("killed", tid),
+                        KernelEvent::TaskReaped { tid } => ("reaped", tid),
+                        KernelEvent::TaskExited { tid } => ("exited", tid),
+                        other => panic!("round {round}: unexpected event {other:?}"),
+                    })
+                    .collect::<Vec<_>>(),
+                vec![
+                    ("pac", victim),
+                    ("killed", victim),
+                    ("reaped", victim),
+                    ("exited", target)
+                ],
+                "round {round}: the storm must produce exactly one kill"
+            );
+        }
+        // The long-lived anchor survived sixty kill/reap rounds with its
+        // keys intact and its kernel entry path clean.
+        let survivor = k.tasks().find(|t| t.tid == anchor).expect("anchor lives");
+        assert!(survivor.alive);
+        assert_eq!(survivor.user_keys, anchor_keys, "anchor keys untouched");
+        let out = k.run_user(anchor, "stub", 1, 172, 0).unwrap();
+        assert!(out.fault.is_none());
+        assert_eq!(out.x0, u64::from(anchor), "getpid sees the anchor tid");
     }
 
     fn tiny_module(k: &Kernel, name: &str) -> Program {

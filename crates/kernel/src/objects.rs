@@ -2,6 +2,7 @@
 //! PAC-failure policy.
 
 use crate::layout::{self, file_operations};
+use camo_cpu::pac::KeyClass;
 use camo_mem::TableId;
 use camo_qarma::QarmaKey;
 use std::collections::HashMap;
@@ -176,6 +177,10 @@ pub enum KernelEvent {
         /// CPU that observed the failure (all cores feed the same §5.4
         /// panic threshold).
         cpu: usize,
+        /// Which key class produced the failure signature, recovered from
+        /// the error code in the faulting address — instruction keys for
+        /// forged code pointers, data keys for forged signed fields.
+        kind: KeyClass,
     },
     /// A kernel-mode fault that did not look like a PAC failure.
     KernelFault {
@@ -214,6 +219,12 @@ pub enum KernelEvent {
     ModuleUnloaded {
         /// The unloaded module's base VA.
         base_va: u64,
+    },
+    /// A dead (killed) task's entry was reaped after forensic inspection;
+    /// its tid returns to the free pool like a graceful exit's.
+    TaskReaped {
+        /// The reaped task.
+        tid: Tid,
     },
 }
 

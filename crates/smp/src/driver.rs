@@ -23,7 +23,7 @@ use crate::cluster::Cluster;
 use camo_core::ProtectionLevel;
 use camo_cpu::CpuStats;
 use camo_kernel::{KernelConfig, KernelError};
-use camo_workloads::{tenant_seed, Quota, TenantRun, TenantSpec, TenantTotals};
+use camo_workloads::{tenant_stream_seed, Quota, TenantRun, TenantSpec, TenantTotals};
 use std::time::Instant;
 
 /// Derives the boot seed of shard `index` from the plan seed
@@ -83,6 +83,7 @@ impl TrafficPlan {
             protection: self.protection,
             fast_caches: self.fast_caches,
             block_engine: self.block_engine,
+            pac_panic_threshold: None,
             tenants: vec![TenantSpec::lmbench("lmbench", self.total_syscalls)],
         }
     }
@@ -156,8 +157,9 @@ pub struct FleetPlan {
     /// Cores per shard machine.
     pub cpus_per_shard: usize,
     /// Base seed; shard `i` boots with [`shard_seed`]`(seed, i)` and
-    /// tenant `t` on shard `i` draws ops from
-    /// [`tenant_seed`]`(seed, i, t)`.
+    /// the tenant named `n` on shard `i` draws ops from
+    /// [`tenant_stream_seed`]`(seed, i, n)` — name-derived, so adding or
+    /// removing one tenant never shifts another tenant's op stream.
     pub seed: u64,
     /// Protection level of every shard machine.
     pub protection: ProtectionLevel,
@@ -167,8 +169,16 @@ pub struct FleetPlan {
     /// ([`camo_kernel::KernelConfig::block_engine`]). Architecturally
     /// invisible; `perfcheck --blocks` measures the fleet-level A/B.
     pub block_engine: bool,
+    /// Overrides every shard kernel's §5.4 panic threshold
+    /// ([`camo_kernel::KernelConfig::pac_panic_threshold`]) when set. An
+    /// adversarial plan that *expects* PAC failures raises this above its
+    /// expected failure count so the run measures the policy instead of
+    /// halting on it.
+    pub pac_panic_threshold: Option<u32>,
     /// The tenants, served round-robin on every shard; each tenant's
     /// quota is split across shards like [`TrafficPlan`] syscalls.
+    /// Names must be unique — a tenant's op stream is seeded from its
+    /// name.
     pub tenants: Vec<TenantSpec>,
 }
 
@@ -182,6 +192,7 @@ impl FleetPlan {
             protection: ProtectionLevel::Full,
             fast_caches: true,
             block_engine: true,
+            pac_panic_threshold: None,
             tenants,
         }
     }
@@ -356,6 +367,14 @@ impl FleetDriver {
         assert!(plan.shards > 0, "at least one shard");
         assert!(plan.cpus_per_shard > 0, "at least one CPU per shard");
         assert!(!plan.tenants.is_empty(), "at least one tenant");
+        for (i, a) in plan.tenants.iter().enumerate() {
+            for b in &plan.tenants[i + 1..] {
+                assert_ne!(
+                    a.name, b.name,
+                    "tenant names must be unique (they seed the op streams)"
+                );
+            }
+        }
     }
 
     fn merge(shards: Vec<FleetShardReport>, wall_secs: f64) -> FleetReport {
@@ -400,6 +419,9 @@ impl FleetDriver {
         cfg.seed = boot_seed;
         cfg.fast_caches = plan.fast_caches;
         cfg.block_engine = plan.block_engine;
+        if let Some(threshold) = plan.pac_panic_threshold {
+            cfg.pac_panic_threshold = threshold;
+        }
         for workload in &workloads {
             for (name, alu, mem) in workload.user_blocks() {
                 match cfg.user_blocks.iter().find(|(n, _, _)| *n == name) {
@@ -420,12 +442,12 @@ impl FleetDriver {
 
         let mut runs = Vec::with_capacity(plan.tenants.len());
         let mut remaining = Vec::with_capacity(plan.tenants.len());
-        for (idx, (spec, workload)) in plan.tenants.iter().zip(workloads).enumerate() {
+        for (spec, workload) in plan.tenants.iter().zip(workloads) {
             runs.push(TenantRun::new(
                 spec.name.clone(),
                 workload,
                 kernel,
-                tenant_seed(plan.seed, shard, idx),
+                tenant_stream_seed(plan.seed, shard, &spec.name),
             )?);
             remaining.push(spec.quota.share(plan.shards, shard));
         }

@@ -159,6 +159,58 @@ fn sharded_driver_alias_matches_a_single_tenant_fleet() {
 }
 
 #[test]
+fn tenant_streams_survive_plan_membership_changes() {
+    // Per-tenant op streams are seeded by `tenant_stream_seed(seed,
+    // shard, name)` — derived from the tenant's *name*, not its index —
+    // so adding a tenant to the end of a plan must not move any existing
+    // tenant's stream, and (because spawn order fixes scheduler
+    // placement) must not change a single architectural quantity of the
+    // tenants it joins. This is the property the BENCH_6
+    // isolated-baseline gate stands on.
+    let shared = vec![
+        TenantSpec::lmbench("web", 96),
+        TenantSpec::tenant_mix("batch", 12),
+    ];
+    let mut small = FleetPlan::new(2, 0x5EED, shared.clone());
+    small.cpus_per_shard = 2;
+    small.pac_panic_threshold = Some(u32::MAX);
+    let mut tenants = shared;
+    tenants.push(TenantSpec::fuzz("fuzz-0", 24));
+    let mut grown = FleetPlan::new(2, 0x5EED, tenants);
+    grown.cpus_per_shard = 2;
+    grown.pac_panic_threshold = Some(u32::MAX);
+
+    let a = FleetDriver::drive_sequential(&small).expect("two-tenant plan runs");
+    let b = FleetDriver::drive_sequential(&grown).expect("three-tenant plan runs");
+    assert_eq!(b.tenants.len(), 3, "the grown plan served the fuzz tenant");
+    let hostile: u64 = b.tenants.iter().map(|t| t.totals.hostile.attempted).sum();
+    assert!(hostile > 0, "the added tenant mounted attacks");
+    for x in &a.tenants {
+        let y = b
+            .tenants
+            .iter()
+            .find(|t| t.name == x.name)
+            .expect("shared tenant served in both plans");
+        assert_eq!(x.totals.ops, y.totals.ops, "{}", x.name);
+        assert_eq!(x.totals.syscalls, y.totals.syscalls, "{}", x.name);
+        assert_eq!(x.totals.instructions, y.totals.instructions, "{}", x.name);
+        assert_eq!(x.totals.cycles, y.totals.cycles, "{}", x.name);
+        assert!(
+            x.totals.stats.arch_eq(&y.totals.stats),
+            "{}: architectural counters moved when a tenant was added",
+            x.name
+        );
+        assert_eq!(x.totals.latency, y.totals.latency, "{}", x.name);
+        assert_eq!(
+            x.totals.hostile.benign_pac_events, 0,
+            "{}: benign tenant saw a failure-policy event",
+            x.name
+        );
+        assert_eq!(y.totals.hostile.benign_pac_events, 0, "{}", x.name);
+    }
+}
+
+#[test]
 fn block_engine_is_architecturally_invisible_to_the_fleet() {
     // The `perfcheck --blocks` contract, asserted at test scale: the same
     // plan with the block engine on and off must agree on every

@@ -74,7 +74,10 @@ mod hist;
 mod mixes;
 mod workload;
 
-pub use exec::{OpReport, TenantRun, TenantTotals};
+pub use exec::{HostileRecord, HostileTotals, OpReport, TenantRun, TenantTotals};
 pub use hist::LatencyHistogram;
-pub use mixes::{LmbenchMix, ModuleChurn, ProcessChurn, TenantSwitchMix, LMBENCH_BATCH};
-pub use workload::{derive_seed, tenant_seed, Op, Quota, TenantSpec, Workload, WorkloadFactory};
+pub use mixes::{FuzzMix, LmbenchMix, ModuleChurn, ProcessChurn, TenantSwitchMix, LMBENCH_BATCH};
+pub use workload::{
+    derive_seed, tenant_seed, tenant_stream_seed, ExpectedOutcome, HostileOp, Op, Quota,
+    TenantSpec, Workload, WorkloadFactory,
+};

@@ -1,6 +1,6 @@
-//! The four built-in workload mixes.
+//! The built-in workload mixes.
 
-use crate::workload::{Op, Workload};
+use crate::workload::{HostileOp, Op, Workload};
 use camo_kernel::SYSCALLS;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -156,6 +156,59 @@ impl Workload for TenantSwitchMix {
 
     fn user_blocks(&self) -> Vec<(String, usize, usize)> {
         vec![("tenant".to_string(), 600, 60)]
+    }
+}
+
+/// The seeded adversarial traffic plane: hostile operations — each with a
+/// declared expected outcome ([`HostileOp::expected`]) — interleaved with
+/// the benign op vocabulary, so attacks land *under load* rather than on a
+/// quiet machine. Roughly one op in four is hostile, drawn uniformly from
+/// [`HostileOp::ALL`]; the rest are switch/syscall/compute/work traffic.
+///
+/// Like every mix, the stream is a pure function of the tenant RNG: the
+/// same `(plan seed, shard, tenant name)` triple replays the same attack
+/// sequence, which is what lets the BENCH_6 gate compare a mixed run
+/// against isolated baselines and the block engine A/B arms bit-exactly.
+#[derive(Debug, Default)]
+pub struct FuzzMix;
+
+impl FuzzMix {
+    /// A fresh fuzz mix.
+    pub fn new() -> FuzzMix {
+        FuzzMix
+    }
+}
+
+impl Workload for FuzzMix {
+    fn name(&self) -> &str {
+        "fuzz-mix"
+    }
+
+    fn next_op(&mut self, rng: &mut StdRng) -> Op {
+        match rng.gen_range(0..8u32) {
+            0 | 1 => Op::Hostile(HostileOp::ALL[rng.gen_range(0..HostileOp::ALL.len())]),
+            2 | 3 => Op::ContextSwitch,
+            4 | 5 => Op::Syscall {
+                nr: [172, 63, 64][rng.gen_range(0..3usize)],
+                arg0: 3,
+                batch: 2,
+            },
+            6 => Op::Work { func: "dev_poll" },
+            _ => Op::UserRun {
+                block: "fuzz".to_string(),
+                iterations: 2,
+                nr: 63,
+                arg0: 3,
+            },
+        }
+    }
+
+    fn task_count(&self, _cpus: usize) -> usize {
+        2
+    }
+
+    fn user_blocks(&self) -> Vec<(String, usize, usize)> {
+        vec![("fuzz".to_string(), 400, 40)]
     }
 }
 

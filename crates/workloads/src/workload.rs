@@ -1,6 +1,7 @@
 //! The workload vocabulary: [`Op`], the [`Workload`] trait, and tenant
 //! plumbing ([`TenantSpec`], [`Quota`], seed derivation).
 
+use camo_cpu::pac::KeyClass;
 use rand::rngs::StdRng;
 use std::fmt;
 use std::sync::Arc;
@@ -67,6 +68,107 @@ pub enum Op {
         /// Kernel symbol the work item points at (e.g. `"dev_poll"`).
         func: &'static str,
     },
+    /// Mount one adversarial operation against the machine. The executor
+    /// stages the attack on sacrificial tasks/objects, triggers it, and
+    /// checks the kernel's reaction against the op's *declared* expected
+    /// outcome ([`HostileOp::expected`]) — misattribution in either
+    /// direction (a missing failure, a wrong key class, a wrong victim, or
+    /// collateral failures) is recorded as a mismatch.
+    Hostile(HostileOp),
+}
+
+/// One adversarial operation a fuzz tenant can mount, each modeling a
+/// concrete attack from the paper's threat model (§3).
+///
+/// Every variant declares the exact reaction the §5.4 fault policy must
+/// produce — which [`KeyClass`] fails, on which (sacrificial) task — so a
+/// fleet run can assert *attribution*, not merely "something faulted".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileOp {
+    /// Forged-pointer return (§5.2): overwrite a victim task's signed
+    /// `SAVED_SP` with a raw kernel pointer, then context-switch into it.
+    /// `cpu_switch_to` authenticates the slot under the data key → exactly
+    /// one [`KeyClass::Data`] failure on the switching task.
+    ForgedSavedSp,
+    /// Replay (§5.2): copy another task's *validly signed* `SAVED_SP`
+    /// qword over the victim's slot (after migrating the victim to a
+    /// different core when one exists). The PAC is genuine but bound to
+    /// the donor's `task_struct` address, so authentication under the
+    /// victim's modifier fails → one [`KeyClass::Data`] failure.
+    ReplaySavedSp,
+    /// Forged `file->f_ops` (§4.2): overwrite a signed operations-table
+    /// pointer with the raw (unsigned) table address, then drive a `read`
+    /// through it → one [`KeyClass::Data`] failure in the syscall.
+    ForgedFileOps,
+    /// Forged work callback (§4.4): overwrite a signed `work->func` with
+    /// a raw kernel symbol address, then run the work item → one
+    /// [`KeyClass::Instruction`] failure at the indirect call.
+    ForgedWorkFunc,
+    /// Module-signing failure (§4.1): submit a module whose text reads a
+    /// PAuth key register. Static verification must reject it before any
+    /// byte is mapped — no PAC failure, no task killed.
+    UnsignedModule,
+    /// Direct physical-memory write to already-translated (and possibly
+    /// block-cached) module code. Not a PAC attack: the expected outcome
+    /// is *coherency* — re-execution observes the new bytes bit-exactly,
+    /// with or without the block engine.
+    CodeTamper,
+}
+
+impl HostileOp {
+    /// Every hostile op, in a stable order (fuzz mixes index into this).
+    pub const ALL: [HostileOp; 6] = [
+        HostileOp::ForgedSavedSp,
+        HostileOp::ReplaySavedSp,
+        HostileOp::ForgedFileOps,
+        HostileOp::ForgedWorkFunc,
+        HostileOp::UnsignedModule,
+        HostileOp::CodeTamper,
+    ];
+
+    /// Stable short name (reported in benchmarks and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            HostileOp::ForgedSavedSp => "forged-saved-sp",
+            HostileOp::ReplaySavedSp => "replay-saved-sp",
+            HostileOp::ForgedFileOps => "forged-file-ops",
+            HostileOp::ForgedWorkFunc => "forged-work-func",
+            HostileOp::UnsignedModule => "unsigned-module",
+            HostileOp::CodeTamper => "code-tamper",
+        }
+    }
+
+    /// The declared expected outcome — what the kernel must do, exactly.
+    pub fn expected(self) -> ExpectedOutcome {
+        match self {
+            HostileOp::ForgedSavedSp | HostileOp::ReplaySavedSp | HostileOp::ForgedFileOps => {
+                ExpectedOutcome::PacFailure {
+                    kind: KeyClass::Data,
+                }
+            }
+            HostileOp::ForgedWorkFunc => ExpectedOutcome::PacFailure {
+                kind: KeyClass::Instruction,
+            },
+            HostileOp::UnsignedModule => ExpectedOutcome::ModuleRejected,
+            HostileOp::CodeTamper => ExpectedOutcome::CoherentTamper,
+        }
+    }
+}
+
+/// The reaction a [`HostileOp`] declares the kernel must produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedOutcome {
+    /// Exactly one PAC failure of `kind` on the sacrificial task, which
+    /// the §5.4 policy then kills — and nothing else.
+    PacFailure {
+        /// The key class whose authentication must fail.
+        kind: KeyClass,
+    },
+    /// The §4.1 verifier rejects the module; nothing faults, nobody dies.
+    ModuleRejected,
+    /// Re-execution observes the tampered bytes bit-exactly (block-cache
+    /// coherency); nothing faults, nobody dies.
+    CoherentTamper,
 }
 
 /// A deterministic stream of [`Op`]s.
@@ -215,6 +317,15 @@ impl TenantSpec {
             Box::new(crate::TenantSwitchMix::new()) as Box<dyn Workload + Send>
         })
     }
+
+    /// The seeded adversarial fuzz mix running `ops` operations
+    /// (hostile ops with declared expected outcomes, interleaved with
+    /// benign traffic).
+    pub fn fuzz(name: impl Into<String>, ops: u64) -> TenantSpec {
+        TenantSpec::new(name, Quota::Ops(ops), || {
+            Box::new(crate::FuzzMix::new()) as Box<dyn Workload + Send>
+        })
+    }
 }
 
 /// Derives a well-spread child seed from `base` and an index (splitmix64
@@ -231,8 +342,27 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 /// The RNG seed of tenant `tenant` on shard `shard` of a plan seeded
 /// `base` — two derivation levels so tenant streams are independent of
 /// both the shard's boot seed and each other.
+///
+/// Position-indexed, so inserting or removing a tenant renumbers (and
+/// reseeds) everyone after it. The fleet driver derives from the tenant
+/// *name* instead ([`tenant_stream_seed`]); this stays for callers that
+/// genuinely want positional streams.
 pub fn tenant_seed(base: u64, shard: usize, tenant: usize) -> u64 {
     derive_seed(derive_seed(base, shard as u64), 0x7E4A_0000 + tenant as u64)
+}
+
+/// The RNG seed of the tenant *named* `name` on shard `shard` of a plan
+/// seeded `base`: the name (FNV-1a hashed) replaces the plan position in
+/// the derivation, so adding or removing one tenant never shifts another
+/// tenant's op stream — a tenant's traffic is a pure function of
+/// `(plan seed, shard, its own name)`.
+pub fn tenant_stream_seed(base: u64, shard: usize, name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    derive_seed(derive_seed(base, shard as u64), h)
 }
 
 #[cfg(test)]
@@ -265,6 +395,22 @@ mod tests {
         for shard in 0..4 {
             for tenant in 0..4 {
                 assert!(seen.insert(tenant_seed(9, shard, tenant)));
+            }
+        }
+    }
+
+    #[test]
+    fn named_tenant_seeds_depend_only_on_their_own_name() {
+        // The same (seed, shard, name) triple always derives the same
+        // stream seed — no matter what other tenants exist.
+        assert_eq!(
+            tenant_stream_seed(9, 2, "web"),
+            tenant_stream_seed(9, 2, "web")
+        );
+        let mut seen = std::collections::HashSet::new();
+        for shard in 0..4 {
+            for name in ["web", "batch", "build-farm", "fuzz-0"] {
+                assert!(seen.insert(tenant_stream_seed(9, shard, name)));
             }
         }
     }

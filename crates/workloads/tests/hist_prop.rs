@@ -1,0 +1,130 @@
+//! Property tests for [`LatencyHistogram`]: the merge used by the fleet
+//! driver's cross-shard aggregation must be order-free and lossless, and
+//! merged quantiles must agree with the concatenated stream within the
+//! histogram's documented quantization bound (1/16 relative error).
+
+use camo_workloads::LatencyHistogram;
+use proptest::prelude::*;
+
+/// Expands a seed into a deterministic value stream; `magnitude` caps the
+/// bit width so the linear region, the log region, and huge values all get
+/// exercised.
+fn stream(seed: u64, len: usize, magnitude: u32) -> Vec<u64> {
+    let mask = if magnitude >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (magnitude + 1)) - 1
+    };
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x & mask
+        })
+        .collect()
+}
+
+fn record_all(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Splitting a stream into two shards and merging — in either order —
+    /// reproduces the single-stream histogram bit for bit, counters and
+    /// buckets alike.
+    #[test]
+    fn merge_is_order_free_and_lossless(
+        seed in any::<u64>(),
+        len in 0usize..300,
+        split in any::<u64>(),
+        magnitude in 0u32..63,
+    ) {
+        let values = stream(seed, len, magnitude);
+        let all = record_all(&values);
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if (split >> (i % 64)) & 1 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &all, "shard merge lost or reordered observations");
+        prop_assert_eq!(&ba, &all, "merge is not commutative");
+        prop_assert_eq!(ab.count(), len as u64);
+        prop_assert_eq!(ab.sum(), values.iter().fold(0u64, |s, &v| s.saturating_add(v)));
+        prop_assert_eq!(ab.min(), values.iter().min().copied().unwrap_or(0));
+        prop_assert_eq!(ab.max(), values.iter().max().copied().unwrap_or(0));
+    }
+
+    /// Merging is associative: ((a ∪ b) ∪ c) == (a ∪ (b ∪ c)).
+    #[test]
+    fn merge_is_associative(
+        seed in any::<u64>(),
+        lens in (0usize..100, 0usize..100, 0usize..100),
+        magnitude in 0u32..63,
+    ) {
+        let (la, lb, lc) = lens;
+        let a = record_all(&stream(seed, la, magnitude));
+        let b = record_all(&stream(seed ^ 0xA5A5, lb, magnitude));
+        let c = record_all(&stream(seed ^ 0x5A5A, lc, magnitude));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Quantiles of the merged histogram are pessimistic (≥ the exact
+    /// order statistic of the concatenated stream) and within the 1/16
+    /// relative quantization bound of it.
+    #[test]
+    fn merged_quantiles_track_the_concatenated_stream(
+        seed in any::<u64>(),
+        len in 1usize..300,
+        split in any::<u64>(),
+        magnitude in 0u32..63,
+    ) {
+        let values = stream(seed, len, magnitude);
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if (split >> (i % 64)) & 1 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.01, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let reported = merged.percentile(q);
+            prop_assert!(
+                reported >= exact,
+                "percentile({q}) = {reported} under-reports exact {exact}"
+            );
+            prop_assert!(
+                reported as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "percentile({q}) = {reported} exceeds the 1/16 bound on exact {exact}"
+            );
+        }
+    }
+}
