@@ -1,11 +1,12 @@
-//! Step-loop vs block-loop wall time on the Figure-2 hot loop.
+//! Step-loop vs block-loop vs trace-loop wall time on the Figure-2 hot
+//! loop.
 //!
 //! The Criterion timings measure simulator throughput only — the
-//! simulated cycle counts are bit-identical by the block engine's
-//! contract (asserted at startup below, and gated by
-//! `perfcheck --blocks`).
+//! simulated cycle counts are bit-identical across all three engines by
+//! the translation engines' contract (asserted at startup below, and
+//! gated by `perfcheck --blocks` / `perfcheck --traces`).
 
-use camo_bench::blocks;
+use camo_bench::{blocks, traces};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -14,14 +15,24 @@ const ITERS: u64 = 5_000;
 fn bench(c: &mut Criterion) {
     let off = blocks::hot_loop(ITERS, false);
     let on = blocks::hot_loop(ITERS, true);
+    let traced = traces::hot_loop(ITERS, true);
     assert_eq!(
         (on.sample.cycles, on.sample.instructions),
         (off.sample.cycles, off.sample.instructions),
         "block engine must not change simulated counts"
     );
+    assert_eq!(
+        (traced.sample.cycles, traced.sample.instructions),
+        (off.sample.cycles, off.sample.instructions),
+        "trace tier must not change simulated counts"
+    );
     println!(
         "fig2 hot loop: {} simulated insns; block cache {} hits / {} misses",
         on.sample.instructions, on.block_hits, on.block_misses
+    );
+    println!(
+        "trace tier: {} hits / {} misses",
+        traced.trace_hits, traced.trace_misses
     );
 
     let mut group = c.benchmark_group("block_engine");
@@ -30,6 +41,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("block_loop", |b| {
         b.iter(|| black_box(blocks::hot_loop(ITERS, true)))
+    });
+    group.bench_function("trace_loop", |b| {
+        b.iter(|| black_box(traces::hot_loop(ITERS, true)))
     });
     group.finish();
 }

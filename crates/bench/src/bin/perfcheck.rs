@@ -1,6 +1,7 @@
 //! Wall-clock regression checks for the simulator's throughput layers.
 //!
-//! Five modes, selected by `--smp` / `--fleet` / `--blocks` / `--fuzz`:
+//! Six modes, selected by `--smp` / `--fleet` / `--blocks` / `--traces` /
+//! `--fuzz`:
 //!
 //! * **Default (fast-path A/B, `BENCH_2.json`)** — runs the Figure-2 call
 //!   loop and the lmbench syscall mix with the simulator's caches
@@ -42,6 +43,16 @@
 //!      runs agree bit for bit (the `--fleet` gate, at both points).
 //!   The ≥2× speedup target is reported (non-gating; host-dependent).
 //!
+//! * **`--traces` (trace-engine A/B, `BENCH_7.json`)** — runs the same
+//!   two workloads as `--blocks` with the *block* engine pinned on in
+//!   both arms and the trace tier toggled. The same three hard
+//!   properties gate (invisibility, architectural identity, mode
+//!   identity); the ≥2× speedup target — over the blocks-on baseline,
+//!   i.e. on top of BENCH_5's win — is reported (non-gating;
+//!   host-dependent). The JSON carries the trace-tier observability
+//!   counters (`trace_hits`/`trace_misses`/`trace_invalidations` and
+//!   `chain_follows`) from the on-arm.
+//!
 //! * **`--fuzz` (adversarial traffic plane, `BENCH_6.json`)** — serves
 //!   seeded fuzz tenants mounting the six `HostileOp` attacks alongside
 //!   benign tenants on the same fleet, once per block-engine arm. Hard
@@ -61,8 +72,10 @@
 //! `--seed N` pins the boot seed used by the syscall-mix machine and the
 //! shard/tenant partitioning; it is emitted into the JSON so A/B runs and
 //! shard partitions reproduce byte for byte. `--smoke` shrinks the
-//! `--smp`, `--fleet` and `--blocks` runs for CI runners. The emitted
-//! `BENCH_*.json` schemas are documented in `BENCHMARKS.md`.
+//! `--smp`, `--fleet`, `--blocks` and `--traces` runs for CI runners.
+//! Every mode also prints a per-workload speedup table to stderr so A/B
+//! ratios are scrapeable from CI logs without parsing the JSON. The
+//! emitted `BENCH_*.json` schemas are documented in `BENCHMARKS.md`.
 
 use camo_bench::fleet;
 use camo_bench::perf::{self, PerfSample, ScalingPoint};
@@ -121,6 +134,28 @@ fn best(run: impl Fn() -> PerfSample) -> PerfSample {
     )
 }
 
+/// Per-workload speedup table, printed to **stderr** by every run mode
+/// so A/B ratios can be scraped from CI logs without parsing the JSON
+/// (stdout carries the mode-specific report; stderr carries this uniform
+/// summary plus FAIL/note lines). Each row is `(workload, fast, base)`
+/// in steps/sec; the labels name what "fast" and "base" mean per mode.
+fn speedup_table(mode: &str, fast_label: &str, base_label: &str, rows: &[(String, f64, f64)]) {
+    eprintln!("speedup table [{mode}]:");
+    eprintln!(
+        "  {:<24} {:>14} {:>14} {:>9}",
+        "workload", fast_label, base_label, "speedup"
+    );
+    for (name, fast, base) in rows {
+        eprintln!(
+            "  {:<24} {:>14.0} {:>14.0} {:>8.2}x",
+            name,
+            fast,
+            base,
+            fast / base.max(1e-9)
+        );
+    }
+}
+
 struct Workload {
     name: &'static str,
     cached: PerfSample,
@@ -151,6 +186,7 @@ struct Args {
     smp: bool,
     fleet: bool,
     blocks: bool,
+    traces: bool,
     fuzz: bool,
     smoke: bool,
     shards: Vec<usize>,
@@ -164,6 +200,7 @@ fn parse_args() -> Args {
         smp: false,
         fleet: false,
         blocks: false,
+        traces: false,
         fuzz: false,
         smoke: false,
         shards: vec![1, 2, 4, 8],
@@ -181,6 +218,7 @@ fn parse_args() -> Args {
             "--smp" => args.smp = true,
             "--fleet" => args.fleet = true,
             "--blocks" => args.blocks = true,
+            "--traces" => args.traces = true,
             "--fuzz" => args.fuzz = true,
             "--smoke" => args.smoke = true,
             "--shards" => {
@@ -196,7 +234,8 @@ fn parse_args() -> Args {
                 args.syscalls = Some(parse_u64(&v));
             }
             other => panic!(
-                "unknown argument {other} (try --seed/--smp/--fleet/--blocks/--fuzz/--smoke/--shards)"
+                "unknown argument {other} \
+                 (try --seed/--smp/--fleet/--blocks/--traces/--fuzz/--smoke/--shards)"
             ),
         }
     }
@@ -256,6 +295,21 @@ fn run_fastpath(seed: u64) -> i32 {
         );
     }
     let hot_speedup = workloads[0].speedup();
+    speedup_table(
+        "fastpath",
+        "cached st/s",
+        "uncached st/s",
+        &workloads
+            .iter()
+            .map(|w| {
+                (
+                    w.name.to_string(),
+                    w.cached.steps_per_sec,
+                    w.uncached.steps_per_sec,
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
 
     let mut json = String::from("{\n  \"bench\": \"perfcheck\",\n");
     let _ = writeln!(json, "  \"seed\": {seed},");
@@ -364,6 +418,21 @@ fn run_smp(args: &Args) -> i32 {
     if let Some(note) = &wall_note {
         eprintln!("disclaimer: {note}");
     }
+    speedup_table(
+        "smp",
+        "capacity st/s",
+        "baseline st/s",
+        &points
+            .iter()
+            .map(|p| {
+                (
+                    format!("lmbench_mix@{}shards", p.shards),
+                    p.capacity_steps_per_sec,
+                    base_capacity,
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
 
     let mut json = String::from("{\n  \"bench\": \"smp_scaling\",\n");
     let _ = writeln!(json, "  \"seed\": {},", args.seed);
@@ -487,6 +556,16 @@ fn run_fleet(args: &Args) -> i32 {
         par.wall_secs,
         seq.wall_secs,
         if m.identical { "identical" } else { "MISMATCH" }
+    );
+    speedup_table(
+        "fleet",
+        "parallel st/s",
+        "sequential st/s",
+        &[(
+            "fleet_mix".to_string(),
+            par.steps_per_sec(),
+            par.instructions as f64 / seq.wall_secs.max(1e-9),
+        )],
     );
 
     let mut json = String::from("{\n  \"bench\": \"fleet\",\n");
@@ -693,6 +772,23 @@ fn run_blocks(args: &Args) -> i32 {
 
     let cycles_identical = hot_identical && fleet_identical;
     let simulation_identical = arch_identical && mode_identical;
+    speedup_table(
+        "blocks",
+        "blocks st/s",
+        "step st/s",
+        &[
+            (
+                "fig2_hot_loop".to_string(),
+                hot_on.sample.steps_per_sec,
+                hot_off.sample.steps_per_sec,
+            ),
+            (
+                "fleet_mix".to_string(),
+                ab.on.sequential.capacity_steps_per_sec(),
+                ab.off.sequential.capacity_steps_per_sec(),
+            ),
+        ],
+    );
 
     let mut json = String::from("{\n  \"bench\": \"block_engine\",\n");
     let _ = writeln!(json, "  \"seed\": {},", args.seed);
@@ -761,6 +857,245 @@ fn run_blocks(args: &Args) -> i32 {
     0
 }
 
+/// The speedup the trace tier is expected to deliver *over the blocks-on
+/// baseline* (i.e. stacked on top of BENCH_5's win).
+const TRACE_SPEEDUP_TARGET: f64 = 2.0;
+
+/// Best-of-[`BLOCK_REPEATS`] for the BENCH_7 hot-loop samples.
+fn best_trace(
+    run: impl Fn() -> camo_bench::traces::TraceSample,
+) -> camo_bench::traces::TraceSample {
+    best_of(
+        BLOCK_REPEATS,
+        run,
+        |s| s.sample.steps_per_sec,
+        |s| (s.sample.instructions, s.sample.cycles),
+    )
+}
+
+fn trace_sample_json(s: &camo_bench::traces::TraceSample) -> String {
+    format!(
+        "{{\"instructions\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \
+         \"steps_per_sec\": {:.1}, \"trace_hits\": {}, \"trace_misses\": {}, \
+         \"trace_invalidations\": {}, \"chain_follows\": {}, \"block_hits\": {}}}",
+        s.sample.instructions,
+        s.sample.cycles,
+        s.sample.wall_secs,
+        s.sample.steps_per_sec,
+        s.trace_hits,
+        s.trace_misses,
+        s.trace_invalidations,
+        s.chain_follows,
+        s.block_hits
+    )
+}
+
+fn run_traces(args: &Args) -> i32 {
+    use camo_bench::traces;
+
+    let hot_iters = if args.smoke {
+        BLOCK_SMOKE_HOT_ITERS
+    } else {
+        BLOCK_HOT_ITERS
+    };
+    let shards = if args.shards_given {
+        args.shards[0]
+    } else if args.smoke {
+        FLEET_SMOKE_SHARDS
+    } else {
+        FLEET_SHARDS
+    };
+    let tenants = fleet::standard_tenants(args.smoke);
+    println!(
+        "perfcheck --traces: trace tier on vs off (blocks + caches on), seed {:#x}, \
+         {} tenants x {shards} shards x {FLEET_CPUS} cores",
+        args.seed,
+        tenants.len()
+    );
+
+    // Hot loop: tier off first so the on-arm cannot benefit from a warmer
+    // host.
+    let hot_off = best_trace(|| traces::hot_loop(hot_iters, false));
+    let hot_on = best_trace(|| traces::hot_loop(hot_iters, true));
+    let hot_identical = (hot_on.sample.cycles, hot_on.sample.instructions)
+        == (hot_off.sample.cycles, hot_off.sample.instructions);
+    let hot_speedup = hot_on.sample.steps_per_sec / hot_off.sample.steps_per_sec.max(1e-9);
+
+    // Fleet mix: best-of-REPEATS, simulated totals asserted deterministic.
+    let ab = (1..REPEATS).fold(
+        traces::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone()),
+        |acc, _| {
+            let next = traces::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone());
+            assert_eq!(
+                (next.on.parallel.cycles, next.off.parallel.cycles),
+                (acc.on.parallel.cycles, acc.off.parallel.cycles),
+                "simulation must be deterministic across repeats"
+            );
+            traces::FleetAb {
+                on: if next.on.sequential.capacity_steps_per_sec()
+                    > acc.on.sequential.capacity_steps_per_sec()
+                {
+                    next.on
+                } else {
+                    acc.on
+                },
+                off: if next.off.sequential.capacity_steps_per_sec()
+                    > acc.off.sequential.capacity_steps_per_sec()
+                {
+                    next.off
+                } else {
+                    acc.off
+                },
+            }
+        },
+    );
+    let fleet_identical = (ab.on.parallel.cycles, ab.on.parallel.instructions)
+        == (ab.off.parallel.cycles, ab.off.parallel.instructions);
+    let arch_identical = ab.arch_identical();
+    let mode_identical = ab.on.identical && ab.off.identical;
+    let fleet_speedup = ab.speedup();
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}  cycles",
+        "workload", "traces st/s", "blocks st/s", "speedup"
+    );
+    for (name, on, off, speedup, identical) in [
+        (
+            "fig2_hot_loop",
+            hot_on.sample.steps_per_sec,
+            hot_off.sample.steps_per_sec,
+            hot_speedup,
+            hot_identical,
+        ),
+        (
+            "fleet_mix",
+            ab.on.sequential.capacity_steps_per_sec(),
+            ab.off.sequential.capacity_steps_per_sec(),
+            fleet_speedup,
+            fleet_identical,
+        ),
+    ] {
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>8.2}x  {}",
+            name,
+            on,
+            off,
+            speedup,
+            if identical { "identical" } else { "MISMATCH" }
+        );
+    }
+    let on_stats = &ab.on.parallel.stats;
+    println!(
+        "fleet trace cache: {} hits / {} misses / {} invalidations | \
+         {} chain follows | block hits {} -> {} | arch {} | modes {}",
+        on_stats.trace_hits,
+        on_stats.trace_misses,
+        on_stats.trace_invalidations,
+        on_stats.chain_follows,
+        ab.off.parallel.stats.block_hits,
+        on_stats.block_hits,
+        if arch_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if mode_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let cycles_identical = hot_identical && fleet_identical;
+    let simulation_identical = arch_identical && mode_identical;
+    speedup_table(
+        "traces",
+        "traces st/s",
+        "blocks st/s",
+        &[
+            (
+                "fig2_hot_loop".to_string(),
+                hot_on.sample.steps_per_sec,
+                hot_off.sample.steps_per_sec,
+            ),
+            (
+                "fleet_mix".to_string(),
+                ab.on.sequential.capacity_steps_per_sec(),
+                ab.off.sequential.capacity_steps_per_sec(),
+            ),
+        ],
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"trace_engine\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cpus_per_shard\": {FLEET_CPUS},");
+    let _ = writeln!(json, "  \"hot_loop_iters\": {hot_iters},");
+    json.push_str("  \"workloads\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fig2_hot_loop\", \"traces_on\": {}, \"traces_off\": {}, \
+         \"speedup\": {hot_speedup:.2}, \"cycles_identical\": {hot_identical}}},",
+        trace_sample_json(&hot_on),
+        trace_sample_json(&hot_off),
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fleet_mix\", \
+         \"traces_on\": {{\"instructions\": {}, \"cycles\": {}, \"syscalls\": {}, \
+         \"capacity_steps_per_sec\": {:.1}, \"trace_hits\": {}, \"trace_misses\": {}, \
+         \"trace_invalidations\": {}, \"chain_follows\": {}, \"block_hits\": {}}}, \
+         \"traces_off\": {{\"instructions\": {}, \"cycles\": {}, \"syscalls\": {}, \
+         \"capacity_steps_per_sec\": {:.1}, \"block_hits\": {}}}, \
+         \"speedup\": {fleet_speedup:.2}, \"cycles_identical\": {fleet_identical}, \
+         \"arch_identical\": {arch_identical}, \
+         \"parallel_sequential_identical\": {mode_identical}}}",
+        ab.on.parallel.instructions,
+        ab.on.parallel.cycles,
+        ab.on.parallel.syscalls,
+        ab.on.sequential.capacity_steps_per_sec(),
+        on_stats.trace_hits,
+        on_stats.trace_misses,
+        on_stats.trace_invalidations,
+        on_stats.chain_follows,
+        on_stats.block_hits,
+        ab.off.parallel.instructions,
+        ab.off.parallel.cycles,
+        ab.off.parallel.syscalls,
+        ab.off.sequential.capacity_steps_per_sec(),
+        ab.off.parallel.stats.block_hits,
+    );
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_target\": {TRACE_SPEEDUP_TARGET:.1},\n  \
+         \"hot_loop_speedup\": {hot_speedup:.2},\n  \
+         \"fleet_speedup\": {fleet_speedup:.2},\n  \
+         \"cycles_identical\": {cycles_identical},\n  \
+         \"simulation_identical\": {simulation_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    println!("wrote BENCH_7.json");
+
+    if !cycles_identical {
+        eprintln!("FAIL: the trace tier changed simulated cycle/instruction counts");
+        return 1;
+    }
+    if !simulation_identical {
+        eprintln!(
+            "FAIL: the trace tier changed architectural per-tenant state, or \
+             parallel and sequential fleet runs disagreed within an arm"
+        );
+        return 1;
+    }
+    if hot_speedup < TRACE_SPEEDUP_TARGET || fleet_speedup < TRACE_SPEEDUP_TARGET {
+        eprintln!(
+            "note: trace-tier speedup {hot_speedup:.2}x hot loop / {fleet_speedup:.2}x fleet, \
+             target {TRACE_SPEEDUP_TARGET:.1}x over blocks-on (non-gating; host-dependent)"
+        );
+    }
+    0
+}
+
 fn run_fuzz(args: &Args) -> i32 {
     use camo_bench::fuzz;
 
@@ -820,6 +1155,16 @@ fn run_fuzz(args: &Args) -> i32 {
         } else {
             "MISMATCH"
         }
+    );
+    speedup_table(
+        "fuzz",
+        "blocks_on st/s",
+        "blocks_off st/s",
+        &[(
+            "adversarial_mix".to_string(),
+            ab.on.mixed.parallel.steps_per_sec(),
+            ab.off.mixed.parallel.steps_per_sec(),
+        )],
     );
 
     let mut json = String::from("{\n  \"bench\": \"fuzz\",\n");
@@ -934,6 +1279,8 @@ fn main() {
     let args = parse_args();
     let code = if args.fuzz {
         run_fuzz(&args)
+    } else if args.traces {
+        run_traces(&args)
     } else if args.blocks {
         run_blocks(&args)
     } else if args.fleet {

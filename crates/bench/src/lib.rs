@@ -227,18 +227,21 @@ pub mod perf {
         }
     }
 
-    /// The one Figure-2 wall-clock harness behind both A/Bs: builds the
-    /// call loop, applies the cache and block-engine knobs, runs, and
-    /// samples. `recorded` is the value stored in [`PerfSample::caches`]
-    /// (the toggled axis of whichever A/B is calling).
+    /// The one Figure-2 wall-clock harness behind every A/B: builds the
+    /// call loop, applies the cache, block-engine and trace-engine knobs,
+    /// runs, and samples. `recorded` is the value stored in
+    /// [`PerfSample::caches`] (the toggled axis of whichever A/B is
+    /// calling).
     pub(crate) fn fig2_sample(
         iters: u64,
         caches: bool,
         blocks: bool,
+        traces: bool,
         recorded: bool,
     ) -> (PerfSample, camo_cpu::CpuStats) {
         let (mut cpu, mut mem, driver_va) = fig2::build_call_loop(CfiScheme::Camouflage);
         cpu.set_block_engine(blocks);
+        cpu.set_trace_engine(traces);
         cpu.set_caching(caches);
         mem.set_caching(caches);
         let start = Instant::now();
@@ -269,7 +272,7 @@ pub mod perf {
     ///
     /// Panics if the simulation fails (a harness bug).
     pub fn hot_loop(iters: u64, caches: bool) -> PerfSample {
-        fig2_sample(iters, caches, false, caches).0
+        fig2_sample(iters, caches, false, false, caches).0
     }
 
     /// The lmbench syscall mix (every modeled syscall, `reps` rounds each)
@@ -419,11 +422,13 @@ pub mod fleet {
         seed: u64,
         tenants: Vec<TenantSpec>,
     ) -> FleetMeasurement {
-        measure_with_blocks(shards, cpus_per_shard, seed, tenants, true)
+        measure_with_engines(shards, cpus_per_shard, seed, tenants, true, true)
     }
 
-    /// [`measure`] with an explicit block-engine setting — the
-    /// `perfcheck --blocks` fleet A/B runs it once per arm.
+    /// [`measure`] with an explicit block-engine setting and the trace
+    /// tier pinned **off** in both states — the `perfcheck --blocks`
+    /// fleet A/B runs it once per arm, isolating tier 1 exactly as
+    /// BENCH_5 always has.
     ///
     /// # Panics
     ///
@@ -435,9 +440,28 @@ pub mod fleet {
         tenants: Vec<TenantSpec>,
         block_engine: bool,
     ) -> FleetMeasurement {
+        measure_with_engines(shards, cpus_per_shard, seed, tenants, block_engine, false)
+    }
+
+    /// [`measure`] with both translation-engine tiers explicit — the
+    /// `perfcheck --traces` fleet A/B runs it with blocks pinned on and
+    /// the trace tier toggled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn measure_with_engines(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+        block_engine: bool,
+        trace_engine: bool,
+    ) -> FleetMeasurement {
         let mut plan = FleetPlan::new(shards, seed, tenants);
         plan.cpus_per_shard = cpus_per_shard;
         plan.block_engine = block_engine;
+        plan.trace_engine = trace_engine;
         let parallel = FleetDriver::drive(&plan).expect("parallel fleet runs");
         let sequential = FleetDriver::drive_sequential(&plan).expect("sequential fleet runs");
         let identical = parallel.simulation_identical(&sequential);
@@ -486,7 +510,10 @@ pub mod blocks {
     ///
     /// Panics if the simulation fails (a harness bug).
     pub fn hot_loop(iters: u64, blocks: bool) -> BlockSample {
-        let (sample, stats) = super::perf::fig2_sample(iters, true, blocks, blocks);
+        // Trace tier pinned off in both arms: BENCH_5 measures tier 1
+        // alone, and stays a regression guard that tier-1 behaviour did
+        // not shift under the new tier.
+        let (sample, stats) = super::perf::fig2_sample(iters, true, blocks, false, blocks);
         BlockSample {
             sample,
             block_hits: stats.block_hits,
@@ -562,6 +589,82 @@ pub mod blocks {
     }
 }
 
+/// The trace-tier A/B (`perfcheck --traces`, `BENCH_7.json`).
+///
+/// Both arms run with the fast-path caches **and** the block engine on:
+/// the trace tier's job is to beat the already-blocked engine (BENCH_5's
+/// on-arm), the way BENCH_5's job was to beat the already-cached step
+/// loop. The toggled axis is [`camo_cpu::Cpu::set_trace_engine`] /
+/// [`camo_smp::FleetPlan::trace_engine`].
+pub mod traces {
+    use super::fleet::measure_with_engines;
+    use super::perf::PerfSample;
+    use camo_workloads::TenantSpec;
+
+    // The verdict helpers are shared with the BENCH_5 harness: the gates
+    // (architectural identity, parallel≡sequential) are the same, only
+    // the toggled knob differs.
+    pub use super::blocks::FleetAb;
+
+    /// One wall-clock measurement with the trace tier on or off, plus the
+    /// tier's own cache counters.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct TraceSample {
+        /// The throughput sample (`caches` records the *trace engine*
+        /// setting here; fast-path caches and block engine are always on).
+        pub sample: PerfSample,
+        /// Trace-cache hits (0 with the tier off).
+        pub trace_hits: u64,
+        /// Traces built (0 with the tier off).
+        pub trace_misses: u64,
+        /// Trace invalidations.
+        pub trace_invalidations: u64,
+        /// Chain continuations inside engine calls (block- or trace-exit
+        /// edges followed without returning to the run loop).
+        pub chain_follows: u64,
+        /// Tier-1 block-cache hits — with the tier on, hot work moves out
+        /// of these into `trace_hits`.
+        pub block_hits: u64,
+    }
+
+    /// The Figure-2 call loop (Camouflage scheme), fast-path caches and
+    /// block engine on, trace tier toggled — the same harness as
+    /// [`super::blocks::hot_loop`], toggling the next knob up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (a harness bug).
+    pub fn hot_loop(iters: u64, traces: bool) -> TraceSample {
+        let (sample, stats) = super::perf::fig2_sample(iters, true, true, traces, traces);
+        TraceSample {
+            sample,
+            trace_hits: stats.trace_hits,
+            trace_misses: stats.trace_misses,
+            trace_invalidations: stats.trace_invalidations,
+            chain_follows: stats.chain_follows,
+            block_hits: stats.block_hits,
+        }
+    }
+
+    /// Runs the fleet mix once per trace-tier arm (block engine pinned on
+    /// in both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn fleet_ab(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+    ) -> FleetAb {
+        // Tier off first, same warm-host ordering rationale as BENCH_5.
+        let off = measure_with_engines(shards, cpus_per_shard, seed, tenants.clone(), true, false);
+        let on = measure_with_engines(shards, cpus_per_shard, seed, tenants, true, true);
+        FleetAb { on, off }
+    }
+}
+
 /// The adversarial traffic plane (`perfcheck --fuzz`, `BENCH_6.json`).
 ///
 /// Seeded fuzz tenants mount the [`camo_workloads::HostileOp`] attacks —
@@ -581,8 +684,9 @@ pub mod blocks {
 ///    isolated-baseline run of the same tenant alone on an identically
 ///    seeded fleet.
 /// 3. **Engine invariance**: the whole adversarial plan produces
-///    architecturally identical results with the block translation engine
-///    on and off, including the per-op hostile ledgers.
+///    architecturally identical results with the translation engine on
+///    and off (the on-arm runs both tiers — blocks *and* traces, the
+///    production default), including the per-op hostile ledgers.
 ///
 /// The §5.4 measurements the paper motivates — false-positive rate and
 /// time-to-kill (simulated cycles from attack trigger to task kill) — are

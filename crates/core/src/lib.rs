@@ -199,4 +199,40 @@ mod tests {
             assert_eq!(stats_off.block_hits, 0, "{level}: engine off is off");
         }
     }
+
+    #[test]
+    fn trace_engine_is_architecturally_invisible() {
+        // The third knob: the trace tier (hot chains flattened into
+        // guard-checked traces inside the block engine) must also be
+        // architecturally invisible. Enough repetitions of the syscall
+        // battery to push the kernel's hot paths past the promotion
+        // threshold.
+        let run = |trace_engine: bool, level: ProtectionLevel| {
+            let mut cfg = KernelConfig::with_protection(level);
+            cfg.trace_engine = trace_engine;
+            let mut m = Machine::with_config(cfg).unwrap();
+            let mut log = Vec::new();
+            for round in 0..12u64 {
+                for nr in [172u64, 63, 64, 57] {
+                    let out = m.kernel_mut().syscall(nr, 7 + round).unwrap();
+                    log.push((out.x0, out.cycles, out.instructions, out.fault));
+                }
+            }
+            (log, m.kernel().cpu().stats())
+        };
+        for level in ProtectionLevel::ALL {
+            let (log_on, stats_on) = run(true, level);
+            let (log_off, stats_off) = run(false, level);
+            assert_eq!(log_on, log_off, "{level}");
+            assert!(
+                stats_on.arch_eq(&stats_off),
+                "{level}: architectural counters diverged: {stats_on:?} vs {stats_off:?}"
+            );
+            assert_eq!(
+                (stats_off.trace_hits, stats_off.trace_misses),
+                (0, 0),
+                "{level}: tier off is off"
+            );
+        }
+    }
 }

@@ -58,6 +58,12 @@
 //! own frame aborts execution after that store, so the very next
 //! instruction is re-fetched from the modified bytes exactly as the
 //! step path would.
+//!
+//! # The trace tier
+//!
+//! This cache is *tier 1* of a two-tier engine: each entry carries a
+//! hotness counter, and chains headed by a hot block are promoted into
+//! flattened, guard-checked **traces** — see [`crate::trace`].
 
 use camo_isa::{decode, Insn, SysReg};
 use camo_mem::{PhysMem, PAGE_SIZE};
@@ -116,6 +122,18 @@ pub(crate) struct BlockEntry {
     /// addition. Blocks are decoded under the CPU's current cost model;
     /// swapping the model clears the cache.
     pub cycles: u64,
+    /// Cache hits since decode (or since the last promotion), the
+    /// hotness signal for the trace tier ([`crate::trace`]): reaching
+    /// [`crate::trace::HOT_THRESHOLD`] starts recording the chain this
+    /// block heads, and resets the counter so an aliasing second hot
+    /// block does not immediately re-trigger a rebuild.
+    pub hot: u32,
+    /// Set when a recording headed by this block finalized without a loop
+    /// edge: the chain is straight-line, a trace adds entry-validation
+    /// cost for no stitching win, and re-recording every promotion period
+    /// would only repeat the discovery. Cleared naturally when the entry
+    /// is evicted or invalidated (the code may have changed shape).
+    pub no_trace: bool,
 }
 
 /// How the block builder treats one decoded instruction.
@@ -233,5 +251,7 @@ pub(crate) fn decode_block(
         terminator,
         fallback,
         cycles,
+        hot: 0,
+        no_trace: false,
     })
 }

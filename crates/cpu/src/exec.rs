@@ -3,6 +3,7 @@
 use crate::block::{self, BlockEntry};
 use crate::pac::{strip_pac, KeyClass, PacUnit};
 use crate::state::CpuState;
+use crate::trace::{self, TraceEntry, TraceOutcome, TraceRecorder};
 use camo_isa::{decode, AddrMode, CostModel, Insn, InsnKey, PacKey, PairMode, Reg, SysReg};
 use camo_mem::{El, Frame, MemFault, Memory, TableId, TranslationCtx, PAGE_SIZE};
 use core::fmt;
@@ -113,6 +114,21 @@ pub struct CpuStats {
     /// change) or the code frame's write version moved (self-modifying or
     /// attacker-written code).
     pub block_invalidations: u64,
+    /// Chain continuations inside one [`Cpu::run_block`] call — block or
+    /// trace exits that stayed in the call instead of returning to the
+    /// run loop. This is where chaining actually pays: `block_hits` alone
+    /// counts probes, not the dispatch round-trips avoided.
+    pub chain_follows: u64,
+    /// Trace-tier hits (a validated trace executed; see [`crate::trace`]).
+    pub trace_hits: u64,
+    /// Trace-tier misses — traces built and installed (the tier never
+    /// probes without either hitting or building, so "miss" counts
+    /// constructions, mirroring `block_misses` counting decodes).
+    pub trace_misses: u64,
+    /// Cached traces discarded because a freshness stamp no longer held —
+    /// a constituent page's bytes changed, or a translation-generation
+    /// move re-walked the pages and found a mapping gone or moved.
+    pub trace_invalidations: u64,
 }
 
 impl CpuStats {
@@ -150,6 +166,12 @@ impl CpuStats {
             block_invalidations: self
                 .block_invalidations
                 .saturating_sub(baseline.block_invalidations),
+            chain_follows: self.chain_follows.saturating_sub(baseline.chain_follows),
+            trace_hits: self.trace_hits.saturating_sub(baseline.trace_hits),
+            trace_misses: self.trace_misses.saturating_sub(baseline.trace_misses),
+            trace_invalidations: self
+                .trace_invalidations
+                .saturating_sub(baseline.trace_invalidations),
         }
     }
 
@@ -176,6 +198,10 @@ impl CpuStats {
         self.block_hits += other.block_hits;
         self.block_misses += other.block_misses;
         self.block_invalidations += other.block_invalidations;
+        self.chain_follows += other.chain_follows;
+        self.trace_hits += other.trace_hits;
+        self.trace_misses += other.trace_misses;
+        self.trace_invalidations += other.trace_invalidations;
     }
 
     /// Whether the *architectural* counters of two runs agree — retired
@@ -184,11 +210,11 @@ impl CpuStats {
     /// caches before it) must preserve across an A/B toggle.
     ///
     /// The simulator-observability counters — TLB, decoded-instruction
-    /// cache, PAC memo, and block-cache hit/miss/invalidation counts —
-    /// are *excluded*: they describe how the simulator reached the
-    /// architectural result, and legitimately differ between engines
-    /// (e.g. a cached block performs one permission walk where the step
-    /// path performs one per instruction).
+    /// cache, PAC memo, block-cache and trace-cache hit/miss/invalidation
+    /// counts, and chain follows — are *excluded*: they describe how the
+    /// simulator reached the architectural result, and legitimately
+    /// differ between engines (e.g. a cached block performs one
+    /// permission walk where the step path performs one per instruction).
     pub fn arch_eq(&self, other: &CpuStats) -> bool {
         (
             self.instructions,
@@ -352,10 +378,10 @@ pub struct Cpu {
     /// Architectural state (public: the kernel model manipulates it the way
     /// real kernel entry assembly manipulates real registers).
     pub state: CpuState,
-    cost: CostModel,
-    features: HwFeatures,
+    pub(crate) cost: CostModel,
+    pub(crate) features: HwFeatures,
     cycles: u64,
-    stats: CpuStats,
+    pub(crate) stats: CpuStats,
     pending_irq: bool,
     /// Top-byte-ignore for user-half pointers (Linux default).
     pub tbi_user: bool,
@@ -365,10 +391,16 @@ pub struct Cpu {
     /// Direct-mapped translated-block cache, keyed on the physical address
     /// of the block's first instruction (see [`crate::block`]). Boxed so a
     /// probe moves a pointer, not the entry.
-    block_cache: Vec<Option<Box<BlockEntry>>>,
+    pub(crate) block_cache: Vec<Option<Box<BlockEntry>>>,
     block_engine: bool,
+    /// Direct-mapped trace cache (tier 2; see [`crate::trace`]).
+    pub(crate) trace_cache: Vec<Option<Box<TraceEntry>>>,
+    pub(crate) trace_engine: bool,
+    /// The chain recording in flight this call, if a hot block triggered
+    /// promotion (finalized into a trace when the call returns).
+    pub(crate) trace_recorder: Option<TraceRecorder>,
     /// The PAC functional unit (warm QARMA schedules per key).
-    pac_unit: PacUnit,
+    pub(crate) pac_unit: PacUnit,
     /// This core's index within its cluster (0 for a uniprocessor).
     id: usize,
     /// Pending inter-processor interrupts, delivered FIFO.
@@ -396,6 +428,9 @@ impl Cpu {
             icache_enabled: true,
             block_cache: vec![None; block::BLOCK_CACHE_SIZE],
             block_engine: true,
+            trace_cache: vec![None; trace::TRACE_CACHE_SIZE],
+            trace_engine: true,
+            trace_recorder: None,
             pac_unit: PacUnit::new(),
             id: 0,
             ipi_queue: std::collections::VecDeque::new(),
@@ -481,6 +516,10 @@ impl Cpu {
         self.block_engine = enabled;
         if !enabled {
             self.block_cache.fill(None);
+            // The trace tier is nested inside the block path: without
+            // tier 1 there is nothing to promote from or dispatch into.
+            self.trace_cache.fill(None);
+            self.trace_recorder = None;
         }
     }
 
@@ -489,12 +528,37 @@ impl Cpu {
         self.block_engine
     }
 
+    /// Enables or disables the trace tier of the translation engine (hot
+    /// chains promoted into flattened, guard-checked traces; see
+    /// [`crate::trace`]). The tier lives *inside* the block path, so it
+    /// only runs while [`Cpu::set_block_engine`] is also on; with blocks
+    /// off the knob is inert.
+    ///
+    /// Same A/B contract as the block engine: architectural behaviour —
+    /// register values, faults, cycle counts, every counter
+    /// [`CpuStats::arch_eq`] covers — is bit-identical either way; only
+    /// wall-clock speed and the cache-observability counters change.
+    pub fn set_trace_engine(&mut self, enabled: bool) {
+        self.trace_engine = enabled;
+        if !enabled {
+            self.trace_cache.fill(None);
+            self.trace_recorder = None;
+        }
+    }
+
+    /// Whether the trace tier is enabled.
+    pub fn trace_engine(&self) -> bool {
+        self.trace_engine
+    }
+
     /// Replaces the cycle-cost model (ablation experiments). Clears the
-    /// block cache: cached blocks carry cycle totals precomputed under
-    /// the model they were decoded with.
+    /// block and trace caches: cached units carry cycle totals
+    /// precomputed under the model they were decoded with.
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
         self.block_cache.fill(None);
+        self.trace_cache.fill(None);
+        self.trace_recorder = None;
     }
 
     /// The cost model in effect.
@@ -549,7 +613,14 @@ impl Cpu {
         self.cycles += self.cost.cycles(insn);
     }
 
-    fn take_exception(&mut self, ec: u64, iss: u64, elr: u64, far: Option<u64>, irq: bool) {
+    pub(crate) fn take_exception(
+        &mut self,
+        ec: u64,
+        iss: u64,
+        elr: u64,
+        far: Option<u64>,
+        irq: bool,
+    ) {
         self.stats.exceptions += 1;
         let from_lower = self.state.el == El::El0;
         self.state
@@ -571,7 +642,7 @@ impl Cpu {
         self.state.pc = self.state.sysreg(SysReg::VbarEl1) + offset;
     }
 
-    fn vectored_fault(
+    pub(crate) fn vectored_fault(
         &mut self,
         fault: MemFault,
         pc: u64,
@@ -639,6 +710,13 @@ impl Cpu {
             return self.step(mem);
         }
         let result = self.run_block_inner(mem);
+        if let Some(rec) = self.trace_recorder.take() {
+            // A hot block triggered promotion this call: build the trace
+            // from the recorded chain now that the call is over (the
+            // recording sees final PCs; the build re-decodes from the
+            // current bytes and stamps the current generation/versions).
+            self.finalize_trace(mem, rec);
+        }
         // One mirror per block instead of one per instruction — part of
         // the batched-stats contract.
         self.stats.tlb_hits = mem.tlb_hits();
@@ -686,16 +764,79 @@ impl Cpu {
         let mut frame = Frame::containing(pa);
         let mut version = mem.phys().frame_version(frame);
         'chain: for _ in 0..block::MAX_CHAIN {
+            if self.trace_engine && acc_insns >= trace::TRACE_CALL_INSNS {
+                // An internally-looping trace can retire up to the whole
+                // per-call bound by itself; stop chaining once the call
+                // has retired it, so run-loop budgets keep their
+                // documented overshoot bound. Inert for pure tier-1
+                // chains (MAX_CHAIN full blocks is exactly this bound).
+                break;
+            }
             if Frame::containing(pa) != frame {
                 frame = Frame::containing(pa);
                 version = mem.phys().frame_version(frame);
+            }
+
+            // Tier 2 first: a validated trace at this entry executes
+            // whole stitched block sequences (and loops internally)
+            // without touching the block cache again.
+            if self.trace_engine {
+                match self.try_trace(
+                    mem,
+                    &ctx,
+                    pc,
+                    pa,
+                    generation,
+                    &mut acc_cycles,
+                    &mut acc_insns,
+                ) {
+                    TraceOutcome::NotEntered => {}
+                    TraceOutcome::Continued => {
+                        // The trace left via a guard with the PC
+                        // materialized: chain on exactly like a block
+                        // exit (same-page targets reuse the open walk,
+                        // cross-page targets take a fresh one).
+                        let next = self.state.pc;
+                        if next % 4 != 0 || next == CALL_SENTINEL {
+                            break;
+                        }
+                        if next ^ pc < PAGE_SIZE {
+                            pa = (pa & !(PAGE_SIZE - 1)) + next % PAGE_SIZE;
+                        } else {
+                            match mem.fetch_loc(&ctx, next) {
+                                Ok(npa) => pa = npa,
+                                Err(fault) => {
+                                    self.cycles += acc_cycles;
+                                    self.stats.instructions += acc_insns;
+                                    return self.vectored_fault(fault, next, true);
+                                }
+                            }
+                        }
+                        pc = next;
+                        // Unconditional re-read: a store *inside* the
+                        // trace may have bumped the current frame's
+                        // version without changing frames, and a stale
+                        // cached `version` here could revalidate a stale
+                        // block.
+                        frame = Frame::containing(pa);
+                        version = mem.phys().frame_version(frame);
+                        self.stats.chain_follows += 1;
+                        continue 'chain;
+                    }
+                    TraceOutcome::Ended(res) => {
+                        self.cycles += acc_cycles;
+                        self.stats.instructions += acc_insns;
+                        return res;
+                    }
+                }
             }
             let slot = block::block_slot(pa);
 
             // Probe, taking the entry out of the slot so the executor can
             // borrow the CPU mutably; it is put back before moving on.
-            let entry = match self.block_cache[slot].take() {
+            let mut entry = match self.block_cache[slot].take() {
                 Some(mut e) if e.pa == pa && e.version == version => {
+                    e.hot = e.hot.saturating_add(1);
                     if e.generation != generation {
                         // The translation configuration moved since decode
                         // (map/unmap/set_attr/stage-2 change somewhere in
@@ -730,6 +871,21 @@ impl Cpu {
                     )
                 }
             };
+
+            if self.trace_engine
+                && entry.hot >= trace::HOT_THRESHOLD
+                && !entry.no_trace
+                && self.trace_recorder.is_none()
+                && (!entry.body.is_empty() || entry.terminator.is_some())
+            {
+                // This block is hot and no trace covers its entry (a
+                // fresh trace at this pa/pc would have run above): record
+                // the chain it heads for the rest of this call. Resetting
+                // the counter spaces out rebuilds when the installed
+                // trace keeps getting displaced (slot aliasing).
+                entry.hot = 0;
+                self.trace_recorder = Some(TraceRecorder::new());
+            }
 
             if entry.body.is_empty() && entry.terminator.is_none() {
                 // The instruction at the entry needs one-step treatment.
@@ -807,7 +963,21 @@ impl Cpu {
                     .sum::<u64>();
                 acc_insns += executed as u64;
             }
+            let has_term = entry.terminator.is_some();
             self.block_cache[slot] = Some(entry);
+            if let Some(rec) = self.trace_recorder.as_mut() {
+                if abort.is_none() && !store_abort {
+                    // Cleanly-retired block: extend the recording with
+                    // the chain edge just observed.
+                    rec.record(pa, pc, has_term, self.state.pc);
+                } else {
+                    // Fault, upcall or self-modifying store — events a
+                    // trace cannot contain. Keep the prefix: a chain
+                    // that *ends* in SVC/ERET every time (kernel entry/
+                    // exit) still deserves its straight-line trace.
+                    rec.finish();
+                }
+            }
             if let Some(out) = abort {
                 outcome = out;
                 break 'chain;
@@ -837,6 +1007,7 @@ impl Cpu {
                 }
             }
             pc = next;
+            self.stats.chain_follows += 1;
         }
         self.cycles += acc_cycles;
         self.stats.instructions += acc_insns;
@@ -970,15 +1141,8 @@ impl Cpu {
         self.execute(mem, insn, pc, ctx)
     }
 
-    fn key_for(&self, key: PacKey) -> camo_qarma::QarmaKey {
+    pub(crate) fn key_for(&self, key: PacKey) -> camo_qarma::QarmaKey {
         self.state.pauth_key(key.to_pauth_key())
-    }
-
-    fn class_of(key: PacKey) -> KeyClass {
-        match key {
-            PacKey::IA | PacKey::IB => KeyClass::Instruction,
-            PacKey::DA | PacKey::DB => KeyClass::Data,
-        }
     }
 
     fn do_pac(&mut self, key: PacKey, rd: Reg, modifier: u64) {
@@ -998,29 +1162,28 @@ impl Cpu {
             return value;
         }
         let qkey = self.key_for(key);
-        let out =
-            match self
-                .pac_unit
-                .auth_pac(value, modifier, qkey, Self::class_of(key), self.tbi_user)
-            {
-                Ok(stripped) => {
-                    self.stats.pac_auth_ok += 1;
-                    stripped
+        let out = match self
+            .pac_unit
+            .auth_pac(value, modifier, qkey, class_of(key), self.tbi_user)
+        {
+            Ok(stripped) => {
+                self.stats.pac_auth_ok += 1;
+                stripped
+            }
+            Err(corrupted) => {
+                self.stats.pac_auth_fail += 1;
+                match class_of(key) {
+                    KeyClass::Instruction => self.stats.pac_auth_fail_instr += 1,
+                    KeyClass::Data => self.stats.pac_auth_fail_data += 1,
                 }
-                Err(corrupted) => {
-                    self.stats.pac_auth_fail += 1;
-                    match Self::class_of(key) {
-                        KeyClass::Instruction => self.stats.pac_auth_fail_instr += 1,
-                        KeyClass::Data => self.stats.pac_auth_fail_data += 1,
-                    }
-                    corrupted
-                }
-            };
+                corrupted
+            }
+        };
         self.state.write(rd, out);
         out
     }
 
-    fn addr_single(&mut self, rn: Reg, mode: AddrMode) -> u64 {
+    pub(crate) fn addr_single(&mut self, rn: Reg, mode: AddrMode) -> u64 {
         let base = self.state.read(rn);
         match mode {
             AddrMode::Unsigned(imm) => base.wrapping_add(u64::from(imm)),
@@ -1036,7 +1199,7 @@ impl Cpu {
         }
     }
 
-    fn addr_pair(&mut self, rn: Reg, mode: PairMode) -> u64 {
+    pub(crate) fn addr_pair(&mut self, rn: Reg, mode: PairMode) -> u64 {
         let base = self.state.read(rn);
         match mode {
             PairMode::SignedOffset(imm) => base.wrapping_add(imm as i64 as u64),
@@ -1055,7 +1218,7 @@ impl Cpu {
     /// Executes one decoded instruction. `ctx` is the translation context
     /// the instruction was fetched under (nothing can change it between
     /// fetch and execute within one step).
-    fn execute(
+    pub(crate) fn execute(
         &mut self,
         mem: &mut Memory,
         insn: Insn,
@@ -1375,14 +1538,21 @@ impl Cpu {
     }
 }
 
-fn to_pac_key(key: InsnKey) -> PacKey {
+pub(crate) fn to_pac_key(key: InsnKey) -> PacKey {
     match key {
         InsnKey::A => PacKey::IA,
         InsnKey::B => PacKey::IB,
     }
 }
 
-fn mask_lo(bits: u32) -> u64 {
+pub(crate) fn class_of(key: PacKey) -> KeyClass {
+    match key {
+        PacKey::IA | PacKey::IB => KeyClass::Instruction,
+        PacKey::DA | PacKey::DB => KeyClass::Data,
+    }
+}
+
+pub(crate) fn mask_lo(bits: u32) -> u64 {
     if bits >= 64 {
         u64::MAX
     } else {

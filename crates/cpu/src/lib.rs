@@ -49,6 +49,7 @@ pub mod block;
 mod exec;
 pub mod pac;
 mod state;
+pub mod trace;
 
 pub use exec::{
     ec, vector, CallResult, Cpu, CpuError, CpuStats, HwFeatures, IpiKind, Step, CALL_SENTINEL,

@@ -1,0 +1,1589 @@
+//! The trace tier of the translation engine (tier 2).
+//!
+//! Tier 1 ([`crate::block`]) caches single basic blocks and chains them
+//! within one [`Cpu::run_block`] call, but still pays a cache probe, a
+//! chain-target computation and a per-instruction `Insn` match for every
+//! block executed. This module promotes *hot chains* into **traces**: one
+//! cached unit stitching the frequently-taken block sequence together,
+//! with the per-instruction dispatch flattened into a pre-resolved
+//! function-pointer array (the classic threaded-interpreter step beyond a
+//! block cache). Operands are folded at build time — shifted immediates,
+//! bitfield masks, `ADR` targets and key selections become plain struct
+//! fields — so an op's handler does no decoding of its own at all. A
+//! trace that closes a loop jumps back into itself, so a hot loop retires
+//! up to [`TRACE_CALL_INSNS`] instructions per `run_block` call with a
+//! *single* entry validation.
+//!
+//! # Promotion and recording
+//!
+//! Every tier-1 block carries a hotness counter, bumped on each cache
+//! hit. When a block reaches [`HOT_THRESHOLD`] and no trace covers its
+//! `(physical, virtual)` entry, the engine starts *recording*: for the
+//! rest of the current call it notes each fully-executed block at the
+//! chain-on point (address pair, terminator presence, observed next PC).
+//! Recording stops at [`MAX_TRACE_BLOCKS`], when the chain revisits a
+//! recorded block (a closed loop — the trace will jump back internally),
+//! or at any event a trace cannot contain (a step-path fallback, a fault,
+//! a self-modifying store, an executed trace). When the call returns, the
+//! recording is *finalized*: each block is re-decoded from the current
+//! bytes, the bodies are flattened into the op array, and the whole unit
+//! is stamped with the current translation generation plus the write
+//! version of every constituent code page. A recording of one block that
+//! does not loop back into itself is discarded — it would re-run exactly
+//! what its tier-1 entry already runs, paying entry validation for no
+//! stitching or looping win. Promotion is driven purely by executed
+//! instructions, so it is deterministic: a fleet replayed sequentially
+//! promotes exactly the traces the parallel run promoted.
+//!
+//! # Guards and side exits
+//!
+//! A trace predicts one concrete path. Every control-flow op inside it
+//! compares the target it actually computed against the recorded
+//! `expected` target: on a match execution falls through (or jumps back
+//! for the loop edge), on a mismatch the op has already performed its
+//! full architectural effect, so the trace simply materializes the PC and
+//! *side-exits* back to tier 1 — never replaying or undoing anything.
+//! Stores re-check the write version of every constituent page after
+//! executing and side-exit on a hit, which is strictly stronger than
+//! tier 1's own self-modification abort. `SVC`/`BRK`/`ERET` and faults
+//! end the call through the shared step semantics exactly as tier 1 does.
+//!
+//! # Entry validation and invalidation
+//!
+//! At trace entry the engine checks, in order: the entry `(pa, va)` pair,
+//! the write version of every constituent page (bytes unchanged), and the
+//! translation generation. A generation match proves every mapping the
+//! trace spans is exactly as it was stamped — any `map`/`unmap`/
+//! `set_attr`/stage-2 change bumps the generation — so the per-page
+//! fetch-permission walks are skipped on the hot path. On a generation
+//! mismatch the walks re-run for every page under the current
+//! configuration: success re-stamps the trace (the module-churn
+//! re-stamp rule of [`crate::block`], applied per page), while a failed
+//! walk or a moved page version discards the trace and falls back to
+//! tier 1, which raises any fault at the architecturally correct point.
+//!
+//! # PAC sites
+//!
+//! Each `PAC*`/`AUT*` op in a trace owns a private one-entry memo keyed
+//! on `(value, modifier, key, tbi)` — the pre-resolved QARMA schedule +
+//! MAC-memo slot for that site. A hit bypasses the shared PAC unit
+//! entirely (the architectural counters still advance identically); a
+//! miss computes through the PAC unit as usual and refills the site.
+//! Site hits therefore do not show up in the `pac_memo_*` observability
+//! counters — those count the shared unit only.
+
+use crate::block;
+use crate::exec::{class_of, ec, mask_lo, to_pac_key, Cpu, CpuError, Step};
+use crate::pac::{strip_pac, KeyClass};
+use camo_isa::{AddrMode, CostModel, Insn, PacKey, PairMode, Reg, SysReg};
+use camo_mem::{AccessType, El, Frame, MemFault, Memory, TransMemo, TranslationCtx, PAGE_SIZE};
+use camo_qarma::QarmaKey;
+
+/// Number of direct-mapped trace-cache slots (power of two). Traces only
+/// form at hot block entries, so far fewer slots than the block cache
+/// cover the working set.
+pub const TRACE_CACHE_SIZE: usize = 2048;
+
+/// Tier-1 block-cache hits before a block's chain is promoted to a trace.
+pub const HOT_THRESHOLD: u32 = 16;
+
+/// Upper bound on blocks recorded into one trace.
+pub const MAX_TRACE_BLOCKS: usize = 16;
+
+/// Upper bound on distinct code pages a trace may span (each page costs a
+/// stamp check at entry and a permission walk after a generation change).
+pub const MAX_TRACE_PAGES: usize = 4;
+
+/// Upper bound on flattened ops per trace (memory bound).
+pub const MAX_TRACE_OPS: usize = 512;
+
+/// Upper bound on instructions retired per [`Cpu::run_block`] call once a
+/// trace loops internally. Equal to tier 1's own per-call retirement
+/// bound (`MAX_CHAIN × MAX_BLOCK_INSNS`), so the documented overshoot
+/// bound of the kernel's instruction budgets is unchanged by the trace
+/// engine.
+pub const TRACE_CALL_INSNS: u64 = (block::MAX_CHAIN * block::MAX_BLOCK_INSNS) as u64;
+
+/// Direct-mapped slot for the trace entered at `pa` (same Fibonacci
+/// spread as [`crate::block`]'s cache, narrowed to this cache's size).
+pub(crate) fn trace_slot(pa: u64) -> usize {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    ((pa >> 2).wrapping_mul(GOLDEN) >> 53) as usize & (TRACE_CACHE_SIZE - 1)
+}
+
+/// What a guard op does with control when its prediction holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pass {
+    /// Fall through to the next op (mid-trace terminator whose target is
+    /// the next stitched block).
+    Next,
+    /// Jump back to the op at this index (the loop edge).
+    Jump(u32),
+    /// Leave the trace with `state.pc = expected` (the trace's exit).
+    End,
+}
+
+/// What one executed op tells the trace runner. Kept register-sized on
+/// purpose: every op execution returns one of these through a function
+/// pointer, so a by-value `Result` payload here would force every handler
+/// call through a stack return slot. The rare call-ending outcome parks
+/// its `Result` in [`TraceCtx::exit`] instead.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpOutcome {
+    /// Retired; continue with the next op.
+    Next,
+    /// Retired; continue at the op index (a taken loop edge).
+    Jump(u32),
+    /// Retired, but the prediction failed or a store hit a constituent
+    /// page: `state.pc` is set, leave the trace to tier 1.
+    Side,
+    /// Retired through [`Pass::End`]: `state.pc` is set, leave the trace.
+    End,
+    /// The op ended the whole `run_block` call (SVC/BRK/ERET, a vectored
+    /// fault, an unhandled fault, an undefined encoding); the outcome is
+    /// in [`TraceCtx::exit`].
+    Exit,
+}
+
+/// Borrows of the trace's guard state handed to each op: the constituent
+/// pages (store guards), the per-site PAC memos, and the parking slot for
+/// a call-ending outcome (see [`OpOutcome::Exit`]).
+pub(crate) struct TraceCtx<'a> {
+    pages: &'a [TracePage],
+    sites: &'a mut [PacSite],
+    mems: &'a mut [TransMemo],
+    exit: Option<Result<Step, CpuError>>,
+}
+
+/// The pre-resolved handler for one flattened op.
+pub(crate) type OpFn =
+    fn(&mut Cpu, &mut Memory, &TranslationCtx, &TraceOp, &mut TraceCtx) -> OpOutcome;
+
+/// One flattened instruction inside a trace.
+///
+/// The operand fields are *pre-folded* at build time by [`make_op`]:
+/// shifted immediates, bitfield masks and `ADR` targets land in
+/// `imm`/`imm2`, register operands in `rd`/`rn`/`rm`, hint-form PAC key
+/// aliases are resolved into `key`, and so on. Which fields mean what is
+/// a private contract between `make_op` and the handler it installed in
+/// `exec`; `insn` keeps the full decoded form for the generic fallback
+/// handler.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceOp {
+    exec: OpFn,
+    insn: Insn,
+    /// Virtual address of the instruction (ops carry their own PC; the
+    /// architectural PC is materialized only when the trace is left).
+    va: u64,
+    /// The next PC the recording observed — the guard's prediction.
+    expected: u64,
+    /// Precomputed taken-branch target for PC-relative branches.
+    target: u64,
+    /// First pre-folded operand payload (constant, folded immediate,
+    /// field shift …).
+    imm: u64,
+    /// Second pre-folded operand payload (keep-mask, field mask …).
+    imm2: u64,
+    /// Cost-model cycles, precomputed at build time (the sum over every
+    /// folded instruction for a superop).
+    cycles: u32,
+    /// Architectural instructions this op retires (1, or the run length
+    /// of a folded superop — see `fold_imm_accum` in `finalize_trace`).
+    count: u16,
+    pass: Pass,
+    /// Index into the trace's PAC-site memos (`u16::MAX` when the op has
+    /// no site).
+    site: u16,
+    rd: Reg,
+    rn: Reg,
+    rm: Reg,
+    key: PacKey,
+    mode: AddrMode,
+    pmode: PairMode,
+    sr: SysReg,
+}
+
+/// One constituent code page of a trace, with its freshness stamps.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TracePage {
+    va: u64,
+    pa: u64,
+    frame: Frame,
+    version: u64,
+}
+
+/// A per-op PAC memo: the whole sign/auth computation this site last
+/// performed. Validated per execution against the live key material and
+/// `SCTLR` enables, so key switches and `SCTLR` writes inside the trace
+/// are honoured exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PacSite {
+    valid: bool,
+    ok: bool,
+    tbi: bool,
+    key: QarmaKey,
+    modifier: u64,
+    value: u64,
+    result: u64,
+}
+
+/// One cached trace.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEntry {
+    /// Physical address of the entry instruction (the cache key).
+    pub(crate) entry_pa: u64,
+    /// Virtual address the entry was recorded at (ops carry VAs, so an
+    /// aliased mapping of the same frame must not enter this trace).
+    pub(crate) entry_va: u64,
+    /// Translation generation the page walks were last valid under
+    /// (re-stamped after a successful re-walk of every page).
+    generation: u64,
+    pages: Vec<TracePage>,
+    ops: Vec<TraceOp>,
+    sites: Vec<PacSite>,
+    mems: Vec<TransMemo>,
+}
+
+/// One block noted during recording.
+#[derive(Debug, Clone, Copy)]
+struct RecordedBlock {
+    pa: u64,
+    va: u64,
+    has_term: bool,
+    /// The PC observed after the block executed.
+    next: u64,
+}
+
+/// An in-flight recording (lives at most one `run_block` call).
+#[derive(Debug, Clone)]
+pub(crate) struct TraceRecorder {
+    blocks: Vec<RecordedBlock>,
+    done: bool,
+}
+
+impl TraceRecorder {
+    pub(crate) fn new() -> Self {
+        TraceRecorder {
+            blocks: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Notes a fully-executed block and the PC it handed to the chain.
+    pub(crate) fn record(&mut self, pa: u64, va: u64, has_term: bool, next: u64) {
+        if self.done {
+            return;
+        }
+        self.blocks.push(RecordedBlock {
+            pa,
+            va,
+            has_term,
+            next,
+        });
+        if self.blocks.len() >= MAX_TRACE_BLOCKS || self.blocks.iter().any(|b| b.va == next) {
+            // Full, or the chain just closed a loop back into the
+            // recording: the finalized trace will jump internally.
+            self.done = true;
+        }
+    }
+
+    /// Stops appending (an event a trace cannot contain occurred); the
+    /// blocks already recorded still finalize at call end.
+    pub(crate) fn finish(&mut self) {
+        self.done = true;
+    }
+}
+
+/// What probing the trace cache did for one chain position.
+pub(crate) enum TraceOutcome {
+    /// No fresh trace at this entry; run tier 1.
+    NotEntered,
+    /// A trace executed and left via a guard (`state.pc` is set); the
+    /// chain continues at the new PC.
+    Continued,
+    /// A trace executed an op that ended the call.
+    Ended(Result<Step, CpuError>),
+}
+
+impl Cpu {
+    /// Probes, validates and runs the trace entered at `(pa, pc)`, if
+    /// any. Cycle/instruction charges go into the caller's accumulators.
+    pub(crate) fn try_trace(
+        &mut self,
+        mem: &mut Memory,
+        ctx: &TranslationCtx,
+        pc: u64,
+        pa: u64,
+        generation: u64,
+        acc_cycles: &mut u64,
+        acc_insns: &mut u64,
+    ) -> TraceOutcome {
+        let slot = trace_slot(pa);
+        // Read-only fast reject first: this probe runs at every chain
+        // position, and most positions head no trace — the `take`/put
+        // dance (two slot writes) is saved for actual entries.
+        match self.trace_cache[slot].as_ref() {
+            Some(t) if t.entry_pa == pa && t.entry_va == pc => {}
+            _ => return TraceOutcome::NotEntered,
+        }
+        let mut tr = self.trace_cache[slot].take().expect("probed above");
+        // Bytes first: any moved page version means the code changed and
+        // the flattened ops are stale — discard.
+        for p in &tr.pages {
+            if mem.phys().frame_version(p.frame) != p.version {
+                self.stats.trace_invalidations += 1;
+                return TraceOutcome::NotEntered;
+            }
+        }
+        if tr.generation != generation {
+            // The translation configuration moved since the stamps. Re-run
+            // the fetch-permission walk for every constituent page under
+            // the current configuration; a failure (unmap, execute
+            // revocation, stage-2 seal) or a moved mapping discards the
+            // trace — tier 1 then raises any fault at the right point.
+            for p in &tr.pages {
+                match mem.fetch_loc(ctx, p.va) {
+                    Ok(walked) if walked == p.pa => {}
+                    _ => {
+                        self.stats.trace_invalidations += 1;
+                        return TraceOutcome::NotEntered;
+                    }
+                }
+            }
+            tr.generation = generation;
+        }
+        if let Some(rec) = self.trace_recorder.as_mut() {
+            // A recording cannot span a trace execution (the recorded
+            // chain would have a gap); keep the prefix.
+            rec.finish();
+        }
+        self.stats.trace_hits += 1;
+        let out = self.run_trace(mem, ctx, &mut tr, acc_cycles, acc_insns);
+        self.trace_cache[slot] = Some(tr);
+        out
+    }
+
+    fn run_trace(
+        &mut self,
+        mem: &mut Memory,
+        ctx: &TranslationCtx,
+        tr: &mut TraceEntry,
+        acc_cycles: &mut u64,
+        acc_insns: &mut u64,
+    ) -> TraceOutcome {
+        let ops: &[TraceOp] = &tr.ops;
+        let mut tc = TraceCtx {
+            pages: &tr.pages,
+            sites: &mut tr.sites,
+            mems: &mut tr.mems,
+            exit: None,
+        };
+        let mut cycles = 0u64;
+        let mut insns = 0u64;
+        let mut i = 0usize;
+        let out = loop {
+            let op = &ops[i];
+            // Charge-then-execute, like the step path: a faulting op is
+            // still charged.
+            cycles += u64::from(op.cycles);
+            insns += u64::from(op.count);
+            match (op.exec)(self, mem, ctx, op, &mut tc) {
+                OpOutcome::Next => i += 1,
+                OpOutcome::Jump(target) => {
+                    if *acc_insns + insns >= TRACE_CALL_INSNS {
+                        // The per-call retirement bound: leave at the loop
+                        // edge; the next call re-enters the trace.
+                        self.state.pc = ops[target as usize].va;
+                        break TraceOutcome::Continued;
+                    }
+                    i = target as usize;
+                }
+                OpOutcome::Side | OpOutcome::End => break TraceOutcome::Continued,
+                OpOutcome::Exit => {
+                    break TraceOutcome::Ended(
+                        tc.exit.take().expect("an Exit op parks its outcome"),
+                    );
+                }
+            }
+        };
+        *acc_cycles += cycles;
+        *acc_insns += insns;
+        out
+    }
+
+    /// Builds and installs a trace from the call's recording, re-decoding
+    /// every block from the *current* bytes and stamping the current
+    /// generation and page versions.
+    pub(crate) fn finalize_trace(&mut self, mem: &Memory, rec: TraceRecorder) {
+        let Some(first) = rec.blocks.first().copied() else {
+            return;
+        };
+        let generation = mem.translation_generation();
+        let phys = mem.phys();
+        let mut pages: Vec<TracePage> = Vec::new();
+        let mut ops: Vec<TraceOp> = Vec::new();
+        // Block-entry VAs → op index, for resolving the loop edge.
+        let mut starts: Vec<(u64, u32)> = Vec::new();
+        let mut sites: u16 = 0;
+        let mut mems: u16 = 0;
+        // Ops are only usable up to the last terminator (a trace must end
+        // in a guard that sets the PC); trailing fall-through bodies are
+        // truncated.
+        let mut kept = 0usize;
+        let mut last_next = 0u64;
+        for b in &rec.blocks {
+            let page_va = b.va & !(PAGE_SIZE - 1);
+            let page_pa = b.pa & !(PAGE_SIZE - 1);
+            if !pages.iter().any(|p| p.pa == page_pa && p.va == page_va) {
+                if pages.len() == MAX_TRACE_PAGES {
+                    break;
+                }
+                let frame = Frame::containing(page_pa);
+                pages.push(TracePage {
+                    va: page_va,
+                    pa: page_pa,
+                    frame,
+                    version: phys.frame_version(frame),
+                });
+            }
+            let block =
+                block::decode_block(phys, b.pa, generation, 0, self.features.pauth, &self.cost);
+            if block.fallback.is_some()
+                || (block.body.is_empty() && block.terminator.is_none())
+                || block.terminator.is_some() != b.has_term
+            {
+                // The bytes changed shape since the recording executed
+                // (a store later in the same call): stop stitching here.
+                break;
+            }
+            if ops.len() + block.body.len() + usize::from(b.has_term) > MAX_TRACE_OPS {
+                break;
+            }
+            let base = ops.len();
+            starts.push((b.va, base as u32));
+            for (i, insn) in block.body.iter().enumerate() {
+                let op = make_op(insn, b.va + 4 * i as u64, &self.cost, &mut sites, &mut mems);
+                // Superop folding: a run of immediate adds/subs
+                // accumulating into one register collapses into a single
+                // op — the intermediate values are unobservable (no
+                // guards, faults or exits between them), the final value
+                // is the same wrapping sum, and the folded op charges the
+                // run's summed cycles and instruction count. Only within
+                // one block's body, past its first op: jump targets are
+                // block starts, which must stay addressable.
+                if ops.len() > base {
+                    let prev = ops.last_mut().expect("non-empty past base");
+                    if let (Some((rp, ap)), Some((ro, ao))) = (imm_accum(prev), imm_accum(&op)) {
+                        if rp == ro {
+                            prev.exec = op_add_imm;
+                            prev.insn = Insn::AddImm {
+                                rd: rp,
+                                rn: rp,
+                                imm12: 0,
+                                shifted: false,
+                            };
+                            prev.imm = ap.wrapping_add(ao);
+                            prev.cycles += op.cycles;
+                            prev.count += op.count;
+                            continue;
+                        }
+                    }
+                }
+                ops.push(op);
+            }
+            match block.terminator {
+                Some(term) => {
+                    let va = b.va + 4 * block.body.len() as u64;
+                    ops.push(make_term(
+                        &term, va, b.next, &self.cost, &mut sites, &mut mems,
+                    ));
+                    kept = ops.len();
+                    last_next = b.next;
+                }
+                None => {
+                    // A page-boundary fall-through: the recorded next must
+                    // be the fall-through PC or the bytes changed.
+                    if b.next != b.va + 4 * block.body.len() as u64 {
+                        break;
+                    }
+                }
+            }
+        }
+        ops.truncate(kept);
+        let Some(last) = ops.last_mut() else {
+            // No terminator survived — nothing worth caching.
+            self.decline_trace(first.pa);
+            return;
+        };
+        // The final guard either closes the loop back into the trace or
+        // exits to the recorded continuation. A recording that neither
+        // loops nor stitched at least two blocks is declined: it would
+        // re-run exactly what its tier-1 entry already runs, paying trace
+        // entry validation for no win — and the head block remembers the
+        // decline, because re-recording every promotion period would only
+        // repeat the discovery.
+        let stitched = starts
+            .iter()
+            .filter(|(_, idx)| (*idx as usize) < kept)
+            .count();
+        match starts
+            .iter()
+            .find(|(va, idx)| *va == last_next && (*idx as usize) < kept)
+        {
+            Some(&(_, idx)) => last.pass = Pass::Jump(idx),
+            None if stitched >= 2 => last.pass = Pass::End,
+            None => {
+                self.decline_trace(first.pa);
+                return;
+            }
+        }
+        // Drop pages only truncated ops touched (a stale stamp there
+        // would invalidate spuriously).
+        pages.retain(|p| ops.iter().any(|o| o.va & !(PAGE_SIZE - 1) == p.va));
+        let entry = Box::new(TraceEntry {
+            entry_pa: first.pa,
+            entry_va: first.va,
+            generation,
+            pages,
+            ops,
+            sites: vec![PacSite::default(); usize::from(sites)],
+            mems: vec![TransMemo::default(); usize::from(mems)],
+        });
+        self.stats.trace_misses += 1;
+        self.trace_cache[trace_slot(first.pa)] = Some(entry);
+    }
+
+    /// Marks the tier-1 entry heading a declined recording so it is not
+    /// promoted again (see [`block::BlockEntry::no_trace`]).
+    fn decline_trace(&mut self, pa: u64) {
+        let slot = block::block_slot(pa);
+        if let Some(e) = self.block_cache[slot].as_mut() {
+            if e.pa == pa {
+                e.no_trace = true;
+            }
+        }
+    }
+}
+
+/// The add-form accumulation `(register, wrapping delta)` of an op, when
+/// it is a pure immediate add/sub into its own source register — the
+/// shape the superop folding in [`Cpu::finalize_trace`] merges. A folded
+/// op is normalized to `AddImm` (its `imm` field is authoritative; the
+/// `imm12` in the normalized `insn` is not meaningful).
+fn imm_accum(op: &TraceOp) -> Option<(Reg, u64)> {
+    match op.insn {
+        Insn::AddImm { rd, rn, .. } if rd == rn && rd != Reg::Xzr => Some((rd, op.imm)),
+        Insn::SubImm { rd, rn, .. } if rd == rn && rd != Reg::Xzr => {
+            Some((rd, op.imm.wrapping_neg()))
+        }
+        _ => None,
+    }
+}
+
+fn alloc_site(sites: &mut u16) -> u16 {
+    let i = *sites;
+    *sites += 1;
+    i
+}
+
+/// Builds the flattened op for one body instruction, folding its operands
+/// into the flat [`TraceOp`] fields and picking the specialized handler
+/// (also the handler table for terminators — [`make_term`] layers the
+/// guard data on top).
+fn make_op(insn: &Insn, va: u64, cost: &CostModel, sites: &mut u16, mems: &mut u16) -> TraceOp {
+    let mut op = TraceOp {
+        exec: op_step,
+        insn: *insn,
+        va,
+        expected: va + 4,
+        target: 0,
+        imm: 0,
+        imm2: 0,
+        cycles: cost.cycles(insn) as u32,
+        count: 1,
+        pass: Pass::Next,
+        site: u16::MAX,
+        rd: Reg::Xzr,
+        rn: Reg::Xzr,
+        rm: Reg::Xzr,
+        key: PacKey::IA,
+        mode: AddrMode::Unsigned(0),
+        pmode: PairMode::SignedOffset(0),
+        sr: SysReg::CntvctEl0,
+    };
+    op.exec = match *insn {
+        Insn::Movz { rd, imm16, shift } => {
+            op.rd = rd;
+            op.imm = u64::from(imm16) << (16 * shift);
+            op_mov_const
+        }
+        Insn::Movn { rd, imm16, shift } => {
+            op.rd = rd;
+            op.imm = !(u64::from(imm16) << (16 * shift));
+            op_mov_const
+        }
+        Insn::Adr { rd, offset } => {
+            op.rd = rd;
+            op.imm = va.wrapping_add(offset as i64 as u64);
+            op_mov_const
+        }
+        Insn::Movk { rd, imm16, shift } => {
+            op.rd = rd;
+            op.imm = u64::from(imm16) << (16 * shift);
+            op.imm2 = !(0xFFFFu64 << (16 * shift));
+            op_movk
+        }
+        Insn::AddImm {
+            rd,
+            rn,
+            imm12,
+            shifted,
+        } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.imm = if shifted {
+                u64::from(imm12) << 12
+            } else {
+                u64::from(imm12)
+            };
+            op_add_imm
+        }
+        Insn::SubImm {
+            rd,
+            rn,
+            imm12,
+            shifted,
+        } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.imm = if shifted {
+                u64::from(imm12) << 12
+            } else {
+                u64::from(imm12)
+            };
+            op_sub_imm
+        }
+        Insn::AddReg { rd, rn, rm } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.rm = rm;
+            op_add_reg
+        }
+        Insn::SubReg { rd, rn, rm } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.rm = rm;
+            op_sub_reg
+        }
+        Insn::AndReg { rd, rn, rm } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.rm = rm;
+            op_and_reg
+        }
+        Insn::OrrReg { rd, rn, rm } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.rm = rm;
+            op_orr_reg
+        }
+        Insn::EorReg { rd, rn, rm } => {
+            op.rd = rd;
+            op.rn = rn;
+            op.rm = rm;
+            op_eor_reg
+        }
+        Insn::Bfm { rd, rn, immr, imms } => {
+            op.rd = rd;
+            op.rn = rn;
+            let r = u32::from(immr);
+            let s = u32::from(imms);
+            if s >= r {
+                // Extract-and-insert-low (BFXIL shape):
+                //   (dst & !mask) | ((src >> r) & mask)
+                op.imm = u64::from(r);
+                op.imm2 = mask_lo(s - r + 1);
+            } else {
+                // Insert-at-lsb (BFI shape):
+                //   (dst & !(mask << lsb)) | ((src << lsb) & (mask << lsb))
+                op.imm = u64::from(64 - r);
+                op.imm2 = mask_lo(s + 1) << (64 - r);
+            }
+            if s >= r {
+                op_bfm_lo
+            } else {
+                op_bfm_hi
+            }
+        }
+        Insn::Ubfm { rd, rn, immr, imms } => {
+            op.rd = rd;
+            op.rn = rn;
+            let r = u32::from(immr);
+            let s = u32::from(imms);
+            if s >= r {
+                // LSR/UBFX shape: (src >> r) & mask.
+                op.imm = u64::from(r);
+                op.imm2 = mask_lo(s - r + 1);
+                op_ubfm_lsr
+            } else {
+                // LSL/UBFIZ shape: (src & mask) << (64 - r).
+                op.imm = u64::from(64 - r);
+                op.imm2 = mask_lo(s + 1);
+                op_ubfm_lsl
+            }
+        }
+        Insn::Ldr { rt, rn, mode } => {
+            op.rd = rt;
+            op.rn = rn;
+            op.mode = mode;
+            op.site = alloc_site(mems);
+            op_ldr
+        }
+        Insn::Str { rt, rn, mode } => {
+            op.rd = rt;
+            op.rn = rn;
+            op.mode = mode;
+            op.site = alloc_site(mems);
+            op_str
+        }
+        Insn::Ldp { rt, rt2, rn, mode } => {
+            op.rd = rt;
+            op.rm = rt2;
+            op.rn = rn;
+            op.pmode = mode;
+            op.site = alloc_site(mems);
+            op_ldp
+        }
+        Insn::Stp { rt, rt2, rn, mode } => {
+            op.rd = rt;
+            op.rm = rt2;
+            op.rn = rn;
+            op.pmode = mode;
+            op.site = alloc_site(mems);
+            op_stp
+        }
+        Insn::Msr { sr, rt } => {
+            op.sr = sr;
+            op.rd = rt;
+            op_msr
+        }
+        Insn::Mrs { rt, sr } => {
+            op.sr = sr;
+            op.rd = rt;
+            op_mrs
+        }
+        Insn::Xpaci { rd } | Insn::Xpacd { rd } => {
+            op.rd = rd;
+            op_xpac
+        }
+        Insn::Nop => op_nop,
+        Insn::B { .. } => op_b,
+        Insn::Bl { .. } => op_bl,
+        Insn::Br { rn } => {
+            op.rn = rn;
+            op_br
+        }
+        Insn::Blr { rn } => {
+            op.rn = rn;
+            op_blr
+        }
+        Insn::Ret { rn } => {
+            op.rn = rn;
+            op_ret
+        }
+        Insn::Cbz { rt, .. } => {
+            op.rd = rt;
+            op_cbz
+        }
+        Insn::Cbnz { rt, .. } => {
+            op.rd = rt;
+            op_cbnz
+        }
+        Insn::Pac { key, rd, rn } => {
+            op.key = key;
+            op.rd = rd;
+            op.rn = rn;
+            op.site = alloc_site(sites);
+            op_pac
+        }
+        Insn::Aut { key, rd, rn } => {
+            op.key = key;
+            op.rd = rd;
+            op.rn = rn;
+            op.site = alloc_site(sites);
+            op_aut
+        }
+        Insn::PacSp { key } => {
+            op.key = to_pac_key(key);
+            op.rd = Reg::LR;
+            op.site = alloc_site(sites);
+            op_pac_sp
+        }
+        Insn::AutSp { key } => {
+            op.key = to_pac_key(key);
+            op.rd = Reg::LR;
+            op.site = alloc_site(sites);
+            op_aut_sp
+        }
+        Insn::Pac1716 { key } => {
+            // Same handler as the register form: modifier in IP0, value
+            // in IP1, key alias resolved here.
+            op.key = to_pac_key(key);
+            op.rd = Reg::IP1;
+            op.rn = Reg::IP0;
+            op.site = alloc_site(sites);
+            op_pac
+        }
+        Insn::Aut1716 { key } => {
+            op.key = to_pac_key(key);
+            op.rd = Reg::IP1;
+            op.rn = Reg::IP0;
+            op.site = alloc_site(sites);
+            op_aut
+        }
+        Insn::Reta { key } => {
+            op.key = to_pac_key(key);
+            op.rd = Reg::LR;
+            op.site = alloc_site(sites);
+            op_reta
+        }
+        Insn::Blra { key, rn, rm } => {
+            op.key = to_pac_key(key);
+            op.rn = rn;
+            op.rm = rm;
+            op.site = alloc_site(sites);
+            op_blra
+        }
+        Insn::Bra { key, rn, rm } => {
+            op.key = to_pac_key(key);
+            op.rn = rn;
+            op.rm = rm;
+            op.site = alloc_site(sites);
+            op_bra
+        }
+        // SVC/BRK/ERET/PACGA (and anything future) run through the full
+        // one-instruction step semantics.
+        _ => op_step,
+    };
+    op
+}
+
+/// Builds the guarded op for a block terminator: prediction from the
+/// recording, precomputed PC-relative target.
+fn make_term(
+    insn: &Insn,
+    va: u64,
+    next: u64,
+    cost: &CostModel,
+    sites: &mut u16,
+    mems: &mut u16,
+) -> TraceOp {
+    let mut op = make_op(insn, va, cost, sites, mems);
+    op.expected = next;
+    op.target = match insn {
+        Insn::B { offset }
+        | Insn::Bl { offset }
+        | Insn::Cbz { offset, .. }
+        | Insn::Cbnz { offset, .. } => va.wrapping_add(*offset as i64 as u64),
+        _ => 0,
+    };
+    op
+}
+
+/// Applies the guard: the op computed `actual` as the next PC. A match
+/// follows the trace's plan; a mismatch materializes the PC and leaves.
+#[inline]
+fn guard(cpu: &mut Cpu, op: &TraceOp, actual: u64) -> OpOutcome {
+    if actual == op.expected {
+        match op.pass {
+            Pass::Next => OpOutcome::Next,
+            Pass::Jump(i) => OpOutcome::Jump(i),
+            Pass::End => {
+                cpu.state.pc = actual;
+                OpOutcome::End
+            }
+        }
+    } else {
+        cpu.state.pc = actual;
+        OpOutcome::Side
+    }
+}
+
+/// The post-store self-modification guard: a store that hit any
+/// constituent code page leaves the trace after the store, exactly as
+/// tier 1 aborts its block (the trace is strictly more conservative — it
+/// also leaves for stores into *other* constituent pages).
+#[inline]
+fn smc_check(cpu: &mut Cpu, mem: &Memory, op: &TraceOp, tc: &TraceCtx) -> OpOutcome {
+    for p in tc.pages {
+        if mem.phys().frame_version(p.frame) != p.version {
+            cpu.state.pc = op.va + 4;
+            return OpOutcome::Side;
+        }
+    }
+    OpOutcome::Next
+}
+
+/// The generic fallback: full one-instruction step semantics (used for
+/// `SVC`/`BRK`/`ERET`/`PACGA`), guarded like any other op.
+fn op_step(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    // Materialize the PC first so an unhandled fault observes the same
+    // architectural state the step path would leave.
+    cpu.state.pc = op.va;
+    match cpu.execute(mem, op.insn, op.va, ctx) {
+        Ok(Step::Executed) => {
+            if cpu.state.pc == op.expected {
+                match op.pass {
+                    Pass::Next => OpOutcome::Next,
+                    Pass::Jump(i) => OpOutcome::Jump(i),
+                    Pass::End => OpOutcome::End,
+                }
+            } else {
+                OpOutcome::Side
+            }
+        }
+        other => {
+            tc.exit = Some(other);
+            OpOutcome::Exit
+        }
+    }
+}
+
+macro_rules! trace_mem_try {
+    ($cpu:expr, $op:expr, $tc:expr, $e:expr) => {{
+        // Bind first: borrows inside `$e` (the op's memo slot) must end
+        // before the fault arm takes `$tc` again.
+        let result = $e;
+        match result {
+            Ok(v) => v,
+            Err(fault) => {
+                // Tier 1 reaches `vectored_fault` with the PC still at the
+                // faulting instruction; match it before vectoring.
+                $cpu.state.pc = $op.va;
+                $tc.exit = Some($cpu.vectored_fault(fault, $op.va, false));
+                return OpOutcome::Exit;
+            }
+        }
+    }};
+}
+
+/// `MOVZ`/`MOVN`/`ADR`: the whole result folded to a constant at build.
+fn op_mov_const(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    cpu.state.write(op.rd, op.imm);
+    OpOutcome::Next
+}
+
+fn op_movk(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let old = cpu.state.read(op.rd);
+    cpu.state.write(op.rd, (old & op.imm2) | op.imm);
+    OpOutcome::Next
+}
+
+fn op_add_imm(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn).wrapping_add(op.imm);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_sub_imm(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn).wrapping_sub(op.imm);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_add_reg(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn).wrapping_add(cpu.state.read(op.rm));
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_sub_reg(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn).wrapping_sub(cpu.state.read(op.rm));
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_and_reg(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn) & cpu.state.read(op.rm);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_orr_reg(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn) | cpu.state.read(op.rm);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_eor_reg(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = cpu.state.read(op.rn) ^ cpu.state.read(op.rm);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+/// `BFM`, extract-and-insert-low shape: `imm` = field shift, `imm2` =
+/// low mask.
+fn op_bfm_lo(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let src = cpu.state.read(op.rn);
+    let dst = cpu.state.read(op.rd);
+    let field = (src >> op.imm) & op.imm2;
+    cpu.state.write(op.rd, (dst & !op.imm2) | field);
+    OpOutcome::Next
+}
+
+/// `BFM`, insert-at-lsb shape: `imm` = lsb, `imm2` = positioned mask.
+fn op_bfm_hi(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let src = cpu.state.read(op.rn);
+    let dst = cpu.state.read(op.rd);
+    cpu.state
+        .write(op.rd, (dst & !op.imm2) | ((src << op.imm) & op.imm2));
+    OpOutcome::Next
+}
+
+/// `UBFM`, right-shift shape: `imm` = shift, `imm2` = mask.
+fn op_ubfm_lsr(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = (cpu.state.read(op.rn) >> op.imm) & op.imm2;
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+/// `UBFM`, left-shift shape: `imm` = shift, `imm2` = pre-shift mask.
+fn op_ubfm_lsl(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = (cpu.state.read(op.rn) & op.imm2) << op.imm;
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_ldr(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let addr = cpu.addr_single(op.rn, op.mode);
+    let v = trace_mem_try!(
+        cpu,
+        op,
+        tc,
+        mem.read_u64_memo(ctx, addr, &mut tc.mems[usize::from(op.site)])
+    );
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_str(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let addr = cpu.addr_single(op.rn, op.mode);
+    let v = cpu.state.read(op.rd);
+    trace_mem_try!(
+        cpu,
+        op,
+        tc,
+        mem.write_u64_memo(ctx, addr, v, &mut tc.mems[usize::from(op.site)])
+    );
+    smc_check(cpu, mem, op, tc)
+}
+
+fn op_ldp(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let addr = cpu.addr_pair(op.rn, op.pmode);
+    let (v1, v2) = trace_mem_try!(
+        cpu,
+        op,
+        tc,
+        mem.read_u64_pair_memo(ctx, addr, &mut tc.mems[usize::from(op.site)])
+    );
+    cpu.state.write(op.rd, v1);
+    cpu.state.write(op.rm, v2);
+    OpOutcome::Next
+}
+
+fn op_stp(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let addr = cpu.addr_pair(op.rn, op.pmode);
+    let v1 = cpu.state.read(op.rd);
+    let v2 = cpu.state.read(op.rm);
+    trace_mem_try!(
+        cpu,
+        op,
+        tc,
+        mem.write_u64_pair_memo(ctx, addr, v1, v2, &mut tc.mems[usize::from(op.site)])
+    );
+    smc_check(cpu, mem, op, tc)
+}
+
+fn op_msr(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    if cpu.state.el != El::El1 && op.sr != SysReg::CntvctEl0 {
+        cpu.take_exception(ec::TRAPPED_MSR, 0, op.va, None, false);
+        tc.exit = Some(Ok(Step::FaultTaken {
+            fault: MemFault::Permission {
+                va: op.va,
+                access: AccessType::Write,
+                el: El::El0,
+            },
+        }));
+        return OpOutcome::Exit;
+    }
+    if op.sr.is_pauth_key() {
+        cpu.stats.key_writes += 1;
+    }
+    let v = cpu.state.read(op.rd);
+    cpu.state.set_sysreg(op.sr, v);
+    OpOutcome::Next
+}
+
+fn op_mrs(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    if cpu.state.el != El::El1 && op.sr != SysReg::CntvctEl0 {
+        cpu.take_exception(ec::TRAPPED_MSR, 0, op.va, None, false);
+        tc.exit = Some(Ok(Step::FaultTaken {
+            fault: MemFault::Permission {
+                va: op.va,
+                access: AccessType::Read,
+                el: El::El0,
+            },
+        }));
+        return OpOutcome::Exit;
+    }
+    // `MRS CNTVCT_EL0` is fallback-classed and can never join a trace,
+    // so this is always a plain system-register read.
+    let v = cpu.state.sysreg(op.sr);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_xpac(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let v = strip_pac(cpu.state.read(op.rd), cpu.tbi_user);
+    cpu.state.write(op.rd, v);
+    OpOutcome::Next
+}
+
+fn op_nop(
+    _cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    _op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    OpOutcome::Next
+}
+
+fn op_b(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    guard(cpu, op, op.target)
+}
+
+fn op_bl(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    cpu.state.write(Reg::LR, op.va + 4);
+    guard(cpu, op, op.target)
+}
+
+fn op_br(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let actual = cpu.state.read(op.rn);
+    guard(cpu, op, actual)
+}
+
+fn op_blr(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    // Read the target before the LR write, like the step semantics
+    // (BLR LR branches to the *old* LR).
+    let actual = cpu.state.read(op.rn);
+    cpu.state.write(Reg::LR, op.va + 4);
+    guard(cpu, op, actual)
+}
+
+fn op_ret(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let actual = cpu.state.read(op.rn);
+    guard(cpu, op, actual)
+}
+
+fn op_cbz(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let actual = if cpu.state.read(op.rd) == 0 {
+        op.target
+    } else {
+        op.va + 4
+    };
+    guard(cpu, op, actual)
+}
+
+fn op_cbnz(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    _tc: &mut TraceCtx,
+) -> OpOutcome {
+    let actual = if cpu.state.read(op.rd) != 0 {
+        op.target
+    } else {
+        op.va + 4
+    };
+    guard(cpu, op, actual)
+}
+
+/// The site-memoized PAC sign: architecturally identical to
+/// [`Cpu::do_pac`] (same NOP-when-disabled rule, same counter), with the
+/// whole computation served from the site when the inputs repeat.
+fn site_pac(cpu: &mut Cpu, site: &mut PacSite, key: PacKey, rd: Reg, modifier: u64) {
+    if !cpu.state.key_enabled(key.to_pauth_key()) {
+        return; // architecturally a NOP when the key is disabled
+    }
+    let value = cpu.state.read(rd);
+    let qkey = cpu.key_for(key);
+    let tbi = cpu.tbi_user;
+    if site.valid
+        && site.value == value
+        && site.modifier == modifier
+        && site.key == qkey
+        && site.tbi == tbi
+    {
+        cpu.state.write(rd, site.result);
+        cpu.stats.pac_signs += 1;
+        return;
+    }
+    let signed = cpu.pac_unit.add_pac(value, modifier, qkey, tbi);
+    *site = PacSite {
+        valid: true,
+        ok: true,
+        tbi,
+        key: qkey,
+        modifier,
+        value,
+        result: signed,
+    };
+    cpu.state.write(rd, signed);
+    cpu.stats.pac_signs += 1;
+}
+
+fn count_auth(cpu: &mut Cpu, ok: bool, class: KeyClass) {
+    if ok {
+        cpu.stats.pac_auth_ok += 1;
+    } else {
+        cpu.stats.pac_auth_fail += 1;
+        match class {
+            KeyClass::Instruction => cpu.stats.pac_auth_fail_instr += 1,
+            KeyClass::Data => cpu.stats.pac_auth_fail_data += 1,
+        }
+    }
+}
+
+/// The site-memoized authentication: architecturally identical to
+/// [`Cpu::do_aut`] (same disabled-key passthrough, same ok/fail counter
+/// classes, same corrupted-pointer result on failure).
+fn site_aut(cpu: &mut Cpu, site: &mut PacSite, key: PacKey, rd: Reg, modifier: u64) -> u64 {
+    let value = cpu.state.read(rd);
+    if !cpu.state.key_enabled(key.to_pauth_key()) {
+        return value;
+    }
+    let qkey = cpu.key_for(key);
+    let tbi = cpu.tbi_user;
+    let class = class_of(key);
+    if site.valid
+        && site.value == value
+        && site.modifier == modifier
+        && site.key == qkey
+        && site.tbi == tbi
+    {
+        count_auth(cpu, site.ok, class);
+        cpu.state.write(rd, site.result);
+        return site.result;
+    }
+    let (ok, out) = match cpu.pac_unit.auth_pac(value, modifier, qkey, class, tbi) {
+        Ok(stripped) => (true, stripped),
+        Err(corrupted) => (false, corrupted),
+    };
+    count_auth(cpu, ok, class);
+    *site = PacSite {
+        valid: true,
+        ok,
+        tbi,
+        key: qkey,
+        modifier,
+        value,
+        result: out,
+    };
+    cpu.state.write(rd, out);
+    out
+}
+
+/// `PACxx` register form and `PACIA1716`-style hint form (key alias,
+/// value register and modifier register pre-resolved by [`make_op`]).
+fn op_pac(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.read(op.rn);
+    site_pac(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rd,
+        modifier,
+    );
+    OpOutcome::Next
+}
+
+/// `AUTxx` register form and `AUTIA1716`-style hint form.
+fn op_aut(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.read(op.rn);
+    site_aut(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rd,
+        modifier,
+    );
+    OpOutcome::Next
+}
+
+fn op_pac_sp(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.sp();
+    site_pac(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rd,
+        modifier,
+    );
+    OpOutcome::Next
+}
+
+fn op_aut_sp(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.sp();
+    site_aut(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rd,
+        modifier,
+    );
+    OpOutcome::Next
+}
+
+fn op_reta(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.sp();
+    let actual = site_aut(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rd,
+        modifier,
+    );
+    guard(cpu, op, actual)
+}
+
+fn op_blra(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.read(op.rm);
+    // Authenticate first, then write LR — step-semantics order.
+    let actual = site_aut(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rn,
+        modifier,
+    );
+    cpu.state.write(Reg::LR, op.va + 4);
+    guard(cpu, op, actual)
+}
+
+fn op_bra(
+    cpu: &mut Cpu,
+    _mem: &mut Memory,
+    _ctx: &TranslationCtx,
+    op: &TraceOp,
+    tc: &mut TraceCtx,
+) -> OpOutcome {
+    let modifier = cpu.state.read(op.rm);
+    let actual = site_aut(
+        cpu,
+        &mut tc.sites[usize::from(op.site)],
+        op.key,
+        op.rn,
+        modifier,
+    );
+    guard(cpu, op, actual)
+}

@@ -382,6 +382,131 @@ fn stage2_downgrade_faults_the_next_block_execution() {
     assert_eq!(cpu.state.el, El::El1, "vectored to EL1");
 }
 
+/// Mirror of the engine's direct-mapped slot hash (`block::block_slot`),
+/// used to *construct* aliasing workloads. Kept in sync by the collision
+/// tests themselves: if the hash changes, the found "collisions" stop
+/// colliding and the miss-count assertions fail.
+fn block_slot(pa: u64) -> usize {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    ((pa >> 2).wrapping_mul(GOLDEN) >> 51) as usize & (camo_cpu::block::BLOCK_CACHE_SIZE - 1)
+}
+
+/// Maps fresh kernel-text pages until two frame bases land in the same
+/// direct-mapped slot, returning their `(va, pa)` pairs.
+fn colliding_text_pages(
+    mem: &mut Memory,
+    table: TableId,
+    slot_of: impl Fn(u64) -> usize,
+) -> ((u64, u64), (u64, u64)) {
+    let mut seen: std::collections::HashMap<usize, (u64, u64)> = std::collections::HashMap::new();
+    for i in 0..100_000u64 {
+        let va = KERNEL_BASE + (16 + i) * PAGE_SIZE;
+        let frame = mem.map_new(table, va, S1Attr::kernel_text());
+        let pa = frame.base();
+        if let Some(&first) = seen.get(&slot_of(pa)) {
+            return (first, (va, pa));
+        }
+        seen.insert(slot_of(pa), (va, pa));
+    }
+    panic!("no slot collision in 100k frames — hash mirror out of sync?");
+}
+
+/// Writes `add x1, x1, #imm ; brk #0x42` at physical address `pa`.
+fn write_add_brk(mem: &mut Memory, pa: u64, imm: u16) {
+    let add = Insn::AddImm {
+        rd: Reg::x(1),
+        rn: Reg::x(1),
+        imm12: imm,
+        shifted: false,
+    };
+    mem.phys_mut().write_u32(pa, encode(&add)).unwrap();
+    mem.phys_mut()
+        .write_u32(pa + 4, encode(&Insn::Brk { imm: 0x42 }))
+        .unwrap();
+}
+
+/// Two hot blocks whose physical addresses alias one direct-mapped slot
+/// must thrash — every alternating visit is a miss that evicts the other
+/// block — while retiring bit-correct results throughout.
+#[test]
+fn aliasing_hot_blocks_thrash_the_slot_correctly() {
+    let (mut cpu, mut mem) = machine(&[]);
+    let table = TableId::from_raw(cpu.state.sysreg(SysReg::Ttbr1El1));
+    let ((va_a, pa_a), (va_b, pa_b)) = colliding_text_pages(&mut mem, table, block_slot);
+    write_add_brk(&mut mem, pa_a, 3);
+    write_add_brk(&mut mem, pa_b, 5);
+
+    let rounds = 25;
+    for _ in 0..rounds {
+        cpu.state.pc = va_a;
+        drive(&mut cpu, &mut mem, true);
+        cpu.state.pc = va_b;
+        drive(&mut cpu, &mut mem, true);
+    }
+    assert_eq!(
+        cpu.state.gprs[1],
+        rounds * (3 + 5),
+        "every visit executed its own block's bytes"
+    );
+    let stats = cpu.stats();
+    assert!(
+        stats.block_misses >= 2 * rounds,
+        "alternating aliased visits must each miss (got {} misses)",
+        stats.block_misses
+    );
+    assert_eq!(
+        stats.block_hits, 0,
+        "an aliased block can never survive to its next visit"
+    );
+}
+
+/// A recycled slot must never serve stale bytes: cache a block, re-stamp
+/// it across a generation bump, evict it through an aliasing block,
+/// rewrite its code, bump the generation again — the next visit must
+/// decode the *new* bytes, not resurrect any stamped copy.
+#[test]
+fn recycled_slot_never_serves_stale_block_after_restamp() {
+    let (mut cpu, mut mem) = machine(&[]);
+    let table = TableId::from_raw(cpu.state.sysreg(SysReg::Ttbr1El1));
+    let ((va_a, pa_a), (va_b, pa_b)) = colliding_text_pages(&mut mem, table, block_slot);
+    write_add_brk(&mut mem, pa_a, 3);
+    write_add_brk(&mut mem, pa_b, 5);
+    let gen_bump_base = KERNEL_BASE + 8 * PAGE_SIZE;
+
+    // Cache A.
+    cpu.state.pc = va_a;
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(cpu.state.gprs[1], 3);
+
+    // Generation bump with unchanged bytes: A re-stamps in place.
+    mem.map_new(table, gen_bump_base, S1Attr::kernel_data());
+    cpu.state.pc = va_a;
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(cpu.state.gprs[1], 6, "re-stamped block still correct");
+
+    // B evicts A from the shared slot.
+    cpu.state.pc = va_b;
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(cpu.state.gprs[1], 11);
+
+    // Rewrite A's code and bump the generation again.
+    write_add_brk(&mut mem, pa_a, 9);
+    mem.map_new(table, gen_bump_base + PAGE_SIZE, S1Attr::kernel_data());
+
+    cpu.state.pc = va_a;
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(
+        cpu.state.gprs[1], 20,
+        "recycled slot decoded the rewritten bytes, not a stale copy"
+    );
+    // And the freshly decoded entry is immediately hittable.
+    let hits_before = cpu.stats().block_hits;
+    cpu.state.pc = va_a;
+    drive(&mut cpu, &mut mem, true);
+    assert_eq!(cpu.state.gprs[1], 29);
+    assert!(cpu.stats().block_hits > hits_before, "fresh entry cached");
+}
+
 /// `ack_ipis` drops the IPI line without allocating, and — like
 /// `take_ipis` — must not swallow a device IRQ.
 #[test]

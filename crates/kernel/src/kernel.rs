@@ -61,6 +61,18 @@ pub struct KernelConfig {
     /// slightly with the engine on — see `KCALL_BUDGET`.) Default on;
     /// `perfcheck --blocks` measures the A/B.
     pub block_engine: bool,
+    /// Enables the trace tier of the translation engine: hot block chains
+    /// are promoted into flattened, guard-checked traces with threaded
+    /// (pre-resolved function-pointer) dispatch and per-site PAC memos —
+    /// see [`camo_cpu::trace`]. Nested inside the block path, so it only
+    /// runs while [`KernelConfig::block_engine`] is also on.
+    ///
+    /// Same contract as [`KernelConfig::block_engine`]: architecturally
+    /// invisible, bit-identical cycles/instructions/faults/attack
+    /// verdicts, same budget-overshoot boundary (a looping trace retires
+    /// at most the per-call bound tier 1 already had). Default on;
+    /// `perfcheck --traces` measures the A/B.
+    pub trace_engine: bool,
     /// Number of simulated CPUs. The default (1) is the paper's
     /// uniprocessor evaluation machine and is bit-identical to the
     /// pre-SMP kernel; larger values boot a cluster: every core gets its
@@ -83,6 +95,7 @@ impl Default for KernelConfig {
             user_blocks: vec![("stub".to_string(), 2, 1)],
             fast_caches: true,
             block_engine: true,
+            trace_engine: true,
             cpus: 1,
         }
     }
@@ -256,9 +269,11 @@ const HEAP_PAGES: u64 = 8;
 /// engine does not change when it trips: the run loops check it between
 /// engine invocations, so with the engine on a run may overshoot by at
 /// most one call's worth of instructions (`MAX_CHAIN * MAX_BLOCK_INSNS`)
-/// before the check fires. A program living that close to the backstop
-/// is outside the simulator's contract — benign workloads sit orders of
-/// magnitude below it.
+/// before the check fires — a bound the trace tier preserves, since an
+/// internally-looping trace stops its call at that same instruction
+/// count (`camo_cpu::trace::TRACE_CALL_INSNS`). A program living that
+/// close to the backstop is outside the simulator's contract — benign
+/// workloads sit orders of magnitude below it.
 const KCALL_BUDGET: u64 = 1_000_000;
 /// Retired-instruction budget for a user program run (same backstop
 /// semantics as [`KCALL_BUDGET`]).
@@ -391,6 +406,7 @@ impl Kernel {
             );
             cpu.set_caching(cfg.fast_caches);
             cpu.set_block_engine(cfg.block_engine);
+            cpu.set_trace_engine(cfg.trace_engine);
             cpu.state.set_sysreg(SysReg::Ttbr1El1, kernel_table.raw());
             cpu.state.set_sysreg(SysReg::Ttbr0El1, kernel_table.raw());
             cpu.state.set_sysreg(SysReg::VbarEl1, VECTORS_VA);
@@ -1774,6 +1790,7 @@ mod tests {
         // the stale translation.
         let mut k = booted(ProtectionLevel::Full);
         assert!(k.config().block_engine);
+        assert!(k.config().trace_engine);
         let p = tiny_module(&k, "gen0_init"); // +2 per call
         let first = k.load_module(p, &StaticPointerTable::new()).unwrap();
         let entry = first.image.symbol("gen0_init").unwrap();

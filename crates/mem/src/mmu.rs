@@ -141,6 +141,47 @@ impl fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
+/// A private one-entry translation memo owned by a single access site
+/// (e.g. one load/store op inside a CPU trace), checked before the shared
+/// software TLB.
+///
+/// A hit proves exactly what a TLB hit proves — a previously *successful*
+/// translation of the same page, under the same table, at the same
+/// exception level, in the same translation generation — so serving the
+/// frame base from the memo is equivalent to the TLB hit path (any
+/// `map`/`unmap`/`set_attr`/stage-2 change bumps the generation and
+/// forces the full path). Two constraints the owner must uphold: one memo
+/// is used with **one access type** only (the memo does not tag it), and
+/// only while the shared caches are enabled (the accessors fall back to
+/// the seed-faithful path themselves when they are not).
+///
+/// Memo hits bypass the TLB entirely, so they do not advance the
+/// `tlb_hits`/`tlb_misses` observability counters — those describe the
+/// shared TLB only, exactly as PAC-site memos are excluded from the
+/// shared `pac_memo_*` counters.
+#[derive(Debug, Clone, Copy)]
+pub struct TransMemo {
+    valid: bool,
+    page: u64,
+    table: u64,
+    el: El,
+    generation: u64,
+    frame_base: u64,
+}
+
+impl Default for TransMemo {
+    fn default() -> TransMemo {
+        TransMemo {
+            valid: false,
+            page: 0,
+            table: 0,
+            el: El::El0,
+            generation: 0,
+            frame_base: 0,
+        }
+    }
+}
+
 /// One software-TLB slot, sized and laid out for the hit path: a packed
 /// tag (effective-VA page, EL, access type), the stage-1 table consulted,
 /// the fill-time generation, and the frame base. A slot whose generation
@@ -660,6 +701,145 @@ impl Memory {
                 .ok_or(MemFault::Unmapped { pa });
         }
         self.write_bytes(ctx, va, &value.to_le_bytes())
+    }
+
+    /// [`Memory::translate`] with a per-site [`TransMemo`] checked first.
+    ///
+    /// The memo compares the same validity tuple the TLB tag encodes
+    /// (page, table, exception level, generation — access type is fixed
+    /// per site, see [`TransMemo`]); on a miss the shared path runs and
+    /// refills the memo.
+    #[inline]
+    pub fn translate_memo(
+        &self,
+        ctx: &TranslationCtx,
+        va: u64,
+        access: AccessType,
+        memo: &mut TransMemo,
+    ) -> Result<u64, MemFault> {
+        if !self.tlb_enabled {
+            return self.translate(ctx, va, access);
+        }
+        // Mirror `translate`'s tag handling exactly: strip ignored user
+        // tag bits, then select the table by VA bit 55.
+        let stripped = if (va >> 55) & 1 == 0 && ctx.tbi_user {
+            va & 0x00FF_FFFF_FFFF_FFFF
+        } else {
+            va
+        };
+        let table_id = if (stripped >> 55) & 1 == 1 {
+            ctx.ttbr1
+        } else {
+            ctx.ttbr0
+        };
+        if memo.valid
+            && memo.page == stripped / PAGE_SIZE
+            && memo.table == table_id.0 as u64
+            && memo.el == ctx.el
+            && memo.generation == self.generation
+        {
+            return Ok(memo.frame_base + stripped % PAGE_SIZE);
+        }
+        let pa = self.translate(ctx, va, access)?;
+        *memo = TransMemo {
+            valid: true,
+            page: stripped / PAGE_SIZE,
+            table: table_id.0 as u64,
+            el: ctx.el,
+            generation: self.generation,
+            frame_base: Frame::containing(pa).base(),
+        };
+        Ok(pa)
+    }
+
+    /// [`Memory::read_u64`] through a per-site [`TransMemo`].
+    #[inline]
+    pub fn read_u64_memo(
+        &self,
+        ctx: &TranslationCtx,
+        va: u64,
+        memo: &mut TransMemo,
+    ) -> Result<u64, MemFault> {
+        if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 8 {
+            let pa = self.translate_memo(ctx, va, AccessType::Read, memo)?;
+            return self.phys.read_u64(pa).ok_or(MemFault::Unmapped { pa });
+        }
+        self.read_u64(ctx, va)
+    }
+
+    /// [`Memory::write_u64`] through a per-site [`TransMemo`].
+    #[inline]
+    pub fn write_u64_memo(
+        &mut self,
+        ctx: &TranslationCtx,
+        va: u64,
+        value: u64,
+        memo: &mut TransMemo,
+    ) -> Result<(), MemFault> {
+        if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 8 {
+            let pa = self.translate_memo(ctx, va, AccessType::Write, memo)?;
+            return self
+                .phys
+                .write_u64(pa, value)
+                .ok_or(MemFault::Unmapped { pa });
+        }
+        self.write_u64(ctx, va, value)
+    }
+
+    /// Reads the adjacent qwords at `va` and `va + 8` with one
+    /// translation, through a per-site [`TransMemo`] — the `LDP` shape.
+    ///
+    /// Faults and results are identical to two [`Memory::read_u64`] calls:
+    /// the single-translation path is only taken when both qwords sit in
+    /// one page (one translation result covers every byte of a page), and
+    /// anything else falls back to the two-call sequence.
+    #[inline]
+    pub fn read_u64_pair_memo(
+        &self,
+        ctx: &TranslationCtx,
+        va: u64,
+        memo: &mut TransMemo,
+    ) -> Result<(u64, u64), MemFault> {
+        if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 16 {
+            let pa = self.translate_memo(ctx, va, AccessType::Read, memo)?;
+            let lo = self.phys.read_u64(pa).ok_or(MemFault::Unmapped { pa })?;
+            let hi = self
+                .phys
+                .read_u64(pa + 8)
+                .ok_or(MemFault::Unmapped { pa: pa + 8 })?;
+            return Ok((lo, hi));
+        }
+        Ok((
+            self.read_u64(ctx, va)?,
+            self.read_u64(ctx, va.wrapping_add(8))?,
+        ))
+    }
+
+    /// Writes the adjacent qwords at `va` and `va + 8` with one
+    /// translation, through a per-site [`TransMemo`] — the `STP` shape
+    /// (see [`Memory::read_u64_pair_memo`] for the fault-equivalence
+    /// argument).
+    #[inline]
+    pub fn write_u64_pair_memo(
+        &mut self,
+        ctx: &TranslationCtx,
+        va: u64,
+        lo: u64,
+        hi: u64,
+        memo: &mut TransMemo,
+    ) -> Result<(), MemFault> {
+        if self.tlb_enabled && va % PAGE_SIZE <= PAGE_SIZE - 16 {
+            let pa = self.translate_memo(ctx, va, AccessType::Write, memo)?;
+            self.phys
+                .write_u64(pa, lo)
+                .ok_or(MemFault::Unmapped { pa })?;
+            return self
+                .phys
+                .write_u64(pa + 8, hi)
+                .ok_or(MemFault::Unmapped { pa: pa + 8 });
+        }
+        self.write_u64(ctx, va, lo)?;
+        self.write_u64(ctx, va.wrapping_add(8), hi)
     }
 
     /// Translates an instruction fetch: execute access, must be 4-aligned.

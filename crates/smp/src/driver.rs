@@ -53,6 +53,8 @@ pub struct TrafficPlan {
     pub fast_caches: bool,
     /// Block translation engine on every shard machine.
     pub block_engine: bool,
+    /// Trace tier of the translation engine on every shard machine.
+    pub trace_engine: bool,
 }
 
 impl TrafficPlan {
@@ -66,6 +68,7 @@ impl TrafficPlan {
             protection: ProtectionLevel::Full,
             fast_caches: true,
             block_engine: true,
+            trace_engine: true,
         }
     }
 
@@ -83,6 +86,7 @@ impl TrafficPlan {
             protection: self.protection,
             fast_caches: self.fast_caches,
             block_engine: self.block_engine,
+            trace_engine: self.trace_engine,
             pac_panic_threshold: None,
             tenants: vec![TenantSpec::lmbench("lmbench", self.total_syscalls)],
         }
@@ -169,6 +173,10 @@ pub struct FleetPlan {
     /// ([`camo_kernel::KernelConfig::block_engine`]). Architecturally
     /// invisible; `perfcheck --blocks` measures the fleet-level A/B.
     pub block_engine: bool,
+    /// Trace tier of the translation engine on every shard machine
+    /// ([`camo_kernel::KernelConfig::trace_engine`]). Architecturally
+    /// invisible; `perfcheck --traces` measures the fleet-level A/B.
+    pub trace_engine: bool,
     /// Overrides every shard kernel's §5.4 panic threshold
     /// ([`camo_kernel::KernelConfig::pac_panic_threshold`]) when set. An
     /// adversarial plan that *expects* PAC failures raises this above its
@@ -192,6 +200,7 @@ impl FleetPlan {
             protection: ProtectionLevel::Full,
             fast_caches: true,
             block_engine: true,
+            trace_engine: true,
             pac_panic_threshold: None,
             tenants,
         }
@@ -419,6 +428,7 @@ impl FleetDriver {
         cfg.seed = boot_seed;
         cfg.fast_caches = plan.fast_caches;
         cfg.block_engine = plan.block_engine;
+        cfg.trace_engine = plan.trace_engine;
         if let Some(threshold) = plan.pac_panic_threshold {
             cfg.pac_panic_threshold = threshold;
         }

@@ -265,3 +265,54 @@ fn block_engine_is_architecturally_invisible_to_the_fleet() {
     let par = FleetDriver::drive(&plan).expect("parallel engine-on fleet runs");
     assert!(par.simulation_identical(&on));
 }
+
+#[test]
+fn trace_engine_is_architecturally_invisible_to_the_fleet() {
+    // The `perfcheck --traces` contract at test scale: the same plan with
+    // the trace tier on and off (block engine on in both arms) must agree
+    // on every architectural quantity, while the trace counters prove the
+    // on-arm actually promoted and executed traces.
+    let tenants = vec![
+        TenantSpec::lmbench("web", 96),
+        TenantSpec::module_churn("driver-ci", 6),
+        TenantSpec::tenant_mix("batch", 12),
+    ];
+    let mut plan = FleetPlan::new(2, 0xB10C5, tenants);
+    plan.cpus_per_shard = 2;
+    plan.trace_engine = true;
+    let on = FleetDriver::drive_sequential(&plan).expect("trace-on fleet runs");
+    plan.trace_engine = false;
+    let off = FleetDriver::drive_sequential(&plan).expect("trace-off fleet runs");
+
+    assert_eq!(on.syscalls, off.syscalls);
+    assert_eq!(on.instructions, off.instructions);
+    assert_eq!(on.cycles, off.cycles);
+    assert!(
+        on.stats.arch_eq(&off.stats),
+        "architectural counters diverged: {:?} vs {:?}",
+        on.stats,
+        off.stats
+    );
+    for (a, b) in on.tenants.iter().zip(&off.tenants) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.totals.ops, b.totals.ops, "{}", a.name);
+        assert_eq!(a.totals.syscalls, b.totals.syscalls, "{}", a.name);
+        assert_eq!(a.totals.instructions, b.totals.instructions, "{}", a.name);
+        assert_eq!(a.totals.cycles, b.totals.cycles, "{}", a.name);
+        assert!(a.totals.stats.arch_eq(&b.totals.stats), "{}", a.name);
+        assert_eq!(a.totals.latency, b.totals.latency, "{}", a.name);
+    }
+    assert!(on.stats.trace_hits > 0, "the tier actually served traces");
+    assert_eq!(off.stats.trace_hits, 0, "the off arm really had it off");
+    assert!(
+        on.stats.block_hits < off.stats.block_hits,
+        "traces absorbed block-cache traffic: {} vs {}",
+        on.stats.block_hits,
+        off.stats.block_hits
+    );
+
+    // Parallel and sequential still agree bit for bit with traces on.
+    plan.trace_engine = true;
+    let par = FleetDriver::drive(&plan).expect("parallel trace-on fleet runs");
+    assert!(par.simulation_identical(&on));
+}

@@ -789,6 +789,46 @@ mod tests {
         );
     }
 
+    /// The trace tier under the same adversarial contract: hot-chain
+    /// promotion, guard side exits and per-site memos must not move an
+    /// attack outcome, a latency sample, or an architectural counter.
+    #[test]
+    fn trace_engine_is_invisible_to_the_adversarial_plan() {
+        let run_arm = |trace_engine: bool| {
+            let workload: Box<dyn Workload + Send> = Box::new(crate::FuzzMix::new());
+            let mut cfg = KernelConfig::default();
+            cfg.cpus = 2;
+            cfg.pac_panic_threshold = u32::MAX;
+            cfg.trace_engine = trace_engine;
+            cfg.user_blocks.extend(workload.user_blocks());
+            let mut kernel = Kernel::boot(cfg).expect("boot");
+            let mut run = TenantRun::new("adv", workload, &mut kernel, 31).expect("setup");
+            for _ in 0..40 {
+                run.step(&mut kernel, None).expect("op");
+            }
+            run.into_totals()
+        };
+        let on = run_arm(true);
+        let off = run_arm(false);
+        assert!(on.hostile.attempted > 0, "the mix mounted attacks");
+        assert!(
+            on.stats.arch_eq(&off.stats),
+            "trace engine changed architectural counters under attack"
+        );
+        assert_eq!(on.cycles, off.cycles);
+        assert_eq!(on.instructions, off.instructions);
+        assert_eq!(on.latency, off.latency);
+        assert_eq!(
+            on.hostile, off.hostile,
+            "trace engine changed an attack outcome"
+        );
+        assert!(
+            on.stats.trace_hits > 0,
+            "the on-arm actually executed traces"
+        );
+        assert_eq!(off.stats.trace_hits, 0, "tier off is off");
+    }
+
     fn fuzz_booted(cpus: usize, blocks: &[(String, usize, usize)]) -> Kernel {
         let mut cfg = KernelConfig::default();
         cfg.cpus = cpus;
