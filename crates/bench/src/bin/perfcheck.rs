@@ -1,7 +1,8 @@
 //! Wall-clock regression checks for the simulator's throughput layers.
 //!
-//! Six modes, selected by `--smp` / `--fleet` / `--blocks` / `--traces` /
-//! `--fuzz`:
+//! Seven measurement modes, selected by `--smp` / `--fleet` / `--blocks` /
+//! `--traces` / `--fuzz` / `--telemetry`, plus two meta modes (`--all`,
+//! `--check-history`):
 //!
 //! * **Default (fast-path A/B, `BENCH_2.json`)** — runs the Figure-2 call
 //!   loop and the lmbench syscall mix with the simulator's caches
@@ -69,17 +70,45 @@
 //!   The §5.4 false-positive rate and time-to-kill distribution are
 //!   reported in the JSON.
 //!
+//! * **`--telemetry` (streaming stats plane A/B, `BENCH_8.json`)** — runs
+//!   the standard fleet mix with the per-shard telemetry ring on and off.
+//!   Telemetry has *no* architectural surface, so the gates are the
+//!   strictest in the family, all hard:
+//!   1. **Bit-identity**: the two arms agree on every simulated quantity
+//!      including all 22 `CpuStats` counters (full equality, not just
+//!      `arch_eq`) and per-tenant latency histograms.
+//!   2. **Mode identity**: parallel ≡ sequential within each arm (the
+//!      series themselves included — `TenantReport` equality covers them).
+//!   3. **Silence / completeness**: the off arm carries no time series
+//!      anywhere; the on arm carries a non-empty series for every tenant
+//!      whose window sums reproduce the end-of-run totals exactly.
+//!   4. **Overhead**: draining the plane costs < 2% fleet capacity.
+//!   5. **Security**: the 24-row attack matrix still matches the paper.
+//!
+//! * **`--all`** — runs every family above in sequence (exit code is the
+//!   worst of them) and appends one row of headline numbers — host
+//!   fingerprint, seed, per-family speedups and capacities — to
+//!   `BENCH_HISTORY.jsonl`, the durable perf history.
+//!
+//! * **`--check-history`** — no measurement: loads `BENCH_HISTORY.jsonl`
+//!   and fails (exit 1) if the newest row regressed any comparable
+//!   headline by more than 15% against the last row from the same host
+//!   class and smoke setting.
+//!
 //! `--seed N` pins the boot seed used by the syscall-mix machine and the
 //! shard/tenant partitioning; it is emitted into the JSON so A/B runs and
 //! shard partitions reproduce byte for byte. `--smoke` shrinks the
-//! `--smp`, `--fleet`, `--blocks` and `--traces` runs for CI runners.
+//! `--smp`, `--fleet`, `--blocks`, `--traces` and `--telemetry` runs for
+//! CI runners.
 //! Every mode also prints a per-workload speedup table to stderr so A/B
 //! ratios are scrapeable from CI logs without parsing the JSON. The
 //! emitted `BENCH_*.json` schemas are documented in `BENCHMARKS.md`.
 
-use camo_bench::fleet;
 use camo_bench::perf::{self, PerfSample, ScalingPoint};
+use camo_bench::runner::{best_of_fleet_ab, write_json};
+use camo_bench::{fleet, history};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Hot-loop iterations (the Figure-2 call loop is ~14 insns/iteration).
 const HOT_LOOP_ITERS: u64 = 100_000;
@@ -188,6 +217,9 @@ struct Args {
     blocks: bool,
     traces: bool,
     fuzz: bool,
+    telemetry: bool,
+    all: bool,
+    check_history: bool,
     smoke: bool,
     shards: Vec<usize>,
     shards_given: bool,
@@ -202,6 +234,9 @@ fn parse_args() -> Args {
         blocks: false,
         traces: false,
         fuzz: false,
+        telemetry: false,
+        all: false,
+        check_history: false,
         smoke: false,
         shards: vec![1, 2, 4, 8],
         shards_given: false,
@@ -220,6 +255,9 @@ fn parse_args() -> Args {
             "--blocks" => args.blocks = true,
             "--traces" => args.traces = true,
             "--fuzz" => args.fuzz = true,
+            "--telemetry" => args.telemetry = true,
+            "--all" => args.all = true,
+            "--check-history" => args.check_history = true,
             "--smoke" => args.smoke = true,
             "--shards" => {
                 let v = it.next().expect("--shards takes a comma-separated list");
@@ -235,7 +273,8 @@ fn parse_args() -> Args {
             }
             other => panic!(
                 "unknown argument {other} \
-                 (try --seed/--smp/--fleet/--blocks/--traces/--fuzz/--smoke/--shards)"
+                 (try --seed/--smp/--fleet/--blocks/--traces/--fuzz/--telemetry/\
+                 --all/--check-history/--smoke/--shards)"
             ),
         }
     }
@@ -255,7 +294,22 @@ fn parse_u64(s: &str) -> u64 {
     }
 }
 
-fn run_fastpath(seed: u64) -> i32 {
+/// One mode's verdict: the process exit code plus the headline numbers
+/// `--all` folds into the durable history row. Keys ending in
+/// `_speedup` / `_steps_per_sec` participate in `--check-history`
+/// regression judgement; the rest ride along for the record.
+struct Outcome {
+    code: i32,
+    headlines: Vec<(&'static str, f64)>,
+}
+
+impl Outcome {
+    fn new(code: i32, headlines: Vec<(&'static str, f64)>) -> Outcome {
+        Outcome { code, headlines }
+    }
+}
+
+fn run_fastpath(seed: u64) -> Outcome {
     let workloads = [
         Workload {
             name: "fig2_hot_loop",
@@ -330,12 +384,18 @@ fn run_fastpath(seed: u64) -> i32 {
         json,
         "  ],\n  \"speedup_target\": {SPEEDUP_TARGET:.1},\n  \"hot_loop_speedup\": {hot_speedup:.2},\n  \"cycles_identical\": {all_identical}\n}}\n"
     );
-    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
-    println!("wrote BENCH_2.json");
+    write_json("BENCH_2.json", &json);
 
+    let headlines = vec![
+        ("bench2_hot_loop_speedup", hot_speedup),
+        (
+            "bench2_hot_loop_cached_steps_per_sec",
+            workloads[0].cached.steps_per_sec,
+        ),
+    ];
     if !all_identical {
         eprintln!("FAIL: caches changed simulated cycle/instruction counts");
-        return 1;
+        return Outcome::new(1, headlines);
     }
     if hot_speedup < SPEEDUP_TARGET {
         eprintln!(
@@ -343,10 +403,10 @@ fn run_fastpath(seed: u64) -> i32 {
              (non-gating; host-dependent)"
         );
     }
-    0
+    Outcome::new(0, headlines)
 }
 
-fn run_smp(args: &Args) -> i32 {
+fn run_smp(args: &Args) -> Outcome {
     let total = args.syscalls.unwrap_or(if args.smoke {
         SMOKE_SYSCALLS
     } else {
@@ -467,12 +527,18 @@ fn run_smp(args: &Args) -> i32 {
         let _ = writeln!(json, "  \"wall_speedup_note\": \"{note}\",");
     }
     let _ = write!(json, "  \"simulation_identical\": {all_identical}\n}}\n");
-    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
-    println!("wrote BENCH_3.json");
+    write_json("BENCH_3.json", &json);
 
+    let headlines = vec![
+        ("bench3_capacity_speedup", capacity_speedup),
+        (
+            "bench3_top_capacity_steps_per_sec",
+            top.capacity_steps_per_sec,
+        ),
+    ];
     if !all_identical {
         eprintln!("FAIL: parallel and sequential sharding disagreed on simulated totals");
-        return 1;
+        return Outcome::new(1, headlines);
     }
     if capacity_speedup < SCALING_TARGET && points.len() > 1 {
         eprintln!(
@@ -486,7 +552,7 @@ fn run_smp(args: &Args) -> i32 {
              this host has {host_cores} core(s); parallel wall scaling needs as many cores as shards"
         );
     }
-    0
+    Outcome::new(0, headlines)
 }
 
 /// Cores per fleet shard machine (2: migration and cross-core key
@@ -495,6 +561,19 @@ const FLEET_CPUS: usize = 2;
 /// Fleet shard counts (full / `--smoke`).
 const FLEET_SHARDS: usize = 4;
 const FLEET_SMOKE_SHARDS: usize = 2;
+
+/// Shard count for the single-plan fleet modes (`--fleet` / `--blocks` /
+/// `--traces` / `--fuzz` / `--telemetry`): an explicit `--shards` uses
+/// its first value, otherwise the full/smoke defaults apply.
+fn fleet_shards(args: &Args) -> usize {
+    if args.shards_given {
+        args.shards[0]
+    } else if args.smoke {
+        FLEET_SMOKE_SHARDS
+    } else {
+        FLEET_SHARDS
+    }
+}
 
 fn hist_json(h: &camo_bench::workloads::LatencyHistogram) -> String {
     format!(
@@ -509,16 +588,8 @@ fn hist_json(h: &camo_bench::workloads::LatencyHistogram) -> String {
     )
 }
 
-fn run_fleet(args: &Args) -> i32 {
-    // The fleet runs one shard count, not a curve: an explicit --shards
-    // uses its first value, otherwise the defaults apply.
-    let shards = if args.shards_given {
-        args.shards[0]
-    } else if args.smoke {
-        FLEET_SMOKE_SHARDS
-    } else {
-        FLEET_SHARDS
-    };
+fn run_fleet(args: &Args) -> Outcome {
+    let shards = fleet_shards(args);
     let tenants = fleet::standard_tenants(args.smoke);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
@@ -607,14 +678,17 @@ fn run_fleet(args: &Args) -> i32 {
         seq.capacity_steps_per_sec(),
         m.identical
     );
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
-    println!("wrote BENCH_4.json");
+    write_json("BENCH_4.json", &json);
 
+    let headlines = vec![(
+        "bench4_capacity_steps_per_sec",
+        seq.capacity_steps_per_sec(),
+    )];
     if !m.identical {
         eprintln!("FAIL: parallel and sequential fleet runs disagreed on simulated state");
-        return 1;
+        return Outcome::new(1, headlines);
     }
-    0
+    Outcome::new(0, headlines)
 }
 
 /// The speedup the block engine is expected to deliver over the cached
@@ -656,7 +730,7 @@ fn block_sample_json(s: &camo_bench::blocks::BlockSample) -> String {
     )
 }
 
-fn run_blocks(args: &Args) -> i32 {
+fn run_blocks(args: &Args) -> Outcome {
     use camo_bench::blocks;
 
     let hot_iters = if args.smoke {
@@ -664,13 +738,7 @@ fn run_blocks(args: &Args) -> i32 {
     } else {
         BLOCK_HOT_ITERS
     };
-    let shards = if args.shards_given {
-        args.shards[0]
-    } else if args.smoke {
-        FLEET_SMOKE_SHARDS
-    } else {
-        FLEET_SHARDS
-    };
+    let shards = fleet_shards(args);
     let tenants = fleet::standard_tenants(args.smoke);
     println!(
         "perfcheck --blocks: block engine on vs off (caches on), seed {:#x}, \
@@ -689,34 +757,10 @@ fn run_blocks(args: &Args) -> i32 {
 
     // Fleet mix: each arm is itself a parallel/sequential cross-check.
     // Best-of-REPEATS like every other workload (the simulated totals are
-    // deterministic and asserted so below; only wall time varies).
-    let ab = (1..REPEATS).fold(
-        blocks::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone()),
-        |acc, _| {
-            let next = blocks::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone());
-            assert_eq!(
-                (next.on.parallel.cycles, next.off.parallel.cycles),
-                (acc.on.parallel.cycles, acc.off.parallel.cycles),
-                "simulation must be deterministic across repeats"
-            );
-            blocks::FleetAb {
-                on: if next.on.sequential.capacity_steps_per_sec()
-                    > acc.on.sequential.capacity_steps_per_sec()
-                {
-                    next.on
-                } else {
-                    acc.on
-                },
-                off: if next.off.sequential.capacity_steps_per_sec()
-                    > acc.off.sequential.capacity_steps_per_sec()
-                {
-                    next.off
-                } else {
-                    acc.off
-                },
-            }
-        },
-    );
+    // deterministic and asserted so in the runner; only wall time varies).
+    let ab = best_of_fleet_ab(REPEATS, || {
+        blocks::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone())
+    });
     let fleet_identical = (ab.on.parallel.cycles, ab.on.parallel.instructions)
         == (ab.off.parallel.cycles, ab.off.parallel.instructions);
     let arch_identical = ab.arch_identical();
@@ -834,19 +878,22 @@ fn run_blocks(args: &Args) -> i32 {
          \"cycles_identical\": {cycles_identical},\n  \
          \"simulation_identical\": {simulation_identical}\n}}\n"
     );
-    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
-    println!("wrote BENCH_5.json");
+    write_json("BENCH_5.json", &json);
 
+    let headlines = vec![
+        ("bench5_hot_loop_speedup", hot_speedup),
+        ("bench5_fleet_speedup", fleet_speedup),
+    ];
     if !cycles_identical {
         eprintln!("FAIL: the block engine changed simulated cycle/instruction counts");
-        return 1;
+        return Outcome::new(1, headlines);
     }
     if !simulation_identical {
         eprintln!(
             "FAIL: the block engine changed architectural per-tenant state, or \
              parallel and sequential fleet runs disagreed within an arm"
         );
-        return 1;
+        return Outcome::new(1, headlines);
     }
     if hot_speedup < BLOCK_SPEEDUP_TARGET || fleet_speedup < BLOCK_SPEEDUP_TARGET {
         eprintln!(
@@ -854,7 +901,7 @@ fn run_blocks(args: &Args) -> i32 {
              target {BLOCK_SPEEDUP_TARGET:.1}x (non-gating; host-dependent)"
         );
     }
-    0
+    Outcome::new(0, headlines)
 }
 
 /// The speedup the trace tier is expected to deliver *over the blocks-on
@@ -890,7 +937,7 @@ fn trace_sample_json(s: &camo_bench::traces::TraceSample) -> String {
     )
 }
 
-fn run_traces(args: &Args) -> i32 {
+fn run_traces(args: &Args) -> Outcome {
     use camo_bench::traces;
 
     let hot_iters = if args.smoke {
@@ -898,13 +945,7 @@ fn run_traces(args: &Args) -> i32 {
     } else {
         BLOCK_HOT_ITERS
     };
-    let shards = if args.shards_given {
-        args.shards[0]
-    } else if args.smoke {
-        FLEET_SMOKE_SHARDS
-    } else {
-        FLEET_SHARDS
-    };
+    let shards = fleet_shards(args);
     let tenants = fleet::standard_tenants(args.smoke);
     println!(
         "perfcheck --traces: trace tier on vs off (blocks + caches on), seed {:#x}, \
@@ -921,34 +962,11 @@ fn run_traces(args: &Args) -> i32 {
         == (hot_off.sample.cycles, hot_off.sample.instructions);
     let hot_speedup = hot_on.sample.steps_per_sec / hot_off.sample.steps_per_sec.max(1e-9);
 
-    // Fleet mix: best-of-REPEATS, simulated totals asserted deterministic.
-    let ab = (1..REPEATS).fold(
-        traces::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone()),
-        |acc, _| {
-            let next = traces::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone());
-            assert_eq!(
-                (next.on.parallel.cycles, next.off.parallel.cycles),
-                (acc.on.parallel.cycles, acc.off.parallel.cycles),
-                "simulation must be deterministic across repeats"
-            );
-            traces::FleetAb {
-                on: if next.on.sequential.capacity_steps_per_sec()
-                    > acc.on.sequential.capacity_steps_per_sec()
-                {
-                    next.on
-                } else {
-                    acc.on
-                },
-                off: if next.off.sequential.capacity_steps_per_sec()
-                    > acc.off.sequential.capacity_steps_per_sec()
-                {
-                    next.off
-                } else {
-                    acc.off
-                },
-            }
-        },
-    );
+    // Fleet mix: best-of-REPEATS, simulated totals asserted deterministic
+    // in the runner.
+    let ab = best_of_fleet_ab(REPEATS, || {
+        traces::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone())
+    });
     let fleet_identical = (ab.on.parallel.cycles, ab.on.parallel.instructions)
         == (ab.off.parallel.cycles, ab.off.parallel.instructions);
     let arch_identical = ab.arch_identical();
@@ -1073,19 +1091,22 @@ fn run_traces(args: &Args) -> i32 {
          \"cycles_identical\": {cycles_identical},\n  \
          \"simulation_identical\": {simulation_identical}\n}}\n"
     );
-    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
-    println!("wrote BENCH_7.json");
+    write_json("BENCH_7.json", &json);
 
+    let headlines = vec![
+        ("bench7_hot_loop_speedup", hot_speedup),
+        ("bench7_fleet_speedup", fleet_speedup),
+    ];
     if !cycles_identical {
         eprintln!("FAIL: the trace tier changed simulated cycle/instruction counts");
-        return 1;
+        return Outcome::new(1, headlines);
     }
     if !simulation_identical {
         eprintln!(
             "FAIL: the trace tier changed architectural per-tenant state, or \
              parallel and sequential fleet runs disagreed within an arm"
         );
-        return 1;
+        return Outcome::new(1, headlines);
     }
     if hot_speedup < TRACE_SPEEDUP_TARGET || fleet_speedup < TRACE_SPEEDUP_TARGET {
         eprintln!(
@@ -1093,19 +1114,13 @@ fn run_traces(args: &Args) -> i32 {
              target {TRACE_SPEEDUP_TARGET:.1}x over blocks-on (non-gating; host-dependent)"
         );
     }
-    0
+    Outcome::new(0, headlines)
 }
 
-fn run_fuzz(args: &Args) -> i32 {
+fn run_fuzz(args: &Args) -> Outcome {
     use camo_bench::fuzz;
 
-    let shards = if args.shards_given {
-        args.shards[0]
-    } else if args.smoke {
-        FLEET_SMOKE_SHARDS
-    } else {
-        FLEET_SHARDS
-    };
+    let shards = fleet_shards(args);
     println!(
         "perfcheck --fuzz: adversarial traffic plane, seed {:#x}, \
          {shards} shards x {FLEET_CPUS} cores, block engine on and off",
@@ -1243,8 +1258,7 @@ fn run_fuzz(args: &Args) -> i32 {
         json,
         "  ],\n  \"arms_arch_identical\": {arms_identical},\n  \"pass\": {pass}\n}}\n"
     );
-    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
-    println!("wrote BENCH_6.json");
+    write_json("BENCH_6.json", &json);
 
     let mut code = 0;
     for (label, arm) in arms {
@@ -1272,23 +1286,310 @@ fn run_fuzz(args: &Args) -> i32 {
         eprintln!("FAIL: the block engine changed the adversarial plan's architectural state");
         code = 1;
     }
+    // The fuzz gates are pass/fail attributions, not throughput — no
+    // perf headlines to fold into the history row.
+    Outcome::new(code, Vec::new())
+}
+
+/// Drain-overhead budget for the telemetry plane (hard gate: observing
+/// the fleet must cost less than 2% of its capacity).
+const TELEMETRY_OVERHEAD_BUDGET: f64 = 0.02;
+/// Rows the §6 attack matrix is expected to carry.
+const ATTACK_MATRIX_ROWS: usize = 24;
+
+fn run_telemetry(args: &Args) -> Outcome {
+    use camo_bench::telemetry;
+
+    let shards = fleet_shards(args);
+    let tenants = fleet::standard_tenants(args.smoke);
+    let ring_cfg = camo_cpu::telemetry::TelemetryConfig::default();
+    println!(
+        "perfcheck --telemetry: stats plane on vs off, seed {:#x}, \
+         {} tenants x {shards} shards x {FLEET_CPUS} cores, \
+         window {} ops, ring capacity {}",
+        args.seed,
+        tenants.len(),
+        ring_cfg.window_ops,
+        ring_cfg.capacity
+    );
+
+    // Best-of-REPEATS like the engine A/Bs: the simulated totals are
+    // deterministic (asserted in the runner); only wall time varies, and
+    // the overhead gate rides on wall time.
+    let ab = best_of_fleet_ab(REPEATS, || {
+        telemetry::fleet_ab(shards, FLEET_CPUS, args.seed, tenants.clone())
+    });
+
+    let cycles_identical = (ab.on.parallel.cycles, ab.on.parallel.instructions)
+        == (ab.off.parallel.cycles, ab.off.parallel.instructions);
+    let fully_identical = telemetry::fully_identical(&ab);
+    let arch_identical = ab.arch_identical();
+    let mode_identical = ab.on.identical && ab.off.identical;
+    let off_silent = telemetry::silent(&ab.off.parallel);
+    let checks = telemetry::series_checks(&ab.on.parallel);
+    let series_complete = checks.iter().all(|c| c.windows > 0 && c.sums_exact);
+    let overhead = telemetry::drain_overhead(&ab);
+    let overhead_ok = overhead < TELEMETRY_OVERHEAD_BUDGET;
+    let matrix = camo_bench::attacks::security_matrix();
+    let matrix_ok = matrix.len() == ATTACK_MATRIX_ROWS && matrix.iter().all(|r| r.matches_paper());
+
+    println!(
+        "{:<12} {:>9} {:>12} {:>11}  accounting",
+        "tenant", "windows", "cycles/win", "sums"
+    );
+    for (check, tenant) in checks.iter().zip(&ab.on.parallel.tenants) {
+        println!(
+            "{:<12} {:>9} {:>12.0} {:>11}  {}",
+            check.name,
+            check.windows,
+            tenant.totals.cycles as f64 / (check.windows.max(1)) as f64,
+            if check.sums_exact { "exact" } else { "DRIFT" },
+            if check.sums_exact {
+                "windows sum to end-of-run totals"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    println!(
+        "arms: cycles {} | full stats {} | arch {} | modes {} | off arm {} | \
+         overhead {:.4} (budget {TELEMETRY_OVERHEAD_BUDGET}) | attack matrix {}/{}",
+        if cycles_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if fully_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if arch_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if mode_identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if off_silent { "silent" } else { "LEAKING" },
+        overhead,
+        matrix.iter().filter(|r| r.matches_paper()).count(),
+        matrix.len()
+    );
+    speedup_table(
+        "telemetry",
+        "on st/s",
+        "off st/s",
+        &[(
+            "fleet_mix".to_string(),
+            ab.on.sequential.capacity_steps_per_sec(),
+            ab.off.sequential.capacity_steps_per_sec(),
+        )],
+    );
+
+    let pass = cycles_identical
+        && fully_identical
+        && arch_identical
+        && mode_identical
+        && off_silent
+        && series_complete
+        && overhead_ok
+        && matrix_ok;
+
+    let mut json = String::from("{\n  \"bench\": \"telemetry\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cpus_per_shard\": {FLEET_CPUS},");
+    let _ = writeln!(json, "  \"window_ops\": {},", ring_cfg.window_ops);
+    let _ = writeln!(json, "  \"ring_capacity\": {},", ring_cfg.capacity);
+    json.push_str("  \"tenants\": [\n");
+    for (i, (check, tenant)) in checks.iter().zip(&ab.on.parallel.tenants).enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"windows\": {}, \
+             \"ops\": {}, \"cycles\": {}, \"sums_exact\": {}}}{}",
+            check.name,
+            tenant.workload,
+            check.windows,
+            tenant.totals.ops,
+            tenant.totals.cycles,
+            check.sums_exact,
+            if i + 1 < checks.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"capacity_on_steps_per_sec\": {:.1},\n  \
+         \"capacity_off_steps_per_sec\": {:.1},\n  \
+         \"drain_overhead\": {overhead:.6},\n  \
+         \"overhead_budget\": {TELEMETRY_OVERHEAD_BUDGET},\n  \
+         \"attack_matrix\": {{\"rows\": {}, \"all_match_paper\": {}}},\n  \
+         \"gates\": {{\"cycles_identical\": {cycles_identical}, \
+         \"fully_identical\": {fully_identical}, \
+         \"arch_identical\": {arch_identical}, \
+         \"parallel_sequential_identical\": {mode_identical}, \
+         \"off_arm_silent\": {off_silent}, \
+         \"series_complete\": {series_complete}, \
+         \"overhead_within_budget\": {overhead_ok}}},\n  \
+         \"pass\": {pass}\n}}",
+        ab.on.sequential.capacity_steps_per_sec(),
+        ab.off.sequential.capacity_steps_per_sec(),
+        matrix.len(),
+        matrix_ok,
+    );
+    write_json("BENCH_8.json", &json);
+
+    let headlines = vec![("bench8_drain_overhead", overhead)];
+    if !cycles_identical || !fully_identical || !arch_identical {
+        eprintln!(
+            "FAIL: telemetry perturbed the simulation (it must be bit-invisible, \
+             observability counters included)"
+        );
+        return Outcome::new(1, headlines);
+    }
+    if !mode_identical {
+        eprintln!("FAIL: parallel and sequential fleet runs disagreed within an arm");
+        return Outcome::new(1, headlines);
+    }
+    if !off_silent {
+        eprintln!("FAIL: the telemetry-off arm emitted time-series windows");
+        return Outcome::new(1, headlines);
+    }
+    if !series_complete {
+        eprintln!(
+            "FAIL: a tenant's time series was empty or did not sum to its \
+             end-of-run totals"
+        );
+        return Outcome::new(1, headlines);
+    }
+    if !overhead_ok {
+        eprintln!(
+            "FAIL: telemetry drain overhead {overhead:.4} exceeds the \
+             {TELEMETRY_OVERHEAD_BUDGET} budget"
+        );
+        return Outcome::new(1, headlines);
+    }
+    if !matrix_ok {
+        eprintln!("FAIL: the attack matrix no longer matches the paper with telemetry in the tree");
+        return Outcome::new(1, headlines);
+    }
+    Outcome::new(0, headlines)
+}
+
+/// The durable perf-history file `--all` appends to and
+/// `--check-history` judges.
+const HISTORY_PATH: &str = "BENCH_HISTORY.jsonl";
+
+fn run_all(args: &Args) -> i32 {
+    let modes: [(&str, fn(&Args) -> Outcome); 7] = [
+        ("fastpath", |a| run_fastpath(a.seed)),
+        ("smp", run_smp),
+        ("fleet", run_fleet),
+        ("blocks", run_blocks),
+        ("traces", run_traces),
+        ("fuzz", run_fuzz),
+        ("telemetry", run_telemetry),
+    ];
+    let mut code = 0;
+    let mut headlines: Vec<(String, f64)> = Vec::new();
+    for (name, run) in modes {
+        println!("=== perfcheck --all: {name} ===");
+        let outcome = run(args);
+        if outcome.code != 0 {
+            eprintln!("FAIL(--all): the {name} family exited {}", outcome.code);
+        }
+        code = code.max(outcome.code);
+        headlines.extend(outcome.headlines.iter().map(|(k, v)| (k.to_string(), *v)));
+    }
+    // Append the row even on failure: a red run is history too, and the
+    // row records what the host actually measured.
+    let row = history::HistoryRow::new(args.seed, args.smoke, headlines);
+    match history::append(Path::new(HISTORY_PATH), &row) {
+        Ok(()) => println!(
+            "appended history row ({} headlines, host {}) to {HISTORY_PATH}",
+            row.headlines.len(),
+            row.host_class
+        ),
+        Err(e) => {
+            eprintln!("FAIL: could not append to {HISTORY_PATH}: {e}");
+            code = code.max(1);
+        }
+    }
     code
+}
+
+fn run_check_history() -> i32 {
+    let rows = history::load(Path::new(HISTORY_PATH));
+    let Some((current, earlier)) = rows.split_last() else {
+        println!("note: {HISTORY_PATH} has no rows; nothing to check");
+        return 0;
+    };
+    let Some(baseline) = history::find_baseline(earlier, current) else {
+        println!(
+            "note: no earlier {} row (smoke: {}) in {HISTORY_PATH}; \
+             first run on this host class passes trivially",
+            current.host_class, current.smoke
+        );
+        return 0;
+    };
+    let found = history::regressions(baseline, current, history::REGRESSION_THRESHOLD);
+    println!(
+        "checking newest row (ts {}) against baseline (ts {}) on {}, \
+         threshold {:.0}%",
+        current.timestamp_secs,
+        baseline.timestamp_secs,
+        current.host_class,
+        history::REGRESSION_THRESHOLD * 100.0
+    );
+    for (key, value) in current
+        .headlines
+        .iter()
+        .filter(|(k, _)| history::comparable(k))
+    {
+        match baseline.headline(key) {
+            Some(base) => println!("  {key}: {value:.2} vs baseline {base:.2}"),
+            None => println!("  {key}: {value:.2} (new; no baseline)"),
+        }
+    }
+    if found.is_empty() {
+        println!("no regressions past the threshold");
+        return 0;
+    }
+    for r in &found {
+        eprintln!(
+            "FAIL: {} regressed {:.1}% ({:.2} -> {:.2})",
+            r.key,
+            r.drop_frac() * 100.0,
+            r.baseline,
+            r.current
+        );
+    }
+    1
 }
 
 fn main() {
     let args = parse_args();
-    let code = if args.fuzz {
-        run_fuzz(&args)
+    let code = if args.check_history {
+        run_check_history()
+    } else if args.all {
+        run_all(&args)
+    } else if args.telemetry {
+        run_telemetry(&args).code
+    } else if args.fuzz {
+        run_fuzz(&args).code
     } else if args.traces {
-        run_traces(&args)
+        run_traces(&args).code
     } else if args.blocks {
-        run_blocks(&args)
+        run_blocks(&args).code
     } else if args.fleet {
-        run_fleet(&args)
+        run_fleet(&args).code
     } else if args.smp {
-        run_smp(&args)
+        run_smp(&args).code
     } else {
-        run_fastpath(args.seed)
+        run_fastpath(args.seed).code
     };
     std::process::exit(code);
 }

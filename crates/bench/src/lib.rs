@@ -409,6 +409,37 @@ pub mod fleet {
         pub identical: bool,
     }
 
+    /// The togglable knobs of one fleet measurement. Every A/B harness
+    /// (`--blocks`, `--traces`, `--fuzz`, `--telemetry`) is
+    /// [`measure_opts`] with a different field flipped; the defaults are
+    /// the production configuration (engines on, telemetry off, the
+    /// kernel's own panic threshold).
+    #[derive(Debug, Clone, Copy)]
+    pub struct FleetOpts {
+        /// Basic-block translation engine ([`FleetPlan::block_engine`]).
+        pub block_engine: bool,
+        /// Trace tier ([`FleetPlan::trace_engine`]; only active while
+        /// the block engine is on).
+        pub trace_engine: bool,
+        /// Streaming stats plane ([`FleetPlan::telemetry`]).
+        pub telemetry: bool,
+        /// §5.4 panic-threshold override
+        /// ([`FleetPlan::pac_panic_threshold`]); adversarial plans lift
+        /// it so the gates, not the panic, judge every attack.
+        pub pac_panic_threshold: Option<u32>,
+    }
+
+    impl Default for FleetOpts {
+        fn default() -> Self {
+            FleetOpts {
+                block_engine: true,
+                trace_engine: true,
+                telemetry: false,
+                pac_panic_threshold: None,
+            }
+        }
+    }
+
     /// Runs `tenants` across `shards` machines of `cpus_per_shard` cores,
     /// both parallel and sequential, and cross-checks the simulated
     /// outcome.
@@ -422,7 +453,7 @@ pub mod fleet {
         seed: u64,
         tenants: Vec<TenantSpec>,
     ) -> FleetMeasurement {
-        measure_with_engines(shards, cpus_per_shard, seed, tenants, true, true)
+        measure_opts(shards, cpus_per_shard, seed, tenants, FleetOpts::default())
     }
 
     /// [`measure`] with an explicit block-engine setting and the trace
@@ -440,7 +471,12 @@ pub mod fleet {
         tenants: Vec<TenantSpec>,
         block_engine: bool,
     ) -> FleetMeasurement {
-        measure_with_engines(shards, cpus_per_shard, seed, tenants, block_engine, false)
+        let opts = FleetOpts {
+            block_engine,
+            trace_engine: false,
+            ..FleetOpts::default()
+        };
+        measure_opts(shards, cpus_per_shard, seed, tenants, opts)
     }
 
     /// [`measure`] with both translation-engine tiers explicit — the
@@ -458,10 +494,33 @@ pub mod fleet {
         block_engine: bool,
         trace_engine: bool,
     ) -> FleetMeasurement {
+        let opts = FleetOpts {
+            block_engine,
+            trace_engine,
+            ..FleetOpts::default()
+        };
+        measure_opts(shards, cpus_per_shard, seed, tenants, opts)
+    }
+
+    /// The one fleet harness behind every measurement: builds the plan
+    /// from `opts`, runs both execution modes, cross-checks them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn measure_opts(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+        opts: FleetOpts,
+    ) -> FleetMeasurement {
         let mut plan = FleetPlan::new(shards, seed, tenants);
         plan.cpus_per_shard = cpus_per_shard;
-        plan.block_engine = block_engine;
-        plan.trace_engine = trace_engine;
+        plan.block_engine = opts.block_engine;
+        plan.trace_engine = opts.trace_engine;
+        plan.telemetry = opts.telemetry;
+        plan.pac_panic_threshold = opts.pac_panic_threshold;
         let parallel = FleetDriver::drive(&plan).expect("parallel fleet runs");
         let sequential = FleetDriver::drive_sequential(&plan).expect("sequential fleet runs");
         let identical = parallel.simulation_identical(&sequential);
@@ -693,8 +752,8 @@ pub mod traces {
 /// reported alongside the gates.
 pub mod fuzz {
     use super::blocks::arch_identical;
-    use super::fleet::FleetMeasurement;
-    use camo_smp::{FleetDriver, FleetPlan, FleetReport, TenantReport};
+    use super::fleet::{self, FleetMeasurement};
+    use camo_smp::{FleetReport, TenantReport};
     use camo_workloads::{HostileOp, HostileTotals, TenantSpec};
 
     /// The benign side of the adversarial plan. Placed *first* in the
@@ -735,20 +794,12 @@ pub mod fuzz {
         tenants: Vec<TenantSpec>,
         block_engine: bool,
     ) -> FleetMeasurement {
-        let mut plan = FleetPlan::new(shards, seed, tenants);
-        plan.cpus_per_shard = cpus_per_shard;
-        plan.block_engine = block_engine;
-        plan.pac_panic_threshold = Some(u32::MAX);
-        let parallel = FleetDriver::drive(&plan).expect("parallel adversarial fleet runs");
-        let sequential =
-            FleetDriver::drive_sequential(&plan).expect("sequential adversarial fleet runs");
-        let identical = parallel.simulation_identical(&sequential);
-        FleetMeasurement {
-            plan,
-            parallel,
-            sequential,
-            identical,
-        }
+        let opts = fleet::FleetOpts {
+            block_engine,
+            pac_panic_threshold: Some(u32::MAX),
+            ..fleet::FleetOpts::default()
+        };
+        fleet::measure_opts(shards, cpus_per_shard, seed, tenants, opts)
     }
 
     /// One benign tenant's isolation verdict: does its service in the
@@ -924,6 +975,516 @@ pub mod fuzz {
         let off = measure_arm(shards, cpus_per_shard, seed, smoke, false);
         let on = measure_arm(shards, cpus_per_shard, seed, smoke, true);
         FuzzAb { on, off }
+    }
+}
+
+/// The streaming-stats-plane A/B (`perfcheck --telemetry`, `BENCH_8.json`).
+///
+/// Telemetry is the strictest knob in the whole A/B family: unlike the
+/// block and trace engines it has **no** architectural surface at all,
+/// so the identity gate here is full bit-identity — every one of the 22
+/// `CpuStats` counters, including the observability ones the engine A/Bs
+/// legitimately exempt. The off arm must additionally stay silent
+/// (no time series anywhere), and the on arm must account losslessly
+/// (window sums ≡ end-of-run totals per tenant).
+pub mod telemetry {
+    use super::fleet::{measure_opts, FleetOpts};
+    use camo_cpu::CpuStats;
+    use camo_smp::FleetReport;
+    use camo_workloads::TenantSpec;
+
+    // Same A/B shape and speedup/arch helpers as the engine benches —
+    // only the toggled knob and the extra gates differ.
+    pub use super::blocks::FleetAb;
+
+    /// Runs the fleet mix once per telemetry arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard fails (benign traffic must not fault).
+    pub fn fleet_ab(
+        shards: usize,
+        cpus_per_shard: usize,
+        seed: u64,
+        tenants: Vec<TenantSpec>,
+    ) -> FleetAb {
+        // Off arm first, mirroring the other A/Bs: the on arm must not
+        // benefit from a warmer host.
+        let arm = |telemetry| FleetOpts {
+            telemetry,
+            ..FleetOpts::default()
+        };
+        let off = measure_opts(shards, cpus_per_shard, seed, tenants.clone(), arm(false));
+        let on = measure_opts(shards, cpus_per_shard, seed, tenants, arm(true));
+        FleetAb { on, off }
+    }
+
+    /// Whether the two arms are **bit-identical** in everything the
+    /// simulation defines: totals, all 22 stat counters (full equality,
+    /// not [`CpuStats::arch_eq`]), and per-tenant totals including the
+    /// latency histograms. Telemetry observes the run; it must not
+    /// perturb even an observability counter.
+    pub fn fully_identical(ab: &FleetAb) -> bool {
+        let (a, b) = (&ab.on.parallel, &ab.off.parallel);
+        a.syscalls == b.syscalls
+            && a.instructions == b.instructions
+            && a.cycles == b.cycles
+            && a.stats == b.stats
+            && a.tenants.len() == b.tenants.len()
+            && a.tenants
+                .iter()
+                .zip(&b.tenants)
+                .all(|(x, y)| x.name == y.name && x.totals == y.totals)
+    }
+
+    /// Whether a report carries no time series at all — the off arm's
+    /// obligation.
+    pub fn silent(report: &FleetReport) -> bool {
+        report.tenants.iter().all(|t| t.series.is_empty())
+    }
+
+    /// One tenant's series verdict for the BENCH_8 report.
+    #[derive(Debug, Clone)]
+    pub struct SeriesCheck {
+        /// Tenant name.
+        pub name: String,
+        /// Windows in the tenant's time series.
+        pub windows: usize,
+        /// Whether the window sums reproduce the end-of-run totals
+        /// (ops, syscalls, cycles, and every stat counter) exactly.
+        pub sums_exact: bool,
+    }
+
+    /// Per-tenant lossless-accounting checks: sums every tenant's
+    /// series and compares it against the end-of-run totals.
+    pub fn series_checks(report: &FleetReport) -> Vec<SeriesCheck> {
+        report
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut stats = CpuStats::default();
+                let (mut ops, mut syscalls, mut cycles) = (0u64, 0u64, 0u64);
+                for w in &t.series {
+                    ops += w.ops;
+                    syscalls += w.syscalls;
+                    cycles += w.cycles;
+                    stats.merge(&w.stats);
+                }
+                SeriesCheck {
+                    name: t.name.clone(),
+                    windows: t.series.len(),
+                    sums_exact: ops == t.totals.ops
+                        && syscalls == t.totals.syscalls
+                        && cycles == t.totals.cycles
+                        && stats == t.totals.stats,
+                }
+            })
+            .collect()
+    }
+
+    /// Wall-clock cost of running the plane: `1 − on/off` capacity
+    /// ratio from the isolated-shard sequential runs, clamped at zero
+    /// (host noise can make the on arm *faster*). The BENCH_8 gate is
+    /// `< 0.02`.
+    pub fn drain_overhead(ab: &FleetAb) -> f64 {
+        (1.0 - ab.speedup()).max(0.0)
+    }
+}
+
+/// Durable perf-regression history (`perfcheck --all` appends one row to
+/// `BENCH_HISTORY.jsonl`; `perfcheck --check-history` judges the newest
+/// row against the last comparable one).
+///
+/// A row is one flat JSON object per line: a schema version, a host
+/// fingerprint (`os-arch-cores`), the seed and smoke flag, and every
+/// bench family's headline numbers. Rows are only ever compared within
+/// the same `(host_class, smoke)` pair — absolute throughput on a
+/// different host says nothing about a regression. Only keys ending in
+/// `_speedup` or `_steps_per_sec` (higher is better) are judged; other
+/// headlines (e.g. the BENCH_8 drain overhead) ride along for the
+/// record.
+pub mod history {
+    use std::path::Path;
+
+    /// Row schema version, bumped on incompatible field changes.
+    pub const SCHEMA: u32 = 1;
+
+    /// Default regression threshold: fail when a comparable headline
+    /// drops more than this fraction below the baseline row.
+    pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+    /// One appended history row.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct HistoryRow {
+        /// Schema version ([`SCHEMA`] when written by this build).
+        pub schema: u32,
+        /// Seconds since the Unix epoch at append time.
+        pub timestamp_secs: u64,
+        /// Host fingerprint rows are compared within ([`host_class`]).
+        pub host_class: String,
+        /// Logical cores at append time (also baked into `host_class`).
+        pub host_cores: usize,
+        /// The `--seed` the row was measured with.
+        pub seed: u64,
+        /// Whether the row came from a `--smoke` run (never compared
+        /// against full-size rows).
+        pub smoke: bool,
+        /// Headline numbers per bench family, in emission order.
+        pub headlines: Vec<(String, f64)>,
+    }
+
+    /// The host fingerprint: `os-arch-<cores>c`, e.g. `linux-x86_64-8c`.
+    pub fn host_class() -> String {
+        format!(
+            "{}-{}-{}c",
+            std::env::consts::OS,
+            std::env::consts::ARCH,
+            host_cores()
+        )
+    }
+
+    /// Logical cores, 1 if the host will not say.
+    pub fn host_cores() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    impl HistoryRow {
+        /// A row stamped with this host's fingerprint and the current
+        /// wall clock.
+        pub fn new(seed: u64, smoke: bool, headlines: Vec<(String, f64)>) -> HistoryRow {
+            let timestamp_secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            HistoryRow {
+                schema: SCHEMA,
+                timestamp_secs,
+                host_class: host_class(),
+                host_cores: host_cores(),
+                seed,
+                smoke,
+                headlines,
+            }
+        }
+
+        /// The row as one flat JSON line (no trailing newline).
+        /// Headline keys sit at the top level, so the format stays a
+        /// single flat object and [`HistoryRow::parse`] needs no
+        /// nesting.
+        pub fn to_json_line(&self) -> String {
+            let mut line = format!(
+                "{{\"schema\": {}, \"timestamp_secs\": {}, \"host_class\": \"{}\", \
+                 \"host_cores\": {}, \"seed\": {}, \"smoke\": {}",
+                self.schema,
+                self.timestamp_secs,
+                self.host_class,
+                self.host_cores,
+                self.seed,
+                self.smoke
+            );
+            for (key, value) in &self.headlines {
+                line.push_str(&format!(", \"{key}\": {value}"));
+            }
+            line.push('}');
+            line
+        }
+
+        /// Parses one line written by [`HistoryRow::to_json_line`].
+        /// Deliberately minimal: the values this module writes contain
+        /// no commas, escapes, or nesting, so splitting on `, ` pairs
+        /// is exact. Unknown numeric keys become headlines, which is
+        /// what makes old readers forward-compatible with new bench
+        /// families.
+        pub fn parse(line: &str) -> Option<HistoryRow> {
+            let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+            let mut row = HistoryRow {
+                schema: 0,
+                timestamp_secs: 0,
+                host_class: String::new(),
+                host_cores: 0,
+                seed: 0,
+                smoke: false,
+                headlines: Vec::new(),
+            };
+            for pair in body.split(',') {
+                let (key, value) = pair.split_once(':')?;
+                let key = key.trim().trim_matches('"');
+                let value = value.trim();
+                match key {
+                    "schema" => row.schema = value.parse().ok()?,
+                    "timestamp_secs" => row.timestamp_secs = value.parse().ok()?,
+                    "host_class" => row.host_class = value.trim_matches('"').to_string(),
+                    "host_cores" => row.host_cores = value.parse().ok()?,
+                    "seed" => row.seed = value.parse().ok()?,
+                    "smoke" => row.smoke = value == "true",
+                    _ => row.headlines.push((key.to_string(), value.parse().ok()?)),
+                }
+            }
+            (row.schema != 0).then_some(row)
+        }
+
+        /// The headline value for `key`, if the row carries it.
+        pub fn headline(&self, key: &str) -> Option<f64> {
+            self.headlines
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+        }
+    }
+
+    /// Appends one row to the JSONL file, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be opened or
+    /// written.
+    pub fn append(path: &Path, row: &HistoryRow) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{}", row.to_json_line())
+    }
+
+    /// Loads every parseable row, oldest first. A missing file is an
+    /// empty history, not an error; unparseable lines are skipped (a
+    /// truncated last line must not brick the checker).
+    pub fn load(path: &Path) -> Vec<HistoryRow> {
+        std::fs::read_to_string(path)
+            .unwrap_or_default()
+            .lines()
+            .filter_map(HistoryRow::parse)
+            .collect()
+    }
+
+    /// The newest row strictly before `current` (by position) with the
+    /// same host class and smoke flag — the row regressions are judged
+    /// against.
+    pub fn find_baseline<'a>(
+        earlier: &'a [HistoryRow],
+        current: &HistoryRow,
+    ) -> Option<&'a HistoryRow> {
+        earlier
+            .iter()
+            .rev()
+            .find(|row| row.host_class == current.host_class && row.smoke == current.smoke)
+    }
+
+    /// Whether a headline key participates in regression judgement
+    /// (higher-is-better rates and ratios only).
+    pub fn comparable(key: &str) -> bool {
+        key.ends_with("_speedup") || key.ends_with("_steps_per_sec")
+    }
+
+    /// One judged drop: `current < (1 − threshold) × baseline`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// The headline key that dropped.
+        pub key: String,
+        /// The baseline row's value.
+        pub baseline: f64,
+        /// The current row's value.
+        pub current: f64,
+    }
+
+    impl Regression {
+        /// Fractional drop below baseline (0.2 = lost 20%).
+        pub fn drop_frac(&self) -> f64 {
+            1.0 - self.current / self.baseline.max(1e-12)
+        }
+    }
+
+    /// Every comparable headline present in both rows that regressed
+    /// past `threshold`. Keys only one row carries are skipped: a new
+    /// bench family must not fail the first run that adds it.
+    pub fn regressions(
+        baseline: &HistoryRow,
+        current: &HistoryRow,
+        threshold: f64,
+    ) -> Vec<Regression> {
+        current
+            .headlines
+            .iter()
+            .filter(|(key, _)| comparable(key))
+            .filter_map(|(key, now)| {
+                let now = *now;
+                let base = baseline.headline(key)?;
+                (now < (1.0 - threshold) * base).then(|| Regression {
+                    key: key.clone(),
+                    baseline: base,
+                    current: now,
+                })
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn row(host_class: &str, smoke: bool, headlines: &[(&str, f64)]) -> HistoryRow {
+            HistoryRow {
+                schema: SCHEMA,
+                timestamp_secs: 1_700_000_000,
+                host_class: host_class.to_string(),
+                host_cores: 8,
+                seed: 0xCAF0_0D5E,
+                smoke,
+                headlines: headlines.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            }
+        }
+
+        #[test]
+        fn row_roundtrips_through_its_json_line() {
+            let original = HistoryRow::new(
+                0xCAF0_0D5E,
+                true,
+                vec![
+                    ("bench2_hot_loop_speedup".to_string(), 10.53),
+                    ("bench4_capacity_steps_per_sec".to_string(), 1.25e6),
+                    ("bench8_drain_overhead".to_string(), 0.004),
+                ],
+            );
+            let parsed = HistoryRow::parse(&original.to_json_line()).expect("parses");
+            assert_eq!(parsed, original);
+        }
+
+        #[test]
+        fn synthetic_regression_over_threshold_fails() {
+            let base = row("linux-x86_64-8c", true, &[("bench5_fleet_speedup", 10.0)]);
+            let bad = row("linux-x86_64-8c", true, &[("bench5_fleet_speedup", 8.0)]);
+            let found = regressions(&base, &bad, REGRESSION_THRESHOLD);
+            assert_eq!(found.len(), 1, "a 20% drop must be flagged");
+            assert_eq!(found[0].key, "bench5_fleet_speedup");
+            assert!(found[0].drop_frac() > 0.19 && found[0].drop_frac() < 0.21);
+        }
+
+        #[test]
+        fn drop_within_threshold_passes() {
+            let base = row("linux-x86_64-8c", true, &[("bench5_fleet_speedup", 10.0)]);
+            let ok = row("linux-x86_64-8c", true, &[("bench5_fleet_speedup", 8.9)]);
+            assert!(
+                regressions(&base, &ok, REGRESSION_THRESHOLD).is_empty(),
+                "an 11% drop is within the 15% threshold"
+            );
+        }
+
+        #[test]
+        fn non_comparable_keys_and_new_families_are_not_judged() {
+            // Overhead is lower-is-better: tripling it must not trip the
+            // higher-is-better comparison. A brand-new family key with
+            // no baseline must not fail its first appearance either.
+            let base = row("linux-x86_64-8c", true, &[("bench8_drain_overhead", 0.001)]);
+            let cur = row(
+                "linux-x86_64-8c",
+                true,
+                &[
+                    ("bench8_drain_overhead", 0.003),
+                    ("bench9_new_family_speedup", 1.0),
+                ],
+            );
+            assert!(regressions(&base, &cur, REGRESSION_THRESHOLD).is_empty());
+        }
+
+        #[test]
+        fn baseline_matching_respects_host_class_and_smoke() {
+            let rows = vec![
+                row("linux-x86_64-8c", true, &[]),
+                row("linux-aarch64-4c", true, &[]),
+                row("linux-x86_64-8c", false, &[]),
+            ];
+            let current = row("linux-x86_64-8c", true, &[]);
+            let baseline = find_baseline(&rows, &current).expect("matching row exists");
+            assert_eq!(baseline, &rows[0], "other hosts and full runs skipped");
+            let alien = row("darwin-aarch64-10c", true, &[]);
+            assert!(find_baseline(&rows, &alien).is_none());
+        }
+
+        #[test]
+        fn append_and_load_roundtrip_with_corrupt_tail() {
+            let dir = std::env::temp_dir().join(format!(
+                "camo_history_test_{}_{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0)
+            ));
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            let path = dir.join("BENCH_HISTORY.jsonl");
+            assert!(load(&path).is_empty(), "missing file is an empty history");
+            let first = row("linux-x86_64-8c", true, &[("bench2_hot_loop_speedup", 9.5)]);
+            let second = row("linux-x86_64-8c", true, &[("bench2_hot_loop_speedup", 9.9)]);
+            append(&path, &first).expect("append");
+            append(&path, &second).expect("append");
+            // A truncated third line (crashed writer) must be skipped.
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("reopen");
+            write!(file, "{{\"schema\": 1, \"timest").expect("partial write");
+            drop(file);
+            let rows = load(&path);
+            assert_eq!(rows, vec![first, second]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Shared perfcheck plumbing. Every bench family's binary path follows
+/// the same shape — resolve the plan size, run the A/B arms best-of-N,
+/// gate determinism, emit a JSON report — and the pieces that used to
+/// be copy-pasted per family live here instead.
+pub mod runner {
+    use super::blocks::FleetAb;
+    use super::fleet::FleetMeasurement;
+
+    /// Best-of-`repeats` for a fleet A/B: keeps, per arm, the repeat
+    /// with the highest isolated-shard capacity, and asserts along the
+    /// way that the simulation itself is deterministic across repeats
+    /// (wall clock may vary; simulated cycles may not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two repeats disagree on simulated cycles — that is a
+    /// determinism bug, not host noise.
+    pub fn best_of_fleet_ab(repeats: usize, run: impl Fn() -> FleetAb) -> FleetAb {
+        (1..repeats).fold(run(), |acc, _| {
+            let next = run();
+            assert_eq!(
+                (next.on.parallel.cycles, next.off.parallel.cycles),
+                (acc.on.parallel.cycles, acc.off.parallel.cycles),
+                "simulation must be deterministic across repeats"
+            );
+            FleetAb {
+                on: faster(next.on, acc.on),
+                off: faster(next.off, acc.off),
+            }
+        })
+    }
+
+    fn faster(a: FleetMeasurement, b: FleetMeasurement) -> FleetMeasurement {
+        if a.sequential.capacity_steps_per_sec() > b.sequential.capacity_steps_per_sec() {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Writes a bench report and tells the operator where it went —
+    /// the uniform tail of every perfcheck mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report cannot be written (CI treats that as a
+    /// harness failure, not a perf regression).
+    pub fn write_json(path: &str, json: &str) {
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path}");
     }
 }
 

@@ -49,6 +49,7 @@ pub mod block;
 mod exec;
 pub mod pac;
 mod state;
+pub mod telemetry;
 pub mod trace;
 
 pub use exec::{

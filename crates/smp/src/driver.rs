@@ -21,6 +21,7 @@
 
 use crate::cluster::Cluster;
 use camo_core::ProtectionLevel;
+use camo_cpu::telemetry::StatWindow;
 use camo_cpu::CpuStats;
 use camo_kernel::{KernelConfig, KernelError};
 use camo_workloads::{tenant_stream_seed, Quota, TenantRun, TenantSpec, TenantTotals};
@@ -55,6 +56,10 @@ pub struct TrafficPlan {
     pub block_engine: bool,
     /// Trace tier of the translation engine on every shard machine.
     pub trace_engine: bool,
+    /// Streaming telemetry plane on every shard machine
+    /// ([`camo_kernel::KernelConfig::telemetry`]). Architecturally
+    /// invisible; `perfcheck --telemetry` measures the fleet-level A/B.
+    pub telemetry: bool,
 }
 
 impl TrafficPlan {
@@ -69,6 +74,7 @@ impl TrafficPlan {
             fast_caches: true,
             block_engine: true,
             trace_engine: true,
+            telemetry: false,
         }
     }
 
@@ -87,6 +93,7 @@ impl TrafficPlan {
             fast_caches: self.fast_caches,
             block_engine: self.block_engine,
             trace_engine: self.trace_engine,
+            telemetry: self.telemetry,
             pac_panic_threshold: None,
             tenants: vec![TenantSpec::lmbench("lmbench", self.total_syscalls)],
         }
@@ -177,6 +184,12 @@ pub struct FleetPlan {
     /// ([`camo_kernel::KernelConfig::trace_engine`]). Architecturally
     /// invisible; `perfcheck --traces` measures the fleet-level A/B.
     pub trace_engine: bool,
+    /// Streaming telemetry plane on every shard machine
+    /// ([`camo_kernel::KernelConfig::telemetry`]): tenants publish
+    /// periodic stat-delta windows that the driver drains into each
+    /// [`TenantReport::series`]. Architecturally invisible — the off arm
+    /// is bit-identical; `perfcheck --telemetry` gates the A/B.
+    pub telemetry: bool,
     /// Overrides every shard kernel's §5.4 panic threshold
     /// ([`camo_kernel::KernelConfig::pac_panic_threshold`]) when set. An
     /// adversarial plan that *expects* PAC failures raises this above its
@@ -201,6 +214,7 @@ impl FleetPlan {
             fast_caches: true,
             block_engine: true,
             trace_engine: true,
+            telemetry: false,
             pac_panic_threshold: None,
             tenants,
         }
@@ -219,12 +233,22 @@ pub struct TenantReport {
     /// per-op simulated-cycle [`camo_workloads::LatencyHistogram`]
     /// (p50/p90/p99 via its `percentile`).
     pub totals: TenantTotals,
+    /// The tenant's telemetry time series: its stat-delta windows in
+    /// emission order, drained from the shard rings when
+    /// [`FleetPlan::telemetry`] is on (empty otherwise). Fleet-wide
+    /// reports concatenate shard series in shard order, mirroring how
+    /// `totals` merge; within one shard's segment `seq` is dense and
+    /// ordered, and the windows of a segment sum exactly to that shard's
+    /// contribution to `totals` (the coalescing ring plus end-of-run
+    /// flush lose nothing).
+    pub series: Vec<StatWindow>,
 }
 
 impl TenantReport {
     fn merge(&mut self, other: &TenantReport) {
         debug_assert_eq!(self.name, other.name);
         self.totals.merge(&other.totals);
+        self.series.extend(other.series.iter().copied());
     }
 }
 
@@ -447,8 +471,27 @@ impl FleetDriver {
                 }
             }
         }
+        cfg.telemetry = plan.telemetry;
         let mut cluster = Cluster::boot(cfg)?;
         let kernel = cluster.kernel_mut();
+        // Consumer half of the shard's stats plane: this thread is both
+        // the producer (the serve loop below) and the drainer, so the
+        // SPSC contract holds in every drive mode and the drain points
+        // are deterministic in the plan.
+        let ring = kernel.telemetry_ring();
+        let mut series: Vec<Vec<StatWindow>> = vec![Vec::new(); plan.tenants.len()];
+        let mut scratch: Vec<StatWindow> = Vec::new();
+        let drain = |series: &mut Vec<Vec<StatWindow>>, scratch: &mut Vec<StatWindow>| {
+            if let Some(ring) = &ring {
+                ring.drain_into(scratch);
+                for w in scratch.drain(..) {
+                    // Emitters register in plan order (TenantRun::new is
+                    // called in plan order), so the producer id is the
+                    // plan tenant index.
+                    series[w.tenant as usize].push(w);
+                }
+            }
+        };
 
         let mut runs = Vec::with_capacity(plan.tenants.len());
         let mut remaining = Vec::with_capacity(plan.tenants.len());
@@ -482,13 +525,26 @@ impl FleetDriver {
             if !progressed {
                 break;
             }
+            // Opportunistic sweep-boundary drain keeps the ring far from
+            // full in the steady state (coalescing stays the overflow
+            // escape hatch, not the norm).
+            drain(&mut series, &mut scratch);
+        }
+
+        // Final drain, then each tenant's end-of-run flush: the last
+        // partial window is handed over directly, so every series sums
+        // exactly to its tenant's totals.
+        drain(&mut series, &mut scratch);
+        for (idx, run) in runs.iter_mut().enumerate() {
+            series[idx].extend(run.flush_telemetry());
         }
 
         let mut stats = CpuStats::default();
         let (mut syscalls, mut instructions, mut cycles) = (0, 0, 0);
         let tenants: Vec<TenantReport> = runs
             .into_iter()
-            .map(|run| {
+            .zip(series)
+            .map(|(run, series)| {
                 let workload = run.workload_name().to_string();
                 let name = run.name().to_string();
                 let totals = run.into_totals();
@@ -500,6 +556,7 @@ impl FleetDriver {
                     name,
                     workload,
                     totals,
+                    series,
                 }
             })
             .collect();
