@@ -12,19 +12,24 @@
 //! latency histogram — are identical for every execution mode.
 //!
 //! [`FleetDriver`] is the general engine: an arbitrary mix of
-//! [`camo_workloads::Workload`] tenants with per-tenant quotas, round-robin
-//! interleaved on every shard, with per-tenant
+//! [`camo_workloads::Workload`] tenants with per-tenant quotas, weights
+//! and cycle budgets, interleaved on every shard by a deterministic
+//! weighted-fair schedule, with per-tenant
 //! [`camo_cpu::CpuStats`]/cycle attribution and simulated-cycle latency
-//! percentiles. [`ShardedDriver`] survives as a thin deprecated alias that
-//! runs the single-tenant lmbench mix with the PR-3 `TrafficPlan`
+//! percentiles. Since PR 9 shard runs are *resumable tasks* over a
+//! work-stealing pool of host workers (see the `scheduler` module):
+//! shard count is decoupled from host thread count, and the host
+//! schedule — which worker runs which slice — is invisible to the
+//! simulation. [`ShardedDriver`] survives as a thin deprecated alias
+//! that runs the single-tenant lmbench mix with the PR-3 `TrafficPlan`
 //! semantics.
 
-use crate::cluster::Cluster;
+use crate::scheduler::{self, ShardTask, TenantSched};
 use camo_core::ProtectionLevel;
 use camo_cpu::telemetry::StatWindow;
 use camo_cpu::CpuStats;
-use camo_kernel::{KernelConfig, KernelError};
-use camo_workloads::{tenant_stream_seed, Quota, TenantRun, TenantSpec, TenantTotals};
+use camo_kernel::KernelError;
+use camo_workloads::{Quota, TenantSpec, TenantTotals};
 use std::time::Instant;
 
 /// Derives the boot seed of shard `index` from the plan seed
@@ -95,6 +100,7 @@ impl TrafficPlan {
             trace_engine: self.trace_engine,
             telemetry: self.telemetry,
             pac_panic_threshold: None,
+            workers: None,
             tenants: vec![TenantSpec::lmbench("lmbench", self.total_syscalls)],
         }
     }
@@ -169,7 +175,7 @@ pub struct FleetPlan {
     pub cpus_per_shard: usize,
     /// Base seed; shard `i` boots with [`shard_seed`]`(seed, i)` and
     /// the tenant named `n` on shard `i` draws ops from
-    /// [`tenant_stream_seed`]`(seed, i, n)` — name-derived, so adding or
+    /// [`camo_workloads::tenant_stream_seed`]`(seed, i, n)` — name-derived, so adding or
     /// removing one tenant never shifts another tenant's op stream.
     pub seed: u64,
     /// Protection level of every shard machine.
@@ -196,8 +202,18 @@ pub struct FleetPlan {
     /// expected failure count so the run measures the policy instead of
     /// halting on it.
     pub pac_panic_threshold: Option<u32>,
-    /// The tenants, served round-robin on every shard; each tenant's
-    /// quota is split across shards like [`TrafficPlan`] syscalls.
+    /// Host worker threads for [`FleetDriver::drive`]'s work-stealing
+    /// pool. `None` (the default) sizes the pool to
+    /// `min(available_parallelism, shards)`. Purely host-side: the
+    /// worker count never touches the simulated schedule, so
+    /// `simulation_identical` holds across any value — the
+    /// worker-count-invariance stress tests gate exactly this.
+    pub workers: Option<usize>,
+    /// The tenants, served by the weighted-fair simulated schedule on
+    /// every shard (plain round-robin when all weights are 1); each
+    /// tenant's quota is split across shards like [`TrafficPlan`]
+    /// syscalls, and its [`TenantSpec::weight`]/
+    /// [`TenantSpec::cycle_budget`] shape the per-sweep schedule.
     /// Names must be unique — a tenant's op stream is seeded from its
     /// name.
     pub tenants: Vec<TenantSpec>,
@@ -216,6 +232,7 @@ impl FleetPlan {
             trace_engine: true,
             telemetry: false,
             pac_panic_threshold: None,
+            workers: None,
             tenants,
         }
     }
@@ -242,6 +259,11 @@ pub struct TenantReport {
     /// contribution to `totals` (the coalescing ring plus end-of-run
     /// flush lose nothing).
     pub series: Vec<StatWindow>,
+    /// The tenant's simulated-schedule record — sweeps served, ops
+    /// served, throttled sweeps, drain point. Deterministic in the plan;
+    /// it participates in this report's equality, hence in
+    /// [`FleetReport::simulation_identical`].
+    pub sched: TenantSched,
 }
 
 impl TenantReport {
@@ -249,6 +271,7 @@ impl TenantReport {
         debug_assert_eq!(self.name, other.name);
         self.totals.merge(&other.totals);
         self.series.extend(other.series.iter().copied());
+        self.sched.merge(&other.sched);
     }
 }
 
@@ -269,9 +292,29 @@ pub struct FleetShardReport {
     pub cycles: u64,
     /// All tenants' counters merged.
     pub stats: CpuStats,
-    /// This shard's own boot + serve duration (see
+    /// Sweeps of the simulated weighted-fair schedule this shard ran.
+    /// Deterministic in the plan (part of `simulation_identical`).
+    pub sweeps: u64,
+    /// This shard's own boot + serve duration, accumulated across its
+    /// slices on whichever workers ran them (see
     /// [`ShardReport::wall_secs`] for the parallel/sequential reading).
     pub wall_secs: f64,
+}
+
+/// Host-side execution profile of a fleet run: how the work-stealing
+/// pool actually ran the shards. Everything here is host-dependent and
+/// excluded from [`FleetReport::simulation_identical`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// Host worker threads that served the run (shard count for the
+    /// legacy 1:1 [`FleetDriver::drive_threaded`] mode, 1 for
+    /// [`FleetDriver::drive_sequential`]).
+    pub workers: usize,
+    /// Tasks popped from another worker's queue.
+    pub steals: u64,
+    /// Slices that ran on a different worker than the previous slice of
+    /// the same shard (a steal that actually moved live shard state).
+    pub migrations: u64,
 }
 
 /// The merged outcome of a fleet run.
@@ -291,6 +334,9 @@ pub struct FleetReport {
     pub stats: CpuStats,
     /// Host wall-clock seconds for the whole fan-out.
     pub wall_secs: f64,
+    /// How the host pool ran it (workers, steals, migrations) — wall
+    /// side only, excluded from [`FleetReport::simulation_identical`].
+    pub exec: ExecProfile,
 }
 
 impl FleetReport {
@@ -326,21 +372,42 @@ impl FleetReport {
                     && a.instructions == b.instructions
                     && a.cycles == b.cycles
                     && a.stats == b.stats
+                    && a.sweeps == b.sweeps
                     && a.tenants == b.tenants
             })
     }
 }
 
-/// Runs [`FleetPlan`]s across a pool of host threads, one per shard.
+/// Runs [`FleetPlan`]s over a work-stealing pool of host workers.
+///
+/// Shard runs are resumable tasks that yield at sweep boundaries (see
+/// `scheduler` module docs); workers steal freely, so shard count is
+/// decoupled from host thread count. The *simulated* weighted-fair
+/// schedule is a pure function of the plan, so every drive mode —
+/// stealing at any worker count, legacy 1:1 threads, sequential — is
+/// [`FleetReport::simulation_identical`] to every other.
 #[derive(Debug)]
 pub struct FleetDriver;
 
 impl FleetDriver {
-    /// Executes `plan`: boots every shard machine, serves each shard's
-    /// share of every tenant's quota (tenants round-robin within the
-    /// shard), and merges the results in shard order. Shards run on their
-    /// own host threads; everything except `wall_secs` is deterministic
-    /// in the plan.
+    /// The default pool size for `plan`: one worker per shard, capped at
+    /// the host's available parallelism (never oversubscribe, never
+    /// spawn workers with no shard to serve).
+    pub fn default_workers(plan: &FleetPlan) -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(plan.shards)
+            .max(1)
+    }
+
+    /// Executes `plan` over the work-stealing pool
+    /// ([`FleetPlan::workers`] workers, or [`FleetDriver::default_workers`]
+    /// when unset): boots every shard machine, serves each shard's share
+    /// of every tenant's quota on the simulated weighted-fair schedule,
+    /// and merges the results in shard order. Everything except
+    /// `wall_secs` and [`FleetReport::exec`] is deterministic in the
+    /// plan.
     ///
     /// # Errors
     ///
@@ -351,6 +418,54 @@ impl FleetDriver {
     /// Panics if the plan has zero shards, zero CPUs per shard, or no
     /// tenants.
     pub fn drive(plan: &FleetPlan) -> Result<FleetReport, KernelError> {
+        let workers = plan.workers.unwrap_or_else(|| Self::default_workers(plan));
+        Self::drive_with_workers(plan, workers)
+    }
+
+    /// Executes `plan` over a work-stealing pool of exactly `workers`
+    /// host threads — fewer workers than shards interleave slices, more
+    /// workers than shards idle politely; the simulated totals are
+    /// bit-identical either way (the worker-count-invariance property
+    /// the torture suite gates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure (by shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`FleetDriver::drive`], or if `workers` is zero.
+    pub fn drive_with_workers(
+        plan: &FleetPlan,
+        workers: usize,
+    ) -> Result<FleetReport, KernelError> {
+        Self::check(plan);
+        assert!(workers > 0, "at least one worker");
+        let start = Instant::now();
+        let outcome = scheduler::run_pool(plan, workers);
+        let shards = outcome.shards.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let exec = ExecProfile {
+            workers,
+            steals: outcome.steals,
+            migrations: outcome.migrations,
+        };
+        Ok(Self::merge(shards, start.elapsed().as_secs_f64(), exec))
+    }
+
+    /// Executes `plan` in the legacy 1:1 mode: one host thread per
+    /// shard, each running its shard task to completion. This is the
+    /// pre-stealing `FleetDriver` shape, kept as the wall-clock baseline
+    /// `perfcheck --fleet-steal` compares the pool against (and as a
+    /// degenerate steal-free schedule for the torture suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure (by shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`FleetDriver::drive`].
+    pub fn drive_threaded(plan: &FleetPlan) -> Result<FleetReport, KernelError> {
         Self::check(plan);
         let start = Instant::now();
         let mut results: Vec<Option<Result<FleetShardReport, KernelError>>> =
@@ -358,7 +473,9 @@ impl FleetDriver {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for shard in 0..plan.shards {
-                handles.push(scope.spawn(move || Self::run_shard(plan, shard)));
+                handles.push(
+                    scope.spawn(move || scheduler::run_to_completion(ShardTask::new(plan, shard))),
+                );
             }
             for (shard, handle) in handles.into_iter().enumerate() {
                 results[shard] = Some(handle.join().expect("shard thread panicked"));
@@ -368,7 +485,12 @@ impl FleetDriver {
             .into_iter()
             .map(|r| r.expect("every shard joined"))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::merge(shards, start.elapsed().as_secs_f64()))
+        let exec = ExecProfile {
+            workers: plan.shards,
+            steals: 0,
+            migrations: 0,
+        };
+        Ok(Self::merge(shards, start.elapsed().as_secs_f64(), exec))
     }
 
     /// Executes `plan` with every shard run back to back on the calling
@@ -391,9 +513,14 @@ impl FleetDriver {
         let start = Instant::now();
         let mut shards = Vec::with_capacity(plan.shards);
         for shard in 0..plan.shards {
-            shards.push(Self::run_shard(plan, shard)?);
+            shards.push(scheduler::run_to_completion(ShardTask::new(plan, shard))?);
         }
-        Ok(Self::merge(shards, start.elapsed().as_secs_f64()))
+        let exec = ExecProfile {
+            workers: 1,
+            steals: 0,
+            migrations: 0,
+        };
+        Ok(Self::merge(shards, start.elapsed().as_secs_f64(), exec))
     }
 
     fn check(plan: &FleetPlan) {
@@ -410,7 +537,7 @@ impl FleetDriver {
         }
     }
 
-    fn merge(shards: Vec<FleetShardReport>, wall_secs: f64) -> FleetReport {
+    fn merge(shards: Vec<FleetShardReport>, wall_secs: f64, exec: ExecProfile) -> FleetReport {
         let mut stats = CpuStats::default();
         let (mut syscalls, mut instructions, mut cycles) = (0, 0, 0);
         let mut tenants: Vec<TenantReport> = shards[0].tenants.clone();
@@ -433,144 +560,8 @@ impl FleetDriver {
             cycles,
             stats,
             wall_secs,
+            exec,
         }
-    }
-
-    /// One shard: boot a machine whose user image carries every tenant's
-    /// blocks, set each tenant up with its own tasks and op stream, then
-    /// serve quotas round-robin — one op per live tenant per turn, so
-    /// tenants contend for the machine the way co-located services do.
-    fn run_shard(plan: &FleetPlan, shard: usize) -> Result<FleetShardReport, KernelError> {
-        let start = Instant::now();
-        let boot_seed = shard_seed(plan.seed, shard);
-
-        // Workload instances first: their user blocks must be compiled
-        // into the machine's user image at boot.
-        let workloads: Vec<_> = plan.tenants.iter().map(TenantSpec::build).collect();
-        let mut cfg = KernelConfig::with_protection(plan.protection);
-        cfg.cpus = plan.cpus_per_shard;
-        cfg.seed = boot_seed;
-        cfg.fast_caches = plan.fast_caches;
-        cfg.block_engine = plan.block_engine;
-        cfg.trace_engine = plan.trace_engine;
-        if let Some(threshold) = plan.pac_panic_threshold {
-            cfg.pac_panic_threshold = threshold;
-        }
-        for workload in &workloads {
-            for (name, alu, mem) in workload.user_blocks() {
-                match cfg.user_blocks.iter().find(|(n, _, _)| *n == name) {
-                    // Identical redeclarations are fine (two tenants of
-                    // the same mix); conflicting sizes under one name
-                    // would silently misattribute work, so fail loudly.
-                    Some((_, a, m)) => assert_eq!(
-                        (*a, *m),
-                        (alu, mem),
-                        "user block {name:?} declared twice with different sizes"
-                    ),
-                    None => cfg.user_blocks.push((name, alu, mem)),
-                }
-            }
-        }
-        cfg.telemetry = plan.telemetry;
-        let mut cluster = Cluster::boot(cfg)?;
-        let kernel = cluster.kernel_mut();
-        // Consumer half of the shard's stats plane: this thread is both
-        // the producer (the serve loop below) and the drainer, so the
-        // SPSC contract holds in every drive mode and the drain points
-        // are deterministic in the plan.
-        let ring = kernel.telemetry_ring();
-        let mut series: Vec<Vec<StatWindow>> = vec![Vec::new(); plan.tenants.len()];
-        let mut scratch: Vec<StatWindow> = Vec::new();
-        let drain = |series: &mut Vec<Vec<StatWindow>>, scratch: &mut Vec<StatWindow>| {
-            if let Some(ring) = &ring {
-                ring.drain_into(scratch);
-                for w in scratch.drain(..) {
-                    // Emitters register in plan order (TenantRun::new is
-                    // called in plan order), so the producer id is the
-                    // plan tenant index.
-                    series[w.tenant as usize].push(w);
-                }
-            }
-        };
-
-        let mut runs = Vec::with_capacity(plan.tenants.len());
-        let mut remaining = Vec::with_capacity(plan.tenants.len());
-        for (spec, workload) in plan.tenants.iter().zip(workloads) {
-            runs.push(TenantRun::new(
-                spec.name.clone(),
-                workload,
-                kernel,
-                tenant_stream_seed(plan.seed, shard, &spec.name),
-            )?);
-            remaining.push(spec.quota.share(plan.shards, shard));
-        }
-
-        loop {
-            let mut progressed = false;
-            for (idx, run) in runs.iter_mut().enumerate() {
-                if remaining[idx] == 0 {
-                    continue;
-                }
-                progressed = true;
-                let clamp = match plan.tenants[idx].quota {
-                    Quota::Syscalls(_) => Some(remaining[idx]),
-                    Quota::Ops(_) => None,
-                };
-                let report = run.step(kernel, clamp)?;
-                remaining[idx] -= match plan.tenants[idx].quota {
-                    Quota::Ops(_) => 1,
-                    Quota::Syscalls(_) => report.syscalls.max(1).min(remaining[idx]),
-                };
-            }
-            if !progressed {
-                break;
-            }
-            // Opportunistic sweep-boundary drain keeps the ring far from
-            // full in the steady state (coalescing stays the overflow
-            // escape hatch, not the norm).
-            drain(&mut series, &mut scratch);
-        }
-
-        // Final drain, then each tenant's end-of-run flush: the last
-        // partial window is handed over directly, so every series sums
-        // exactly to its tenant's totals.
-        drain(&mut series, &mut scratch);
-        for (idx, run) in runs.iter_mut().enumerate() {
-            series[idx].extend(run.flush_telemetry());
-        }
-
-        let mut stats = CpuStats::default();
-        let (mut syscalls, mut instructions, mut cycles) = (0, 0, 0);
-        let tenants: Vec<TenantReport> = runs
-            .into_iter()
-            .zip(series)
-            .map(|(run, series)| {
-                let workload = run.workload_name().to_string();
-                let name = run.name().to_string();
-                let totals = run.into_totals();
-                stats.merge(&totals.stats);
-                syscalls += totals.syscalls;
-                instructions += totals.instructions;
-                cycles += totals.cycles;
-                TenantReport {
-                    name,
-                    workload,
-                    totals,
-                    series,
-                }
-            })
-            .collect();
-
-        Ok(FleetShardReport {
-            shard,
-            seed: boot_seed,
-            tenants,
-            syscalls,
-            instructions,
-            cycles,
-            stats,
-            wall_secs: start.elapsed().as_secs_f64(),
-        })
     }
 }
 

@@ -14,14 +14,19 @@
 //!   reschedule/TLB-shootdown. A 1-CPU cluster is bit-identical to
 //!   [`camo_core::Machine`].
 //! * **Host-parallel fleet** — [`FleetDriver`]: M independent machines
-//!   (each optionally a cluster) on host threads serving an arbitrary mix
-//!   of [`camo_workloads::Workload`] tenants, every quota partitioned
+//!   (each optionally a cluster) served as resumable shard tasks over a
+//!   work-stealing pool of host workers, running an arbitrary mix of
+//!   [`camo_workloads::Workload`] tenants on a deterministic
+//!   weighted-fair simulated schedule (per-tenant priorities and
+//!   simulated-cycle budgets with throttling), every quota partitioned
 //!   deterministically by seed, with per-tenant
 //!   [`camo_cpu::CpuStats`]/cycle attribution and simulated-cycle latency
-//!   percentiles. This is where wall-clock throughput scales; within one
-//!   machine the cores interleave deterministically on a single host
-//!   thread. The PR-3 `ShardedDriver` survives as a thin deprecated alias
-//!   running the single-tenant lmbench mix.
+//!   percentiles. This is where wall-clock throughput scales — shard
+//!   count is decoupled from host thread count, and the simulated totals
+//!   are bit-identical across any worker count or drive mode
+//!   ([`FleetReport::simulation_identical`]). The PR-3 `ShardedDriver`
+//!   survives as a thin deprecated alias running the single-tenant
+//!   lmbench mix.
 //!
 //! # Example
 //!
@@ -41,11 +46,13 @@
 
 mod cluster;
 mod driver;
+mod scheduler;
 
 pub use cluster::{Cluster, ClusterStats};
 #[allow(deprecated)]
 pub use driver::ShardedDriver;
 pub use driver::{
-    shard_seed, FleetDriver, FleetPlan, FleetReport, FleetShardReport, ShardReport, TenantReport,
-    TrafficPlan, TrafficReport,
+    shard_seed, ExecProfile, FleetDriver, FleetPlan, FleetReport, FleetShardReport, ShardReport,
+    TenantReport, TrafficPlan, TrafficReport,
 };
+pub use scheduler::TenantSched;

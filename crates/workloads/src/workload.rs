@@ -251,7 +251,8 @@ impl Quota {
     }
 }
 
-/// One tenant of a fleet: a named workload factory plus its quota.
+/// One tenant of a fleet: a named workload factory plus its quota and
+/// scheduling parameters (weighted-fair share and optional cycle budget).
 #[derive(Clone)]
 pub struct TenantSpec {
     /// Tenant name (distinct from the workload name: two tenants may run
@@ -259,6 +260,18 @@ pub struct TenantSpec {
     pub name: String,
     /// Service owed to this tenant across all shards.
     pub quota: Quota,
+    /// Weighted-fair share of the simulated machine: the scheduler serves
+    /// up to `weight` ops per sweep for this tenant (default 1 — plain
+    /// round-robin). Part of the *simulated* schedule, so it is
+    /// deterministic in the plan and identical across execution modes.
+    pub weight: u32,
+    /// Per-sweep *simulated-cycle* budget. A budgeted tenant accrues this
+    /// many cycles of credit each sweep (burst-capped at two sweeps'
+    /// worth) and is throttled — skipped for whole sweeps — while its
+    /// credit is exhausted. `None` (the default) means unthrottled.
+    /// Budgets are denominated in simulated cycles, never host time, so
+    /// throttling decisions are bit-identical across execution modes.
+    pub cycle_budget: Option<u64>,
     factory: Arc<dyn WorkloadFactory>,
 }
 
@@ -267,12 +280,14 @@ impl fmt::Debug for TenantSpec {
         f.debug_struct("TenantSpec")
             .field("name", &self.name)
             .field("quota", &self.quota)
+            .field("weight", &self.weight)
+            .field("cycle_budget", &self.cycle_budget)
             .finish_non_exhaustive()
     }
 }
 
 impl TenantSpec {
-    /// A tenant from an explicit factory.
+    /// A tenant from an explicit factory (weight 1, no cycle budget).
     pub fn new(
         name: impl Into<String>,
         quota: Quota,
@@ -281,8 +296,27 @@ impl TenantSpec {
         TenantSpec {
             name: name.into(),
             quota,
+            weight: 1,
+            cycle_budget: None,
             factory: Arc::new(factory),
         }
+    }
+
+    /// Sets the weighted-fair share (ops per sweep; must be ≥ 1).
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> TenantSpec {
+        assert!(weight >= 1, "a zero-weight tenant would never be served");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the per-sweep simulated-cycle budget (must be ≥ 1; a zero
+    /// budget would never accrue credit and the tenant would starve).
+    #[must_use]
+    pub fn with_cycle_budget(mut self, cycles_per_sweep: u64) -> TenantSpec {
+        assert!(cycles_per_sweep >= 1, "a zero budget would starve");
+        self.cycle_budget = Some(cycles_per_sweep);
+        self
     }
 
     /// A fresh workload instance for one shard.
